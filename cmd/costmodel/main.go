@@ -1,0 +1,84 @@
+// Command costmodel regenerates Figure 8: the E_rel and E_dv page-fault
+// curves of the Section 5.2.2 IO cost model over selectivity, for the 1 GB
+// TPC-D Item table (X=6,000,000, n=16, w=4, B=4096), plus the crossover
+// selectivities. Output is a tab-separated table (plot with gnuplot or any
+// spreadsheet) and an ASCII sketch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/iomodel"
+)
+
+func main() {
+	maxS := flag.Float64("maxs", 0.03, "maximum selectivity to plot")
+	steps := flag.Int("steps", 30, "number of samples")
+	ascii := flag.Bool("ascii", true, "print an ASCII sketch of the curves")
+	flag.Parse()
+
+	params := iomodel.Figure8Params
+	ps := []int{1, 3, 6, 9, 12}
+	rel, dv := iomodel.Series(params, ps, *maxS, *steps)
+
+	fmt.Printf("# Figure 8: select-project IO cost (page faults) vs selectivity\n")
+	fmt.Printf("# X=%d n=%d w=%d B=%d\n", params.X, params.N, params.W, params.B)
+	fmt.Printf("%-10s %12s", "s", "E_rel")
+	for _, p := range ps {
+		fmt.Printf(" %12s", fmt.Sprintf("E_dv(p=%d)", p))
+	}
+	fmt.Println()
+	for i, r := range rel {
+		fmt.Printf("%-10.4f %12.0f", r.S, r.Value)
+		for _, p := range ps {
+			fmt.Printf(" %12.0f", dv[p][i].Value)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	for _, p := range ps {
+		s := params.Crossover(p, *maxS)
+		fmt.Printf("crossover E_dv(p=%d) vs E_rel: s ≈ %.4f\n", p, s)
+	}
+	fmt.Println("(the paper reports the n=16, p=3 crossover at s ≈ 0.004)")
+
+	if *ascii {
+		fmt.Println()
+		sketch(params, *maxS)
+	}
+}
+
+// sketch draws a coarse ASCII rendition of Fig. 8.
+func sketch(params iomodel.Params, maxS float64) {
+	const w, h = 72, 20
+	maxY := params.ERel(maxS) * 1.4
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	put := func(s, v float64, c byte) {
+		x := int(s / maxS * float64(w-1))
+		y := h - 1 - int(v/maxY*float64(h-1))
+		if x >= 0 && x < w && y >= 0 && y < h {
+			grid[y][x] = c
+		}
+	}
+	for i := 0; i <= 400; i++ {
+		s := maxS * float64(i) / 400
+		put(s, params.ERel(s), '#')
+		for _, pc := range []struct {
+			p int
+			c byte
+		}{{1, '1'}, {3, '3'}, {6, '6'}, {9, '9'}, {12, 'a'}} {
+			put(s, params.EDV(s, pc.p), pc.c)
+		}
+	}
+	fmt.Printf("page faults (0..%.0f)   #=E_rel  1,3,6,9=E_dv(p)  a=E_dv(p=12)\n", maxY)
+	for _, row := range grid {
+		fmt.Println(string(row))
+	}
+	fmt.Printf("s: 0 .. %.3f\n", maxS)
+}

@@ -1,0 +1,98 @@
+// Command moaquery parses a MOA query, translates it to MIL, executes it on
+// a generated TPC-D database and prints — depending on the flags — the MIL
+// plan (the Fig. 5 tree as a listing), a Fig. 10-style per-statement
+// execution trace, and the materialized result with its structure function.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/engine"
+	"repro/internal/moa"
+	"repro/internal/storage"
+	"repro/internal/tpcd"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.005, "TPC-D scale factor")
+	seed := flag.Int64("seed", 42, "generator seed")
+	q := flag.Int("q", 0, "run the built-in TPC-D query 1-15 instead of reading stdin")
+	plan := flag.Bool("plan", false, "print the translated MIL program and structure function")
+	trace := flag.Bool("trace", false, "print the Fig. 10-style execution trace")
+	noResult := flag.Bool("noresult", false, "suppress result printing")
+	flag.Parse()
+
+	gen := tpcd.Generate(*sf, *seed)
+	env, _ := tpcd.Load(gen)
+	db := engine.New(tpcd.Schema(), env)
+	db.Pager = storage.NewPager(4096, 0)
+
+	src := ""
+	if *q != 0 {
+		for _, query := range tpcd.Queries(gen) {
+			if query.Num == *q {
+				src = query.MOA
+			}
+		}
+		if src == "" {
+			fmt.Fprintf(os.Stderr, "no TPC-D query %d\n", *q)
+			os.Exit(1)
+		}
+	} else if flag.NArg() > 0 {
+		src = flag.Arg(0)
+	} else {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		src = string(data)
+	}
+
+	if *plan {
+		prep, err := db.Prepare(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("-- MIL program:")
+		fmt.Print(prep.Prog.String())
+		fmt.Println("-- result structure function:")
+		fmt.Println(prep.Struct.Render())
+		fmt.Println()
+	}
+
+	res, err := db.Query(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *trace {
+		fmt.Println("-- execution trace (elapsed / faults / rows / variant / statement):")
+		for _, tr := range res.Traces {
+			fmt.Println(tr)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("-- %d elements, %.3fms elapsed, %d faults, %.2f MB intermediates (peak %.2f MB)\n",
+		len(res.Set.Elems),
+		float64(res.Stats.Elapsed.Microseconds())/1000,
+		res.Stats.Faults,
+		float64(res.Stats.IntermBytes)/(1<<20),
+		float64(res.Stats.PeakBytes)/(1<<20))
+	if !*noResult {
+		limit := len(res.Set.Elems)
+		if limit > 25 {
+			limit = 25
+		}
+		for _, e := range res.Set.Elems[:limit] {
+			fmt.Println(moa.RenderVal(e.V))
+		}
+		if limit < len(res.Set.Elems) {
+			fmt.Printf("... (%d more)\n", len(res.Set.Elems)-limit)
+		}
+	}
+}

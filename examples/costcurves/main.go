@@ -1,0 +1,29 @@
+// Costcurves evaluates the Section 5.2.2 IO cost model (Figure 8): expected
+// page faults for select-then-project under relational vs datavector
+// storage, and checks where the crossover falls.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/iomodel"
+)
+
+func main() {
+	p := iomodel.Figure8Params
+	fmt.Printf("IO cost model, 1 GB TPC-D Item table: X=%d rows, n=%d attrs, w=%d, B=%d\n\n",
+		p.X, p.N, p.W, p.B)
+
+	fmt.Printf("%-8s %10s %12s %12s %12s\n", "s", "E_rel", "E_dv(p=1)", "E_dv(p=3)", "E_dv(p=12)")
+	for _, s := range []float64{0.0005, 0.001, 0.002, 0.004, 0.008, 0.015, 0.03} {
+		fmt.Printf("%-8.4f %10.0f %12.0f %12.0f %12.0f\n",
+			s, p.ERel(s), p.EDV(s, 1), p.EDV(s, 3), p.EDV(s, 12))
+	}
+
+	fmt.Println()
+	for _, attrs := range []int{1, 3, 6, 9, 12} {
+		fmt.Printf("crossover for p=%d: s ≈ %.4f\n", attrs, p.Crossover(attrs, 0.5))
+	}
+	fmt.Println("\npaper (Section 5.2.2): \"the crossover point for n=16, p=3 is at s ≈ 0.004\"")
+	fmt.Printf("this model:            crossover for n=16, p=3 at s ≈ %.4f\n", p.Crossover(3, 0.5))
+}

@@ -1,0 +1,62 @@
+// Outofstock demonstrates Section 4.3.2, "Operations on set-valued
+// attributes": selecting inside each supplier's nested supplies set. The
+// flattened representation executes the nested selection as ONE selection
+// over the flattened BAT — "instead of executing repeated selections for
+// each nested set, we can do all work together".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	flatalg "repro"
+)
+
+func main() {
+	db, _, err := flatalg.OpenTPCD(0.005, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's query (available = 0 adapted to a low-stock threshold so
+	// the generated data yields hits): for each supplier, the set of
+	// supplies that are nearly out of stock.
+	res, err := db.Query(`
+		project[<name : supplier, select[<(available, 200)](supplies) : low>](Supplier)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("low-stock supplies per supplier (first 8 suppliers):")
+	shown := 0
+	for _, e := range res.Set.Elems {
+		if shown >= 8 {
+			break
+		}
+		fmt.Println("  ", flatalg.RenderVal(e.V))
+		shown++
+	}
+
+	// The same flattening benefit applies to nested aggregation: stock
+	// value per supplier in one set-aggregate.
+	res, err = db.Query(`
+		top[5](sort[value desc](
+		  project[<name : supplier,
+		           sum(project[v](project[<*(cost, flt(available)) : v>](supplies))) : value>](
+		    Supplier)))`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop five suppliers by stock value:")
+	fmt.Println(flatalg.RenderOrdered(res.Set))
+
+	// Nested set operations stay flat too: suppliers that actually have a
+	// low-stock supply, via exists().
+	res, err = db.Query(`
+		project[<name : supplier>](
+		  select[exists(select[<(available, 120)](supplies))](Supplier))`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsuppliers with very low stock on some part: %d\n", len(res.Set.Elems))
+}

@@ -1,0 +1,52 @@
+// Quickstart: open a small TPC-D database, run MOA queries through the
+// flattened MOA→MIL pipeline, and inspect results and plans.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	flatalg "repro"
+)
+
+func main() {
+	// Generate and bulk-load a small TPC-D instance (SF 0.005 ≈ 30k line
+	// items): vertical decomposition into BATs, extents, datavectors.
+	db, _, err := flatalg.OpenTPCD(0.005, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.Pager = flatalg.NewPager(4096, 0) // count page faults on base data
+
+	// A selection with a path predicate: items of urgent orders.
+	res, err := db.Query(`
+		select[=(order.orderpriority, "1-URGENT"), <(quantity, 3)](Item)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("urgent small items: %d (in %.2fms, %d page faults)\n",
+		len(res.Set.Elems), float64(res.Stats.Elapsed.Microseconds())/1000, res.Stats.Faults)
+
+	// Grouping and aggregation: revenue per market segment.
+	res, err = db.Query(`
+		project[<seg : segment, sum(project[rev](%2)) : revenue>](
+		  nest[seg](
+		    project[<order.cust.mktsegment : seg,
+		             *(extendedprice, -(1.0, discount)) : rev>](Item)))`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrevenue per market segment:")
+	for _, e := range res.Set.Elems {
+		fmt.Println("  ", flatalg.RenderVal(e.V))
+	}
+
+	// Every query is translated to a MIL program you can inspect.
+	prep, err := db.Prepare(`select[=(name, "EUROPE")](Region)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntranslated MIL program for a region lookup:")
+	fmt.Print(prep.Prog.String())
+	fmt.Println("result structure:", prep.Struct.Render())
+}

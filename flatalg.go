@@ -1,0 +1,91 @@
+// Package flatalg is a Go reproduction of Boncz, Wilschut & Kersten,
+// "Flattening an Object Algebra to Provide Performance" (ICDE 1998): the MOA
+// object data model and query algebra, flattened onto a Monet-style binary
+// relational kernel (BATs) via formally specified structure functions, with
+// MOA queries translated by a term rewriter into MIL programs executed with
+// property-driven dynamic operator selection and the paper's datavector
+// accelerator.
+//
+// Quick start:
+//
+//	db, data, _ := flatalg.OpenTPCD(0.01, 42)
+//	res, _ := db.Query(`select[=(returnflag, 'R')](Item)`)
+//	fmt.Println(len(res.Set.Elems), "returned items")
+//	_ = data
+//
+// The package is a thin facade over the internal layers:
+//
+//   - internal/bat     — BAT storage, properties, accelerators (paper §2, §3.2, §5)
+//   - internal/mil     — the BAT execution algebra and interpreter (§4.2, §5)
+//   - internal/moa     — the MOA model, structure functions, parser, checker (§3, §4.1)
+//   - internal/rewrite — the MOA→MIL term rewriter (§4.3)
+//   - internal/engine  — the assembled query pipeline
+//   - internal/tpcd    — the TPC-D substrate of the evaluation (§6)
+//   - internal/relational — the row-store comparator (stand-in for DB2)
+//   - internal/iomodel — the IO cost model (§5.2.2, Fig. 8)
+//   - internal/storage — the paged-storage simulator (page-fault accounting)
+package flatalg
+
+import (
+	"repro/internal/engine"
+	"repro/internal/mil"
+	"repro/internal/moa"
+	"repro/internal/storage"
+	"repro/internal/tpcd"
+)
+
+// Database is an open MOA database.
+type Database = engine.Database
+
+// Result is an executed query: materialized set, MIL plan, structure
+// function, per-statement traces and Fig. 9-style statistics.
+type Result = engine.Result
+
+// Stats are the per-query execution measures (elapsed, page faults,
+// intermediate-result and peak memory).
+type Stats = engine.Stats
+
+// Schema describes a MOA database schema.
+type Schema = moa.Schema
+
+// Class describes one object class of a schema.
+type Class = moa.Class
+
+// SetVal is a materialized result set.
+type SetVal = moa.SetVal
+
+// TupleVal is a materialized tuple value.
+type TupleVal = moa.TupleVal
+
+// Pager simulates paged storage with LRU buffering and fault accounting.
+type Pager = storage.Pager
+
+// Env is a BAT environment binding names to BATs.
+type Env = mil.Env
+
+// New opens a database over a schema and an existing BAT environment.
+func New(schema *Schema, env Env) *Database { return engine.New(schema, env) }
+
+// NewPager creates a paged-storage simulator; pageSize <= 0 selects 4096,
+// capacity <= 0 means unbounded (cold-start fault counting only).
+func NewPager(pageSize int64, capacityPages int) *Pager {
+	return storage.NewPager(pageSize, capacityPages)
+}
+
+// OpenTPCD generates a deterministic TPC-D database at the given scale
+// factor, bulk-loads it into BATs (creating extents and datavectors per
+// Section 6), and returns the ready database plus the generated object graph
+// (useful for validation).
+func OpenTPCD(sf float64, seed int64) (*Database, *tpcd.DB, error) {
+	gen := tpcd.Generate(sf, seed)
+	env, _ := tpcd.Load(gen)
+	return engine.New(tpcd.Schema(), env), gen, nil
+}
+
+// RenderVal renders a materialized value canonically (sets sorted, floats to
+// four decimals).
+func RenderVal(v moa.Val) string { return moa.RenderVal(v) }
+
+// RenderOrdered renders a result set preserving element order (top-N
+// results).
+func RenderOrdered(s *SetVal) string { return moa.RenderOrdered(s) }

@@ -1,0 +1,90 @@
+package flatalg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpenTPCDAndQuery(t *testing.T) {
+	db, gen, err := OpenTPCD(0.002, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen == nil || len(gen.Items) == 0 {
+		t.Fatal("generator output missing")
+	}
+	db.Pager = NewPager(4096, 0)
+
+	res, err := db.Query(`select[=(name, "EUROPE")](Region)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set.Elems) != 1 {
+		t.Fatalf("EUROPE count = %d", len(res.Set.Elems))
+	}
+	if !strings.Contains(RenderVal(res.Set.Elems[0].V), "EUROPE") {
+		t.Fatalf("render = %s", RenderVal(res.Set.Elems[0].V))
+	}
+	if res.Plan == nil || res.Struct == nil {
+		t.Fatal("plan/structure missing")
+	}
+}
+
+func TestFacadeAggregateAndOrderedRender(t *testing.T) {
+	db, _, err := OpenTPCD(0.002, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`
+		top[3](sort[totalprice desc](
+		  project[<totalprice : totalprice>](Order)))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set.Elems) != 3 {
+		t.Fatalf("top-3 = %d", len(res.Set.Elems))
+	}
+	out := RenderOrdered(res.Set)
+	if !strings.HasPrefix(out, "[") {
+		t.Fatalf("ordered render = %s", out)
+	}
+	// descending order
+	var prev float64 = 1e18
+	for _, e := range res.Set.Elems {
+		tv := e.V.(*TupleVal)
+		v := tv.Fields[0].(interface{ AsFloat() float64 }).AsFloat()
+		if v > prev {
+			t.Fatalf("not descending: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestFacadePrepareOnly(t *testing.T) {
+	db, _, err := OpenTPCD(0.002, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := db.Prepare(`select[<(quantity, 5)](Item)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prep.Prog.Stmts) == 0 {
+		t.Fatal("empty program")
+	}
+	if !strings.Contains(prep.Prog.String(), "Item_quantity") {
+		t.Fatalf("plan:\n%s", prep.Prog)
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	db, _, err := OpenTPCD(0.002, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []string{"", "select[", "select[=(zzz, 1)](Item)"} {
+		if _, err := db.Query(src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}

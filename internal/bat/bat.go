@@ -1,0 +1,280 @@
+package bat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Props is the set of kernel-maintained BAT properties of Section 5.1. Each
+// MIL command has a propagation rule carrying operand properties onto its
+// result; the dynamic optimizer consults them to pick algorithm variants.
+type Props uint16
+
+const (
+	// HOrdered: the head column is stored in ascending order.
+	HOrdered Props = 1 << iota
+	// TOrdered: the tail column is stored in ascending order.
+	TOrdered
+	// HKey: the head column contains no duplicates.
+	HKey
+	// TKey: the tail column contains no duplicates.
+	TKey
+	// HDense: the head column is a dense ascending oid sequence (implies
+	// HOrdered|HKey). Void head columns are always dense.
+	HDense
+	// TDense: the tail column is a dense ascending oid sequence.
+	TDense
+)
+
+// Has reports whether all properties in q are set.
+func (p Props) Has(q Props) bool { return p&q == q }
+
+// Swap exchanges head and tail properties; it is the property rule for
+// mirror.
+func (p Props) Swap() Props {
+	var q Props
+	if p.Has(HOrdered) {
+		q |= TOrdered
+	}
+	if p.Has(TOrdered) {
+		q |= HOrdered
+	}
+	if p.Has(HKey) {
+		q |= TKey
+	}
+	if p.Has(TKey) {
+		q |= HKey
+	}
+	if p.Has(HDense) {
+		q |= TDense
+	}
+	if p.Has(TDense) {
+		q |= HDense
+	}
+	return q
+}
+
+func (p Props) String() string {
+	var parts []string
+	for _, e := range []struct {
+		p Props
+		n string
+	}{{HOrdered, "h-ordered"}, {TOrdered, "t-ordered"}, {HKey, "h-key"},
+		{TKey, "t-key"}, {HDense, "h-dense"}, {TDense, "t-dense"}} {
+		if p.Has(e.p) {
+			parts = append(parts, e.n)
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// BAT is a Binary Association Table (Fig. 2): a head column, a tail column
+// of equal length, properties, and optional search accelerators. BAT-algebra
+// operations never mutate a BAT after construction (Section 4.2:
+// "BAT-algebra operations materialize their result and never change their
+// operands"), so sharing columns between BATs — as mirror does — is safe.
+type BAT struct {
+	Name  string
+	H, T  Column
+	Props Props
+
+	// Synced links: BATs whose BUNs correspond by position with this one
+	// (Section 5.1). Stored as a shared group token; two BATs are synced
+	// iff they carry the same non-zero token and equal length.
+	syncGroup uint64
+
+	// Accelerators (lazily built, cached).
+	hashT *HashIndex  // hash table on tail values
+	hashH *HashIndex  // hash table on head values
+	dv    *Datavector // datavector accelerator (Section 5.2)
+
+	mirror *BAT // cached mirror view
+}
+
+// New constructs a BAT from two equal-length columns.
+func New(name string, h, t Column, props Props) *BAT {
+	if h.Len() != t.Len() {
+		panic(fmt.Sprintf("bat %s: head len %d != tail len %d", name, h.Len(), t.Len()))
+	}
+	p := props
+	if _, ok := h.(*VoidCol); ok {
+		p |= HDense | HOrdered | HKey
+	}
+	if _, ok := t.(*VoidCol); ok {
+		p |= TDense | TOrdered | TKey
+	}
+	if p.Has(HDense) {
+		p |= HOrdered | HKey
+	}
+	if p.Has(TDense) {
+		p |= TOrdered | TKey
+	}
+	return &BAT{Name: name, H: h, T: t, Props: p}
+}
+
+// Len reports the number of BUNs.
+func (b *BAT) Len() int { return b.H.Len() }
+
+// ByteSize reports the BAT's storage footprint.
+func (b *BAT) ByteSize() int64 { return b.H.ByteSize() + b.T.ByteSize() }
+
+// Mirror returns the BAT viewed with head and tail swapped. Per Section 4.2
+// this is "an operation free of cost": the mirror shares the columns and
+// accelerators of its original.
+func (b *BAT) Mirror() *BAT {
+	if b.mirror == nil {
+		// The mirror does NOT inherit the sync group: syncedness asserts
+		// positional head correspondence, which swapping columns breaks.
+		m := &BAT{
+			Name:   b.Name + ".mirror",
+			H:      b.T,
+			T:      b.H,
+			Props:  b.Props.Swap(),
+			hashT:  b.hashH,
+			hashH:  b.hashT,
+			mirror: b,
+		}
+		b.mirror = m
+	}
+	return b.mirror
+}
+
+// HeadValue returns the boxed head value at i.
+func (b *BAT) HeadValue(i int) Value { return b.H.Get(i) }
+
+// TailValue returns the boxed tail value at i.
+func (b *BAT) TailValue(i int) Value { return b.T.Get(i) }
+
+// SyncWith marks b and o as positionally synced (Section 5.1), joining o's
+// group or creating a fresh one.
+func (b *BAT) SyncWith(o *BAT) {
+	if o.syncGroup == 0 {
+		o.syncGroup = nextSyncGroup()
+	}
+	b.syncGroup = o.syncGroup
+}
+
+var syncCounter uint64
+
+func nextSyncGroup() uint64 {
+	syncCounter++
+	return syncCounter
+}
+
+// Synced reports whether a and b are known to correspond by position: same
+// sync group, or both head columns are dense with the same seqbase, or they
+// share the identical head column object.
+func Synced(a, b *BAT) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	if a.syncGroup != 0 && a.syncGroup == b.syncGroup {
+		return true
+	}
+	if a.H == b.H {
+		return true
+	}
+	av, aok := a.H.(*VoidCol)
+	bv, bok := b.H.(*VoidCol)
+	return aok && bok && av.Seq == bv.Seq
+}
+
+// Persist marks the BAT's columns (and datavector value vector, if any) as
+// persistent storage, enabling page-fault accounting on them. The bulk
+// loader persists the base data; intermediate results stay transient,
+// matching the paper's hot-set assumption.
+func (b *BAT) Persist() {
+	b.H.Persist()
+	b.T.Persist()
+	if b.dv != nil {
+		b.dv.Vector.Persist()
+	}
+}
+
+// Datavector returns the datavector accelerator attached to b, or nil.
+func (b *BAT) Datavector() *Datavector { return b.dv }
+
+// SetDatavector attaches a datavector accelerator.
+func (b *BAT) SetDatavector(dv *Datavector) { b.dv = dv }
+
+// String renders a compact description, and up to 8 BUNs, for debugging.
+func (b *BAT) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s[%s,%s]#%d{%s}", b.Name, b.H.Kind(), b.T.Kind(), b.Len(), b.Props)
+	n := b.Len()
+	if n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, " [%s,%s]", b.H.Get(i), b.T.Get(i))
+	}
+	if b.Len() > 8 {
+		sb.WriteString(" ...")
+	}
+	return sb.String()
+}
+
+// CheckProps verifies that every set property actually holds; it is used by
+// the property-soundness tests, not by the engine.
+func (b *BAT) CheckProps() error {
+	n := b.Len()
+	check := func(col Column, ordered, key, dense bool, side string) error {
+		if dense {
+			for i := 0; i < n; i++ {
+				v := col.Get(i)
+				if v.K != KOID && v.K != KVoid {
+					return fmt.Errorf("%s: dense but kind %s", side, v.K)
+				}
+				if i > 0 && col.Get(i).I != col.Get(i-1).I+1 {
+					return fmt.Errorf("%s: dense violated at %d", side, i)
+				}
+			}
+		}
+		if ordered {
+			for i := 1; i < n; i++ {
+				if Compare(col.Get(i-1), col.Get(i)) > 0 {
+					return fmt.Errorf("%s: ordered violated at %d", side, i)
+				}
+			}
+		}
+		if key {
+			seen := make(map[Value]bool, n)
+			for i := 0; i < n; i++ {
+				v := col.Get(i)
+				if seen[v] {
+					return fmt.Errorf("%s: key violated at %d (%s)", side, i, v)
+				}
+				seen[v] = true
+			}
+		}
+		return nil
+	}
+	if err := check(b.H, b.Props.Has(HOrdered), b.Props.Has(HKey), b.Props.Has(HDense), "head"); err != nil {
+		return fmt.Errorf("bat %s: %w", b.Name, err)
+	}
+	if err := check(b.T, b.Props.Has(TOrdered), b.Props.Has(TKey), b.Props.Has(TDense), "tail"); err != nil {
+		return fmt.Errorf("bat %s: %w", b.Name, err)
+	}
+	return nil
+}
+
+// HeadValues boxes the whole head column (test helper).
+func (b *BAT) HeadValues() []Value {
+	out := make([]Value, b.Len())
+	for i := range out {
+		out[i] = b.H.Get(i)
+	}
+	return out
+}
+
+// TailValues boxes the whole tail column (test helper).
+func (b *BAT) TailValues() []Value {
+	out := make([]Value, b.Len())
+	for i := range out {
+		out[i] = b.T.Get(i)
+	}
+	return out
+}

@@ -1,0 +1,444 @@
+package bat
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+)
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{I(1), I(2), -1},
+		{I(2), I(2), 0},
+		{I(3), I(2), 1},
+		{F(1.5), F(2.5), -1},
+		{I(2), F(2.0), 0}, // mixed numeric compares as float
+		{F(2.5), I(2), 1}, // mixed numeric
+		{S("a"), S("b"), -1},
+		{S("b"), S("b"), 0},
+		{C('A'), C('B'), -1},
+		{B(false), B(true), -1},
+		{D(100), D(200), -1},
+		{O(5), O(7), -1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%s, %s) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueStringForms(t *testing.T) {
+	if got := I(42).String(); got != "42" {
+		t.Errorf("int: %s", got)
+	}
+	if got := S("hi").String(); got != `"hi"` {
+		t.Errorf("str: %s", got)
+	}
+	if got := C('R').String(); got != "'R'" {
+		t.Errorf("chr: %s", got)
+	}
+	if got := MustDate("1994-01-01").String(); got != "1994-01-01" {
+		t.Errorf("date: %s", got)
+	}
+}
+
+func TestDateRoundTrip(t *testing.T) {
+	for _, s := range []string{"1970-01-01", "1992-06-15", "1998-12-01", "2026-06-12"} {
+		v, err := DateFromString(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := DateString(v.I); got != s {
+			t.Errorf("round trip %s -> %s", s, got)
+		}
+	}
+	if _, err := DateFromString("not-a-date"); err == nil {
+		t.Error("expected error for invalid date")
+	}
+}
+
+func TestColumnsRoundTrip(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		vals []Value
+	}{
+		{KOID, []Value{O(3), O(1), O(2)}},
+		{KInt, []Value{I(10), I(-5), I(0)}},
+		{KFlt, []Value{F(1.5), F(-2.25)}},
+		{KStr, []Value{S("alpha"), S(""), S("gamma")}},
+		{KChr, []Value{C('x'), C('y')}},
+		{KBit, []Value{B(true), B(false)}},
+		{KDate, []Value{D(9000), D(10000)}},
+	}
+	for _, c := range cases {
+		col := FromValues(c.kind, c.vals)
+		if col.Kind() != c.kind {
+			t.Errorf("%s: kind = %s", c.kind, col.Kind())
+		}
+		if col.Len() != len(c.vals) {
+			t.Errorf("%s: len = %d", c.kind, col.Len())
+		}
+		for i, want := range c.vals {
+			if got := col.Get(i); !Equal(got, want) {
+				t.Errorf("%s[%d] = %s, want %s", c.kind, i, got, want)
+			}
+		}
+	}
+}
+
+func TestVoidColumn(t *testing.T) {
+	v := NewVoid(100, 5)
+	if v.ByteSize() != 0 {
+		t.Error("void column must occupy zero space")
+	}
+	for i := 0; i < 5; i++ {
+		if got := v.Get(i); got.OID() != OID(100+i) {
+			t.Errorf("void[%d] = %s", i, got)
+		}
+	}
+	// Void columns never fault.
+	p := storage.NewPager(4096, 0)
+	v.TouchAll(p)
+	v.TouchAt(p, 3)
+	if p.Faults() != 0 {
+		t.Errorf("void faulted %d times", p.Faults())
+	}
+}
+
+func TestStrColAliasesHeap(t *testing.T) {
+	c := NewStrColFromStrings([]string{"hello", "", "world"})
+	if c.At(0) != "hello" || c.At(1) != "" || c.At(2) != "world" {
+		t.Fatalf("contents wrong: %q %q %q", c.At(0), c.At(1), c.At(2))
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestNewBATPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("bad", NewVoid(0, 3), NewIntCol([]int64{1}), 0)
+}
+
+func TestVoidHeadImpliesDenseProps(t *testing.T) {
+	b := New("x", NewVoid(0, 4), NewIntCol([]int64{4, 3, 2, 1}), 0)
+	if !b.Props.Has(HDense | HOrdered | HKey) {
+		t.Fatalf("props = %s", b.Props)
+	}
+	if err := b.CheckProps(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMirrorSwapsAndIsFree(t *testing.T) {
+	b := New("customer_name", NewOIDCol([]OID{101, 102, 103}),
+		NewStrColFromStrings([]string{"Annita", "Martin", "Peter"}), HOrdered|HKey)
+	m := b.Mirror()
+	if m.H != b.T || m.T != b.H {
+		t.Fatal("mirror must share columns")
+	}
+	if !m.Props.Has(TOrdered | TKey) {
+		t.Fatalf("mirror props = %s", m.Props)
+	}
+	if m.Mirror() != b {
+		t.Fatal("mirror of mirror must be the original")
+	}
+	if got := m.HeadValue(0); got.S != "Annita" {
+		t.Fatalf("mirror head = %s", got)
+	}
+}
+
+func TestMirrorSharesHashAccelerators(t *testing.T) {
+	b := New("x", NewOIDCol([]OID{1, 2, 3}), NewIntCol([]int64{10, 20, 30}), 0)
+	h := b.TailHash()
+	if b.Mirror().HeadHash() != h {
+		t.Fatal("mirror head hash must alias original tail hash")
+	}
+	if got := len(h.Lookup(I(20))); got != 1 {
+		t.Fatalf("lookup count = %d", got)
+	}
+}
+
+func TestHashIndexDuplicates(t *testing.T) {
+	col := NewIntCol([]int64{5, 7, 5, 5, 7})
+	h := BuildHashIndex(col)
+	if h.Card() != 2 {
+		t.Fatalf("card = %d", h.Card())
+	}
+	if got := h.Lookup(I(5)); len(got) != 3 {
+		t.Fatalf("positions of 5 = %v", got)
+	}
+	if got := h.Lookup(I(99)); got != nil {
+		t.Fatalf("missing value returned %v", got)
+	}
+}
+
+func TestSyncedDetection(t *testing.T) {
+	a := New("a", NewVoid(10, 3), NewIntCol([]int64{1, 2, 3}), 0)
+	b := New("b", NewVoid(10, 3), NewFltCol([]float64{1, 2, 3}), 0)
+	c := New("c", NewVoid(20, 3), NewIntCol([]int64{1, 2, 3}), 0)
+	if !Synced(a, b) {
+		t.Error("same dense seqbase must be synced")
+	}
+	if Synced(a, c) {
+		t.Error("different seqbase must not be synced")
+	}
+	d := New("d", NewOIDCol([]OID{4, 2, 9}), NewIntCol([]int64{1, 2, 3}), 0)
+	e := New("e", NewOIDCol([]OID{4, 2, 9}), NewIntCol([]int64{7, 8, 9}), 0)
+	if Synced(d, e) {
+		t.Error("distinct oid columns are not known-synced without a group")
+	}
+	e.SyncWith(d)
+	if !Synced(d, e) {
+		t.Error("explicit sync group must be detected")
+	}
+}
+
+func TestGatherAllKinds(t *testing.T) {
+	perm := []int{2, 0, 1}
+	cols := []Column{
+		NewVoid(5, 3),
+		NewOIDCol([]OID{10, 11, 12}),
+		NewIntCol([]int64{100, 200, 300}),
+		NewFltCol([]float64{1.5, 2.5, 3.5}),
+		NewChrCol([]byte{'a', 'b', 'c'}),
+		NewBitCol([]bool{true, false, true}),
+		NewDateCol([]int32{1, 2, 3}),
+		NewStrColFromStrings([]string{"x", "y", "z"}),
+	}
+	for _, col := range cols {
+		g := Gather(col, perm)
+		for i, p := range perm {
+			want := col.Get(p)
+			if want.K == KVoid {
+				want.K = KOID
+			}
+			if got := g.Get(i); !Equal(got, want) {
+				t.Errorf("%s gather[%d] = %s, want %s", col.Kind(), i, got, want)
+			}
+		}
+	}
+}
+
+func TestSortOnTail(t *testing.T) {
+	b := New("attr", NewVoid(0, 5), NewIntCol([]int64{30, 10, 50, 20, 40}), 0)
+	s := SortOnTail(b)
+	if !s.Props.Has(TOrdered) {
+		t.Fatal("sorted BAT must carry TOrdered")
+	}
+	if err := s.CheckProps(); err != nil {
+		t.Fatal(err)
+	}
+	wantTails := []int64{10, 20, 30, 40, 50}
+	wantHeads := []OID{1, 3, 0, 4, 2}
+	for i := range wantTails {
+		if got := s.TailValue(i).I; got != wantTails[i] {
+			t.Errorf("tail[%d] = %d, want %d", i, got, wantTails[i])
+		}
+		if got := s.HeadValue(i).OID(); got != wantHeads[i] {
+			t.Errorf("head[%d] = %d, want %d", i, got, wantHeads[i])
+		}
+	}
+}
+
+func TestDatavectorProbeDense(t *testing.T) {
+	dv := NewDenseDatavector(100, NewIntCol([]int64{7, 8, 9}))
+	if pos, ok := dv.Probe(nil, 101); !ok || pos != 1 {
+		t.Fatalf("probe(101) = %d,%v", pos, ok)
+	}
+	if _, ok := dv.Probe(nil, 99); ok {
+		t.Fatal("probe below base must miss")
+	}
+	if _, ok := dv.Probe(nil, 103); ok {
+		t.Fatal("probe past end must miss")
+	}
+	if dv.OIDAt(2) != 102 {
+		t.Fatalf("OIDAt(2) = %d", dv.OIDAt(2))
+	}
+}
+
+func TestDatavectorProbeSparse(t *testing.T) {
+	dv := NewDatavector([]OID{3, 7, 11, 19}, NewIntCol([]int64{1, 2, 3, 4}))
+	for i, oid := range []OID{3, 7, 11, 19} {
+		if pos, ok := dv.Probe(nil, oid); !ok || pos != i {
+			t.Fatalf("probe(%d) = %d,%v, want %d", oid, pos, ok, i)
+		}
+	}
+	for _, oid := range []OID{0, 4, 12, 25} {
+		if _, ok := dv.Probe(nil, oid); ok {
+			t.Fatalf("probe(%d) must miss", oid)
+		}
+	}
+	if dv.OIDAt(1) != 7 {
+		t.Fatalf("OIDAt(1) = %d", dv.OIDAt(1))
+	}
+}
+
+func TestDatavectorLookupMemo(t *testing.T) {
+	dv := NewDenseDatavector(0, NewIntCol([]int64{5, 6, 7}))
+	r := New("sel", NewOIDCol([]OID{2, 0}), NewVoid(0, 2), 0)
+	if dv.Lookup(r) != nil {
+		t.Fatal("memo must start empty")
+	}
+	dv.Memoize(r, []int32{2, 0})
+	if got := dv.Lookup(r); len(got) != 2 || got[0] != 2 {
+		t.Fatalf("memo = %v", got)
+	}
+	dv.DropLookups()
+	if dv.Lookup(r) != nil {
+		t.Fatal("DropLookups must clear memo")
+	}
+}
+
+func TestAttachDatavector(t *testing.T) {
+	// oid-ordered attribute BAT as produced by bulk load
+	b := New("Customer_name", NewVoid(101, 4),
+		NewStrColFromStrings([]string{"Annita", "Martin", "Peter", "Annita"}), 0)
+	s := AttachDatavector(b)
+	if s.Datavector() == nil {
+		t.Fatal("datavector missing")
+	}
+	if !s.Props.Has(TOrdered) {
+		t.Fatal("result must be tail-ordered")
+	}
+	// The vector preserves oid order: probe 103 must give "Peter".
+	dv := s.Datavector()
+	pos, ok := dv.Probe(nil, 103)
+	if !ok {
+		t.Fatal("probe(103) missed")
+	}
+	if got := dv.Vector.Get(pos); got.S != "Peter" {
+		t.Fatalf("vector value = %s", got)
+	}
+}
+
+// Property: SortOnTail output is a permutation of the input and is sorted.
+func TestSortOnTailIsSortedPermutation(t *testing.T) {
+	f := func(vals []int64) bool {
+		b := New("x", NewVoid(0, len(vals)), NewIntCol(vals), 0)
+		s := SortOnTail(b)
+		if s.Len() != b.Len() {
+			return false
+		}
+		got := make([]int64, 0, s.Len())
+		for i := 0; i < s.Len(); i++ {
+			got = append(got, s.TailValue(i).I)
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			return false
+		}
+		want := append([]int64(nil), vals...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		// heads must point back at the right original positions
+		for i := 0; i < s.Len(); i++ {
+			if vals[s.HeadValue(i).I] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Compare is a total order (antisymmetric, transitive on a sample).
+func TestCompareIsTotalOrder(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		va, vb, vc := I(a), I(b), I(c)
+		if Compare(va, vb) != -Compare(vb, va) {
+			return false
+		}
+		if Compare(va, vb) <= 0 && Compare(vb, vc) <= 0 && Compare(va, vc) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hash index lookup finds exactly the positions holding the value.
+func TestHashIndexComplete(t *testing.T) {
+	f := func(vals []int64) bool {
+		col := NewIntCol(vals)
+		h := BuildHashIndex(col)
+		for i, v := range vals {
+			found := false
+			for _, p := range h.Lookup(I(v)) {
+				if int(p) == i {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckPropsDetectsViolations(t *testing.T) {
+	b := New("bad", NewOIDCol([]OID{2, 1}), NewIntCol([]int64{1, 1}), 0)
+	b.Props |= HOrdered
+	if err := b.CheckProps(); err == nil {
+		t.Error("unordered head not detected")
+	}
+	b.Props = TKey
+	if err := b.CheckProps(); err == nil {
+		t.Error("duplicate tail not detected")
+	}
+}
+
+func TestStrColTouchAccountsBothHeaps(t *testing.T) {
+	strs := make([]string, 3000)
+	for i := range strs {
+		strs[i] = "some-reasonably-long-string-payload-############"
+	}
+	c := NewStrColFromStrings(strs)
+	c.Persist()
+	p := storage.NewPager(4096, 0)
+	c.TouchAll(p)
+	// offsets: 3001*4 bytes -> 3 pages; chars: 3000*49 bytes -> 36 pages
+	wantOff := (int64(len(c.Off))*4 + 4095) / 4096
+	wantChars := (int64(len(c.Chars)) + 4095) / 4096
+	if got := int64(p.Faults()); got != wantOff+wantChars {
+		t.Fatalf("faults = %d, want %d", got, wantOff+wantChars)
+	}
+}
+
+func BenchmarkGatherInt(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1 << 16
+	vals := make([]int64, n)
+	perm := make([]int, n)
+	for i := range vals {
+		vals[i] = rng.Int63()
+		perm[i] = rng.Intn(n)
+	}
+	col := NewIntCol(vals)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gather(col, perm)
+	}
+}

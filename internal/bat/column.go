@@ -1,0 +1,490 @@
+package bat
+
+import (
+	"repro/internal/storage"
+)
+
+// Columns are transient (heap 0, never faulting) until Persist assigns them
+// a real heap id: only the loader persists columns, so fault accounting
+// covers exactly the base data, matching the paper's measurements on
+// memory-mapped persistent BATs.
+
+// Column is one side (head or tail) of a BAT: a typed, dense array of
+// values. Concrete implementations expose their backing slices for the
+// operators' fast paths; Get is the generic boxed accessor.
+type Column interface {
+	// Kind reports the column's atomic type.
+	Kind() Kind
+	// Len reports the number of entries.
+	Len() int
+	// Get returns the boxed value at position i.
+	Get(i int) Value
+	// Heap identifies the column's BUN heap for fault accounting.
+	Heap() storage.HeapID
+	// TouchAt records a random access to entry i against the pager.
+	TouchAt(p *storage.Pager, i int)
+	// TouchAll records a full sequential scan against the pager.
+	TouchAll(p *storage.Pager)
+	// ByteSize reports the memory footprint in bytes.
+	ByteSize() int64
+	// Persist assigns the column a persistent heap id so that accesses to
+	// it are fault-accounted. Idempotent; transient columns never fault.
+	Persist()
+}
+
+// ---------------------------------------------------------------------------
+// void: dense ascending oid sequence, zero storage (paper Section 5.2,
+// footnote 2: "BATs that have the zero-space type void in one column").
+
+// VoidCol is a virtual column holding the dense sequence Seq, Seq+1, ...
+type VoidCol struct {
+	Seq OID
+	N   int
+}
+
+// NewVoid returns a void column of n entries starting at seq.
+func NewVoid(seq OID, n int) *VoidCol { return &VoidCol{Seq: seq, N: n} }
+
+// Kind implements Column.
+func (c *VoidCol) Kind() Kind { return KVoid }
+
+// Len implements Column.
+func (c *VoidCol) Len() int { return c.N }
+
+// Get implements Column; void entries materialize as oids.
+func (c *VoidCol) Get(i int) Value { return O(c.Seq + OID(i)) }
+
+// Heap implements Column; void columns occupy no storage.
+func (c *VoidCol) Heap() storage.HeapID { return 0 }
+
+// TouchAt implements Column; void columns never fault.
+func (c *VoidCol) TouchAt(p *storage.Pager, i int) {}
+
+// TouchAll implements Column; void columns never fault.
+func (c *VoidCol) TouchAll(p *storage.Pager) {}
+
+// ByteSize implements Column.
+func (c *VoidCol) ByteSize() int64 { return 0 }
+
+// ---------------------------------------------------------------------------
+// fixed-width columns
+
+// OIDCol is a column of object identifiers.
+type OIDCol struct {
+	V    []OID
+	heap storage.HeapID
+}
+
+// NewOIDCol wraps a slice of oids as a column.
+func NewOIDCol(v []OID) *OIDCol { return &OIDCol{V: v} }
+
+// Kind implements Column.
+func (c *OIDCol) Kind() Kind { return KOID }
+
+// Len implements Column.
+func (c *OIDCol) Len() int { return len(c.V) }
+
+// Get implements Column.
+func (c *OIDCol) Get(i int) Value { return O(c.V[i]) }
+
+// Heap implements Column.
+func (c *OIDCol) Heap() storage.HeapID { return c.heap }
+
+// TouchAt implements Column.
+func (c *OIDCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(i)*4) }
+
+// TouchAll implements Column.
+func (c *OIDCol) TouchAll(p *storage.Pager) { p.TouchRange(c.heap, 0, int64(len(c.V))*4) }
+
+// ByteSize implements Column.
+func (c *OIDCol) ByteSize() int64 { return int64(len(c.V)) * 4 }
+
+// IntCol is a column of integers.
+type IntCol struct {
+	V    []int64
+	heap storage.HeapID
+}
+
+// NewIntCol wraps a slice of integers as a column.
+func NewIntCol(v []int64) *IntCol { return &IntCol{V: v} }
+
+// Kind implements Column.
+func (c *IntCol) Kind() Kind { return KInt }
+
+// Len implements Column.
+func (c *IntCol) Len() int { return len(c.V) }
+
+// Get implements Column.
+func (c *IntCol) Get(i int) Value { return I(c.V[i]) }
+
+// Heap implements Column.
+func (c *IntCol) Heap() storage.HeapID { return c.heap }
+
+// TouchAt implements Column.
+func (c *IntCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(i)*4) }
+
+// TouchAll implements Column.
+func (c *IntCol) TouchAll(p *storage.Pager) { p.TouchRange(c.heap, 0, int64(len(c.V))*4) }
+
+// ByteSize implements Column.
+func (c *IntCol) ByteSize() int64 { return int64(len(c.V)) * 8 }
+
+// FltCol is a column of floats.
+type FltCol struct {
+	V    []float64
+	heap storage.HeapID
+}
+
+// NewFltCol wraps a slice of floats as a column.
+func NewFltCol(v []float64) *FltCol { return &FltCol{V: v} }
+
+// Kind implements Column.
+func (c *FltCol) Kind() Kind { return KFlt }
+
+// Len implements Column.
+func (c *FltCol) Len() int { return len(c.V) }
+
+// Get implements Column.
+func (c *FltCol) Get(i int) Value { return F(c.V[i]) }
+
+// Heap implements Column.
+func (c *FltCol) Heap() storage.HeapID { return c.heap }
+
+// TouchAt implements Column.
+func (c *FltCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(i)*8) }
+
+// TouchAll implements Column.
+func (c *FltCol) TouchAll(p *storage.Pager) { p.TouchRange(c.heap, 0, int64(len(c.V))*8) }
+
+// ByteSize implements Column.
+func (c *FltCol) ByteSize() int64 { return int64(len(c.V)) * 8 }
+
+// ChrCol is a column of single characters.
+type ChrCol struct {
+	V    []byte
+	heap storage.HeapID
+}
+
+// NewChrCol wraps a byte slice as a character column.
+func NewChrCol(v []byte) *ChrCol { return &ChrCol{V: v} }
+
+// Kind implements Column.
+func (c *ChrCol) Kind() Kind { return KChr }
+
+// Len implements Column.
+func (c *ChrCol) Len() int { return len(c.V) }
+
+// Get implements Column.
+func (c *ChrCol) Get(i int) Value { return C(c.V[i]) }
+
+// Heap implements Column.
+func (c *ChrCol) Heap() storage.HeapID { return c.heap }
+
+// TouchAt implements Column.
+func (c *ChrCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(i)) }
+
+// TouchAll implements Column.
+func (c *ChrCol) TouchAll(p *storage.Pager) { p.TouchRange(c.heap, 0, int64(len(c.V))) }
+
+// ByteSize implements Column.
+func (c *ChrCol) ByteSize() int64 { return int64(len(c.V)) }
+
+// BitCol is a column of booleans.
+type BitCol struct {
+	V    []bool
+	heap storage.HeapID
+}
+
+// NewBitCol wraps a bool slice as a column.
+func NewBitCol(v []bool) *BitCol { return &BitCol{V: v} }
+
+// Kind implements Column.
+func (c *BitCol) Kind() Kind { return KBit }
+
+// Len implements Column.
+func (c *BitCol) Len() int { return len(c.V) }
+
+// Get implements Column.
+func (c *BitCol) Get(i int) Value { return B(c.V[i]) }
+
+// Heap implements Column.
+func (c *BitCol) Heap() storage.HeapID { return c.heap }
+
+// TouchAt implements Column.
+func (c *BitCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(i)) }
+
+// TouchAll implements Column.
+func (c *BitCol) TouchAll(p *storage.Pager) { p.TouchRange(c.heap, 0, int64(len(c.V))) }
+
+// ByteSize implements Column.
+func (c *BitCol) ByteSize() int64 { return int64(len(c.V)) }
+
+// DateCol is a column of instants stored as days since 1970-01-01.
+type DateCol struct {
+	V    []int32
+	heap storage.HeapID
+}
+
+// NewDateCol wraps a slice of day numbers as a date column.
+func NewDateCol(v []int32) *DateCol { return &DateCol{V: v} }
+
+// Kind implements Column.
+func (c *DateCol) Kind() Kind { return KDate }
+
+// Len implements Column.
+func (c *DateCol) Len() int { return len(c.V) }
+
+// Get implements Column.
+func (c *DateCol) Get(i int) Value { return D(c.V[i]) }
+
+// Heap implements Column.
+func (c *DateCol) Heap() storage.HeapID { return c.heap }
+
+// TouchAt implements Column.
+func (c *DateCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(i)*4) }
+
+// TouchAll implements Column.
+func (c *DateCol) TouchAll(p *storage.Pager) { p.TouchRange(c.heap, 0, int64(len(c.V))*4) }
+
+// ByteSize implements Column.
+func (c *DateCol) ByteSize() int64 { return int64(len(c.V)) * 4 }
+
+// ---------------------------------------------------------------------------
+// strings: offsets into a shared character heap (paper Fig. 2: BUNs contain
+// integer byte-indices into an extra tail heap for variable-size atoms).
+
+// StrCol is a column of strings: per-entry offsets into one character heap.
+// Substrings alias the heap, so Get never copies.
+type StrCol struct {
+	Off      []uint32 // len(V)+1 offsets into Chars
+	Chars    string
+	heap     storage.HeapID // offset heap
+	charHeap storage.HeapID // character heap
+}
+
+// NewStrColFromStrings builds a string column (and its character heap) from
+// a string slice.
+func NewStrColFromStrings(v []string) *StrCol {
+	total := 0
+	for _, s := range v {
+		total += len(s)
+	}
+	buf := make([]byte, 0, total)
+	off := make([]uint32, len(v)+1)
+	for i, s := range v {
+		off[i] = uint32(len(buf))
+		buf = append(buf, s...)
+	}
+	off[len(v)] = uint32(len(buf))
+	return &StrCol{Off: off, Chars: string(buf)}
+}
+
+// Kind implements Column.
+func (c *StrCol) Kind() Kind { return KStr }
+
+// Len implements Column.
+func (c *StrCol) Len() int { return len(c.Off) - 1 }
+
+// At returns the string at position i without boxing.
+func (c *StrCol) At(i int) string { return c.Chars[c.Off[i]:c.Off[i+1]] }
+
+// Get implements Column.
+func (c *StrCol) Get(i int) Value { return S(c.At(i)) }
+
+// Heap implements Column.
+func (c *StrCol) Heap() storage.HeapID { return c.heap }
+
+// TouchAt implements Column; it touches both the offset entry and the
+// character bytes.
+func (c *StrCol) TouchAt(p *storage.Pager, i int) {
+	p.Touch(c.heap, int64(i)*4)
+	lo, hi := int64(c.Off[i]), int64(c.Off[i+1])
+	if hi > lo {
+		p.TouchRange(c.charHeap, lo, hi-lo)
+	}
+}
+
+// TouchAll implements Column.
+func (c *StrCol) TouchAll(p *storage.Pager) {
+	p.TouchRange(c.heap, 0, int64(len(c.Off))*4)
+	p.TouchRange(c.charHeap, 0, int64(len(c.Chars)))
+}
+
+// ByteSize implements Column.
+func (c *StrCol) ByteSize() int64 { return int64(len(c.Off))*4 + int64(len(c.Chars)) }
+
+// ---------------------------------------------------------------------------
+
+// FromValues builds a column of the given kind from boxed values; it is the
+// generic constructor used by operators that cannot stay on a typed fast
+// path, and by tests.
+func FromValues(k Kind, vs []Value) Column {
+	switch k {
+	case KVoid:
+		var seq OID
+		if len(vs) > 0 {
+			seq = OID(vs[0].I)
+		}
+		return NewVoid(seq, len(vs))
+	case KOID:
+		out := make([]OID, len(vs))
+		for i, v := range vs {
+			out[i] = OID(v.I)
+		}
+		return NewOIDCol(out)
+	case KInt:
+		out := make([]int64, len(vs))
+		for i, v := range vs {
+			out[i] = v.I
+		}
+		return NewIntCol(out)
+	case KFlt:
+		out := make([]float64, len(vs))
+		for i, v := range vs {
+			out[i] = v.AsFloat()
+		}
+		return NewFltCol(out)
+	case KStr:
+		out := make([]string, len(vs))
+		for i, v := range vs {
+			out[i] = v.S
+		}
+		return NewStrColFromStrings(out)
+	case KChr:
+		out := make([]byte, len(vs))
+		for i, v := range vs {
+			out[i] = byte(v.I)
+		}
+		return NewChrCol(out)
+	case KBit:
+		out := make([]bool, len(vs))
+		for i, v := range vs {
+			out[i] = v.I != 0
+		}
+		return NewBitCol(out)
+	case KDate:
+		out := make([]int32, len(vs))
+		for i, v := range vs {
+			out[i] = int32(v.I)
+		}
+		return NewDateCol(out)
+	}
+	panic("bat: unknown kind " + k.String())
+}
+
+// Gather builds a new column containing col[perm[0]], col[perm[1]], ... It
+// is the positional-fetch primitive underlying sorts, joins and the
+// datavector semijoin.
+func Gather(col Column, perm []int) Column {
+	switch c := col.(type) {
+	case *VoidCol:
+		out := make([]OID, len(perm))
+		for i, p := range perm {
+			out[i] = c.Seq + OID(p)
+		}
+		return NewOIDCol(out)
+	case *OIDCol:
+		out := make([]OID, len(perm))
+		for i, p := range perm {
+			out[i] = c.V[p]
+		}
+		return NewOIDCol(out)
+	case *IntCol:
+		out := make([]int64, len(perm))
+		for i, p := range perm {
+			out[i] = c.V[p]
+		}
+		return NewIntCol(out)
+	case *FltCol:
+		out := make([]float64, len(perm))
+		for i, p := range perm {
+			out[i] = c.V[p]
+		}
+		return NewFltCol(out)
+	case *ChrCol:
+		out := make([]byte, len(perm))
+		for i, p := range perm {
+			out[i] = c.V[p]
+		}
+		return NewChrCol(out)
+	case *BitCol:
+		out := make([]bool, len(perm))
+		for i, p := range perm {
+			out[i] = c.V[p]
+		}
+		return NewBitCol(out)
+	case *DateCol:
+		out := make([]int32, len(perm))
+		for i, p := range perm {
+			out[i] = c.V[p]
+		}
+		return NewDateCol(out)
+	case *StrCol:
+		out := make([]string, len(perm))
+		for i, p := range perm {
+			out[i] = c.At(p)
+		}
+		return NewStrColFromStrings(out)
+	}
+	out := make([]Value, len(perm))
+	for i, p := range perm {
+		out[i] = col.Get(p)
+	}
+	return FromValues(col.Kind(), out)
+}
+
+// Persist implements Column; void columns occupy no storage.
+func (c *VoidCol) Persist() {}
+
+// Persist implements Column.
+func (c *OIDCol) Persist() {
+	if c.heap == 0 {
+		c.heap = storage.NextHeapID()
+	}
+}
+
+// Persist implements Column.
+func (c *IntCol) Persist() {
+	if c.heap == 0 {
+		c.heap = storage.NextHeapID()
+	}
+}
+
+// Persist implements Column.
+func (c *FltCol) Persist() {
+	if c.heap == 0 {
+		c.heap = storage.NextHeapID()
+	}
+}
+
+// Persist implements Column.
+func (c *ChrCol) Persist() {
+	if c.heap == 0 {
+		c.heap = storage.NextHeapID()
+	}
+}
+
+// Persist implements Column.
+func (c *BitCol) Persist() {
+	if c.heap == 0 {
+		c.heap = storage.NextHeapID()
+	}
+}
+
+// Persist implements Column.
+func (c *DateCol) Persist() {
+	if c.heap == 0 {
+		c.heap = storage.NextHeapID()
+	}
+}
+
+// Persist implements Column; it persists both the offset and character
+// heaps.
+func (c *StrCol) Persist() {
+	if c.heap == 0 {
+		c.heap = storage.NextHeapID()
+	}
+	if c.charHeap == 0 {
+		c.charHeap = storage.NextHeapID()
+	}
+}

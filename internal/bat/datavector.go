@@ -1,0 +1,150 @@
+package bat
+
+import (
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// Datavector is the search-accelerator extension of Section 5.2. For an
+// attribute BAT that is stored ordered on tail (to favour value→oid access),
+// the datavector supplies the opposite oid→value direction: the class extent
+// (kept sorted on oid) plus a value vector positionally synced with it.
+//
+// The LOOKUP memo implements lines 5–15 of the paper's pseudo-code: the
+// first datavector semijoin against a given right operand performs
+// probe-based binary search of each oid into the extent and records the hit
+// positions; subsequent semijoins against the same operand reuse the array
+// and only pay for fetching values out of the vector.
+type Datavector struct {
+	// Extent holds the class oids in ascending order. When the extent is
+	// dense (the common case straight after bulk load) Extent is nil and
+	// Base/N describe the sequence Base .. Base+N-1, occupying zero space
+	// like a void column.
+	Extent []OID
+	Base   OID
+	N      int
+
+	// Vector holds the attribute values in extent position order.
+	Vector Column
+
+	extHeap storage.HeapID
+	lookups map[*BAT][]int32
+}
+
+// NewDenseDatavector builds a datavector over the dense extent
+// base..base+vector.Len()-1.
+func NewDenseDatavector(base OID, vector Column) *Datavector {
+	return &Datavector{Base: base, N: vector.Len(), Vector: vector,
+		lookups: make(map[*BAT][]int32)}
+}
+
+// NewDatavector builds a datavector over an explicit sorted extent.
+func NewDatavector(extent []OID, vector Column) *Datavector {
+	if len(extent) != vector.Len() {
+		panic("bat: datavector extent/vector length mismatch")
+	}
+	return &Datavector{Extent: extent, N: len(extent), Vector: vector,
+		extHeap: storage.NextHeapID(), lookups: make(map[*BAT][]int32)}
+}
+
+// Len reports the extent size.
+func (dv *Datavector) Len() int { return dv.N }
+
+// ByteSize reports the accelerator's storage footprint.
+func (dv *Datavector) ByteSize() int64 {
+	return int64(len(dv.Extent))*4 + dv.Vector.ByteSize()
+}
+
+// Probe locates oid x in the extent, returning its position and whether it
+// exists. It is "probedlookup(EXTENT, X)" from the pseudo-code: O(1) for a
+// dense extent, binary search otherwise.
+func (dv *Datavector) Probe(p *storage.Pager, x OID) (int, bool) {
+	if dv.Extent == nil {
+		i := int(x) - int(dv.Base)
+		if i < 0 || i >= dv.N {
+			return 0, false
+		}
+		return i, true
+	}
+	i := sort.Search(len(dv.Extent), func(i int) bool { return dv.Extent[i] >= x })
+	p.Touch(dv.extHeap, int64(i)*4)
+	if i < len(dv.Extent) && dv.Extent[i] == x {
+		return i, true
+	}
+	return 0, false
+}
+
+// OIDAt returns the oid at extent position pos.
+func (dv *Datavector) OIDAt(pos int) OID {
+	if dv.Extent == nil {
+		return dv.Base + OID(pos)
+	}
+	return dv.Extent[pos]
+}
+
+// Lookup returns the memoized LOOKUP array for right operand r, or nil if
+// this is the first semijoin against r.
+func (dv *Datavector) Lookup(r *BAT) []int32 { return dv.lookups[r] }
+
+// Memoize records the LOOKUP array for right operand r.
+func (dv *Datavector) Memoize(r *BAT, lookup []int32) { dv.lookups[r] = lookup }
+
+// DropLookups clears the memo (used between benchmark repetitions).
+func (dv *Datavector) DropLookups() { dv.lookups = make(map[*BAT][]int32) }
+
+// SortOnTail returns a copy of b reordered ascending on tail values — the
+// physical layout Section 5.2 prescribes for all attribute BATs ("store all
+// attributes ordered on tail"). Accelerators of b are not inherited; attach
+// a datavector built from the oid-ordered original to preserve oid→value
+// access.
+func SortOnTail(b *BAT) *BAT {
+	n := b.Len()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	t := b.T
+	switch c := t.(type) {
+	case *IntCol:
+		sort.SliceStable(perm, func(i, j int) bool { return c.V[perm[i]] < c.V[perm[j]] })
+	case *FltCol:
+		sort.SliceStable(perm, func(i, j int) bool { return c.V[perm[i]] < c.V[perm[j]] })
+	case *OIDCol:
+		sort.SliceStable(perm, func(i, j int) bool { return c.V[perm[i]] < c.V[perm[j]] })
+	case *DateCol:
+		sort.SliceStable(perm, func(i, j int) bool { return c.V[perm[i]] < c.V[perm[j]] })
+	case *ChrCol:
+		sort.SliceStable(perm, func(i, j int) bool { return c.V[perm[i]] < c.V[perm[j]] })
+	case *StrCol:
+		sort.SliceStable(perm, func(i, j int) bool { return c.At(perm[i]) < c.At(perm[j]) })
+	default:
+		sort.SliceStable(perm, func(i, j int) bool { return Less(t.Get(perm[i]), t.Get(perm[j])) })
+	}
+	nb := New(b.Name, Gather(b.H, perm), Gather(b.T, perm), 0)
+	nb.Props |= TOrdered
+	if b.Props.Has(HKey) {
+		nb.Props |= HKey
+	}
+	if b.Props.Has(TKey) {
+		nb.Props |= TKey
+	}
+	return nb
+}
+
+// AttachDatavector builds the datavector for a freshly loaded, oid-ordered
+// attribute BAT (dense head starting at base), reorders the BAT on tail, and
+// attaches the accelerator: the two-step construction of Fig. 7 ("(1) Create
+// Datavector, (2) Sort on Tail").
+func AttachDatavector(oidOrdered *BAT) *BAT {
+	base := OID(0)
+	if v, ok := oidOrdered.H.(*VoidCol); ok {
+		base = v.Seq
+	} else if oidOrdered.Len() > 0 {
+		base = OID(oidOrdered.H.Get(0).I)
+	}
+	dv := NewDenseDatavector(base, oidOrdered.T)
+	sorted := SortOnTail(oidOrdered)
+	sorted.SetDatavector(dv)
+	return sorted
+}

@@ -1,0 +1,55 @@
+package bat
+
+// HashIndex is a persistent hash-table search accelerator on one column
+// (Fig. 2 shows such an accelerator heap attached to a BAT). It maps each
+// distinct value to the positions holding it.
+type HashIndex struct {
+	pos map[Value][]int32
+}
+
+// BuildHashIndex constructs a hash index over col.
+func BuildHashIndex(col Column) *HashIndex {
+	m := make(map[Value][]int32, col.Len())
+	for i := 0; i < col.Len(); i++ {
+		v := col.Get(i)
+		m[v] = append(m[v], int32(i))
+	}
+	return &HashIndex{pos: m}
+}
+
+// Lookup returns the positions at which v occurs.
+func (h *HashIndex) Lookup(v Value) []int32 { return h.pos[v] }
+
+// Card reports the number of distinct values.
+func (h *HashIndex) Card() int { return len(h.pos) }
+
+// TailHash returns (building and caching on first use) the hash accelerator
+// on b's tail column. Building an accelerator at run time is exactly what
+// Monet's dynamic optimization does when a hash variant is selected.
+func (b *BAT) TailHash() *HashIndex {
+	if b.hashT == nil {
+		b.hashT = BuildHashIndex(b.T)
+		if b.mirror != nil {
+			b.mirror.hashH = b.hashT
+		}
+	}
+	return b.hashT
+}
+
+// HeadHash returns (building and caching on first use) the hash accelerator
+// on b's head column.
+func (b *BAT) HeadHash() *HashIndex {
+	if b.hashH == nil {
+		b.hashH = BuildHashIndex(b.H)
+		if b.mirror != nil {
+			b.mirror.hashT = b.hashH
+		}
+	}
+	return b.hashH
+}
+
+// HasTailHash reports whether a tail hash accelerator is already present.
+func (b *BAT) HasTailHash() bool { return b.hashT != nil }
+
+// HasHeadHash reports whether a head hash accelerator is already present.
+func (b *BAT) HasHeadHash() bool { return b.hashH != nil }

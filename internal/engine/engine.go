@@ -1,0 +1,125 @@
+// Package engine assembles the full query pipeline of the paper: MOA text is
+// parsed and type-checked (Section 4.1), rewritten into a MIL program plus
+// result structure function (Section 4.3), executed on the BAT kernel with
+// property-driven dynamic optimization (Sections 2, 5), and the result
+// materialized back through the structure functions (Section 3.3).
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mil"
+	"repro/internal/moa"
+	"repro/internal/rewrite"
+	"repro/internal/storage"
+)
+
+// Database is an open MOA database: a schema plus the BAT environment
+// holding its vertically decomposed extents, attribute BATs and
+// accelerators.
+//
+// A Database serves one session: queries must be issued sequentially (as in
+// Monet's per-session execution). Lazily built accelerators (head hashes,
+// datavector LOOKUP memos) mutate shared kernel state, so concurrent Query
+// calls on one Database are not safe; open one Database per session over a
+// shared read-only Env copy instead.
+type Database struct {
+	Schema *moa.Schema
+	Env    mil.Env
+	// Pager, when non-nil, simulates paged storage and accounts page
+	// faults (the substitute for Monet's memory-mapped files).
+	Pager *storage.Pager
+	// Workers enables shared-memory parallel iteration for the bulk
+	// operators when > 1 (paper Section 2).
+	Workers int
+}
+
+// New creates a database over an existing BAT environment.
+func New(schema *moa.Schema, env mil.Env) *Database {
+	return &Database{Schema: schema, Env: env}
+}
+
+// Stats summarizes one query execution with the measures reported in the
+// paper's Fig. 9.
+type Stats struct {
+	Elapsed     time.Duration
+	Faults      uint64
+	IntermBytes int64 // total size of all intermediate results
+	PeakBytes   int64 // maximum memory consumption during execution
+}
+
+// Result is a fully executed query.
+type Result struct {
+	Set    *moa.SetVal
+	Plan   *mil.Program
+	Struct moa.Struct
+	Type   moa.Type
+	Traces []mil.StmtTrace
+	Stats  Stats
+}
+
+// Prepare parses, checks and translates a MOA query without executing it.
+func (db *Database) Prepare(src string) (*rewrite.Result, error) {
+	e, err := moa.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	ck, err := moa.Check(db.Schema, e)
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	res, err := rewrite.Translate(ck)
+	if err != nil {
+		return nil, fmt.Errorf("translate: %w", err)
+	}
+	return res, nil
+}
+
+// Query executes a MOA query end to end.
+func (db *Database) Query(src string) (*Result, error) {
+	prep, err := db.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &mil.Ctx{Pager: db.Pager, Workers: db.Workers}
+	var faults0 uint64
+	if db.Pager != nil {
+		faults0 = db.Pager.Faults()
+	}
+	start := time.Now()
+
+	// Execute against a scratch environment layered over the base BATs so
+	// that concurrent or repeated queries do not pollute the database env.
+	scratch := make(mil.Env, len(db.Env)+len(prep.Prog.Stmts))
+	for k, v := range db.Env {
+		scratch[k] = v
+	}
+	traces, err := mil.Run(ctx, prep.Prog, scratch)
+	if err != nil {
+		return nil, fmt.Errorf("execute: %w", err)
+	}
+	set, err := moa.Materialize(scratch, prep.Struct)
+	if err != nil {
+		return nil, fmt.Errorf("materialize: %w", err)
+	}
+	elapsed := time.Since(start)
+
+	var faults uint64
+	if db.Pager != nil {
+		faults = db.Pager.Faults() - faults0
+	}
+	return &Result{
+		Set:    set,
+		Plan:   prep.Prog,
+		Struct: prep.Struct,
+		Type:   prep.Type,
+		Traces: traces,
+		Stats: Stats{
+			Elapsed:     elapsed,
+			Faults:      faults,
+			IntermBytes: ctx.IntermBytes,
+			PeakBytes:   ctx.PeakBytes,
+		},
+	}, nil
+}

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/tpcd"
+)
+
+// TestQueryMatrix runs the whole TPC-D suite under every execution
+// configuration the engine supports — sequential/parallel × unbounded/
+// bounded buffer pool — and validates every result against the reference
+// evaluator: the configurations must never change answers, only costs.
+func TestQueryMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix is slow")
+	}
+	gen, _ := testDB(t)
+	env, _ := tpcd.Load(gen)
+
+	configs := []struct {
+		name    string
+		workers int
+		pool    int
+	}{
+		{"sequential/unbounded", 1, 0},
+		{"parallel8/unbounded", 8, 0},
+		{"sequential/512pages", 1, 512},
+		{"parallel8/64pages", 8, 64},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			db := New(tpcd.Schema(), env)
+			db.Pager = storage.NewPager(4096, cfg.pool)
+			db.Workers = cfg.workers
+			for _, q := range tpcd.Queries(gen) {
+				res, err := db.Query(q.MOA)
+				if err != nil {
+					t.Fatalf("Q%d: %v", q.Num, err)
+				}
+				want, err := tpcd.Reference(gen, q.Num)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := tpcd.CompareResults(res.Set, want, q.Ordered); err != nil {
+					t.Fatalf("Q%d under %s: %v", q.Num, cfg.name, err)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSequentialCosts: parallel execution changes wall-clock,
+// never the fault accounting (the same pages are touched).
+func TestParallelFaultAccountingUnchanged(t *testing.T) {
+	gen, _ := testDB(t)
+	env, _ := tpcd.Load(gen)
+	q := tpcd.Queries(gen)[5] // Q6: big scan-selects
+
+	faultsWith := func(workers int) uint64 {
+		db := New(tpcd.Schema(), env)
+		db.Pager = storage.NewPager(4096, 0)
+		db.Workers = workers
+		res, err := db.Query(q.MOA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Faults
+	}
+	if seq, par := faultsWith(1), faultsWith(8); seq != par {
+		t.Fatalf("fault accounting differs: sequential %d vs parallel %d", seq, par)
+	}
+}
+
+// TestScaleInvariantShapes spot-checks that the qualitative Fig. 9 shape is
+// scale-free: at two different scale factors, the Monet engine's fault
+// advantage on a selective query (Q4) holds.
+func TestScaleInvariantShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates extra databases")
+	}
+	for _, sf := range []float64{0.002, 0.008} {
+		gen := tpcd.Generate(sf, 5)
+		env, _ := tpcd.Load(gen)
+		db := New(tpcd.Schema(), env)
+		db.Pager = storage.NewPager(4096, 0)
+		q := tpcd.Queries(gen)[3] // Q4, 4% selectivity
+		res, err := db.Query(q.MOA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// the fault count must stay well under one full vertical scan of
+		// the Item class (14 attribute BATs ≈ items*avg-width/4096)
+		fullScan := uint64(len(gen.Items)) * 40 / 4096
+		if res.Stats.Faults > fullScan*4 {
+			t.Fatalf("SF %g: Q4 faults %d vs full-scan estimate %d — selectivity advantage lost",
+				sf, res.Stats.Faults, fullScan)
+		}
+	}
+
+}

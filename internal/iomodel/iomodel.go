@@ -1,0 +1,89 @@
+// Package iomodel implements the analytic IO cost model of Section 5.2.2:
+// the expected number of page faults for a selection of selectivity s
+// followed by a projection to p attributes of an n-ary table, under the
+// conventional relational (non-decomposed) storage strategy versus Monet's
+// decomposed datavector strategy. Figure 8 plots these two families of
+// curves and locates their crossover.
+package iomodel
+
+import "math"
+
+// Params are the model parameters; Fig. 8 uses the 1 GB TPC-D Item table:
+// X=6,000,000 rows, n=16 attributes, w=4 bytes, B=4096-byte pages.
+type Params struct {
+	X int // number of rows
+	N int // attributes in the table
+	W int // uniform byte width of one value
+	B int // page size in bytes
+}
+
+// Figure8Params are the exact parameters of the paper's Fig. 8.
+var Figure8Params = Params{X: 6000000, N: 16, W: 4, B: 4096}
+
+// ERel is E_rel(s): the expected page faults of the relational strategy.
+// The first term scans the inverted-list index for the qualifying tuples;
+// the second term models unclustered retrieval — the number of pages times
+// the probability that at least one of a page's C_rel rows qualifies.
+func (p Params) ERel(s float64) float64 {
+	cInv := float64(p.B / (2 * p.W))
+	cRel := float64(p.B / ((p.N + 1) * p.W))
+	x := float64(p.X)
+	return math.Ceil(s*x/cInv) + math.Ceil(x/cRel)*(1-math.Pow(1-s, cRel))
+}
+
+// EDV is E_dv(s, p): the expected page faults of the Monet datavector
+// strategy when projecting to pAttrs attributes. The first term selects on
+// one tail-ordered BAT; the second performs pAttrs+1 datavector semijoins
+// (the +1 pays for the first semijoin's probe into the extent).
+func (p Params) EDV(s float64, pAttrs int) float64 {
+	cBat := float64(p.B / (2 * p.W))
+	cDV := float64(p.B / p.W)
+	x := float64(p.X)
+	return math.Ceil(s*x/cBat) + float64(pAttrs+1)*math.Ceil(x/cDV)*(1-math.Pow(1-s, cDV))
+}
+
+// Crossover finds the selectivity below which the relational strategy beats
+// the datavector strategy for pAttrs projected attributes, by bisection on
+// [0, hi]. It returns 0 if the datavector strategy wins everywhere on the
+// interval. The paper reports the crossover for n=16, p=3 at s ≈ 0.004.
+func (p Params) Crossover(pAttrs int, hi float64) float64 {
+	f := func(s float64) float64 { return p.EDV(s, pAttrs) - p.ERel(s) }
+	// E_dv > E_rel for small s (it pays p+1 semijoin probes); find where
+	// the sign flips.
+	lo := 1e-9
+	if f(lo) <= 0 {
+		return 0
+	}
+	if f(hi) >= 0 {
+		return hi
+	}
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Point is one sample of a Fig. 8 curve.
+type Point struct {
+	S     float64
+	Value float64
+}
+
+// Series produces the Fig. 8 curves: E_rel plus E_dv for each requested p,
+// sampled at steps points over [0, maxS].
+func Series(params Params, ps []int, maxS float64, steps int) (rel []Point, dv map[int][]Point) {
+	dv = make(map[int][]Point, len(ps))
+	for i := 0; i <= steps; i++ {
+		s := maxS * float64(i) / float64(steps)
+		rel = append(rel, Point{S: s, Value: params.ERel(s)})
+		for _, p := range ps {
+			dv[p] = append(dv[p], Point{S: s, Value: params.EDV(s, p)})
+		}
+	}
+	return rel, dv
+}

@@ -1,0 +1,90 @@
+package iomodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroSelectivityCostsNothing(t *testing.T) {
+	p := Figure8Params
+	if got := p.ERel(0); got != 0 {
+		t.Errorf("ERel(0) = %v", got)
+	}
+	if got := p.EDV(0, 3); got != 0 {
+		t.Errorf("EDV(0, 3) = %v", got)
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	p := Figure8Params
+	// At full-ish selectivity the relational strategy touches every page
+	// once: X/C_rel pages. C_rel = 4096/(17*4) = 60 -> 100,000 pages.
+	if got := p.ERel(1); got < 100000 {
+		t.Errorf("ERel(1) = %v, want >= 100000", got)
+	}
+	// The paper's plot: at s=0.03, E_rel is near its plateau (~100K), the
+	// E_dv curves fan out below and above it by p.
+	if p.EDV(0.03, 1) >= p.ERel(0.03) {
+		t.Error("E_dv(p=1) must beat E_rel at s=0.03")
+	}
+	if p.EDV(0.03, 12) <= p.EDV(0.03, 3) {
+		t.Error("more projected attributes must cost more")
+	}
+}
+
+func TestPaperCrossoverPoint(t *testing.T) {
+	// Section 5.2.2: "the crossover point for n=16, p=3 is at s ≈ 0.004".
+	s := Figure8Params.Crossover(3, 0.03)
+	if s < 0.002 || s > 0.008 {
+		t.Fatalf("crossover(p=3) = %v, paper reports ≈ 0.004", s)
+	}
+}
+
+func TestCrossoverMovesRightWithMoreAttributes(t *testing.T) {
+	p := Figure8Params
+	prev := 0.0
+	for _, attrs := range []int{1, 3, 6, 9} {
+		s := p.Crossover(attrs, 0.5)
+		if s <= prev {
+			t.Fatalf("crossover(p=%d) = %v, not increasing (prev %v)", attrs, s, prev)
+		}
+		prev = s
+	}
+}
+
+// Property: both cost functions are monotonically nondecreasing in s, and
+// E_dv is nondecreasing in p.
+func TestMonotonicity(t *testing.T) {
+	p := Figure8Params
+	f := func(aRaw, bRaw uint16, attrsRaw uint8) bool {
+		a := float64(aRaw) / 65535 * 0.05
+		b := float64(bRaw) / 65535 * 0.05
+		if a > b {
+			a, b = b, a
+		}
+		attrs := int(attrsRaw%12) + 1
+		if p.ERel(a) > p.ERel(b)+1 { // ceil() may wiggle by 1
+			return false
+		}
+		if p.EDV(a, attrs) > p.EDV(b, attrs)+float64(attrs+1) {
+			return false
+		}
+		return p.EDV(a, attrs) <= p.EDV(a, attrs+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesSampling(t *testing.T) {
+	rel, dv := Series(Figure8Params, []int{1, 3, 6, 9, 12}, 0.03, 30)
+	if len(rel) != 31 {
+		t.Fatalf("rel points = %d", len(rel))
+	}
+	if len(dv) != 5 || len(dv[3]) != 31 {
+		t.Fatalf("dv series wrong: %d", len(dv))
+	}
+	if rel[0].S != 0 || rel[30].S < 0.03-1e-12 || rel[30].S > 0.03+1e-12 {
+		t.Fatalf("sampling bounds wrong: %v .. %v", rel[0].S, rel[30].S)
+	}
+}

@@ -1,0 +1,174 @@
+package mil
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+)
+
+// aggAcc accumulates one group for one aggregate function.
+type aggAcc struct {
+	count int64
+	sumI  int64
+	sumF  float64
+	min   bat.Value
+	max   bat.Value
+	first bool
+	kind  bat.Kind
+}
+
+func (a *aggAcc) add(v bat.Value) {
+	a.count++
+	switch v.K {
+	case bat.KInt:
+		a.sumI += v.I
+		a.sumF += float64(v.I)
+	case bat.KFlt:
+		a.sumF += v.F
+	}
+	if !a.first {
+		a.min, a.max, a.first, a.kind = v, v, true, v.K
+		return
+	}
+	if bat.Less(v, a.min) {
+		a.min = v
+	}
+	if bat.Less(a.max, v) {
+		a.max = v
+	}
+}
+
+func (a *aggAcc) result(fn string, kind bat.Kind) bat.Value {
+	switch fn {
+	case "count":
+		return bat.I(a.count)
+	case "sum":
+		if kind == bat.KInt {
+			return bat.I(a.sumI)
+		}
+		return bat.F(a.sumF)
+	case "avg":
+		if a.count == 0 {
+			return bat.F(0)
+		}
+		return bat.F(a.sumF / float64(a.count))
+	case "min":
+		return a.min
+	case "max":
+		return a.max
+	}
+	panic(fmt.Sprintf("mil: unknown aggregate %q", fn))
+}
+
+// aggResultKind reports the tail kind an aggregate produces over inputs of
+// kind in.
+func aggResultKind(fn string, in bat.Kind) bat.Kind {
+	switch fn {
+	case "count":
+		return bat.KInt
+	case "avg":
+		return bat.KFlt
+	case "sum":
+		if in == bat.KInt {
+			return bat.KInt
+		}
+		return bat.KFlt
+	default:
+		return in
+	}
+}
+
+// Aggr implements the set-aggregate constructor {g}(AB): it groups over the
+// head of the BAT and calculates for each formed set of tail values an
+// aggregate result (Fig. 4) — "we can execute nested aggregates in one go,
+// rather than having to do iterative calls on nested collections"
+// (Section 4.2). Supported: sum, count, avg, min, max.
+//
+// The result holds one BUN per distinct head, in first-occurrence order, so
+// an ordered operand head yields an ordered (and always key) result head.
+func Aggr(ctx *Ctx, fn string, b *bat.BAT) *bat.BAT {
+	p := ctx.pager()
+	b.H.TouchAll(p)
+	b.T.TouchAll(p)
+	if b.Props.Has(bat.HOrdered) {
+		return aggrOrdered(ctx, fn, b)
+	}
+	if out, ok := aggrOIDFast(ctx, fn, b); ok {
+		return out
+	}
+	ctx.chose("hash-aggr")
+	accs := make(map[bat.Value]*aggAcc, 64)
+	var order []bat.Value
+	for i := 0; i < b.Len(); i++ {
+		h := b.H.Get(i)
+		acc, ok := accs[h]
+		if !ok {
+			acc = &aggAcc{}
+			accs[h] = acc
+			order = append(order, h)
+		}
+		acc.add(b.T.Get(i))
+	}
+	return aggrAssemble(fn, b, order, func(h bat.Value) *aggAcc { return accs[h] })
+}
+
+// aggrOrdered exploits an ordered head: groups are contiguous runs, no hash
+// table needed.
+func aggrOrdered(ctx *Ctx, fn string, b *bat.BAT) *bat.BAT {
+	ctx.chose("ordered-aggr")
+	var order []bat.Value
+	var accs []*aggAcc
+	for i := 0; i < b.Len(); i++ {
+		h := b.H.Get(i)
+		if len(order) == 0 || !bat.Equal(order[len(order)-1], h) {
+			order = append(order, h)
+			accs = append(accs, &aggAcc{})
+		}
+		accs[len(accs)-1].add(b.T.Get(i))
+	}
+	i := -1
+	return aggrAssemble(fn, b, order, func(bat.Value) *aggAcc { i++; return accs[i] })
+}
+
+func aggrAssemble(fn string, b *bat.BAT, order []bat.Value, accOf func(bat.Value) *aggAcc) *bat.BAT {
+	kind := aggResultKind(fn, b.T.Kind())
+	vals := make([]bat.Value, len(order))
+	for i, h := range order {
+		vals[i] = accOf(h).result(fn, b.T.Kind())
+	}
+	out := bat.New("{"+fn+"}", bat.FromValues(b.H.Kind(), order), bat.FromValues(kind, vals), bat.HKey)
+	if b.Props.Has(bat.HOrdered) {
+		out.Props |= bat.HOrdered
+	}
+	return out
+}
+
+// AggrScalar aggregates all tail values of b into a single-BUN BAT
+// [oid(0), g(tails)] — the translation of a top-level MOA aggregate like
+// TPC-D Q6's sum(...) over a whole set.
+func AggrScalar(ctx *Ctx, fn string, b *bat.BAT) *bat.BAT {
+	ctx.chose("scalar-aggr")
+	p := ctx.pager()
+	b.T.TouchAll(p)
+	acc := &aggAcc{}
+	for i := 0; i < b.Len(); i++ {
+		acc.add(b.T.Get(i))
+	}
+	kind := aggResultKind(fn, b.T.Kind())
+	v := acc.result(fn, b.T.Kind())
+	if !acc.first && (fn == "min" || fn == "max") {
+		v = bat.Value{K: kind}
+	}
+	return bat.New("{"+fn+"}all", bat.NewOIDCol([]bat.OID{0}),
+		bat.FromValues(kind, []bat.Value{v}), bat.HKey|bat.TKey)
+}
+
+// ScalarOf extracts the single value of a one-BUN BAT produced by
+// AggrScalar; it is how scalar subquery results are broadcast back into
+// multiplexed expressions (TPC-D Q11, Q15).
+func ScalarOf(b *bat.BAT) bat.Value {
+	if b.Len() == 0 {
+		return bat.Value{}
+	}
+	return b.T.Get(0)
+}

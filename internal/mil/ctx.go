@@ -1,0 +1,99 @@
+// Package mil implements the Monet Interpreter Language execution algebra of
+// Boncz, Wilschut & Kersten (ICDE 1998), Section 4.2 and Figure 4: a small
+// set of BAT-algebra primitives (mirror, semijoin, join, select, unique,
+// group, multiplex, set-aggregate, set operations) that suffices to execute
+// the MOA object algebra, plus the run-time "dynamic optimization" layer
+// that picks among algorithm variants (hash / merge / sync / datavector)
+// based on kernel-maintained BAT properties (Section 5.1).
+//
+// All operations materialize their result and never change their operands.
+package mil
+
+import (
+	"repro/internal/bat"
+	"repro/internal/storage"
+)
+
+// Ctx carries the execution environment of one query: the paged-storage
+// simulator (for Fig. 9/10 fault accounting), memory accounting for
+// intermediate results, and the record of which algorithm variant the
+// dynamic optimizer chose last (surfaced in traces).
+//
+// A nil *Ctx is valid and disables all accounting.
+type Ctx struct {
+	Pager *storage.Pager
+
+	// Workers enables shared-memory parallel iteration (Section 2) for the
+	// data-parallel operators when > 1; results are bit-identical to
+	// sequential execution.
+	Workers int
+
+	// IntermBytes accumulates the size of every intermediate BAT created
+	// ("total MB" column in Fig. 9).
+	IntermBytes int64
+	// LiveBytes tracks currently-live intermediate bytes and PeakBytes its
+	// maximum ("max MB" column in Fig. 9).
+	LiveBytes int64
+	PeakBytes int64
+
+	// lastAlgo names the variant the dynamic optimizer chose for the most
+	// recent operation (e.g. "merge-join", "datavector-semijoin").
+	lastAlgo string
+}
+
+// LastAlgo reports the algorithm variant chosen by the most recent
+// operation.
+func (c *Ctx) LastAlgo() string {
+	if c == nil {
+		return ""
+	}
+	return c.lastAlgo
+}
+
+func (c *Ctx) chose(algo string) {
+	if c != nil {
+		c.lastAlgo = algo
+	}
+}
+
+func (c *Ctx) pager() *storage.Pager {
+	if c == nil {
+		return nil
+	}
+	return c.Pager
+}
+
+// Account records the creation of an intermediate BAT.
+func (c *Ctx) Account(b *bat.BAT) {
+	if c == nil || b == nil {
+		return
+	}
+	sz := b.ByteSize()
+	c.IntermBytes += sz
+	c.LiveBytes += sz
+	if c.LiveBytes > c.PeakBytes {
+		c.PeakBytes = c.LiveBytes
+	}
+}
+
+// Release records that an intermediate BAT is no longer live.
+func (c *Ctx) Release(b *bat.BAT) {
+	if c == nil || b == nil {
+		return
+	}
+	c.LiveBytes -= b.ByteSize()
+	if c.LiveBytes < 0 {
+		c.LiveBytes = 0
+	}
+}
+
+// ResetStats zeroes the memory accounting for a fresh query.
+func (c *Ctx) ResetStats() {
+	if c == nil {
+		return
+	}
+	c.IntermBytes = 0
+	c.LiveBytes = 0
+	c.PeakBytes = 0
+	c.lastAlgo = ""
+}

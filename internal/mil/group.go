@@ -1,0 +1,117 @@
+package mil
+
+import (
+	"repro/internal/bat"
+)
+
+// Unique implements AB.unique: it removes duplicate BUNs, keeping first
+// occurrences, so order properties of the operand are preserved.
+func Unique(ctx *Ctx, b *bat.BAT) *bat.BAT {
+	ctx.chose("hash-unique")
+	p := ctx.pager()
+	b.H.TouchAll(p)
+	b.T.TouchAll(p)
+	type bun struct{ h, t bat.Value }
+	seen := make(map[bun]struct{}, b.Len())
+	var pos []int
+	for i := 0; i < b.Len(); i++ {
+		k := bun{b.H.Get(i), b.T.Get(i)}
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		pos = append(pos, i)
+	}
+	out := gatherPositions(ctx, b.Name+".uniq", b, pos)
+	return out
+}
+
+// GroupUnary implements AB.group: {a·o_b | ab ∈ AB ∧ o_b = unique_oid(b)} —
+// a fresh oid is handed out for each distinct tail value (Fig. 4). The
+// result has the same head (at the same positions) as the operand and is
+// positionally synced with it; its tail identifies the group of each BUN.
+// This is the primitive behind SQL GROUP BY and MOA nest (Section 4.2,
+// "grouping").
+func GroupUnary(ctx *Ctx, b *bat.BAT) *bat.BAT {
+	ctx.chose("hash-group")
+	p := ctx.pager()
+	b.T.TouchAll(p)
+	out := make([]bat.OID, b.Len())
+	if !groupUnaryFast(b, out) {
+		ids := make(map[bat.Value]bat.OID, b.Len())
+		var next bat.OID
+		for i := 0; i < b.Len(); i++ {
+			v := b.T.Get(i)
+			id, ok := ids[v]
+			if !ok {
+				id = next
+				next++
+				ids[v] = id
+			}
+			out[i] = id
+		}
+	}
+	res := bat.New(b.Name+".grp", b.H, bat.NewOIDCol(out), b.Props&(bat.HOrdered|bat.HKey))
+	res.SyncWith(b)
+	return res
+}
+
+// GroupBinary implements AB.group(CD): it refines an existing grouping g
+// with the values of b, handing out a fresh oid per distinct (group, value)
+// combination. For groupings on multiple attributes the unary version is
+// followed by binary group invocations until all attributes are processed
+// (Section 4.2). g and b must be positionally synced (the rewriter
+// guarantees this); if they are not known-synced, b is aligned to g's heads
+// via hash lookup.
+func GroupBinary(ctx *Ctx, g, b *bat.BAT) *bat.BAT {
+	ctx.chose("hash-group")
+	p := ctx.pager()
+	g.T.TouchAll(p)
+	b.T.TouchAll(p)
+
+	valueAt := alignedTailAccessor(g, b)
+
+	type refKey struct {
+		grp bat.Value
+		val bat.Value
+	}
+	ids := make(map[refKey]bat.OID, g.Len())
+	out := make([]bat.OID, g.Len())
+	var next bat.OID
+	for i := 0; i < g.Len(); i++ {
+		k := refKey{g.T.Get(i), valueAt(i)}
+		id, ok := ids[k]
+		if !ok {
+			id = next
+			next++
+			ids[k] = id
+		}
+		out[i] = id
+	}
+	res := bat.New(g.Name+".grp", g.H, bat.NewOIDCol(out), g.Props&(bat.HOrdered|bat.HKey))
+	res.SyncWith(g)
+	return res
+}
+
+// alignedTailAccessor returns a function mapping positions of a to the tail
+// value of b for the same head; the fast path is positional when the two
+// BATs are synced.
+func alignedTailAccessor(a, b *bat.BAT) func(i int) bat.Value {
+	if bat.Synced(a, b) {
+		return func(i int) bat.Value { return b.T.Get(i) }
+	}
+	idx := make(map[bat.Value]int, b.Len())
+	for i := 0; i < b.Len(); i++ {
+		h := b.H.Get(i)
+		if _, dup := idx[h]; !dup {
+			idx[h] = i
+		}
+	}
+	return func(i int) bat.Value {
+		j, ok := idx[a.H.Get(i)]
+		if !ok {
+			return bat.Value{}
+		}
+		return b.T.Get(j)
+	}
+}

@@ -1,0 +1,334 @@
+package mil
+
+import (
+	"repro/internal/bat"
+)
+
+// Join implements AB.join(CD): {ad | ab ∈ AB ∧ cd ∈ CD ∧ b = c}. The
+// equi-join projects out the join columns to stay closed in the binary model
+// (Section 4.2). Variants:
+//
+//   - fetch-join: CD has a dense head, so matching is positional array
+//     lookup;
+//   - merge-join: AB's tail and CD's head are both ordered;
+//   - hash-join: fallback, hash accelerator on CD's head (built and cached
+//     on first use, like Monet's run-time accelerator construction).
+func Join(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
+	if out, ok := syncJoin(ctx, l, r); ok {
+		return out
+	}
+	if out, ok := dvJoin(ctx, l, r); ok {
+		return out
+	}
+	switch {
+	case r.Props.Has(bat.HDense):
+		return fetchJoin(ctx, l, r)
+	case l.Props.Has(bat.TOrdered) && r.Props.Has(bat.HOrdered):
+		return mergeJoin(ctx, l, r)
+	default:
+		return hashJoin(ctx, l, r)
+	}
+}
+
+// dvJoin joins through the right operand's datavector accelerator: an
+// attribute BAT stored tail-ordered answers oid→value probes in O(1) via its
+// extent+vector (Section 5.2), so joining a list of oids against it needs
+// neither hashing nor sorting. This is the join-side counterpart of the
+// datavector semijoin.
+func dvJoin(ctx *Ctx, l, r *bat.BAT) (*bat.BAT, bool) {
+	dv := r.Datavector()
+	if dv == nil {
+		return nil, false
+	}
+	lt, ok := oidGetter(l.T)
+	if !ok {
+		return nil, false
+	}
+	ctx.chose("datavector-join")
+	p := ctx.pager()
+	l.T.TouchAll(p)
+	n := l.Len()
+	lpos := make([]int, 0, n)
+	vpos := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if pos, hit := dv.Probe(p, lt(i)); hit {
+			lpos = append(lpos, i)
+			vpos = append(vpos, pos)
+			dv.Vector.TouchAt(p, pos)
+		}
+	}
+	out := bat.New(l.Name+".join", bat.Gather(l.H, lpos), bat.Gather(dv.Vector, vpos), 0)
+	if l.Props.Has(bat.HOrdered) {
+		out.Props |= bat.HOrdered
+	}
+	if l.Props.Has(bat.HKey) {
+		out.Props |= bat.HKey // attribute heads are unique: ≤ 1 match per row
+	}
+	if out.Len() == l.Len() {
+		out.SyncWith(l)
+	}
+	return out, true
+}
+
+// joinResult assembles the output BAT from matched (left position, right
+// position) pairs, applying the join property rules: output BUNs follow left
+// scan order, so the left head's order carries over; the left head stays key
+// only if no left row matched more than one right row, which is guaranteed
+// when the right head is key.
+func joinResult(ctx *Ctx, l, r *bat.BAT, lpos, rpos []int) *bat.BAT {
+	p := ctx.pager()
+	if p != nil {
+		for i := range lpos {
+			l.H.TouchAt(p, lpos[i])
+			r.T.TouchAt(p, rpos[i])
+		}
+	}
+	out := bat.New(l.Name+".join", bat.Gather(l.H, lpos), bat.Gather(r.T, rpos), 0)
+	if l.Props.Has(bat.HOrdered) {
+		out.Props |= bat.HOrdered
+	}
+	if l.Props.Has(bat.HKey) && r.Props.Has(bat.HKey) {
+		out.Props |= bat.HKey
+	}
+	// When every left row found exactly one partner, the output is
+	// positionally aligned with the left operand.
+	if out.Len() == l.Len() && r.Props.Has(bat.HKey) {
+		out.SyncWith(l)
+		out.Props |= l.Props & (bat.HOrdered | bat.HKey)
+	}
+	return out
+}
+
+// syncJoin recognizes the case where l's tail and r's head correspond
+// position by position (e.g. join(class.mirror, values) when the grouping
+// and the value set stem from the same candidate): the join degenerates to
+// pairing l's head with r's tail, zero-copy. The O(n) verification scan is
+// attempted only for equal-length oid columns and bails out at the first
+// mismatch.
+func syncJoin(ctx *Ctx, l, r *bat.BAT) (*bat.BAT, bool) {
+	if l.Len() != r.Len() || l.Len() == 0 {
+		return nil, false
+	}
+	// Positional pairing is the complete join only if the join column is
+	// duplicate-free; with duplicates every cross match must be produced.
+	if !l.Props.Has(bat.TKey) && !r.Props.Has(bat.HKey) {
+		return nil, false
+	}
+	lt, ok1 := oidGetter(l.T)
+	rh, ok2 := oidGetter(r.H)
+	if !ok1 || !ok2 {
+		return nil, false
+	}
+	n := l.Len()
+	for i := 0; i < n; i++ {
+		if lt(i) != rh(i) {
+			return nil, false
+		}
+	}
+	ctx.chose("sync-join")
+	p := ctx.pager()
+	l.T.TouchAll(p)
+	r.H.TouchAll(p)
+	out := bat.New(l.Name+".join", l.H, r.T, 0)
+	out.Props |= l.Props & (bat.HOrdered | bat.HKey)
+	out.Props |= r.Props & (bat.TOrdered | bat.TKey)
+	out.SyncWith(l)
+	return out, true
+}
+
+func fetchJoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
+	ctx.chose("fetch-join")
+	p := ctx.pager()
+	l.T.TouchAll(p)
+	var seq bat.OID
+	switch h := r.H.(type) {
+	case *bat.VoidCol:
+		seq = h.Seq
+	case *bat.OIDCol:
+		if len(h.V) > 0 {
+			seq = h.V[0]
+		}
+	default:
+		if r.Len() > 0 {
+			seq = r.H.Get(0).OID()
+		}
+	}
+	n := r.Len()
+	var lpos, rpos []int
+	if t, ok := l.T.(*bat.OIDCol); ok {
+		for i, v := range t.V {
+			idx := int(v) - int(seq)
+			if idx >= 0 && idx < n {
+				lpos = append(lpos, i)
+				rpos = append(rpos, idx)
+			}
+		}
+	} else {
+		for i := 0; i < l.Len(); i++ {
+			idx := int(l.T.Get(i).I) - int(seq)
+			if idx >= 0 && idx < n {
+				lpos = append(lpos, i)
+				rpos = append(rpos, idx)
+			}
+		}
+	}
+	return joinResult(ctx, l, r, lpos, rpos)
+}
+
+func mergeJoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
+	ctx.chose("merge-join")
+	p := ctx.pager()
+	l.T.TouchAll(p)
+	r.H.TouchAll(p)
+	var lpos, rpos []int
+	i, j := 0, 0
+	nl, nr := l.Len(), r.Len()
+	for i < nl && j < nr {
+		c := bat.Compare(l.T.Get(i), r.H.Get(j))
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			// emit the full group product for this key
+			j2 := j
+			for j2 < nr && bat.Compare(l.T.Get(i), r.H.Get(j2)) == 0 {
+				lpos = append(lpos, i)
+				rpos = append(rpos, j2)
+				j2++
+			}
+			i++
+		}
+	}
+	return joinResult(ctx, l, r, lpos, rpos)
+}
+
+func hashJoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
+	// Prefer an existing (persistent, cached) hash accelerator; otherwise
+	// the typed oid path beats building a boxed hash table.
+	if !r.HasHeadHash() {
+		if out, ok := hashJoinOID(ctx, l, r); ok {
+			return out
+		}
+	}
+	ctx.chose("hash-join")
+	p := ctx.pager()
+	r.H.TouchAll(p)
+	idx := r.HeadHash()
+	l.T.TouchAll(p)
+	var lpos, rpos []int
+	for i := 0; i < l.Len(); i++ {
+		for _, rp := range idx.Lookup(l.T.Get(i)) {
+			lpos = append(lpos, i)
+			rpos = append(rpos, int(rp))
+		}
+	}
+	return joinResult(ctx, l, r, lpos, rpos)
+}
+
+// JoinMulti performs an equi-join on composite keys: lKeys and rKeys are
+// parallel lists of key value sets [elemid, keyval]. Key BATs on the same
+// side are matched on their HEAD ids (they may be stored in different
+// physical orders), and elements missing any key are dropped. It returns the
+// matching (left id, right id) pairs; the rewriter uses it for MOA's general
+// join[pred](A,B) on multi-attribute predicates (e.g. TPC-D Q9's
+// (supplier, part) lookup into the supplies set, or Q2's (part, mincost)).
+func JoinMulti(ctx *Ctx, lKeys, rKeys []*bat.BAT) (lids, rids []bat.Value) {
+	ctx.chose("hash-join")
+	if len(lKeys) == 0 || len(lKeys) != len(rKeys) {
+		return nil, nil
+	}
+	p := ctx.pager()
+	// compositeKey covers up to three key attributes — bat.Value is a
+	// comparable struct, so composite keys need no rendering. The TPC-D
+	// suite needs at most two.
+	type compositeKey struct{ a, b, c bat.Value }
+	type entry struct {
+		id  bat.Value
+		key compositeKey
+	}
+	if len(lKeys) > 3 {
+		panic("mil: joinmulti supports at most three key attributes")
+	}
+	// compose per-side entries aligned on head ids
+	compose := func(keys []*bat.BAT) []entry {
+		for _, k := range keys {
+			k.H.TouchAll(p)
+			k.T.TouchAll(p)
+		}
+		base := keys[0]
+		accessors := make([]func(i int) (bat.Value, bool), len(keys))
+		for j, k := range keys {
+			if j == 0 {
+				accessors[j] = func(i int) (bat.Value, bool) { return base.T.Get(i), true }
+				continue
+			}
+			if bat.Synced(base, k) {
+				kk := k
+				accessors[j] = func(i int) (bat.Value, bool) { return kk.T.Get(i), true }
+				continue
+			}
+			idx := make(map[bat.Value]int, k.Len())
+			for i := 0; i < k.Len(); i++ {
+				h := k.H.Get(i)
+				if _, dup := idx[h]; !dup {
+					idx[h] = i
+				}
+			}
+			kk := k
+			accessors[j] = func(i int) (bat.Value, bool) {
+				pos, ok := idx[base.H.Get(i)]
+				if !ok {
+					return bat.Value{}, false
+				}
+				return kk.T.Get(pos), true
+			}
+		}
+		out := make([]entry, 0, base.Len())
+		for i := 0; i < base.Len(); i++ {
+			var key compositeKey
+			ok := true
+			for j, acc := range accessors {
+				v, has := acc(i)
+				if !has {
+					ok = false
+					break
+				}
+				switch j {
+				case 0:
+					key.a = v
+				case 1:
+					key.b = v
+				case 2:
+					key.c = v
+				}
+			}
+			if ok {
+				out = append(out, entry{id: normHeadID(base.H.Get(i)), key: key})
+			}
+		}
+		return out
+	}
+
+	rEntries := compose(rKeys)
+	m := make(map[compositeKey][]bat.Value, len(rEntries))
+	for _, e := range rEntries {
+		m[e.key] = append(m[e.key], e.id)
+	}
+	for _, e := range compose(lKeys) {
+		for _, rid := range m[e.key] {
+			lids = append(lids, e.id)
+			rids = append(rids, rid)
+		}
+	}
+	return lids, rids
+}
+
+// normHeadID boxes void heads as oids so ids compare uniformly.
+func normHeadID(v bat.Value) bat.Value {
+	if v.K == bat.KVoid {
+		return bat.O(bat.OID(v.I))
+	}
+	return v
+}

@@ -1,0 +1,268 @@
+package mil
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+)
+
+// Operand is one argument of a multiplexed operation: either a BAT (a value
+// set) or a constant lifted over it.
+type Operand struct {
+	B     *bat.BAT
+	Const *bat.Value
+}
+
+// BATArg wraps a BAT operand.
+func BATArg(b *bat.BAT) Operand { return Operand{B: b} }
+
+// ConstArg wraps a constant operand.
+func ConstArg(v bat.Value) Operand { return Operand{Const: &v} }
+
+// Multiplex implements the multiplex constructor [f](AB, …, XY):
+// {a·f(b,…,y) | ab ∈ AB, …, xy ∈ XY ∧ a = … = x} (Fig. 4). It vectorizes
+// computation of expressions and method invocations (Section 4.2). Constant
+// operands are broadcast.
+//
+// When all BAT operands are positionally synced (the common case: they all
+// stem from semijoins with the same candidate set, cf. the Fig. 10
+// discussion of synced prices/discount), the natural join on heads
+// degenerates to an aligned scan. Otherwise operands are matched on head
+// value via hash lookup.
+func Multiplex(ctx *Ctx, fn string, args []Operand) *bat.BAT {
+	f, ok := LookupFunc(fn)
+	if !ok {
+		panic(fmt.Sprintf("mil: multiplex of unknown function %q", fn))
+	}
+	nb := 0
+	var first *bat.BAT
+	for _, a := range args {
+		if a.B != nil {
+			if first == nil {
+				first = a.B
+			}
+			nb++
+		}
+	}
+	if first == nil {
+		panic("mil: multiplex needs at least one BAT operand")
+	}
+	if f.Arity >= 0 && f.Arity != len(args) {
+		panic(fmt.Sprintf("mil: function %q wants %d args, got %d", fn, f.Arity, len(args)))
+	}
+
+	aligned := true
+	for _, a := range args {
+		if a.B != nil && a.B != first && !bat.Synced(first, a.B) {
+			aligned = false
+			break
+		}
+	}
+	if aligned {
+		return multiplexAligned(ctx, f, first, args)
+	}
+	return multiplexHash(ctx, f, first, args)
+}
+
+func multiplexAligned(ctx *Ctx, f *Func, first *bat.BAT, args []Operand) *bat.BAT {
+	ctx.chose("aligned-multiplex")
+	p := ctx.pager()
+	for _, a := range args {
+		if a.B != nil {
+			a.B.T.TouchAll(p)
+		}
+	}
+	n := first.Len()
+
+	if out := multiplexFltFast(f.Name, first, args, n); out != nil {
+		return out
+	}
+
+	vals := make([]bat.Value, n)
+	parallelFill(n, workersFor(ctx, n), func(from, to int) {
+		buf := make([]bat.Value, len(args))
+		for i := from; i < to; i++ {
+			for j, a := range args {
+				if a.B != nil {
+					buf[j] = a.B.T.Get(i)
+				} else {
+					buf[j] = *a.Const
+				}
+			}
+			vals[i] = f.Apply(buf)
+		}
+	})
+	kind := bat.KBit
+	if n > 0 {
+		kind = vals[0].K
+	} else {
+		kind = multiplexZeroKind(f, args)
+	}
+	out := bat.New("["+f.Name+"]", first.H, bat.FromValues(kind, vals),
+		first.Props&(bat.HOrdered|bat.HKey))
+	out.SyncWith(first)
+	return out
+}
+
+// multiplexZeroKind guesses a result kind for empty inputs so that the BAT
+// still carries a sensible type.
+func multiplexZeroKind(f *Func, args []Operand) bat.Kind {
+	switch f.Name {
+	case "=", "!=", "<", "<=", ">", ">=", "and", "or", "not",
+		"strstarts", "strcontains", "strends":
+		return bat.KBit
+	case "/", "flt":
+		return bat.KFlt
+	case "year", "month", "length", "int":
+		return bat.KInt
+	case "adddays", "addmonths":
+		return bat.KDate
+	}
+	for _, a := range args {
+		if a.B != nil {
+			return a.B.T.Kind()
+		}
+	}
+	return bat.KInt
+}
+
+// multiplexFltFast handles the hot arithmetic shapes of the TPC-D queries
+// ([*] and [-] over float columns, possibly with one constant) without
+// boxing.
+func multiplexFltFast(fn string, first *bat.BAT, args []Operand, n int) *bat.BAT {
+	if len(args) != 2 {
+		return nil
+	}
+	colOf := func(a Operand) ([]float64, bool) {
+		if a.B == nil {
+			return nil, false
+		}
+		c, ok := a.B.T.(*bat.FltCol)
+		if !ok {
+			return nil, false
+		}
+		return c.V, true
+	}
+	constOf := func(a Operand) (float64, bool) {
+		if a.Const == nil || !a.Const.IsNumeric() {
+			return 0, false
+		}
+		return a.Const.AsFloat(), true
+	}
+	var apply func(x, y float64) float64
+	switch fn {
+	case "+":
+		apply = func(x, y float64) float64 { return x + y }
+	case "-":
+		apply = func(x, y float64) float64 { return x - y }
+	case "*":
+		apply = func(x, y float64) float64 { return x * y }
+	default:
+		return nil
+	}
+	out := make([]float64, n)
+	switch {
+	case args[0].B != nil && args[1].B != nil:
+		x, ok1 := colOf(args[0])
+		y, ok2 := colOf(args[1])
+		if !ok1 || !ok2 {
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			out[i] = apply(x[i], y[i])
+		}
+	case args[0].Const != nil && args[1].B != nil:
+		c, ok1 := constOf(args[0])
+		y, ok2 := colOf(args[1])
+		if !ok1 || !ok2 {
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			out[i] = apply(c, y[i])
+		}
+	case args[0].B != nil && args[1].Const != nil:
+		x, ok1 := colOf(args[0])
+		c, ok2 := constOf(args[1])
+		if !ok1 || !ok2 {
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			out[i] = apply(x[i], c)
+		}
+	default:
+		return nil
+	}
+	res := bat.New("["+fn+"]", first.H, bat.NewFltCol(out),
+		first.Props&(bat.HOrdered|bat.HKey))
+	res.SyncWith(first)
+	return res
+}
+
+func multiplexHash(ctx *Ctx, f *Func, first *bat.BAT, args []Operand) *bat.BAT {
+	ctx.chose("hash-multiplex")
+	p := ctx.pager()
+	// Build head→position maps for all non-first BAT operands; iterate the
+	// first in order (natural join on heads, assuming key heads — true for
+	// value sets, which are identified value sets by construction).
+	type lookup struct {
+		arg Operand
+		idx map[bat.Value]int
+	}
+	lookups := make([]lookup, len(args))
+	for j, a := range args {
+		lookups[j].arg = a
+		if a.B != nil && a.B != first {
+			a.B.H.TouchAll(p)
+			a.B.T.TouchAll(p)
+			m := make(map[bat.Value]int, a.B.Len())
+			for i := 0; i < a.B.Len(); i++ {
+				h := a.B.H.Get(i)
+				if _, dup := m[h]; !dup {
+					m[h] = i
+				}
+			}
+			lookups[j].idx = m
+		}
+	}
+	first.H.TouchAll(p)
+	first.T.TouchAll(p)
+
+	buf := make([]bat.Value, len(args))
+	var heads, vals []bat.Value
+outer:
+	for i := 0; i < first.Len(); i++ {
+		h := first.H.Get(i)
+		for j, a := range args {
+			switch {
+			case a.Const != nil:
+				buf[j] = *a.Const
+			case a.B == first:
+				buf[j] = first.T.Get(i)
+			default:
+				pos, ok := lookups[j].idx[h]
+				if !ok {
+					continue outer // natural join: drop unmatched heads
+				}
+				buf[j] = a.B.T.Get(pos)
+			}
+		}
+		heads = append(heads, h)
+		vals = append(vals, f.Apply(buf))
+	}
+	kind := multiplexZeroKind(f, args)
+	if len(vals) > 0 {
+		kind = vals[0].K
+	}
+	out := bat.New("["+f.Name+"]", bat.FromValues(first.H.Kind(), heads),
+		bat.FromValues(kind, vals), 0)
+	if first.Props.Has(bat.HOrdered) {
+		out.Props |= bat.HOrdered
+	}
+	if first.Props.Has(bat.HKey) {
+		out.Props |= bat.HKey
+	}
+	if out.Len() == first.Len() {
+		out.SyncWith(first)
+	}
+	return out
+}

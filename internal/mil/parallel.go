@@ -1,0 +1,98 @@
+package mil
+
+import (
+	"sync"
+)
+
+// Monet "supports shared-memory parallelism via parallel iteration and
+// parallel block execution" (Section 2). The Go kernel mirrors the parallel
+// iteration primitive: data-parallel operators split their input into
+// per-worker ranges and merge the partial results in order, so parallel and
+// sequential execution produce identical BATs.
+//
+// Parallelism is opt-in per execution context (Ctx.Workers > 1) and only
+// engages above parallelMinRows, below which goroutine overhead dominates.
+
+// parallelMinRows is the smallest input for which parallel iteration pays.
+const parallelMinRows = 1 << 14
+
+// workers reports the effective degree of parallelism.
+func (c *Ctx) workers() int {
+	if c == nil || c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
+}
+
+// ranges splits [0, n) into at most k contiguous chunks.
+func ranges(n, k int) [][2]int {
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	out := make([][2]int, 0, k)
+	chunk := n / k
+	rem := n % k
+	start := 0
+	for i := 0; i < k; i++ {
+		end := start + chunk
+		if i < rem {
+			end++
+		}
+		if end > start {
+			out = append(out, [2]int{start, end})
+		}
+		start = end
+	}
+	return out
+}
+
+// parallelCollect runs fn over per-worker ranges of [0, n), each producing a
+// slice of positions (ascending within its range), and concatenates them in
+// range order — the result is identical to a sequential left-to-right scan.
+func parallelCollect(n, k int, fn func(lo, hi int) []int) []int {
+	rs := ranges(n, k)
+	if len(rs) <= 1 {
+		return fn(0, n)
+	}
+	parts := make([][]int, len(rs))
+	var wg sync.WaitGroup
+	for i, r := range rs {
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			parts[i] = fn(lo, hi)
+		}(i, r[0], r[1])
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]int, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// parallelFill runs fn over per-worker ranges of [0, n); fn writes its own
+// output range, so no merging is needed.
+func parallelFill(n, k int, fn func(lo, hi int)) {
+	rs := ranges(n, k)
+	if len(rs) <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, r := range rs {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(r[0], r[1])
+	}
+	wg.Wait()
+}

@@ -1,0 +1,427 @@
+package mil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/bat"
+)
+
+// ParseProgram parses a textual MIL program in the notation the paper's
+// Fig. 10 uses (and that Program.String emits), e.g.
+//
+//	orders   := select(Order_clerk, "Clerk#000000088")
+//	items    := join(Item_order, orders)
+//	returns  := semijoin(Item_returnflag, items)
+//	ritems   := select(returns, 'R')
+//	years    := [year](join(critems, Order_orderdate))   # nested calls allowed
+//	class    := group(years)
+//	LOSS     := {sum}(losses)
+//
+// Statements are newline-separated assignments; '#' starts a comment.
+// Nested operator calls are flattened into temporaries. The accepted
+// operators are exactly the BAT algebra of Fig. 4 plus the documented
+// extensions (sort, slice, mark, calc).
+func ParseProgram(src string) (*Program, error) {
+	p := &milParser{b: NewBuilder()}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := p.parseStmt(line); err != nil {
+			return nil, fmt.Errorf("mil: line %d: %w", lineNo+1, err)
+		}
+	}
+	prog := p.b.Program()
+	// Every assigned variable that is never consumed afterwards is a
+	// result the caller wants to look at.
+	used := map[string]bool{}
+	for _, s := range prog.Stmts {
+		for _, a := range s.Args {
+			if a.Var != "" {
+				used[a.Var] = true
+			}
+			if a.ScalarVar != "" {
+				used[a.ScalarVar] = true
+			}
+		}
+		for _, v := range s.LKeys {
+			used[v] = true
+		}
+		for _, v := range s.RKeys {
+			used[v] = true
+		}
+	}
+	for _, s := range prog.Stmts {
+		if !used[s.Dst] && !strings.HasPrefix(s.Dst, "_t") {
+			prog.Keep = append(prog.Keep, s.Dst)
+		}
+	}
+	return prog, nil
+}
+
+type milParser struct {
+	b *Builder
+}
+
+func (p *milParser) parseStmt(line string) error {
+	i := strings.Index(line, ":=")
+	if i < 0 {
+		return fmt.Errorf("expected 'var := expr' in %q", line)
+	}
+	dst := strings.TrimSpace(line[:i])
+	if dst == "" || !isIdent(dst) {
+		return fmt.Errorf("bad variable name %q", dst)
+	}
+	expr := strings.TrimSpace(line[i+2:])
+	v, err := p.parseExpr(expr)
+	if err != nil {
+		return err
+	}
+	// alias the final temporary to the declared name
+	prog := p.b.Program()
+	last := &prog.Stmts[len(prog.Stmts)-1]
+	if last.Dst != v {
+		return fmt.Errorf("internal: expression result mismatch")
+	}
+	last.Dst = dst
+	return nil
+}
+
+// parseExpr parses one (possibly nested) operator application, emits the
+// statements for it, and returns the variable holding its result.
+func (p *milParser) parseExpr(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	// postfix forms: x.mirror, x.unique
+	if v, op, ok := splitPostfix(s); ok {
+		inner, err := p.operandVar(v)
+		if err != nil {
+			return "", err
+		}
+		return p.emit(Stmt{Op: op, Args: []StmtArg{VarArg(inner)}}), nil
+	}
+	// multiplex [fn](args)
+	if strings.HasPrefix(s, "[") {
+		end := strings.Index(s, "]")
+		if end < 0 {
+			return "", fmt.Errorf("unterminated [fn] in %q", s)
+		}
+		fn := s[1:end]
+		args, err := p.parseArgs(s[end+1:])
+		if err != nil {
+			return "", err
+		}
+		return p.emit(Stmt{Op: OpMultiplex, Fn: fn, Args: args}), nil
+	}
+	// aggregate {fn}(x) or {fn}all(x)
+	if strings.HasPrefix(s, "{") {
+		end := strings.Index(s, "}")
+		if end < 0 {
+			return "", fmt.Errorf("unterminated {fn} in %q", s)
+		}
+		fn := s[1:end]
+		rest := s[end+1:]
+		op := OpAggr
+		if strings.HasPrefix(rest, "all") {
+			op = OpAggrScalar
+			rest = rest[3:]
+		}
+		args, err := p.parseArgs(rest)
+		if err != nil {
+			return "", err
+		}
+		if len(args) != 1 {
+			return "", fmt.Errorf("aggregate takes one operand")
+		}
+		return p.emit(Stmt{Op: op, Fn: fn, Args: args}), nil
+	}
+	// calc fn(args)
+	if strings.HasPrefix(s, "calc ") {
+		rest := strings.TrimSpace(s[5:])
+		open := strings.Index(rest, "(")
+		if open < 0 {
+			return "", fmt.Errorf("calc needs fn(args)")
+		}
+		fn := strings.TrimSpace(rest[:open])
+		args, err := p.parseArgs(rest[open:])
+		if err != nil {
+			return "", err
+		}
+		return p.emit(Stmt{Op: OpCalc, Fn: fn, Args: args}), nil
+	}
+	// prefix call op(args)
+	open := strings.Index(s, "(")
+	if open < 0 {
+		return "", fmt.Errorf("expected operator call in %q", s)
+	}
+	op := strings.TrimSpace(s[:open])
+	args, err := p.parseArgs(s[open:])
+	if err != nil {
+		return "", err
+	}
+	switch op {
+	case "select":
+		switch len(args) {
+		case 1:
+			return p.emit(Stmt{Op: OpSelectBit, Args: args}), nil
+		case 2:
+			return p.emit(Stmt{Op: OpSelect, Args: args}), nil
+		case 3:
+			return p.emit(Stmt{Op: OpSelectRange, Args: args, LoIncl: true, HiIncl: true}), nil
+		}
+		return "", fmt.Errorf("select takes 1-3 operands, got %d", len(args))
+	case "semijoin", "join", "union", "diff", "intersect", "group2":
+		if len(args) != 2 {
+			return "", fmt.Errorf("%s takes two operands", op)
+		}
+		code := map[string]string{"semijoin": OpSemijoin, "join": OpJoin,
+			"union": OpUnion, "diff": OpDiff, "intersect": OpIntersect, "group2": OpGroup2}[op]
+		return p.emit(Stmt{Op: code, Args: args}), nil
+	case "group":
+		switch len(args) {
+		case 1:
+			return p.emit(Stmt{Op: OpGroup, Args: args}), nil
+		case 2:
+			return p.emit(Stmt{Op: OpGroup2, Args: args}), nil
+		}
+		return "", fmt.Errorf("group takes one or two operands")
+	case "unique", "mark":
+		if len(args) != 1 {
+			return "", fmt.Errorf("%s takes one operand", op)
+		}
+		code := map[string]string{"unique": OpUnique, "mark": OpMark}[op]
+		return p.emit(Stmt{Op: code, Args: args}), nil
+	case "mirror":
+		if len(args) != 1 {
+			return "", fmt.Errorf("mirror takes one operand")
+		}
+		return p.emit(Stmt{Op: OpMirror, Args: args}), nil
+	case "sort":
+		desc := false
+		if len(args) == 2 && args[1].Var == "desc" {
+			desc = true
+			args = args[:1]
+		}
+		if len(args) != 1 {
+			return "", fmt.Errorf("sort takes one operand (+ optional desc)")
+		}
+		return p.emit(Stmt{Op: OpSort, Desc: desc, Args: args}), nil
+	case "slice":
+		if len(args) != 2 || args[1].Lit == nil || args[1].Lit.K != bat.KInt {
+			return "", fmt.Errorf("slice takes an operand and an integer")
+		}
+		n := int(args[1].Lit.I)
+		return p.emit(Stmt{Op: OpSlice, N: n, Args: args[:1]}), nil
+	}
+	return "", fmt.Errorf("unknown MIL operator %q", op)
+}
+
+func (p *milParser) emit(s Stmt) string {
+	return p.b.Emit("_t", s)
+}
+
+// operandVar resolves a sub-expression or plain variable to a variable name.
+func (p *milParser) operandVar(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if isIdent(s) {
+		return s, nil
+	}
+	return p.parseExpr(s)
+}
+
+// parseArgs parses "(a, b, …)" where each element is a variable, a literal,
+// or a nested operator call (flattened into a temporary).
+func (p *milParser) parseArgs(s string) ([]StmtArg, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("expected parenthesized operands, got %q", s)
+	}
+	parts, err := splitTop(s[1 : len(s)-1])
+	if err != nil {
+		return nil, err
+	}
+	out := make([]StmtArg, 0, len(parts))
+	for _, part := range parts {
+		arg, err := p.parseArg(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, arg)
+	}
+	return out, nil
+}
+
+func (p *milParser) parseArg(s string) (StmtArg, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return StmtArg{}, fmt.Errorf("empty operand")
+	case s[0] == '"':
+		if len(s) < 2 || s[len(s)-1] != '"' {
+			return StmtArg{}, fmt.Errorf("unterminated string %q", s)
+		}
+		return LitArg(bat.S(s[1 : len(s)-1])), nil
+	case s[0] == '\'':
+		if len(s) != 3 || s[2] != '\'' {
+			return StmtArg{}, fmt.Errorf("bad char literal %q", s)
+		}
+		return LitArg(bat.C(s[1])), nil
+	case strings.HasPrefix(s, "date("):
+		inner := strings.TrimSuffix(strings.TrimPrefix(s, "date("), ")")
+		inner = strings.Trim(inner, `"`)
+		v, err := bat.DateFromString(inner)
+		if err != nil {
+			return StmtArg{}, err
+		}
+		return LitArg(v), nil
+	case strings.HasPrefix(s, "scalar("):
+		inner := strings.TrimSuffix(strings.TrimPrefix(s, "scalar("), ")")
+		if !isIdent(inner) {
+			return StmtArg{}, fmt.Errorf("scalar() takes a variable, got %q", inner)
+		}
+		return ScalarArg(inner), nil
+	case s[0] == '-' || (s[0] >= '0' && s[0] <= '9'):
+		if strings.ContainsAny(s, ".eE") {
+			f, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return StmtArg{}, fmt.Errorf("bad number %q", s)
+			}
+			return LitArg(bat.F(f)), nil
+		}
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return StmtArg{}, fmt.Errorf("bad number %q", s)
+		}
+		return LitArg(bat.I(n)), nil
+	case s == "true":
+		return LitArg(bat.B(true)), nil
+	case s == "false":
+		return LitArg(bat.B(false)), nil
+	case isIdent(s):
+		return VarArg(s), nil
+	default:
+		// nested expression
+		v, err := p.parseExpr(s)
+		if err != nil {
+			return StmtArg{}, err
+		}
+		return VarArg(v), nil
+	}
+}
+
+// splitPostfix recognizes "x.mirror" / "x.unique" where x is a variable or a
+// parenthesizable expression; the suffix must be at top nesting level.
+func splitPostfix(s string) (inner, op string, ok bool) {
+	for _, suf := range []struct{ text, op string }{
+		{".mirror", OpMirror}, {".unique", OpUnique},
+	} {
+		if strings.HasSuffix(s, suf.text) && balanced(s[:len(s)-len(suf.text)]) {
+			return s[:len(s)-len(suf.text)], suf.op, true
+		}
+	}
+	return "", "", false
+}
+
+func balanced(s string) bool {
+	depth := 0
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inStr {
+			if c == '"' {
+				inStr = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inStr = true
+		case '(', '[', '{':
+			depth++
+		case ')', ']', '}':
+			depth--
+			if depth < 0 {
+				return false
+			}
+		}
+	}
+	return depth == 0
+}
+
+// splitTop splits on top-level commas, respecting nesting and strings.
+func splitTop(s string) ([]string, error) {
+	var parts []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inStr {
+			if c == '"' {
+				inStr = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inStr = true
+		case '(', '[', '{':
+			depth++
+		case ')', ']', '}':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced parentheses in %q", s)
+			}
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if inStr {
+		return nil, fmt.Errorf("unterminated string in %q", s)
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("unbalanced parentheses in %q", s)
+	}
+	if strings.TrimSpace(s) != "" {
+		parts = append(parts, s[start:])
+	}
+	return parts, nil
+}
+
+// stripComment removes a trailing '#' comment, ignoring '#' inside string
+// and character literals (clerk names contain '#').
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			inStr = !inStr
+		case '#':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

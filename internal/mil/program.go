@@ -1,0 +1,495 @@
+package mil
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/bat"
+)
+
+// Op names for Stmt.Op. The set mirrors Fig. 4 plus the documented
+// extensions (sort, slice) needed by the TPC-D suite.
+const (
+	OpMirror      = "mirror"
+	OpSelect      = "select"      // equality select: Args = [bat, lit]
+	OpSelectRange = "selectrange" // Args = [bat, lo?, hi?]; LoIncl/HiIncl
+	OpSelectBit   = "selectbit"   // keep BUNs with true tail
+	OpSemijoin    = "semijoin"
+	OpJoin        = "join"
+	OpUnique      = "unique"
+	OpGroup       = "group"  // unary
+	OpGroup2      = "group2" // binary refinement
+	OpMultiplex   = "multiplex"
+	OpAggr        = "aggr"       // set-aggregate {fn}
+	OpAggrScalar  = "aggrscalar" // whole-BAT aggregate
+	OpUnion       = "union"
+	OpDiff        = "diff"
+	OpIntersect   = "intersect"
+	OpSort        = "sort" // Desc flag
+	OpSlice       = "slice"
+	OpJoinMulti   = "joinmulti" // composite-key join over LKeys/RKeys
+	OpMark        = "mark"      // re-identify: [dense-void, head of operand]
+	OpCalc        = "calc"      // scalar computation over literal/scalar args
+)
+
+// StmtArg is one operand of a statement: a variable holding a BAT, a
+// literal, or a "scalar var" — a variable holding a one-BUN BAT whose single
+// value is broadcast as a constant (scalar subqueries, TPC-D Q11/Q15).
+type StmtArg struct {
+	Var       string
+	Lit       *bat.Value
+	ScalarVar string
+}
+
+// VarArg references a BAT variable.
+func VarArg(v string) StmtArg { return StmtArg{Var: v} }
+
+// LitArg embeds a literal.
+func LitArg(v bat.Value) StmtArg { return StmtArg{Lit: &v} }
+
+// ScalarArg references a one-BUN BAT variable broadcast as a constant.
+func ScalarArg(v string) StmtArg { return StmtArg{ScalarVar: v} }
+
+// None is the absent bound of a half-open range select.
+func None() StmtArg { return StmtArg{} }
+
+func (a StmtArg) isNone() bool { return a.Var == "" && a.Lit == nil && a.ScalarVar == "" }
+
+func (a StmtArg) String() string {
+	switch {
+	case a.Var != "":
+		return a.Var
+	case a.Lit != nil:
+		return a.Lit.String()
+	case a.ScalarVar != "":
+		return "scalar(" + a.ScalarVar + ")"
+	}
+	return "nil"
+}
+
+// Stmt is one MIL assignment: Dst := Op(Args...).
+type Stmt struct {
+	Dst            string
+	Op             string
+	Fn             string // multiplex / aggregate function
+	Args           []StmtArg
+	Desc           bool // sort direction
+	N              int  // slice length
+	LoIncl, HiIncl bool // range-select bound inclusivity
+	// LKeys/RKeys are the composite-key operands of OpJoinMulti: parallel
+	// variable lists of key BATs [elemid, keyval]. The result pairs the
+	// matching element ids: [left id, right id].
+	LKeys, RKeys []string
+}
+
+// String renders the statement in the paper's MIL listing style (Fig. 10).
+func (s Stmt) String() string {
+	rhs := ""
+	args := func(from, to int) string {
+		parts := make([]string, 0, to-from)
+		for _, a := range s.Args[from:to] {
+			if !a.isNone() {
+				parts = append(parts, a.String())
+			}
+		}
+		return strings.Join(parts, ", ")
+	}
+	switch s.Op {
+	case OpMirror:
+		rhs = s.Args[0].String() + ".mirror"
+	case OpSelect, OpSelectRange:
+		rhs = fmt.Sprintf("select(%s)", args(0, len(s.Args)))
+	case OpSelectBit:
+		rhs = fmt.Sprintf("select(%s, true)", s.Args[0])
+	case OpSemijoin, OpJoin, OpUnion, OpDiff, OpIntersect:
+		rhs = fmt.Sprintf("%s(%s)", s.Op, args(0, len(s.Args)))
+	case OpUnique:
+		rhs = s.Args[0].String() + ".unique"
+	case OpGroup:
+		rhs = fmt.Sprintf("group(%s)", s.Args[0])
+	case OpGroup2:
+		rhs = fmt.Sprintf("group(%s, %s)", s.Args[0], s.Args[1])
+	case OpMultiplex:
+		rhs = fmt.Sprintf("[%s](%s)", s.Fn, args(0, len(s.Args)))
+	case OpAggr:
+		rhs = fmt.Sprintf("{%s}(%s)", s.Fn, s.Args[0])
+	case OpAggrScalar:
+		rhs = fmt.Sprintf("{%s}all(%s)", s.Fn, s.Args[0])
+	case OpSort:
+		dir := ""
+		if s.Desc {
+			dir = ", desc"
+		}
+		rhs = fmt.Sprintf("sort(%s%s)", s.Args[0], dir)
+	case OpSlice:
+		rhs = fmt.Sprintf("slice(%s, %d)", s.Args[0], s.N)
+	case OpJoinMulti:
+		rhs = fmt.Sprintf("joinmulti([%s], [%s])",
+			strings.Join(s.LKeys, ","), strings.Join(s.RKeys, ","))
+	case OpMark:
+		rhs = fmt.Sprintf("mark(%s)", s.Args[0])
+	case OpCalc:
+		rhs = fmt.Sprintf("calc %s(%s)", s.Fn, args(0, len(s.Args)))
+	default:
+		rhs = fmt.Sprintf("%s(%s)", s.Op, args(0, len(s.Args)))
+	}
+	return fmt.Sprintf("%s := %s", s.Dst, rhs)
+}
+
+// Program is a straight-line MIL program: the output of the MOA→MIL
+// rewriter. Keep lists the result variables referenced by the result
+// structure function; the interpreter must not release them.
+type Program struct {
+	Stmts []Stmt
+	Keep  []string
+}
+
+// String renders the whole program as a MIL listing.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, s := range p.Stmts {
+		sb.WriteString(s.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Env maps MIL variable names to BATs: the execution environment holding
+// both the persistent database BATs and the query's intermediates.
+type Env map[string]*bat.BAT
+
+// StmtTrace records the execution of one statement, matching the columns of
+// the paper's Fig. 10 ("elapsed ms / faults / MIL statement") plus the
+// algorithm variant the dynamic optimizer chose.
+type StmtTrace struct {
+	Index   int
+	Text    string
+	Elapsed time.Duration
+	Faults  uint64
+	Rows    int
+	Algo    string
+}
+
+func (t StmtTrace) String() string {
+	return fmt.Sprintf("%8.3fms %6d faults %-8d rows  %-24s %s",
+		float64(t.Elapsed.Microseconds())/1000.0, t.Faults, t.Rows, t.Algo, t.Text)
+}
+
+// Run executes the program against env, materializing every statement's
+// result under its Dst name. It performs simple liveness analysis: a
+// non-kept intermediate is released (for the Fig. 9 memory accounting) after
+// its last use. Base BATs that were already in env are never released or
+// accounted.
+func Run(ctx *Ctx, p *Program, env Env) ([]StmtTrace, error) {
+	base := make(map[string]bool, len(env))
+	for name := range env {
+		base[name] = true
+	}
+	keep := make(map[string]bool, len(p.Keep))
+	for _, k := range p.Keep {
+		keep[k] = true
+	}
+	lastUse := make(map[string]int)
+	for i, s := range p.Stmts {
+		for _, a := range s.Args {
+			if a.Var != "" {
+				lastUse[a.Var] = i
+			}
+			if a.ScalarVar != "" {
+				lastUse[a.ScalarVar] = i
+			}
+		}
+		for _, k := range s.LKeys {
+			lastUse[k] = i
+		}
+		for _, k := range s.RKeys {
+			lastUse[k] = i
+		}
+	}
+
+	traces := make([]StmtTrace, 0, len(p.Stmts))
+	for i, s := range p.Stmts {
+		var faults0 uint64
+		if ctx != nil && ctx.Pager != nil {
+			faults0 = ctx.Pager.Faults()
+		}
+		start := time.Now()
+		out, err := execStmt(ctx, s, env)
+		if err != nil {
+			return traces, fmt.Errorf("stmt %d (%s): %w", i, s, err)
+		}
+		elapsed := time.Since(start)
+		var faults uint64
+		if ctx != nil && ctx.Pager != nil {
+			faults = ctx.Pager.Faults() - faults0
+		}
+		if s.Op != OpMirror { // mirror is free: no materialization
+			ctx.Account(out)
+		}
+		env[s.Dst] = out
+		traces = append(traces, StmtTrace{
+			Index: i, Text: s.String(), Elapsed: elapsed,
+			Faults: faults, Rows: out.Len(), Algo: ctx.LastAlgo(),
+		})
+		if ctx != nil {
+			ctx.lastAlgo = ""
+		}
+		// Release dead intermediates.
+		for _, a := range s.Args {
+			for _, v := range []string{a.Var, a.ScalarVar} {
+				releaseIfDead(ctx, env, base, keep, lastUse, v, i)
+			}
+		}
+		for _, v := range s.LKeys {
+			releaseIfDead(ctx, env, base, keep, lastUse, v, i)
+		}
+		for _, v := range s.RKeys {
+			releaseIfDead(ctx, env, base, keep, lastUse, v, i)
+		}
+	}
+	return traces, nil
+}
+
+func releaseIfDead(ctx *Ctx, env Env, base, keep map[string]bool, lastUse map[string]int, v string, i int) {
+	if v == "" || base[v] || keep[v] {
+		return
+	}
+	if lastUse[v] == i {
+		if b, ok := env[v]; ok {
+			ctx.Release(b)
+			delete(env, v)
+		}
+	}
+}
+
+func argBAT(env Env, a StmtArg) (*bat.BAT, error) {
+	b, ok := env[a.Var]
+	if !ok {
+		return nil, fmt.Errorf("undefined variable %q", a.Var)
+	}
+	return b, nil
+}
+
+func execStmt(ctx *Ctx, s Stmt, env Env) (*bat.BAT, error) {
+	// Resolve the leading BAT operand, common to almost all ops.
+	var b0 *bat.BAT
+	if len(s.Args) > 0 && s.Args[0].Var != "" {
+		var err error
+		b0, err = argBAT(env, s.Args[0])
+		if err != nil {
+			return nil, err
+		}
+	}
+	need2 := func() (*bat.BAT, error) { return argBAT(env, s.Args[1]) }
+
+	switch s.Op {
+	case OpMirror:
+		ctx.chose("mirror")
+		return b0.Mirror(), nil
+	case OpSelect:
+		v, err := resolveLit(env, s.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		return SelectEq(ctx, b0, v), nil
+	case OpSelectRange:
+		var lo, hi *bat.Value
+		if !s.Args[1].isNone() {
+			v, err := resolveLit(env, s.Args[1])
+			if err != nil {
+				return nil, err
+			}
+			lo = &v
+		}
+		if !s.Args[2].isNone() {
+			v, err := resolveLit(env, s.Args[2])
+			if err != nil {
+				return nil, err
+			}
+			hi = &v
+		}
+		return SelectRange(ctx, b0, lo, hi, s.LoIncl, s.HiIncl), nil
+	case OpSelectBit:
+		return SelectBit(ctx, b0), nil
+	case OpSemijoin:
+		r, err := need2()
+		if err != nil {
+			return nil, err
+		}
+		return Semijoin(ctx, b0, r), nil
+	case OpJoin:
+		r, err := need2()
+		if err != nil {
+			return nil, err
+		}
+		return Join(ctx, b0, r), nil
+	case OpUnique:
+		return Unique(ctx, b0), nil
+	case OpGroup:
+		return GroupUnary(ctx, b0), nil
+	case OpGroup2:
+		r, err := need2()
+		if err != nil {
+			return nil, err
+		}
+		return GroupBinary(ctx, b0, r), nil
+	case OpMultiplex:
+		ops := make([]Operand, len(s.Args))
+		for i, a := range s.Args {
+			switch {
+			case a.Var != "":
+				b, err := argBAT(env, a)
+				if err != nil {
+					return nil, err
+				}
+				ops[i] = BATArg(b)
+			default:
+				v, err := resolveLit(env, a)
+				if err != nil {
+					return nil, err
+				}
+				ops[i] = ConstArg(v)
+			}
+		}
+		return Multiplex(ctx, s.Fn, ops), nil
+	case OpAggr:
+		return Aggr(ctx, s.Fn, b0), nil
+	case OpAggrScalar:
+		return AggrScalar(ctx, s.Fn, b0), nil
+	case OpUnion:
+		r, err := need2()
+		if err != nil {
+			return nil, err
+		}
+		return Union(ctx, b0, r), nil
+	case OpDiff:
+		r, err := need2()
+		if err != nil {
+			return nil, err
+		}
+		return Diff(ctx, b0, r), nil
+	case OpIntersect:
+		r, err := need2()
+		if err != nil {
+			return nil, err
+		}
+		return Intersect(ctx, b0, r), nil
+	case OpSort:
+		return SortTail(ctx, b0, s.Desc), nil
+	case OpSlice:
+		return Slice(ctx, b0, s.N), nil
+	case OpJoinMulti:
+		return execJoinMulti(ctx, s, env)
+	case OpMark:
+		return Mark(ctx, b0), nil
+	case OpCalc:
+		vals := make([]bat.Value, len(s.Args))
+		for i, a := range s.Args {
+			v, err := resolveLit(env, a)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		ctx.chose("calc")
+		v := CallFunc(s.Fn, vals)
+		return bat.New("calc", bat.NewOIDCol([]bat.OID{0}),
+			bat.FromValues(v.K, []bat.Value{v}), bat.HKey|bat.TKey), nil
+	}
+	return nil, fmt.Errorf("unknown op %q", s.Op)
+}
+
+// Mark re-identifies the BUNs of b with fresh dense oids: the result is
+// [void-dense, head of b]. It is how the translation of a generic join gives
+// the produced pairs identities of their own.
+func Mark(ctx *Ctx, b *bat.BAT) *bat.BAT {
+	ctx.chose("mark")
+	props := bat.Props(0)
+	if b.Props.Has(bat.HKey) {
+		props |= bat.TKey
+	}
+	if b.Props.Has(bat.HOrdered) {
+		props |= bat.TOrdered
+	}
+	return bat.New(b.Name+".mark", bat.NewVoid(0, b.Len()), b.H, props)
+}
+
+func resolveLit(env Env, a StmtArg) (bat.Value, error) {
+	if a.Lit != nil {
+		return *a.Lit, nil
+	}
+	if a.ScalarVar != "" {
+		b, ok := env[a.ScalarVar]
+		if !ok {
+			return bat.Value{}, fmt.Errorf("undefined scalar variable %q", a.ScalarVar)
+		}
+		return ScalarOf(b), nil
+	}
+	return bat.Value{}, fmt.Errorf("operand %v is not a literal", a)
+}
+
+// execJoinMulti pairs left and right elements matching on all composite keys
+// and returns their ids: [left id, right id].
+func execJoinMulti(ctx *Ctx, s Stmt, env Env) (*bat.BAT, error) {
+	resolve := func(names []string) ([]*bat.BAT, error) {
+		out := make([]*bat.BAT, len(names))
+		for i, v := range names {
+			b, ok := env[v]
+			if !ok {
+				return nil, fmt.Errorf("undefined variable %q", v)
+			}
+			out[i] = b
+		}
+		return out, nil
+	}
+	lKeys, err := resolve(s.LKeys)
+	if err != nil {
+		return nil, err
+	}
+	rKeys, err := resolve(s.RKeys)
+	if err != nil {
+		return nil, err
+	}
+	if len(lKeys) == 0 || len(rKeys) == 0 {
+		return nil, fmt.Errorf("joinmulti needs at least one key pair")
+	}
+	lids, rids := JoinMulti(ctx, lKeys, rKeys)
+	hk, tk := bat.KOID, bat.KOID
+	if len(lids) > 0 {
+		hk, tk = lids[0].K, rids[0].K
+	}
+	return bat.New("joinmulti", bat.FromValues(hk, lids), bat.FromValues(tk, rids), 0), nil
+}
+
+// Builder emits statements with generated variable names; the rewriter uses
+// it to assemble programs.
+type Builder struct {
+	prog Program
+	next int
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Fresh allocates a new variable name with the given prefix.
+func (b *Builder) Fresh(prefix string) string {
+	b.next++
+	return fmt.Sprintf("%s_%d", prefix, b.next)
+}
+
+// Emit appends a statement, assigning its result to a fresh variable derived
+// from hint, and returns that variable name.
+func (b *Builder) Emit(hint string, s Stmt) string {
+	s.Dst = b.Fresh(hint)
+	b.prog.Stmts = append(b.prog.Stmts, s)
+	return s.Dst
+}
+
+// KeepVar marks a variable as a program result that must survive execution.
+func (b *Builder) KeepVar(v string) {
+	b.prog.Keep = append(b.prog.Keep, v)
+}
+
+// Program returns the assembled program.
+func (b *Builder) Program() *Program { return &b.prog }

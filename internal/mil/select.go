@@ -1,0 +1,264 @@
+package mil
+
+import (
+	"sort"
+
+	"repro/internal/bat"
+)
+
+// gatherPositions builds the result BAT of a filtering operation: the BUNs
+// of b at the given ascending positions. Filters preserve BUN order, so all
+// order/key properties of the operand carry over to the result (Section 5.1:
+// "a rangeselect will propagate the ordered information on both head and
+// tail to the result"; semijoin propagates the key properties of its left
+// operand).
+func gatherPositions(ctx *Ctx, name string, b *bat.BAT, pos []int) *bat.BAT {
+	p := ctx.pager()
+	if p != nil {
+		for _, i := range pos {
+			b.H.TouchAt(p, i)
+			b.T.TouchAt(p, i)
+		}
+	}
+	out := bat.New(name, bat.Gather(b.H, pos), bat.Gather(b.T, pos), 0)
+	out.Props |= b.Props & (bat.HOrdered | bat.TOrdered | bat.HKey | bat.TKey)
+	// A filter that kept every BUN left the sequence untouched: the result
+	// is positionally synced with its operand.
+	if len(pos) == b.Len() {
+		out.SyncWith(b)
+	}
+	return out
+}
+
+// filterProps is the property mask preserved by order-preserving filters.
+const filterProps = bat.HOrdered | bat.TOrdered | bat.HKey | bat.TKey
+
+// SelectRange implements AB.select(Tl,Th): {ab ∈ AB | Tl ≤ b ≤ Th}, with
+// optional exclusive bounds. A nil lo or hi leaves that side unbounded. The
+// dynamic optimizer uses binary search when the tail is ordered (the layout
+// Section 5.2 prescribes for attribute BATs) and a scan otherwise.
+func SelectRange(ctx *Ctx, b *bat.BAT, lo, hi *bat.Value, loIncl, hiIncl bool) *bat.BAT {
+	if b.Props.Has(bat.TOrdered) {
+		return selectBinSearch(ctx, b, lo, hi, loIncl, hiIncl)
+	}
+	return selectScan(ctx, b, lo, hi, loIncl, hiIncl)
+}
+
+// SelectEq implements AB.select(T): {ab ∈ AB | b = T}. It prefers binary
+// search on ordered tails, then an existing hash accelerator, then a scan.
+func SelectEq(ctx *Ctx, b *bat.BAT, v bat.Value) *bat.BAT {
+	if b.Props.Has(bat.TOrdered) {
+		return selectBinSearch(ctx, b, &v, &v, true, true)
+	}
+	if b.HasTailHash() {
+		ctx.chose("hash-select")
+		hits := b.TailHash().Lookup(v)
+		pos := make([]int, len(hits))
+		for i, h := range hits {
+			pos[i] = int(h)
+		}
+		sort.Ints(pos)
+		return gatherPositions(ctx, b.Name+".sel", b, pos)
+	}
+	return selectScan(ctx, b, &v, &v, true, true)
+}
+
+func inRange(v bat.Value, lo, hi *bat.Value, loIncl, hiIncl bool) bool {
+	if lo != nil {
+		c := bat.Compare(v, *lo)
+		if c < 0 || (c == 0 && !loIncl) {
+			return false
+		}
+	}
+	if hi != nil {
+		c := bat.Compare(v, *hi)
+		if c > 0 || (c == 0 && !hiIncl) {
+			return false
+		}
+	}
+	return true
+}
+
+func selectScan(ctx *Ctx, b *bat.BAT, lo, hi *bat.Value, loIncl, hiIncl bool) *bat.BAT {
+	ctx.chose("scan-select")
+	p := ctx.pager()
+	b.T.TouchAll(p)
+	var pos []int
+	n := b.Len()
+	k := workersFor(ctx, n)
+	switch t := b.T.(type) {
+	case *bat.IntCol:
+		loI, hiI, ok := intBounds(lo, hi, loIncl, hiIncl)
+		if ok {
+			pos = parallelCollect(n, k, func(from, to int) []int {
+				var p []int
+				for i := from; i < to; i++ {
+					if t.V[i] >= loI && t.V[i] <= hiI {
+						p = append(p, i)
+					}
+				}
+				return p
+			})
+		} else {
+			pos = scanGeneric(b, lo, hi, loIncl, hiIncl)
+		}
+	case *bat.FltCol:
+		pos = parallelCollect(n, k, func(from, to int) []int {
+			var p []int
+			for i := from; i < to; i++ {
+				if inRange(bat.F(t.V[i]), lo, hi, loIncl, hiIncl) {
+					p = append(p, i)
+				}
+			}
+			return p
+		})
+	case *bat.ChrCol:
+		for i, v := range t.V {
+			if inRange(bat.C(v), lo, hi, loIncl, hiIncl) {
+				pos = append(pos, i)
+			}
+		}
+	case *bat.DateCol:
+		pos = parallelCollect(n, k, func(from, to int) []int {
+			var p []int
+			for i := from; i < to; i++ {
+				if inRange(bat.D(t.V[i]), lo, hi, loIncl, hiIncl) {
+					p = append(p, i)
+				}
+			}
+			return p
+		})
+	default:
+		pos = parallelCollect(n, k, func(from, to int) []int {
+			var p []int
+			for i := from; i < to; i++ {
+				if inRange(b.T.Get(i), lo, hi, loIncl, hiIncl) {
+					p = append(p, i)
+				}
+			}
+			return p
+		})
+	}
+	return gatherPositions(ctx, b.Name+".sel", b, pos)
+}
+
+// workersFor reports the parallel degree for an operator over n rows:
+// parallel iteration engages only when enabled and the input is large enough
+// to amortize it.
+func workersFor(ctx *Ctx, n int) int {
+	if n < parallelMinRows {
+		return 1
+	}
+	return ctx.workers()
+}
+
+func scanGeneric(b *bat.BAT, lo, hi *bat.Value, loIncl, hiIncl bool) []int {
+	var pos []int
+	for i := 0; i < b.Len(); i++ {
+		if inRange(b.T.Get(i), lo, hi, loIncl, hiIncl) {
+			pos = append(pos, i)
+		}
+	}
+	return pos
+}
+
+// intBounds converts optional boxed bounds into closed int64 bounds, when
+// both sides are int-typed (or absent).
+func intBounds(lo, hi *bat.Value, loIncl, hiIncl bool) (int64, int64, bool) {
+	loI := int64(-1 << 62)
+	hiI := int64(1<<62 - 1)
+	if lo != nil {
+		if lo.K != bat.KInt {
+			return 0, 0, false
+		}
+		loI = lo.I
+		if !loIncl {
+			loI++
+		}
+	}
+	if hi != nil {
+		if hi.K != bat.KInt {
+			return 0, 0, false
+		}
+		hiI = hi.I
+		if !hiIncl {
+			hiI--
+		}
+	}
+	return loI, hiI, true
+}
+
+func selectBinSearch(ctx *Ctx, b *bat.BAT, lo, hi *bat.Value, loIncl, hiIncl bool) *bat.BAT {
+	ctx.chose("binsearch-select")
+	n := b.Len()
+	start := 0
+	if lo != nil {
+		start = sort.Search(n, func(i int) bool {
+			c := bat.Compare(b.T.Get(i), *lo)
+			if loIncl {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	end := n
+	if hi != nil {
+		end = sort.Search(n, func(i int) bool {
+			c := bat.Compare(b.T.Get(i), *hi)
+			if hiIncl {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
+	if end < start {
+		end = start
+	}
+	pos := make([]int, end-start)
+	for i := range pos {
+		pos[i] = start + i
+	}
+	out := gatherPositions(ctx, b.Name+".sel", b, pos)
+	// A contiguous slice of a tail-ordered BAT is itself tail-ordered even
+	// if the operand lost other properties.
+	out.Props |= bat.TOrdered
+	return out
+}
+
+// SelectBit keeps the BUNs whose (boolean) tail is true; it is how the
+// translation of a general boolean predicate materializes its qualifying
+// set.
+func SelectBit(ctx *Ctx, b *bat.BAT) *bat.BAT {
+	ctx.chose("scan-select")
+	p := ctx.pager()
+	b.T.TouchAll(p)
+	var pos []int
+	if t, ok := b.T.(*bat.BitCol); ok {
+		for i, v := range t.V {
+			if v {
+				pos = append(pos, i)
+			}
+		}
+	} else {
+		for i := 0; i < b.Len(); i++ {
+			if b.T.Get(i).Bool() {
+				pos = append(pos, i)
+			}
+		}
+	}
+	return gatherPositions(ctx, b.Name+".sel", b, pos)
+}
+
+// Slice returns the first n BUNs of b (the top-N primitive backing MOA's
+// top[n] after a sort).
+func Slice(ctx *Ctx, b *bat.BAT, n int) *bat.BAT {
+	ctx.chose("slice")
+	if n > b.Len() {
+		n = b.Len()
+	}
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = i
+	}
+	return gatherPositions(ctx, b.Name+".slice", b, pos)
+}

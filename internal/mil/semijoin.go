@@ -1,0 +1,166 @@
+package mil
+
+import (
+	"repro/internal/bat"
+)
+
+// Semijoin implements AB.semijoin(CD): {ab ∈ AB | ∃cd ∈ CD : a = c}.
+// It is "heavily used for reassembling vertically partitioned fragments"
+// (Section 4.2), so the dynamic optimizer has four variants (Section 5.1,
+// 5.2.1), tried in order of decreasing specialisation:
+//
+//   - sync-semijoin: the operands are positionally synced, so the result is
+//     just (a copy of) the left operand;
+//   - datavector-semijoin: the left operand carries a datavector
+//     accelerator (Section 5.2.1 pseudo-code);
+//   - merge-semijoin: both heads are ordered;
+//   - hash-semijoin: the fallback.
+func Semijoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
+	switch {
+	case bat.Synced(l, r):
+		return syncSemijoin(ctx, l)
+	case l.Datavector() != nil && oidHeaded(r):
+		// The datavector probes object identifiers; a right operand whose
+		// head is not oid-typed cannot match any extent entry under value
+		// semantics, so it must take the generic variants.
+		return datavectorSemijoin(ctx, l, r)
+	case l.Props.Has(bat.HOrdered) && r.Props.Has(bat.HOrdered):
+		return mergeSemijoin(ctx, l, r)
+	default:
+		return hashSemijoin(ctx, l, r)
+	}
+}
+
+// oidHeaded reports whether b's head column holds object identifiers.
+func oidHeaded(b *bat.BAT) bool {
+	k := b.H.Kind()
+	return k == bat.KOID || k == bat.KVoid
+}
+
+// syncSemijoin: "using the knowledge that the join columns are exactly equal
+// [it] just returns a copy of its left operand BAT". BATs are immutable, so
+// the copy is a shared view.
+func syncSemijoin(ctx *Ctx, l *bat.BAT) *bat.BAT {
+	ctx.chose("sync-semijoin")
+	out := bat.New(l.Name+".sel", l.H, l.T, l.Props&filterProps)
+	out.SyncWith(l)
+	return out
+}
+
+// datavectorSemijoin transcribes the pseudo-code of Section 5.2.1. The
+// LOOKUP array mapping r's oids to extent positions is computed on first use
+// and memoized on the accelerator, so subsequent semijoins with the same
+// right operand only pay for fetching out of the value vector ("the previous
+// datavector-semijoin has already blazed the trail into the extent").
+func datavectorSemijoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
+	ctx.chose("datavector-semijoin")
+	dv := l.Datavector()
+	p := ctx.pager()
+
+	lookup := dv.Lookup(r)
+	if lookup == nil {
+		lookup = make([]int32, 0, r.Len())
+		rh := r.H
+		rh.TouchAll(p)
+		switch h := rh.(type) {
+		case *bat.OIDCol:
+			for _, x := range h.V {
+				if pos, ok := dv.Probe(p, x); ok {
+					lookup = append(lookup, int32(pos))
+				}
+			}
+		case *bat.VoidCol:
+			for i := 0; i < h.N; i++ {
+				if pos, ok := dv.Probe(p, h.Seq+bat.OID(i)); ok {
+					lookup = append(lookup, int32(pos))
+				}
+			}
+		default:
+			for i := 0; i < rh.Len(); i++ {
+				if pos, ok := dv.Probe(p, rh.Get(i).OID()); ok {
+					lookup = append(lookup, int32(pos))
+				}
+			}
+		}
+		dv.Memoize(r, lookup)
+	}
+
+	// Insertion phase: fetch matching head and tail values from EXTENT and
+	// VECTOR (pseudo-code lines 17-19).
+	heads := make([]bat.OID, len(lookup))
+	perm := make([]int, len(lookup))
+	for i, pos := range lookup {
+		heads[i] = dv.OIDAt(int(pos))
+		perm[i] = int(pos)
+		dv.Vector.TouchAt(p, int(pos))
+	}
+	out := bat.New(l.Name+".sel", bat.NewOIDCol(heads), bat.Gather(dv.Vector, perm), 0)
+	// Result BUNs follow r's order. If every r element matched, the result
+	// is positionally synced with r (and with any other full-match
+	// datavector semijoin against r) — the effect exploited in Fig. 10:
+	// "Both stem from a semijoin with a 100% match ... so they again are
+	// synced".
+	if out.Len() == r.Len() {
+		out.SyncWith(r)
+		out.Props |= r.Props & (bat.HOrdered | bat.HKey)
+	}
+	if r.Props.Has(bat.HKey) {
+		out.Props |= bat.HKey
+	}
+	return out
+}
+
+func mergeSemijoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
+	ctx.chose("merge-semijoin")
+	p := ctx.pager()
+	l.H.TouchAll(p)
+	r.H.TouchAll(p)
+	var pos []int
+	i, j := 0, 0
+	for i < l.Len() && j < r.Len() {
+		c := bat.Compare(l.H.Get(i), r.H.Get(j))
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			pos = append(pos, i)
+			i++
+			// j stays: multiple l heads may match this r head; advancing i
+			// handles l duplicates, and r duplicates must not duplicate
+			// output (semijoin is a filter).
+		}
+	}
+	return gatherPositions(ctx, l.Name+".sel", l, pos)
+}
+
+func hashSemijoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
+	if out, ok := hashSemijoinOID(ctx, l, r); ok {
+		return out
+	}
+	ctx.chose("hash-semijoin")
+	p := ctx.pager()
+	r.H.TouchAll(p)
+	set := make(map[bat.Value]struct{}, r.Len())
+	for i := 0; i < r.Len(); i++ {
+		set[r.H.Get(i)] = struct{}{}
+	}
+	l.H.TouchAll(p)
+	var pos []int
+	switch h := l.H.(type) {
+	case *bat.OIDCol:
+		for i, v := range h.V {
+			if _, ok := set[bat.O(v)]; ok {
+				pos = append(pos, i)
+			}
+		}
+	default:
+		for i := 0; i < l.Len(); i++ {
+			if _, ok := set[l.H.Get(i)]; ok {
+				pos = append(pos, i)
+			}
+		}
+	}
+	return gatherPositions(ctx, l.Name+".sel", l, pos)
+}

@@ -1,0 +1,127 @@
+package mil
+
+import (
+	"sort"
+
+	"repro/internal/bat"
+)
+
+// The MOA set operations work on sets of identified values, so the BAT-level
+// set operations match elements on their identifier — the head column
+// (Section 3.3: identifiers are unique within a value set).
+
+// Union implements set union on identified value sets: all BUNs of a, plus
+// the BUNs of b whose head does not occur in a. Duplicate heads within b
+// itself are also collapsed (identifiers are unique within a set).
+func Union(ctx *Ctx, a, b *bat.BAT) *bat.BAT {
+	ctx.chose("hash-union")
+	p := ctx.pager()
+	a.H.TouchAll(p)
+	a.T.TouchAll(p)
+	b.H.TouchAll(p)
+	b.T.TouchAll(p)
+	seen := make(map[bat.Value]struct{}, a.Len()+b.Len())
+	heads := make([]bat.Value, 0, a.Len()+b.Len())
+	tails := make([]bat.Value, 0, a.Len()+b.Len())
+	add := func(x *bat.BAT) {
+		for i := 0; i < x.Len(); i++ {
+			h := x.H.Get(i)
+			if _, ok := seen[h]; ok {
+				continue
+			}
+			seen[h] = struct{}{}
+			heads = append(heads, h)
+			tails = append(tails, x.T.Get(i))
+		}
+	}
+	add(a)
+	add(b)
+	hk := a.H.Kind()
+	tk := a.T.Kind()
+	if a.Len() == 0 {
+		hk, tk = b.H.Kind(), b.T.Kind()
+	}
+	if hk == bat.KVoid {
+		hk = bat.KOID
+	}
+	if tk == bat.KVoid {
+		tk = bat.KOID
+	}
+	return bat.New(a.Name+".union", bat.FromValues(hk, heads), bat.FromValues(tk, tails), bat.HKey)
+}
+
+// Diff implements set difference on identified value sets: the BUNs of a
+// whose head does not occur in b.
+func Diff(ctx *Ctx, a, b *bat.BAT) *bat.BAT {
+	ctx.chose("hash-diff")
+	p := ctx.pager()
+	b.H.TouchAll(p)
+	drop := make(map[bat.Value]struct{}, b.Len())
+	for i := 0; i < b.Len(); i++ {
+		drop[b.H.Get(i)] = struct{}{}
+	}
+	a.H.TouchAll(p)
+	var pos []int
+	for i := 0; i < a.Len(); i++ {
+		if _, ok := drop[a.H.Get(i)]; !ok {
+			pos = append(pos, i)
+		}
+	}
+	return gatherPositions(ctx, a.Name+".diff", a, pos)
+}
+
+// Intersect implements set intersection on identified value sets; on the
+// flattened representation it coincides with the semijoin (the "beneficial
+// effect" of Section 4.3.2 applies to all nested set operations).
+func Intersect(ctx *Ctx, a, b *bat.BAT) *bat.BAT {
+	out := Semijoin(ctx, a, b)
+	if ctx != nil {
+		ctx.lastAlgo += " (intersect)"
+	}
+	return out
+}
+
+// SortTail reorders b on its tail values, ascending or descending. It backs
+// MOA's sort[expr] operator (needed by the TPC-D top-N queries).
+func SortTail(ctx *Ctx, b *bat.BAT, desc bool) *bat.BAT {
+	ctx.chose("sort")
+	p := ctx.pager()
+	b.T.TouchAll(p)
+	b.H.TouchAll(p)
+	n := b.Len()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	valueLess := tailLess(b.T)
+	less := func(i, j int) bool { return valueLess(perm[i], perm[j]) }
+	if desc {
+		less = func(i, j int) bool { return valueLess(perm[j], perm[i]) }
+	}
+	sort.SliceStable(perm, less)
+	out := bat.New(b.Name+".sort", bat.Gather(b.H, perm), bat.Gather(b.T, perm), 0)
+	if !desc {
+		out.Props |= bat.TOrdered
+	}
+	out.Props |= b.Props & (bat.HKey | bat.TKey)
+	return out
+}
+
+func tailLess(t bat.Column) func(i, j int) bool {
+	switch c := t.(type) {
+	case *bat.IntCol:
+		return func(i, j int) bool { return c.V[i] < c.V[j] }
+	case *bat.FltCol:
+		return func(i, j int) bool { return c.V[i] < c.V[j] }
+	case *bat.OIDCol:
+		return func(i, j int) bool { return c.V[i] < c.V[j] }
+	case *bat.DateCol:
+		return func(i, j int) bool { return c.V[i] < c.V[j] }
+	case *bat.ChrCol:
+		return func(i, j int) bool { return c.V[i] < c.V[j] }
+	case *bat.StrCol:
+		return func(i, j int) bool { return c.At(i) < c.At(j) }
+	default:
+		return func(i, j int) bool { return bat.Less(t.Get(i), t.Get(j)) }
+	}
+}

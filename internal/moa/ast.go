@@ -1,0 +1,228 @@
+package moa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/bat"
+)
+
+// Expr is a node of the MOA algebra AST (Section 4.1). The parser produces
+// unresolved trees (Ident, FieldRef, PathExpr); the checker resolves
+// identifiers into AttrRef / ClassExtent nodes and annotates types.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Ident is an unresolved name: a class extent or an attribute of the
+// enclosing set's element.
+type Ident struct{ Name string }
+
+func (e *Ident) exprNode()      {}
+func (e *Ident) String() string { return e.Name }
+
+// FieldRef is the paper's %name / %N explicit field reference on the
+// element in scope (e.g. %2 in the Q13 listing).
+type FieldRef struct {
+	Name  string // %name form
+	Index int    // %N form, 1-based; 0 if named
+}
+
+func (e *FieldRef) exprNode() {}
+func (e *FieldRef) String() string {
+	if e.Name != "" {
+		return "%" + e.Name
+	}
+	return "%" + strconv.Itoa(e.Index)
+}
+
+// PathExpr is attribute access: base.attr.
+type PathExpr struct {
+	Base Expr
+	Attr string
+}
+
+func (e *PathExpr) exprNode()      {}
+func (e *PathExpr) String() string { return e.Base.String() + "." + e.Attr }
+
+// Lit is a literal value.
+type Lit struct{ V bat.Value }
+
+func (e *Lit) exprNode()      {}
+func (e *Lit) String() string { return e.V.String() }
+
+// Call is function-call syntax: both the algebra's method invocations /
+// atomic operations (=(a,b), *(a,b), year(d)) and the aggregates
+// (sum(S), count(S), …) and predicates (exists(S), in(x, …)).
+type Call struct {
+	Fn   string
+	Args []Expr
+}
+
+func (e *Call) exprNode() {}
+func (e *Call) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return e.Fn + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// SelectExpr is select[p1, …, pk](S): {x | x ∈ S ∧ p1(x) ∧ … ∧ pk(x)}.
+type SelectExpr struct {
+	Preds []Expr
+	In    Expr
+}
+
+func (e *SelectExpr) exprNode() {}
+func (e *SelectExpr) String() string {
+	parts := make([]string, len(e.Preds))
+	for i, p := range e.Preds {
+		parts[i] = p.String()
+	}
+	return "select[" + strings.Join(parts, ", ") + "](" + e.In.String() + ")"
+}
+
+// ProjItem is one output field of a projection: expr : name.
+type ProjItem struct {
+	E    Expr
+	Name string
+}
+
+// ProjectExpr is project[<e1:n1, …>](S) (tuple result) or project[e](S)
+// (single-value result).
+type ProjectExpr struct {
+	Items []ProjItem
+	Tuple bool
+	In    Expr
+}
+
+func (e *ProjectExpr) exprNode() {}
+func (e *ProjectExpr) String() string {
+	parts := make([]string, len(e.Items))
+	for i, it := range e.Items {
+		if it.Name != "" {
+			parts[i] = it.E.String() + " : " + it.Name
+		} else {
+			parts[i] = it.E.String()
+		}
+	}
+	inner := strings.Join(parts, ", ")
+	if e.Tuple {
+		inner = "<" + inner + ">"
+	}
+	return "project[" + inner + "](" + e.In.String() + ")"
+}
+
+// NestExpr is nest[k1, …](S): groups the tuples of S by the key fields,
+// producing <k1, …, {grouped tuples}> tuples — the OO mapping of SQL
+// groupby (Section 1: "the groupby SQL statement maps to the OO concept of
+// nesting and aggregation").
+type NestExpr struct {
+	Keys []Expr
+	In   Expr
+}
+
+func (e *NestExpr) exprNode() {}
+func (e *NestExpr) String() string {
+	parts := make([]string, len(e.Keys))
+	for i, k := range e.Keys {
+		parts[i] = k.String()
+	}
+	return "nest[" + strings.Join(parts, ", ") + "](" + e.In.String() + ")"
+}
+
+// UnnestExpr is unnest[attr](S): flattens the set-valued attribute attr,
+// pairing each element of it with the remaining fields of its owner.
+type UnnestExpr struct {
+	Attr string
+	In   Expr
+}
+
+func (e *UnnestExpr) exprNode()      {}
+func (e *UnnestExpr) String() string { return "unnest[" + e.Attr + "](" + e.In.String() + ")" }
+
+// JoinExpr is join[p](A, B) or semijoin[p](A, B); inside p the elements of A
+// and B are referenced as %1 and %2.
+type JoinExpr struct {
+	Semi bool
+	Pred Expr
+	L, R Expr
+}
+
+func (e *JoinExpr) exprNode() {}
+func (e *JoinExpr) String() string {
+	op := "join"
+	if e.Semi {
+		op = "semijoin"
+	}
+	return op + "[" + e.Pred.String() + "](" + e.L.String() + ", " + e.R.String() + ")"
+}
+
+// SortExpr is sort[key (desc)?](S): a documented extension needed by the
+// TPC-D top-N queries.
+type SortExpr struct {
+	Key  Expr
+	Desc bool
+	In   Expr
+}
+
+func (e *SortExpr) exprNode() {}
+func (e *SortExpr) String() string {
+	d := ""
+	if e.Desc {
+		d = " desc"
+	}
+	return "sort[" + e.Key.String() + d + "](" + e.In.String() + ")"
+}
+
+// TopExpr is top[n](S): the first n elements of an ordered set.
+type TopExpr struct {
+	N  int
+	In Expr
+}
+
+func (e *TopExpr) exprNode()      {}
+func (e *TopExpr) String() string { return fmt.Sprintf("top[%d](%s)", e.N, e.In.String()) }
+
+// SetOpExpr is union(A,B), intersection(A,B) or difference(A,B).
+type SetOpExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (e *SetOpExpr) exprNode() {}
+func (e *SetOpExpr) String() string {
+	return e.Op + "(" + e.L.String() + ", " + e.R.String() + ")"
+}
+
+// --- resolved nodes (produced by the checker) -------------------------------
+
+// AttrRef is a resolved attribute path on the element of an enclosing set
+// scope: Depth counts scopes upward (0 = innermost), Path the attribute
+// chain (e.g. ["order", "clerk"]).
+type AttrRef struct {
+	Depth int
+	Path  []string
+}
+
+func (e *AttrRef) exprNode() {}
+func (e *AttrRef) String() string {
+	prefix := ""
+	for i := 0; i < e.Depth; i++ {
+		prefix += "^"
+	}
+	return prefix + strings.Join(e.Path, ".")
+}
+
+// ClassExtent is a resolved reference to a class extent.
+type ClassExtent struct{ Class string }
+
+func (e *ClassExtent) exprNode()      {}
+func (e *ClassExtent) String() string { return e.Class }
+
+// GroupField is the name the checker gives the nested-set component
+// introduced by nest (addressed positionally in the paper's Q13 via %2).
+const GroupField = "$group"

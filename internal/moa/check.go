@@ -1,0 +1,496 @@
+package moa
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+)
+
+// Checked is a resolved, type-annotated MOA query: identifiers have been
+// bound to attribute references or class extents, and every node has a type.
+type Checked struct {
+	Root   Expr
+	Schema *Schema
+	types  map[Expr]Type
+}
+
+// TypeOf reports the type the checker assigned to a node of the resolved
+// tree.
+func (c *Checked) TypeOf(e Expr) Type { return c.types[e] }
+
+// Check resolves and type-checks a parsed MOA expression against a schema.
+// The result's Root is a rewritten tree in which Ident/FieldRef/PathExpr
+// nodes are replaced by AttrRef and ClassExtent nodes.
+func Check(schema *Schema, e Expr) (*Checked, error) {
+	ck := &checker{schema: schema, types: map[Expr]Type{}}
+	root, t, err := ck.check(e)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := t.(SetType); !ok {
+		// Top-level scalar aggregates (Q6-style) are also allowed.
+		if _, ok := root.(*Call); !ok {
+			return nil, fmt.Errorf("moa: query must denote a set or aggregate, got %s", t)
+		}
+	}
+	return &Checked{Root: root, Schema: schema, types: ck.types}, nil
+}
+
+type checker struct {
+	schema *Schema
+	scopes []Type // element types of enclosing sets, innermost last
+	types  map[Expr]Type
+}
+
+func (ck *checker) push(elem Type) { ck.scopes = append(ck.scopes, elem) }
+func (ck *checker) pop()           { ck.scopes = ck.scopes[:len(ck.scopes)-1] }
+
+func (ck *checker) note(e Expr, t Type) (Expr, Type, error) {
+	ck.types[e] = t
+	return e, t, nil
+}
+
+func (ck *checker) check(e Expr) (Expr, Type, error) {
+	switch x := e.(type) {
+	case *Lit:
+		return ck.note(x, BaseType{x.V.K})
+
+	case *Ident:
+		// innermost-to-outermost scope lookup, then classes
+		for d := len(ck.scopes) - 1; d >= 0; d-- {
+			if t, ok := ck.schema.AttrType(ck.scopes[d], x.Name); ok {
+				ref := &AttrRef{Depth: len(ck.scopes) - 1 - d, Path: []string{x.Name}}
+				return ck.note(ref, t)
+			}
+		}
+		if c, ok := ck.schema.Classes[x.Name]; ok {
+			ref := &ClassExtent{Class: c.Name}
+			return ck.note(ref, SetType{Elem: ObjectType{Class: c.Name}})
+		}
+		return nil, nil, fmt.Errorf("moa: unknown name %q", x.Name)
+
+	case *FieldRef:
+		if len(ck.scopes) == 0 {
+			return nil, nil, fmt.Errorf("moa: %s outside any set scope", x)
+		}
+		elem := ck.scopes[len(ck.scopes)-1]
+		name := x.Name
+		if name == "" {
+			tt, ok := elem.(TupleType)
+			if !ok {
+				return nil, nil, fmt.Errorf("moa: positional %s needs a tuple element, got %s", x, elem)
+			}
+			if x.Index > len(tt.Fields) {
+				return nil, nil, fmt.Errorf("moa: %s out of range for %s", x, elem)
+			}
+			name = tt.Fields[x.Index-1].Name
+		}
+		t, ok := ck.schema.AttrType(elem, name)
+		if !ok {
+			return nil, nil, fmt.Errorf("moa: element %s has no field %q", elem, name)
+		}
+		return ck.note(&AttrRef{Depth: 0, Path: []string{name}}, t)
+
+	case *PathExpr:
+		base, bt, err := ck.check(x.Base)
+		if err != nil {
+			return nil, nil, err
+		}
+		at, ok := ck.schema.AttrType(bt, x.Attr)
+		if !ok {
+			return nil, nil, fmt.Errorf("moa: type %s has no attribute %q", bt, x.Attr)
+		}
+		ref, ok := base.(*AttrRef)
+		if !ok {
+			return nil, nil, fmt.Errorf("moa: attribute access on %s not supported", base)
+		}
+		out := &AttrRef{Depth: ref.Depth, Path: append(append([]string{}, ref.Path...), x.Attr)}
+		return ck.note(out, at)
+
+	case *Call:
+		return ck.checkCall(x)
+
+	case *SelectExpr:
+		in, st, err := ck.checkSet(x.In, "select")
+		if err != nil {
+			return nil, nil, err
+		}
+		ck.push(st.Elem)
+		preds := make([]Expr, len(x.Preds))
+		for i, p := range x.Preds {
+			rp, pt, err := ck.check(p)
+			if err != nil {
+				return nil, nil, err
+			}
+			if b, ok := pt.(BaseType); !ok || b.K != bat.KBit {
+				return nil, nil, fmt.Errorf("moa: selection predicate %s is %s, want bool", p, pt)
+			}
+			preds[i] = rp
+		}
+		ck.pop()
+		return ck.note(&SelectExpr{Preds: preds, In: in}, st)
+
+	case *ProjectExpr:
+		in, st, err := ck.checkSet(x.In, "project")
+		if err != nil {
+			return nil, nil, err
+		}
+		ck.push(st.Elem)
+		items := make([]ProjItem, len(x.Items))
+		fields := make([]Field, len(x.Items))
+		for i, it := range x.Items {
+			re, rt, err := ck.check(it.E)
+			if err != nil {
+				return nil, nil, err
+			}
+			name := it.Name
+			if name == "" {
+				if ar, ok := re.(*AttrRef); ok {
+					name = ar.Path[len(ar.Path)-1]
+				} else {
+					name = fmt.Sprintf("f%d", i+1)
+				}
+			}
+			items[i] = ProjItem{E: re, Name: name}
+			fields[i] = Field{Name: name, Type: rt}
+		}
+		ck.pop()
+		var elem Type
+		if x.Tuple {
+			elem = TupleType{Fields: fields}
+		} else {
+			elem = fields[0].Type
+		}
+		return ck.note(&ProjectExpr{Items: items, Tuple: x.Tuple, In: in}, SetType{Elem: elem})
+
+	case *NestExpr:
+		in, st, err := ck.checkSet(x.In, "nest")
+		if err != nil {
+			return nil, nil, err
+		}
+		tt, ok := st.Elem.(TupleType)
+		if !ok {
+			return nil, nil, fmt.Errorf("moa: nest needs a set of tuples, got %s", st.Elem)
+		}
+		ck.push(st.Elem)
+		keys := make([]Expr, len(x.Keys))
+		keyFields := make([]Field, len(x.Keys))
+		for i, k := range x.Keys {
+			rk, kt, err := ck.check(k)
+			if err != nil {
+				return nil, nil, err
+			}
+			ar, ok := rk.(*AttrRef)
+			if !ok || ar.Depth != 0 || len(ar.Path) != 1 {
+				return nil, nil, fmt.Errorf("moa: nest key %s must be a field of the element tuple", k)
+			}
+			keys[i] = rk
+			keyFields[i] = Field{Name: ar.Path[0], Type: kt}
+		}
+		ck.pop()
+		elem := TupleType{Fields: append(keyFields, Field{Name: GroupField, Type: SetType{Elem: tt}})}
+		return ck.note(&NestExpr{Keys: keys, In: in}, SetType{Elem: elem})
+
+	case *UnnestExpr:
+		in, st, err := ck.checkSet(x.In, "unnest")
+		if err != nil {
+			return nil, nil, err
+		}
+		at, ok := ck.schema.AttrType(st.Elem, x.Attr)
+		if !ok {
+			return nil, nil, fmt.Errorf("moa: element %s has no attribute %q", st.Elem, x.Attr)
+		}
+		inner, ok := at.(SetType)
+		if !ok {
+			return nil, nil, fmt.Errorf("moa: unnest attribute %q is %s, want a set", x.Attr, at)
+		}
+		fields := []Field{{Name: "owner", Type: st.Elem}}
+		switch it := inner.Elem.(type) {
+		case TupleType:
+			fields = append(fields, it.Fields...)
+		default:
+			fields = append(fields, Field{Name: "value", Type: inner.Elem})
+		}
+		return ck.note(&UnnestExpr{Attr: x.Attr, In: in}, SetType{Elem: TupleType{Fields: fields}})
+
+	case *JoinExpr:
+		l, lt, err := ck.checkSet(x.L, "join")
+		if err != nil {
+			return nil, nil, err
+		}
+		r, rt, err := ck.checkSet(x.R, "join")
+		if err != nil {
+			return nil, nil, err
+		}
+		pairElem := TupleType{Fields: []Field{
+			{Name: "$l", Type: lt.Elem}, {Name: "$r", Type: rt.Elem},
+		}}
+		ck.push(pairElem)
+		pred, pt, err := ck.check(x.Pred)
+		if err != nil {
+			return nil, nil, err
+		}
+		ck.pop()
+		if b, ok := pt.(BaseType); !ok || b.K != bat.KBit {
+			return nil, nil, fmt.Errorf("moa: join predicate is %s, want bool", pt)
+		}
+		out := &JoinExpr{Semi: x.Semi, Pred: pred, L: l, R: r}
+		if x.Semi {
+			return ck.note(out, lt)
+		}
+		return ck.note(out, SetType{Elem: pairElem})
+
+	case *SortExpr:
+		in, st, err := ck.checkSet(x.In, "sort")
+		if err != nil {
+			return nil, nil, err
+		}
+		ck.push(st.Elem)
+		key, _, err := ck.check(x.Key)
+		if err != nil {
+			return nil, nil, err
+		}
+		ck.pop()
+		return ck.note(&SortExpr{Key: key, Desc: x.Desc, In: in}, st)
+
+	case *TopExpr:
+		in, st, err := ck.checkSet(x.In, "top")
+		if err != nil {
+			return nil, nil, err
+		}
+		return ck.note(&TopExpr{N: x.N, In: in}, st)
+
+	case *SetOpExpr:
+		l, lt, err := ck.checkSet(x.L, x.Op)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, rt, err := ck.checkSet(x.R, x.Op)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !TypeEqual(lt, rt) {
+			return nil, nil, fmt.Errorf("moa: %s of mismatched sets %s and %s", x.Op, lt, rt)
+		}
+		return ck.note(&SetOpExpr{Op: x.Op, L: l, R: r}, lt)
+
+	case *AttrRef, *ClassExtent:
+		// already resolved (idempotent re-check)
+		return ck.note(e, ck.types[e])
+	}
+	return nil, nil, fmt.Errorf("moa: cannot check %T", e)
+}
+
+func (ck *checker) checkSet(e Expr, op string) (Expr, SetType, error) {
+	re, t, err := ck.check(e)
+	if err != nil {
+		return nil, SetType{}, err
+	}
+	st, ok := t.(SetType)
+	if !ok {
+		return nil, SetType{}, fmt.Errorf("moa: %s needs a set operand, got %s", op, t)
+	}
+	return re, st, nil
+}
+
+// aggregateFns maps MOA aggregate names to result-type behaviour.
+var aggregateFns = map[string]bool{"sum": true, "count": true, "avg": true, "min": true, "max": true}
+
+func (ck *checker) checkCall(x *Call) (Expr, Type, error) {
+	if aggregateFns[x.Fn] {
+		if len(x.Args) != 1 {
+			return nil, nil, fmt.Errorf("moa: %s takes one set argument", x.Fn)
+		}
+		arg, st, err := ck.checkSet(x.Args[0], x.Fn)
+		if err != nil {
+			return nil, nil, err
+		}
+		var rt Type
+		switch x.Fn {
+		case "count":
+			rt = TInt
+		case "avg":
+			rt = TFlt
+		default:
+			b, ok := st.Elem.(BaseType)
+			if !ok {
+				return nil, nil, fmt.Errorf("moa: %s over non-atomic set %s", x.Fn, st)
+			}
+			if x.Fn == "sum" && b.K != bat.KInt && b.K != bat.KFlt {
+				return nil, nil, fmt.Errorf("moa: sum over non-numeric set %s", st)
+			}
+			rt = b
+		}
+		return ck.note(&Call{Fn: x.Fn, Args: []Expr{arg}}, rt)
+	}
+
+	if x.Fn == "exists" {
+		if len(x.Args) != 1 {
+			return nil, nil, fmt.Errorf("moa: exists takes one set argument")
+		}
+		arg, _, err := ck.checkSet(x.Args[0], "exists")
+		if err != nil {
+			return nil, nil, err
+		}
+		return ck.note(&Call{Fn: "exists", Args: []Expr{arg}}, TBit)
+	}
+
+	if x.Fn == "in" {
+		if len(x.Args) < 2 {
+			return nil, nil, fmt.Errorf("moa: in takes a value and at least one alternative")
+		}
+		args := make([]Expr, len(x.Args))
+		v, vt, err := ck.check(x.Args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		args[0] = v
+		for i := 1; i < len(x.Args); i++ {
+			a, at, err := ck.check(x.Args[i])
+			if err != nil {
+				return nil, nil, err
+			}
+			if !TypeEqual(vt, at) {
+				return nil, nil, fmt.Errorf("moa: in alternative %d is %s, want %s", i, at, vt)
+			}
+			args[i] = a
+		}
+		return ck.note(&Call{Fn: "in", Args: args}, TBit)
+	}
+
+	// scalar functions (multiplexable)
+	args := make([]Expr, len(x.Args))
+	argTypes := make([]Type, len(x.Args))
+	for i, a := range x.Args {
+		ra, rt, err := ck.check(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		args[i] = ra
+		argTypes[i] = rt
+	}
+	rt, err := scalarResultType(x.Fn, argTypes)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ck.note(&Call{Fn: x.Fn, Args: args}, rt)
+}
+
+// scalarResultType is the static typing of the multiplexable scalar
+// functions registered with the MIL kernel.
+func scalarResultType(fn string, args []Type) (Type, error) {
+	scalar := func(i int) (BaseType, bool) {
+		b, ok := args[i].(BaseType)
+		return b, ok
+	}
+	want := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("moa: %s takes %d arguments, got %d", fn, n, len(args))
+		}
+		return nil
+	}
+	switch fn {
+	case "=", "!=":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		return TBit, nil
+	case "<", "<=", ">", ">=":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		return TBit, nil
+	case "and", "or":
+		for i := range args {
+			if b, ok := scalar(i); !ok || b.K != bat.KBit {
+				return nil, fmt.Errorf("moa: %s argument %d is %s, want bool", fn, i, args[i])
+			}
+		}
+		return TBit, nil
+	case "not":
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		return TBit, nil
+	case "+", "-", "*":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		a, aok := scalar(0)
+		b, bok := scalar(1)
+		if !aok || !bok || !IsNumericType(a) || !IsNumericType(b) {
+			return nil, fmt.Errorf("moa: %s over non-numeric %s, %s", fn, args[0], args[1])
+		}
+		if a.K == bat.KInt && b.K == bat.KInt {
+			return TInt, nil
+		}
+		return TFlt, nil
+	case "/":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		return TFlt, nil
+	case "neg":
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		return args[0], nil
+	case "year", "month":
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		if b, ok := scalar(0); !ok || b.K != bat.KDate {
+			return nil, fmt.Errorf("moa: %s over %s, want date", fn, args[0])
+		}
+		return TInt, nil
+	case "adddays", "addmonths":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		return TDate, nil
+	case "strstarts", "strcontains", "strends":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		if b, ok := scalar(0); !ok || b.K != bat.KStr {
+			return nil, fmt.Errorf("moa: %s over %s, want string", fn, args[0])
+		}
+		return TBit, nil
+	case "length":
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		return TInt, nil
+	case "if":
+		if err := want(3); err != nil {
+			return nil, err
+		}
+		if b, ok := scalar(0); !ok || b.K != bat.KBit {
+			return nil, fmt.Errorf("moa: if condition is %s, want bool", args[0])
+		}
+		// result is the common type of the branches; promote int/flt
+		a1, ok1 := scalar(1)
+		a2, ok2 := scalar(2)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("moa: if branches must be atomic")
+		}
+		if a1.K == a2.K {
+			return a1, nil
+		}
+		if IsNumericType(a1) && IsNumericType(a2) {
+			return TFlt, nil
+		}
+		return nil, fmt.Errorf("moa: if branches disagree: %s vs %s", args[1], args[2])
+	case "flt":
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		return TFlt, nil
+	case "int":
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		return TInt, nil
+	}
+	return nil, fmt.Errorf("moa: unknown function %q", fn)
+}

@@ -1,0 +1,77 @@
+package moa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics feeds the parser mutated fragments of valid queries:
+// whatever comes back must be a value or an error, never a panic.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		`select[=(order.clerk, "x"), =(returnflag, 'R')](Item)`,
+		`project[<date : year, sum(project[revenue](%2)) : loss>](nest[date](X))`,
+		`top[10](sort[revenue desc](Y))`,
+		`join[and(=(%1.a, %2.b), =(%1.c, %2.d))](A, B)`,
+		`union(select[<(a, 5)](P), difference(P, Q))`,
+		`select[in(x, "A", 'c', 1, 2.5, date("1994-01-01"))](Z)`,
+	}
+	rng := rand.New(rand.NewSource(2026))
+	chars := []byte(`()[]<>{}%,.:="'0aZ_# `)
+	for trial := 0; trial < 3000; trial++ {
+		s := seeds[rng.Intn(len(seeds))]
+		b := []byte(s)
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			switch rng.Intn(3) {
+			case 0: // mutate
+				if len(b) > 0 {
+					b[rng.Intn(len(b))] = chars[rng.Intn(len(chars))]
+				}
+			case 1: // delete
+				if len(b) > 1 {
+					i := rng.Intn(len(b))
+					b = append(b[:i], b[i+1:]...)
+				}
+			case 2: // truncate
+				if len(b) > 2 {
+					b = b[:rng.Intn(len(b))]
+				}
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", b, r)
+				}
+			}()
+			e, err := Parse(string(b))
+			if err == nil && e != nil {
+				// whatever parsed must also survive the checker without
+				// panicking
+				_, _ = Check(testSchema(), e)
+				// and re-render without panicking
+				_ = e.String()
+			}
+		}()
+	}
+}
+
+// TestCheckerNeverPanicsOnDeepNesting guards the recursive checker against
+// stack-unfriendly inputs.
+func TestCheckerNeverPanicsOnDeepNesting(t *testing.T) {
+	src := "Part"
+	for i := 0; i < 200; i++ {
+		src = `select[>(size, 1)](` + src + `)`
+	}
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(testSchema(), e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.String(), "select") {
+		t.Fatal("render failed")
+	}
+}

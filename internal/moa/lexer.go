@@ -1,0 +1,184 @@
+package moa
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokStr
+	tokChr
+	tokSym    // = != < <= > >= * + - / %
+	tokLParen // (
+	tokRParen // )
+	tokLBrack // [
+	tokRBrack // ]
+	tokLAngle // < when opening a projection tuple
+	tokRAngle // >
+	tokComma
+	tokColon
+	tokDot
+	tokPercent
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer tokenizes MOA query text. '<' and '>' are ambiguous between the
+// comparison operators and tuple brackets; the lexer emits them as tokSym
+// and the parser reinterprets based on context (a '<' directly after
+// 'project[' opens a tuple).
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case c == ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case c == '[':
+		l.pos++
+		return token{tokLBrack, "[", start}, nil
+	case c == ']':
+		l.pos++
+		return token{tokRBrack, "]", start}, nil
+	case c == ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case c == ':':
+		l.pos++
+		return token{tokColon, ":", start}, nil
+	case c == '.':
+		l.pos++
+		return token{tokDot, ".", start}, nil
+	case c == '%':
+		l.pos++
+		return token{tokPercent, "%", start}, nil
+	case c == '"':
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+				l.pos++
+			}
+			sb.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, fmt.Errorf("moa: unterminated string at %d", start)
+		}
+		l.pos++ // closing quote
+		return token{tokStr, sb.String(), start}, nil
+	case c == '\'':
+		if l.pos+2 >= len(l.src) || l.src[l.pos+2] != '\'' {
+			return token{}, fmt.Errorf("moa: bad char literal at %d", start)
+		}
+		ch := l.src[l.pos+1]
+		l.pos += 3
+		return token{tokChr, string(ch), start}, nil
+	case c >= '0' && c <= '9':
+		isFloat := false
+		for l.pos < len(l.src) {
+			d := l.src[l.pos]
+			if d >= '0' && d <= '9' {
+				l.pos++
+				continue
+			}
+			// a '.' is part of the number only if followed by a digit
+			if d == '.' && !isFloat && l.pos+1 < len(l.src) &&
+				l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+				isFloat = true
+				l.pos++
+				continue
+			}
+			break
+		}
+		kind := tokInt
+		if isFloat {
+			kind = tokFloat
+		}
+		return token{kind, l.src[start:l.pos], start}, nil
+	case c == '=' || c == '*' || c == '+' || c == '-' || c == '/':
+		l.pos++
+		return token{tokSym, string(c), start}, nil
+	case c == '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokSym, "!=", start}, nil
+		}
+		return token{}, fmt.Errorf("moa: unexpected '!' at %d", start)
+	case c == '<':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokSym, "<=", start}, nil
+		}
+		l.pos++
+		return token{tokSym, "<", start}, nil
+	case c == '>':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokSym, ">=", start}, nil
+		}
+		l.pos++
+		return token{tokSym, ">", start}, nil
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{tokIdent, l.src[start:l.pos], start}, nil
+	}
+	return token{}, fmt.Errorf("moa: unexpected character %q at %d", c, start)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '#'
+}

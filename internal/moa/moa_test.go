@@ -1,0 +1,443 @@
+package moa
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/mil"
+)
+
+// testSchema is a miniature of the paper's Fig. 1 schema: enough structure
+// (object refs, nested set of tuples, set of objects) to exercise every
+// checker rule.
+func testSchema() *Schema {
+	s := NewSchema()
+	s.AddClass(&Class{Name: "Region", Attrs: []Field{
+		{"name", TStr}, {"comment", TStr},
+	}})
+	s.AddClass(&Class{Name: "Nation", Attrs: []Field{
+		{"name", TStr}, {"region", ObjectType{"Region"}},
+	}})
+	s.AddClass(&Class{Name: "Supplier", Attrs: []Field{
+		{"name", TStr},
+		{"acctbal", TFlt},
+		{"nation", ObjectType{"Nation"}},
+		{"supplies", SetType{TupleType{Fields: []Field{
+			{"part", ObjectType{"Part"}}, {"cost", TFlt}, {"available", TInt},
+		}}}},
+	}})
+	s.AddClass(&Class{Name: "Part", Attrs: []Field{
+		{"name", TStr}, {"size", TInt}, {"retailPrice", TFlt},
+	}})
+	s.AddClass(&Class{Name: "Order", Attrs: []Field{
+		{"clerk", TStr}, {"orderdate", TDate}, {"totalprice", TFlt},
+	}})
+	s.AddClass(&Class{Name: "Item", Attrs: []Field{
+		{"order", ObjectType{"Order"}},
+		{"part", ObjectType{"Part"}},
+		{"supplier", ObjectType{"Supplier"}},
+		{"quantity", TInt},
+		{"returnflag", TChr},
+		{"extendedprice", TFlt},
+		{"discount", TFlt},
+		{"shipdate", TDate},
+	}})
+	return s
+}
+
+// q13Text is the MOA listing from Section 4.1 of the paper, verbatim except
+// for whitespace.
+const q13Text = `
+project[<date : year, sum(project[revenue](%2)) : loss>](
+  nest[date](
+    project[<year(order.orderdate) : date,
+             *(extendedprice, -(1.0, discount)) : revenue>](
+      select[=(order.clerk, "Clerk#000000088"),
+             =(returnflag, 'R')](Item))))`
+
+func TestParseQ13Verbatim(t *testing.T) {
+	e, err := Parse(q13Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := e.(*ProjectExpr)
+	if !ok {
+		t.Fatalf("root = %T", e)
+	}
+	if !p.Tuple || len(p.Items) != 2 {
+		t.Fatalf("outer project items = %d tuple=%v", len(p.Items), p.Tuple)
+	}
+	if p.Items[0].Name != "year" || p.Items[1].Name != "loss" {
+		t.Fatalf("names = %s, %s", p.Items[0].Name, p.Items[1].Name)
+	}
+	n, ok := p.In.(*NestExpr)
+	if !ok {
+		t.Fatalf("inner = %T", p.In)
+	}
+	ip, ok := n.In.(*ProjectExpr)
+	if !ok || len(ip.Items) != 2 {
+		t.Fatalf("inner project wrong: %T", n.In)
+	}
+	sel, ok := ip.In.(*SelectExpr)
+	if !ok || len(sel.Preds) != 2 {
+		t.Fatalf("select wrong: %T", ip.In)
+	}
+	if _, ok := sel.In.(*Ident); !ok {
+		t.Fatalf("select operand = %T", sel.In)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	cases := map[string]bat.Value{
+		`select[=(size, 15)](Part)`:                     bat.I(15),
+		`select[=(acctbal, -1.5)](Supplier)`:            bat.F(-1.5),
+		`select[=(returnflag, 'R')](Item)`:              bat.C('R'),
+		`select[=(name, "EUROPE")](Region)`:             bat.S("EUROPE"),
+		`select[=(shipdate, date("1994-01-01"))](Item)`: bat.MustDate("1994-01-01"),
+	}
+	for src, want := range cases {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		sel := e.(*SelectExpr)
+		call := sel.Preds[0].(*Call)
+		lit, ok := call.Args[1].(*Lit)
+		if !ok {
+			t.Fatalf("%s: second arg = %T", src, call.Args[1])
+		}
+		if !bat.Equal(lit.V, want) || lit.V.K != want.K {
+			t.Fatalf("%s: lit = %s (%s), want %s (%s)", src, lit.V, lit.V.K, want, want.K)
+		}
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	srcs := []string{
+		`top[10](sort[revenue desc](project[<totalprice : revenue>](Order)))`,
+		`join[=(%1.part, %2.part)](Item, Item)`,
+		`semijoin[=(%1.name, %2.name)](Region, Region)`,
+		`unnest[supplies](Supplier)`,
+		`union(select[<(size, 5)](Part), select[>(size, 10)](Part))`,
+		`difference(Part, Part)`,
+		`intersection(Part, Part)`,
+		`nest[a, b](project[<size : a, name : b>](Part))`,
+		`select[in(name, "A", "B", "C")](Region)`,
+		`select[exists(select[>(cost, 10.0)](supplies))](Supplier)`,
+		`sum(project[retailPrice](Part))`,
+	}
+	for _, src := range srcs {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("%s: %v", src, err)
+		}
+	}
+}
+
+func TestParseRoundTripString(t *testing.T) {
+	// String() of a parsed tree must re-parse to the same rendering.
+	srcs := []string{
+		q13Text,
+		`top[10](sort[revenue desc](project[<totalprice : revenue>](Order)))`,
+		`select[in(name, "A", "B")](Region)`,
+	}
+	for _, src := range srcs {
+		e1, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := Parse(e1.String())
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", e1.String(), err)
+		}
+		if e1.String() != e2.String() {
+			t.Fatalf("round trip: %q != %q", e1.String(), e2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	srcs := []string{
+		``,
+		`select[`,
+		`select[=(a,b)](A, B)`,      // one operand expected
+		`project[a : x, b : y](A)`,  // multiple items need <>
+		`select[=(a, "unclosed](A)`, // unterminated string
+		`select[=(a, 'xy')](A)`,     // bad char literal
+		`top[x](A)`,                 // non-integer top
+		`join[=(%1.a, %2.b)](A)`,    // join needs two sets
+		`foo[x](A)`,                 // foo is not a bracket op: trailing input
+		`select[=(a, b)](A) extra`,  // trailing tokens
+		`nest[!x](A)`,               // stray '!'
+		`project[<a : 1>](A)`,       // field name must be ident
+		`union(A)`,                  // arity
+		`%0`,                        // bad positional
+	}
+	for _, src := range srcs {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		}
+	}
+}
+
+// --- checker ---------------------------------------------------------------
+
+func mustCheck(t *testing.T, src string) *Checked {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	ck, err := Check(testSchema(), e)
+	if err != nil {
+		t.Fatalf("check %q: %v", src, err)
+	}
+	return ck
+}
+
+func TestCheckQ13Types(t *testing.T) {
+	ck := mustCheck(t, q13Text)
+	st, ok := ck.TypeOf(ck.Root).(SetType)
+	if !ok {
+		t.Fatalf("root type = %s", ck.TypeOf(ck.Root))
+	}
+	tt, ok := st.Elem.(TupleType)
+	if !ok || len(tt.Fields) != 2 {
+		t.Fatalf("elem = %s", st.Elem)
+	}
+	if tt.Fields[0].Name != "year" || !TypeEqual(tt.Fields[0].Type, TInt) {
+		t.Fatalf("field 0 = %s %s", tt.Fields[0].Name, tt.Fields[0].Type)
+	}
+	if tt.Fields[1].Name != "loss" || !TypeEqual(tt.Fields[1].Type, TFlt) {
+		t.Fatalf("field 1 = %s %s", tt.Fields[1].Name, tt.Fields[1].Type)
+	}
+}
+
+func TestCheckResolvesPaths(t *testing.T) {
+	ck := mustCheck(t, `select[=(nation.region.name, "EUROPE")](Supplier)`)
+	sel := ck.Root.(*SelectExpr)
+	call := sel.Preds[0].(*Call)
+	ref, ok := call.Args[0].(*AttrRef)
+	if !ok {
+		t.Fatalf("lhs = %T", call.Args[0])
+	}
+	if ref.Depth != 0 || strings.Join(ref.Path, ".") != "nation.region.name" {
+		t.Fatalf("ref = %s", ref)
+	}
+	if _, ok := sel.In.(*ClassExtent); !ok {
+		t.Fatalf("in = %T", sel.In)
+	}
+}
+
+func TestCheckNestedSetSelection(t *testing.T) {
+	// Section 4.3.2's example: out-of-stock parts per supplier.
+	ck := mustCheck(t, `project[<name : name, select[=(available, 0)](supplies) : oos>](Supplier)`)
+	st := ck.TypeOf(ck.Root).(SetType)
+	tt := st.Elem.(TupleType)
+	if _, ok := tt.Fields[1].Type.(SetType); !ok {
+		t.Fatalf("oos type = %s", tt.Fields[1].Type)
+	}
+}
+
+func TestCheckNestIntroducesGroupField(t *testing.T) {
+	ck := mustCheck(t, `nest[a](project[<size : a, retailPrice : b>](Part))`)
+	st := ck.TypeOf(ck.Root).(SetType)
+	tt := st.Elem.(TupleType)
+	if len(tt.Fields) != 2 || tt.Fields[1].Name != GroupField {
+		t.Fatalf("nest elem = %s", st.Elem)
+	}
+	if _, ok := tt.Fields[1].Type.(SetType); !ok {
+		t.Fatalf("group field type = %s", tt.Fields[1].Type)
+	}
+}
+
+func TestCheckUnnest(t *testing.T) {
+	ck := mustCheck(t, `unnest[supplies](Supplier)`)
+	st := ck.TypeOf(ck.Root).(SetType)
+	tt := st.Elem.(TupleType)
+	if tt.Fields[0].Name != "owner" {
+		t.Fatalf("first field = %s", tt.Fields[0].Name)
+	}
+	if !TypeEqual(tt.Fields[0].Type, ObjectType{"Supplier"}) {
+		t.Fatalf("owner type = %s", tt.Fields[0].Type)
+	}
+	if len(tt.Fields) != 4 { // owner, part, cost, available
+		t.Fatalf("fields = %d", len(tt.Fields))
+	}
+}
+
+func TestCheckScalarSubqueryScopes(t *testing.T) {
+	// outer scope attr (acctbal) referenced inside inner select over the
+	// nested set: inner scope wins for cost, outer resolved at depth 1.
+	ck := mustCheck(t, `select[exists(select[>(cost, acctbal)](supplies))](Supplier)`)
+	sel := ck.Root.(*SelectExpr)
+	ex := sel.Preds[0].(*Call)
+	inner := ex.Args[0].(*SelectExpr)
+	cmp := inner.Preds[0].(*Call)
+	lhs := cmp.Args[0].(*AttrRef)
+	rhs := cmp.Args[1].(*AttrRef)
+	if lhs.Depth != 0 || lhs.Path[0] != "cost" {
+		t.Fatalf("lhs = %+v", lhs)
+	}
+	if rhs.Depth != 1 || rhs.Path[0] != "acctbal" {
+		t.Fatalf("rhs = %+v", rhs)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	srcs := []string{
+		`select[=(nosuch, 1)](Part)`,                   // unknown attribute
+		`select[=(size, 1)](NoClass)`,                  // unknown class
+		`select[size](Part)`,                           // non-boolean predicate
+		`select[=(size, 1)](size)`,                     // select over non-set
+		`nest[size](Part)`,                             // nest over objects, not tuples
+		`project[<%9 : x>](project[<size : a>](Part))`, // positional out of range
+		`sum(Part)`,                                    // sum over non-atomic set
+		`sum(project[name](Part))`,                     // sum over strings
+		`year(name)`,                                   // wrong argument type
+		`union(Part, Region)`,                          // mismatched element types
+		`unnest[name](Supplier)`,                       // unnest of non-set attr
+		`in(size, 1)`,                                  // in outside scope: unknown name
+		`select[in(size, "x")](Part)`,                  // in with mismatched alternative
+		`select[if(=(size,1), name, size)](Part)`,      // if branch mismatch
+		`frobnicate(Part)`,                             // unknown function
+		`%2`,                                           // field ref outside scope
+	}
+	for _, src := range srcs {
+		e, err := Parse(src)
+		if err != nil {
+			continue // parse error also acceptable for some
+		}
+		if _, err := Check(testSchema(), e); err == nil {
+			t.Errorf("%q: expected check error", src)
+		}
+	}
+}
+
+// --- structure functions -----------------------------------------------------
+
+func TestMaterializeSupplierExample(t *testing.T) {
+	// The Section 3.3 example: SET(Supplier, OBJECT(name, acctbal,
+	// SET(supplies_index, TUPLE(part, cost)))).
+	env := mil.Env{
+		// extent[oid,void]: the void tail's seqbase matches the oids, so
+		// reading tails yields the element ids.
+		"Supplier": bat.New("Supplier", bat.NewOIDCol([]bat.OID{1, 2}), bat.NewVoid(1, 2), bat.HKey),
+		"Supplier_name": bat.New("Supplier_name", bat.NewOIDCol([]bat.OID{1, 2}),
+			bat.NewStrColFromStrings([]string{"ACME", "Globex"}), bat.HKey),
+		"Supplier_acctbal": bat.New("Supplier_acctbal", bat.NewOIDCol([]bat.OID{1, 2}),
+			bat.NewFltCol([]float64{100.5, -20.25}), bat.HKey),
+		// supplier 1 has supplies {10, 11}; supplier 2 has {12}
+		"Supplier_supplies": bat.New("Supplier_supplies", bat.NewOIDCol([]bat.OID{1, 1, 2}),
+			bat.NewOIDCol([]bat.OID{10, 11, 12}), 0),
+		"Supplier_supplies_part": bat.New("p", bat.NewOIDCol([]bat.OID{10, 11, 12}),
+			bat.NewOIDCol([]bat.OID{100, 101, 102}), bat.HKey),
+		"Supplier_supplies_cost": bat.New("c", bat.NewOIDCol([]bat.OID{10, 11, 12}),
+			bat.NewFltCol([]float64{1.5, 2.5, 3.5}), bat.HKey),
+	}
+	s := SetFn{
+		Index: "Supplier",
+		Elem: TupleFn{
+			Object: true, Class: "Supplier",
+			Names: []string{"name", "acctbal", "supplies"},
+			Fields: []Struct{
+				AtomFn{"Supplier_name"},
+				AtomFn{"Supplier_acctbal"},
+				SetFn{Index: "Supplier_supplies", Elem: TupleFn{
+					Names:  []string{"part", "cost"},
+					Fields: []Struct{AtomFn{"Supplier_supplies_part"}, AtomFn{"Supplier_supplies_cost"}},
+				}},
+			},
+		},
+	}
+	if got := s.Render(); !strings.HasPrefix(got, "SET(Supplier, OBJECT(") {
+		t.Fatalf("render = %s", got)
+	}
+
+	// The extent BAT has a void tail, so element ids = head oids.
+	// Patch: SET(Supplier, ...) uses extent as index: head oid -> void
+	// (element id = head). Verify via materialization.
+	out, err := Materialize(env, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Elems) != 2 {
+		t.Fatalf("elems = %d", len(out.Elems))
+	}
+	r := RenderVal(out)
+	if !strings.Contains(r, `"ACME"`) || !strings.Contains(r, "100.5000") {
+		t.Fatalf("render = %s", r)
+	}
+	if !strings.Contains(r, "1.5000") || !strings.Contains(r, "3.5000") {
+		t.Fatalf("nested sets missing: %s", r)
+	}
+	// supplier 1 must have a two-element supplies set
+	for _, e := range out.Elems {
+		tv := e.V.(*TupleVal)
+		if tv.Fields[0].(bat.Value).S == "ACME" {
+			sup := tv.Fields[2].(*SetVal)
+			if len(sup.Elems) != 2 {
+				t.Fatalf("ACME supplies = %d", len(sup.Elems))
+			}
+		}
+	}
+}
+
+func TestMaterializeErrors(t *testing.T) {
+	env := mil.Env{}
+	if _, err := Materialize(env, AtomFn{"x"}); err == nil {
+		t.Error("top-level atom must fail")
+	}
+	if _, err := Materialize(env, SetFn{Elem: AtomFn{"missing"}}); err == nil {
+		t.Error("missing BAT must fail")
+	}
+	if _, err := Materialize(env, SetFn{Index: "missing", Elem: AtomFn{"alsoMissing"}}); err == nil {
+		t.Error("missing index must fail")
+	}
+}
+
+func TestRenderValCanonicalOrder(t *testing.T) {
+	a := &SetVal{Elems: []Elem{{1, bat.I(3)}, {2, bat.I(1)}, {3, bat.I(2)}}}
+	b := &SetVal{Elems: []Elem{{9, bat.I(1)}, {8, bat.I(2)}, {7, bat.I(3)}}}
+	if RenderVal(a) != RenderVal(b) {
+		t.Fatalf("canonical render differs: %s vs %s", RenderVal(a), RenderVal(b))
+	}
+	if got := RenderOrdered(a); got != "[3, 1, 2]" {
+		t.Fatalf("ordered render = %s", got)
+	}
+}
+
+func TestTypeEqualAndStrings(t *testing.T) {
+	if !TypeEqual(SetType{TupleType{Fields: []Field{{"a", TInt}}}},
+		SetType{TupleType{Fields: []Field{{"a", TInt}}}}) {
+		t.Error("structural equality failed")
+	}
+	if TypeEqual(TInt, TFlt) || TypeEqual(ObjectType{"A"}, ObjectType{"B"}) {
+		t.Error("inequality failed")
+	}
+	if got := (SetType{TupleType{Fields: []Field{{"a", TInt}, {"b", TStr}}}}).String(); got != "{<a : int, b : str>}" {
+		t.Errorf("type string = %s", got)
+	}
+}
+
+func TestSchemaAttrType(t *testing.T) {
+	s := testSchema()
+	if tp, ok := s.AttrType(ObjectType{"Supplier"}, "nation"); !ok || !TypeEqual(tp, ObjectType{"Nation"}) {
+		t.Fatalf("nation = %v %v", tp, ok)
+	}
+	if _, ok := s.AttrType(ObjectType{"Supplier"}, "bogus"); ok {
+		t.Fatal("bogus attr resolved")
+	}
+	if _, ok := s.AttrType(TInt, "x"); ok {
+		t.Fatal("attr on base type resolved")
+	}
+	if got := ExtentBAT("Item"); got != "Item" {
+		t.Fatalf("extent name = %s", got)
+	}
+	if got := AttrBAT("Item", "order"); got != "Item_order" {
+		t.Fatalf("attr name = %s", got)
+	}
+	if got := NestedBAT("Supplier", "supplies", "cost"); got != "Supplier_supplies_cost" {
+		t.Fatalf("nested name = %s", got)
+	}
+}

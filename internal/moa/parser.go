@@ -1,0 +1,419 @@
+package moa
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/bat"
+)
+
+// Parse parses the concrete MOA syntax used in the paper (the Q13 listing of
+// Section 4.1 is accepted verbatim) plus the documented extensions (sort,
+// top, join/semijoin, unnest, union/intersection/difference, in, exists).
+func Parse(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("moa: trailing input at %s", p.peek())
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token  { return p.toks[p.i] }
+func (p *parser) peek2() token { return p.toks[min(p.i+1, len(p.toks)-1)] }
+func (p *parser) next() token  { t := p.toks[p.i]; p.i++; return t }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("moa: expected %s, got %s at %d", what, t, t.pos)
+	}
+	return t, nil
+}
+
+func (p *parser) expectSym(s string) error {
+	t := p.next()
+	if t.kind != tokSym || t.text != s {
+		return fmt.Errorf("moa: expected %q, got %s at %d", s, t, t.pos)
+	}
+	return nil
+}
+
+// bracketOps take parameters in square brackets.
+var bracketOps = map[string]bool{
+	"select": true, "project": true, "nest": true, "unnest": true,
+	"join": true, "semijoin": true, "sort": true, "top": true,
+}
+
+var setOps = map[string]bool{
+	"union": true, "intersection": true, "difference": true,
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokIdent:
+		switch {
+		case bracketOps[t.text] && p.peek2().kind == tokLBrack:
+			return p.parseBracketOp()
+		case setOps[t.text] && p.peek2().kind == tokLParen:
+			p.next()
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			if len(args) != 2 {
+				return nil, fmt.Errorf("moa: %s takes two sets at %d", t.text, t.pos)
+			}
+			return &SetOpExpr{Op: t.text, L: args[0], R: args[1]}, nil
+		case p.peek2().kind == tokLParen:
+			return p.parseCall()
+		default:
+			p.next()
+			return p.parsePathFrom(&Ident{Name: t.text})
+		}
+	case tokSym:
+		// operator-call =(a,b), *(a,b) … or negative literal
+		if p.peek2().kind == tokLParen {
+			return p.parseCall()
+		}
+		if t.text == "-" && (p.peek2().kind == tokInt || p.peek2().kind == tokFloat) {
+			p.next()
+			lit := p.next()
+			return negLit(lit)
+		}
+		return nil, fmt.Errorf("moa: unexpected operator %s at %d", t, t.pos)
+	case tokPercent:
+		return p.parseFieldRef()
+	case tokInt:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("moa: bad integer %q: %v", t.text, err)
+		}
+		return &Lit{V: bat.I(v)}, nil
+	case tokFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("moa: bad float %q: %v", t.text, err)
+		}
+		return &Lit{V: bat.F(v)}, nil
+	case tokStr:
+		p.next()
+		return &Lit{V: bat.S(t.text)}, nil
+	case tokChr:
+		p.next()
+		return &Lit{V: bat.C(t.text[0])}, nil
+	case tokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return p.parsePathFrom(e)
+	}
+	return nil, fmt.Errorf("moa: unexpected %s at %d", t, t.pos)
+}
+
+func negLit(t token) (Expr, error) {
+	switch t.kind {
+	case tokInt:
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return &Lit{V: bat.I(-v)}, nil
+	default:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, err
+		}
+		return &Lit{V: bat.F(-v)}, nil
+	}
+}
+
+func (p *parser) parseFieldRef() (Expr, error) {
+	p.next() // %
+	t := p.next()
+	var fr *FieldRef
+	switch t.kind {
+	case tokIdent:
+		fr = &FieldRef{Name: t.text}
+	case tokInt:
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("moa: bad positional reference %%%s at %d", t.text, t.pos)
+		}
+		fr = &FieldRef{Index: n}
+	default:
+		return nil, fmt.Errorf("moa: expected field name or position after %%, got %s", t)
+	}
+	return p.parsePathFrom(fr)
+}
+
+func (p *parser) parsePathFrom(base Expr) (Expr, error) {
+	e := base
+	for p.peek().kind == tokDot {
+		p.next()
+		t, err := p.expect(tokIdent, "attribute name")
+		if err != nil {
+			return nil, err
+		}
+		e = &PathExpr{Base: e, Attr: t.text}
+	}
+	return e, nil
+}
+
+func (p *parser) parseCall() (Expr, error) {
+	fn := p.next().text
+	args, err := p.parseArgs()
+	if err != nil {
+		return nil, err
+	}
+	// fold date("YYYY-MM-DD") literals
+	if fn == "date" && len(args) == 1 {
+		if l, ok := args[0].(*Lit); ok && l.V.K == bat.KStr {
+			v, err := bat.DateFromString(l.V.S)
+			if err != nil {
+				return nil, err
+			}
+			return &Lit{V: v}, nil
+		}
+	}
+	return &Call{Fn: fn, Args: args}, nil
+}
+
+func (p *parser) parseArgs() ([]Expr, error) {
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if p.peek().kind == tokRParen {
+		p.next()
+		return args, nil
+	}
+	for {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		t := p.next()
+		if t.kind == tokRParen {
+			return args, nil
+		}
+		if t.kind != tokComma {
+			return nil, fmt.Errorf("moa: expected ',' or ')', got %s at %d", t, t.pos)
+		}
+	}
+}
+
+func (p *parser) parseBracketOp() (Expr, error) {
+	op := p.next().text
+	if _, err := p.expect(tokLBrack, "["); err != nil {
+		return nil, err
+	}
+	switch op {
+	case "select":
+		preds, err := p.parseExprList(tokRBrack)
+		if err != nil {
+			return nil, err
+		}
+		in, err := p.parseSingleArg()
+		if err != nil {
+			return nil, err
+		}
+		return &SelectExpr{Preds: preds, In: in}, nil
+
+	case "project":
+		return p.parseProject()
+
+	case "nest":
+		keys, err := p.parseExprList(tokRBrack)
+		if err != nil {
+			return nil, err
+		}
+		in, err := p.parseSingleArg()
+		if err != nil {
+			return nil, err
+		}
+		return &NestExpr{Keys: keys, In: in}, nil
+
+	case "unnest":
+		t, err := p.expect(tokIdent, "attribute name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBrack, "]"); err != nil {
+			return nil, err
+		}
+		in, err := p.parseSingleArg()
+		if err != nil {
+			return nil, err
+		}
+		return &UnnestExpr{Attr: t.text, In: in}, nil
+
+	case "join", "semijoin":
+		pred, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBrack, "]"); err != nil {
+			return nil, err
+		}
+		args, err := p.parseArgs()
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 2 {
+			return nil, fmt.Errorf("moa: %s takes two sets", op)
+		}
+		return &JoinExpr{Semi: op == "semijoin", Pred: pred, L: args[0], R: args[1]}, nil
+
+	case "sort":
+		key, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		desc := false
+		if t := p.peek(); t.kind == tokIdent && t.text == "desc" {
+			desc = true
+			p.next()
+		}
+		if _, err := p.expect(tokRBrack, "]"); err != nil {
+			return nil, err
+		}
+		in, err := p.parseSingleArg()
+		if err != nil {
+			return nil, err
+		}
+		return &SortExpr{Key: key, Desc: desc, In: in}, nil
+
+	case "top":
+		t, err := p.expect(tokInt, "integer")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("moa: bad top count %q", t.text)
+		}
+		if _, err := p.expect(tokRBrack, "]"); err != nil {
+			return nil, err
+		}
+		in, err := p.parseSingleArg()
+		if err != nil {
+			return nil, err
+		}
+		return &TopExpr{N: n, In: in}, nil
+	}
+	return nil, fmt.Errorf("moa: unknown bracket operator %q", op)
+}
+
+func (p *parser) parseExprList(end tokKind) ([]Expr, error) {
+	var out []Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		t := p.next()
+		if t.kind == end {
+			return out, nil
+		}
+		if t.kind != tokComma {
+			return nil, fmt.Errorf("moa: expected ',' or close, got %s at %d", t, t.pos)
+		}
+	}
+}
+
+func (p *parser) parseSingleArg() (Expr, error) {
+	args, err := p.parseArgs()
+	if err != nil {
+		return nil, err
+	}
+	if len(args) != 1 {
+		return nil, fmt.Errorf("moa: expected one operand set, got %d", len(args))
+	}
+	return args[0], nil
+}
+
+// parseProject handles project[<e1:n1, …>](S) and project[e](S). A leading
+// '<' that is not immediately followed by '(' opens the tuple form.
+func (p *parser) parseProject() (Expr, error) {
+	tuple := false
+	if t := p.peek(); t.kind == tokSym && t.text == "<" && p.peek2().kind != tokLParen {
+		tuple = true
+		p.next()
+	}
+	var items []ProjItem
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		item := ProjItem{E: e}
+		if p.peek().kind == tokColon {
+			p.next()
+			t, err := p.expect(tokIdent, "field name")
+			if err != nil {
+				return nil, err
+			}
+			item.Name = t.text
+		}
+		items = append(items, item)
+		t := p.next()
+		if tuple {
+			if t.kind == tokSym && t.text == ">" {
+				break
+			}
+			if t.kind != tokComma {
+				return nil, fmt.Errorf("moa: expected ',' or '>' in projection, got %s at %d", t, t.pos)
+			}
+			continue
+		}
+		if t.kind == tokRBrack {
+			if len(items) != 1 {
+				return nil, fmt.Errorf("moa: multiple projection items need tuple brackets <>")
+			}
+			in, err := p.parseSingleArg()
+			if err != nil {
+				return nil, err
+			}
+			return &ProjectExpr{Items: items, Tuple: false, In: in}, nil
+		}
+		return nil, fmt.Errorf("moa: expected ']' after projection, got %s at %d", t, t.pos)
+	}
+	if _, err := p.expect(tokRBrack, "]"); err != nil {
+		return nil, err
+	}
+	in, err := p.parseSingleArg()
+	if err != nil {
+		return nil, err
+	}
+	return &ProjectExpr{Items: items, Tuple: true, In: in}, nil
+}

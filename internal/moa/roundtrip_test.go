@@ -1,0 +1,198 @@
+package moa
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bat"
+	"repro/internal/mil"
+)
+
+// TestDecomposeRoundTrip is the data-independence property at the heart of
+// Section 3.3: vertically decomposing a randomly generated object population
+// into BATs and re-assembling it through the structure functions must yield
+// the original values. (Known representational limit, stated in the paper's
+// formalism: SET(A, S) cannot represent empty sets — the generator below
+// always populates nested sets.)
+func TestDecomposeRoundTrip(t *testing.T) {
+	type supply struct {
+		part  int64
+		cost  float64
+		avail int64
+	}
+	type object struct {
+		name     string
+		acct     float64
+		supplies []supply // never empty
+	}
+
+	gen := func(seed int64) []object {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		objs := make([]object, n)
+		for i := range objs {
+			objs[i] = object{
+				name: fmt.Sprintf("obj-%d-%d", seed, i),
+				acct: float64(rng.Intn(10000)) / 100,
+			}
+			k := 1 + rng.Intn(4)
+			for j := 0; j < k; j++ {
+				objs[i].supplies = append(objs[i].supplies, supply{
+					part:  int64(rng.Intn(100)),
+					cost:  float64(rng.Intn(1000)) / 10,
+					avail: int64(rng.Intn(500)),
+				})
+			}
+		}
+		return objs
+	}
+
+	decompose := func(objs []object) (mil.Env, Struct) {
+		env := mil.Env{}
+		n := len(objs)
+		names := make([]string, n)
+		accts := make([]float64, n)
+		var owners, subIDs []bat.OID
+		var parts []bat.OID
+		var costs []float64
+		var avails []int64
+		for i, o := range objs {
+			names[i] = o.name
+			accts[i] = o.acct
+			for _, s := range o.supplies {
+				owners = append(owners, bat.OID(i))
+				subIDs = append(subIDs, bat.OID(len(subIDs)))
+				parts = append(parts, bat.OID(s.part))
+				costs = append(costs, s.cost)
+				avails = append(avails, s.avail)
+			}
+		}
+		env["X"] = bat.New("X", bat.NewVoid(0, n), bat.NewVoid(0, n), 0)
+		env["X_name"] = bat.New("X_name", bat.NewVoid(0, n), bat.NewStrColFromStrings(names), 0)
+		env["X_acct"] = bat.New("X_acct", bat.NewVoid(0, n), bat.NewFltCol(accts), 0)
+		env["X_sup"] = bat.New("X_sup", bat.NewOIDCol(owners), bat.NewOIDCol(subIDs), bat.HOrdered)
+		env["X_sup_part"] = bat.New("X_sup_part", bat.NewVoid(0, len(parts)), bat.NewOIDCol(parts), 0)
+		env["X_sup_cost"] = bat.New("X_sup_cost", bat.NewVoid(0, len(costs)), bat.NewFltCol(costs), 0)
+		env["X_sup_avail"] = bat.New("X_sup_avail", bat.NewVoid(0, len(avails)), bat.NewIntCol(avails), 0)
+		s := SetFn{
+			Index: "X",
+			Elem: TupleFn{
+				Object: true, Class: "X",
+				Names: []string{"name", "acct", "sup"},
+				Fields: []Struct{
+					AtomFn{"X_name"},
+					AtomFn{"X_acct"},
+					SetFn{Index: "X_sup", Elem: TupleFn{
+						Names: []string{"part", "cost", "avail"},
+						Fields: []Struct{
+							AtomFn{"X_sup_part"}, AtomFn{"X_sup_cost"}, AtomFn{"X_sup_avail"},
+						},
+					}},
+				},
+			},
+		}
+		return env, s
+	}
+
+	check := func(seed int64) bool {
+		objs := gen(seed)
+		env, s := decompose(objs)
+		out, err := Materialize(env, s)
+		if err != nil {
+			t.Logf("materialize: %v", err)
+			return false
+		}
+		if len(out.Elems) != len(objs) {
+			return false
+		}
+		for _, e := range out.Elems {
+			o := objs[e.ID]
+			tv := e.V.(*TupleVal)
+			if tv.Fields[0].(bat.Value).S != o.name {
+				return false
+			}
+			if tv.Fields[1].(bat.Value).F != o.acct {
+				return false
+			}
+			sup := tv.Fields[2].(*SetVal)
+			if len(sup.Elems) != len(o.supplies) {
+				return false
+			}
+			// match supplies as a multiset on (part, cost, avail)
+			want := map[[3]int64]int{}
+			for _, s := range o.supplies {
+				want[[3]int64{s.part, int64(s.cost * 10), s.avail}]++
+			}
+			for _, se := range sup.Elems {
+				st := se.V.(*TupleVal)
+				k := [3]int64{st.Fields[0].(bat.Value).I,
+					int64(st.Fields[1].(bat.Value).F * 10),
+					st.Fields[2].(bat.Value).I}
+				want[k]--
+				if want[k] < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimpleSetRoundTrip checks the SET(A) optimized form: a set of object
+// references survives decomposition and reassembly.
+func TestSimpleSetRoundTrip(t *testing.T) {
+	// owners 0..2 with reference sets {10,11}, {12}, {10,13}
+	owners := []bat.OID{0, 0, 1, 2, 2}
+	targets := []bat.OID{10, 11, 12, 10, 13}
+	env := mil.Env{
+		"Y":      bat.New("Y", bat.NewVoid(0, 3), bat.NewVoid(0, 3), 0),
+		"Y_refs": bat.New("Y_refs", bat.NewOIDCol(owners), bat.NewOIDCol(targets), bat.HOrdered),
+	}
+	s := SetFn{Index: "Y", Elem: TupleFn{
+		Names:  []string{"refs"},
+		Fields: []Struct{SimpleSetFn{Index: "Y_refs"}},
+	}}
+	out, err := Materialize(env, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Elems) != 3 {
+		t.Fatalf("owners = %d", len(out.Elems))
+	}
+	sizes := map[bat.OID]int{0: 2, 1: 1, 2: 2}
+	for _, e := range out.Elems {
+		refs := e.V.(*TupleVal).Fields[0].(*SetVal)
+		if len(refs.Elems) != sizes[e.ID] {
+			t.Fatalf("owner %d refs = %d", e.ID, len(refs.Elems))
+		}
+	}
+}
+
+// TestViaFnComposition checks the join-pair indirection structure node.
+func TestViaFnComposition(t *testing.T) {
+	env := mil.Env{
+		// pairs 0..2 point at base elements 5, 7, 5
+		"via":  bat.New("via", bat.NewVoid(0, 3), bat.NewOIDCol([]bat.OID{5, 7, 5}), 0),
+		"base": bat.New("base", bat.NewOIDCol([]bat.OID{5, 7}), bat.NewStrColFromStrings([]string{"five", "seven"}), bat.HKey),
+		"idx":  bat.New("idx", bat.NewVoid(0, 3), bat.NewVoid(0, 3), 0),
+	}
+	s := SetFn{Index: "idx", Elem: ViaFn{Via: "via", Elem: AtomFn{"base"}}}
+	out, err := Materialize(env, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Elems) != 3 {
+		t.Fatalf("pairs = %d", len(out.Elems))
+	}
+	if got := out.Elems[0].V.(bat.Value).S; got != "five" {
+		t.Fatalf("pair 0 = %s", got)
+	}
+	if got := out.Elems[1].V.(bat.Value).S; got != "seven" {
+		t.Fatalf("pair 1 = %s", got)
+	}
+}

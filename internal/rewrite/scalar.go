@@ -1,0 +1,348 @@
+package rewrite
+
+import (
+	"repro/internal/bat"
+	"repro/internal/mil"
+	"repro/internal/moa"
+)
+
+// scalarRes is the translation of a scalar-typed expression inside a set
+// scope: a value-set variable [elemid, value] aligned with the scope's
+// candidate, a constant, or a one-BUN scalar variable (an independent
+// aggregate subquery).
+type scalarRes struct {
+	Var       string
+	Const     *bat.Value
+	ScalarVar string
+}
+
+func (s scalarRes) arg() mil.StmtArg {
+	switch {
+	case s.Var != "":
+		return mil.VarArg(s.Var)
+	case s.Const != nil:
+		return mil.LitArg(*s.Const)
+	default:
+		return mil.ScalarArg(s.ScalarVar)
+	}
+}
+
+// litLike reports whether the value is usable as a select bound.
+func (s scalarRes) litLike() bool { return s.Var == "" }
+
+func (r *rewriter) evalScalar(e moa.Expr) scalarRes {
+	switch x := e.(type) {
+	case *moa.Lit:
+		v := x.V
+		return scalarRes{Const: &v}
+
+	case *moa.AttrRef:
+		if x.Depth != 0 {
+			r.fail("correlated reference %s to an enclosing scope is not supported in scalar position", x)
+		}
+		sc := r.scope(0)
+		v := r.navigate(sc, x.Path)
+		return scalarRes{Var: v}
+
+	case *moa.Call:
+		if aggFns[x.Fn] {
+			return r.evalAggregate(x)
+		}
+		if x.Fn == "in" {
+			// in scalar position: fold to or(=(v,a), =(v,b), …)
+			args := make([]moa.Expr, 0, len(x.Args)-1)
+			for _, alt := range x.Args[1:] {
+				args = append(args, &moa.Call{Fn: "=", Args: []moa.Expr{x.Args[0], alt}})
+			}
+			return r.evalScalar(&moa.Call{Fn: "or", Args: args})
+		}
+		if x.Fn == "exists" {
+			res := r.evalSetScoped(x.Args[0])
+			if res.ownerIdx == "" {
+				r.fail("exists over an independent set is not supported in scalar position")
+			}
+			// [owner, count>0]: aggregate membership, compare
+			cnt := r.b.Emit("cnt", mil.Stmt{Op: mil.OpAggr, Fn: "count",
+				Args: []mil.StmtArg{mil.VarArg(res.ownerIdx)}})
+			v := r.b.Emit("has", mil.Stmt{Op: mil.OpMultiplex, Fn: ">",
+				Args: []mil.StmtArg{mil.VarArg(cnt), mil.LitArg(bat.I(0))}})
+			return scalarRes{Var: v}
+		}
+		args := make([]scalarRes, len(x.Args))
+		anyVar := false
+		anyScalar := false
+		for i, a := range x.Args {
+			args[i] = r.evalScalar(a)
+			if args[i].Var != "" {
+				anyVar = true
+			}
+			if args[i].ScalarVar != "" {
+				anyScalar = true
+			}
+		}
+		if !anyVar && !anyScalar {
+			// constant folding
+			vals := make([]bat.Value, len(args))
+			for i, a := range args {
+				vals[i] = *a.Const
+			}
+			v := mil.CallFunc(x.Fn, vals)
+			return scalarRes{Const: &v}
+		}
+		stmtArgs := make([]mil.StmtArg, len(args))
+		for i, a := range args {
+			stmtArgs[i] = a.arg()
+		}
+		if !anyVar {
+			// scalar-only computation (e.g. 0.0001 * sum(...)): one BUN
+			v := r.b.Emit("calc", mil.Stmt{Op: mil.OpCalc, Fn: x.Fn, Args: stmtArgs})
+			return scalarRes{ScalarVar: v}
+		}
+		v := r.b.Emit("mx", mil.Stmt{Op: mil.OpMultiplex, Fn: x.Fn, Args: stmtArgs})
+		return scalarRes{Var: v}
+	}
+	r.fail("unsupported scalar expression %T (%s)", e, e)
+	return scalarRes{}
+}
+
+var aggFns = map[string]bool{"sum": true, "count": true, "avg": true, "min": true, "max": true}
+
+// evalAggregate translates agg(setExpr). When the set is reached from the
+// element in scope (res.ownerIdx != ""), the aggregation is grouped per
+// owner — the paper's "execute nested aggregates in one go" via the
+// set-aggregate constructor (Fig. 10 lines 14-15: losses :=
+// join(class.mirror, rlprices); LOSS := {sum}(losses)). Otherwise the set is
+// independent and a whole-set aggregate produces a scalar.
+func (r *rewriter) evalAggregate(x *moa.Call) scalarRes {
+	res := r.evalSetScoped(x.Args[0])
+	if res.ownerIdx != "" {
+		var per string
+		if x.Fn == "count" {
+			per = res.ownerIdx
+		} else {
+			vs := r.valuesOf(res.rep)
+			per = r.b.Emit("per", mil.Stmt{Op: mil.OpJoin,
+				Args: []mil.StmtArg{mil.VarArg(res.ownerIdx), mil.VarArg(vs)}})
+		}
+		out := r.b.Emit(x.Fn, mil.Stmt{Op: mil.OpAggr, Fn: x.Fn,
+			Args: []mil.StmtArg{mil.VarArg(per)}})
+		return scalarRes{Var: out}
+	}
+	var vs string
+	if x.Fn == "count" {
+		vs = res.rep.Cand
+	} else {
+		vs = r.valuesOf(res.rep)
+	}
+	out := r.b.Emit(x.Fn, mil.Stmt{Op: mil.OpAggrScalar, Fn: x.Fn,
+		Args: []mil.StmtArg{mil.VarArg(vs)}})
+	return scalarRes{ScalarVar: out}
+}
+
+// evalSetScoped evaluates a set expression that may or may not reference the
+// current scope. Independent sets (class extents and operations on them) are
+// detected by evalSet returning an empty ownerIdx.
+func (r *rewriter) evalSetScoped(e moa.Expr) setRes { return r.evalSet(e) }
+
+// valuesOf yields the value set [memberid, value] of a set of atoms (or
+// object references), restricted to the set's candidate.
+func (r *rewriter) valuesOf(rep *SetRep) string {
+	switch el := rep.Elem.(type) {
+	case AtomElem:
+		if el.AlignedTo != "" && el.AlignedTo == rep.Cand {
+			return el.Var
+		}
+		return r.restrict(el.Var, rep.Cand)
+	case RefElem:
+		if el.AlignedTo != "" && el.AlignedTo == rep.Cand {
+			return el.Var
+		}
+		return r.restrict(el.Var, rep.Cand)
+	}
+	r.fail("aggregate over a set of non-atomic elements")
+	return ""
+}
+
+// navigate translates an attribute path on the scope's element into a value
+// set [elemid, value]. Each reference step becomes a semijoin (first hop;
+// the dynamic optimizer picks sync/datavector/merge/hash) or a join (later
+// hops, as in Fig. 10 line 6: years := [year](join(critems,
+// Order_orderdate))).
+func (r *rewriter) navigate(sc *SetRep, path []string) string {
+	cur := ""
+	rep := sc.Elem
+	for i := 0; i < len(path); i++ {
+		attr := path[i]
+		var done bool
+		rep, cur, done = r.step(sc, cur, rep, attr)
+		if done && i != len(path)-1 {
+			r.fail("attribute %q used as an object in path %v", attr, path)
+		}
+	}
+	if cur == "" {
+		r.fail("empty attribute path")
+	}
+	return cur
+}
+
+// step performs one attribute access. It returns the new element
+// representation (for reference steps), the value-set variable so far, and
+// whether the step reached an atomic value.
+func (r *rewriter) step(sc *SetRep, cur string, rep ElemRep, attr string) (ElemRep, string, bool) {
+	switch el := rep.(type) {
+	case ObjElem:
+		t, ok := r.schema.AttrType(moa.ObjectType{Class: el.Class}, attr)
+		if !ok {
+			r.fail("class %s has no attribute %q", el.Class, attr)
+		}
+		if _, isSet := t.(moa.SetType); isSet {
+			r.fail("set-valued attribute %q in scalar path", attr)
+		}
+		v := r.fetch(sc, cur, moa.AttrBAT(el.Class, attr))
+		if ot, isRef := t.(moa.ObjectType); isRef {
+			return ObjElem{Class: ot.Class}, v, false
+		}
+		return nil, v, true
+
+	case TupleElem:
+		for i, name := range el.Names {
+			if name != attr {
+				continue
+			}
+			switch f := el.Fields[i].(type) {
+			case AtomElem:
+				v := r.fetchAligned(sc, cur, f.Var, f.AlignedTo)
+				return nil, v, true
+			case RefElem:
+				v := r.fetchAligned(sc, cur, f.Var, f.AlignedTo)
+				return ObjElem{Class: f.Class}, v, false
+			case NestedSetElem:
+				r.fail("set-valued field %q in scalar path", attr)
+			case IndirectElem:
+				// The field name is consumed; the hop exposes the base
+				// element for the path's next step.
+				cur2 := r.fetch(sc, cur, f.Via)
+				return f.Elem, cur2, false
+			}
+		}
+		r.fail("tuple has no field %q", attr)
+
+	case IndirectElem:
+		cur2 := r.fetch(sc, cur, el.Via)
+		return r.stepThrough(sc, cur2, el.Elem, attr)
+	}
+	r.fail("cannot access attribute %q on %T", attr, rep)
+	return nil, "", false
+}
+
+// stepThrough continues an attribute access after an indirection hop: cur is
+// now a non-empty chain variable, so all further fetches are joins.
+func (r *rewriter) stepThrough(sc *SetRep, cur string, rep ElemRep, attr string) (ElemRep, string, bool) {
+	switch el := rep.(type) {
+	case ObjElem, TupleElem, IndirectElem:
+		return r.step(sc, cur, el, attr)
+	}
+	r.fail("cannot access attribute %q through indirection on %T", attr, rep)
+	return nil, "", false
+}
+
+// fetchAligned is fetch, skipping the restricting semijoin when the value
+// set is known to be aligned with the scope's current candidate.
+func (r *rewriter) fetchAligned(sc *SetRep, cur, ivsVar, alignedTo string) string {
+	if cur == "" && alignedTo != "" && alignedTo == sc.Cand {
+		return ivsVar
+	}
+	return r.fetch(sc, cur, ivsVar)
+}
+
+// fetch extends the navigation chain by one hop: the first hop restricts the
+// persistent/materialized IVS to the scope candidate (a semijoin), later
+// hops join the chain's tail oids with the next IVS's heads.
+func (r *rewriter) fetch(sc *SetRep, cur, ivsVar string) string {
+	if cur == "" {
+		if ivsVar == sc.Cand {
+			return ivsVar
+		}
+		return r.b.Emit("sj", mil.Stmt{Op: mil.OpSemijoin,
+			Args: []mil.StmtArg{mil.VarArg(ivsVar), mil.VarArg(sc.Cand)}})
+	}
+	return r.b.Emit("jn", mil.Stmt{Op: mil.OpJoin,
+		Args: []mil.StmtArg{mil.VarArg(cur), mil.VarArg(ivsVar)}})
+}
+
+// evalSetPath translates a set-valued attribute path: zero or more scalar
+// reference steps followed by a set-valued attribute (supplies, item, the
+// $group field of a nest).
+func (r *rewriter) evalSetPath(ref *moa.AttrRef) setRes {
+	if ref.Depth != 0 {
+		r.fail("correlated set reference %s is not supported", ref)
+	}
+	sc := r.scope(0)
+	cur := ""
+	rep := sc.Elem
+	for i, attr := range ref.Path {
+		last := i == len(ref.Path)-1
+		if !last {
+			var done bool
+			rep, cur, done = r.step(sc, cur, rep, attr)
+			if done {
+				r.fail("atomic attribute %q inside set path %v", attr, ref.Path)
+			}
+			continue
+		}
+		// final step must reach a set
+		switch el := rep.(type) {
+		case ObjElem:
+			t, ok := r.schema.AttrType(moa.ObjectType{Class: el.Class}, attr)
+			if !ok {
+				r.fail("class %s has no attribute %q", el.Class, attr)
+			}
+			st, isSet := t.(moa.SetType)
+			if !isSet {
+				r.fail("attribute %q is not set-valued", attr)
+			}
+			ownerIdx := r.fetch(sc, cur, moa.AttrBAT(el.Class, attr))
+			cand := r.b.Emit("sub", mil.Stmt{Op: mil.OpMirror, Args: []mil.StmtArg{mil.VarArg(ownerIdx)}})
+			var elem ElemRep
+			switch it := st.Elem.(type) {
+			case moa.TupleType:
+				names := make([]string, len(it.Fields))
+				fields := make([]ElemRep, len(it.Fields))
+				for j, f := range it.Fields {
+					names[j] = f.Name
+					fields[j] = r.nestedFieldRep(el.Class, attr, f)
+				}
+				elem = TupleElem{Names: names, Fields: fields}
+			case moa.ObjectType:
+				elem = ObjElem{Class: it.Class}
+			case moa.BaseType:
+				// SET(A) simple form over atoms: the index tails are the
+				// values themselves.
+				elem = AtomElem{Var: cand}
+			default:
+				r.fail("set of %s not supported", st.Elem)
+			}
+			return setRes{rep: &SetRep{Cand: cand, Elem: elem}, ownerIdx: ownerIdx}
+
+		case TupleElem:
+			idx := el.Names
+			for j, name := range idx {
+				if name != attr {
+					continue
+				}
+				nested, ok := el.Fields[j].(NestedSetElem)
+				if !ok {
+					r.fail("field %q is not set-valued", attr)
+				}
+				ownerIdx := r.fetch(sc, cur, nested.Index)
+				cand := r.b.Emit("sub", mil.Stmt{Op: mil.OpMirror, Args: []mil.StmtArg{mil.VarArg(ownerIdx)}})
+				return setRes{rep: &SetRep{Cand: cand, Elem: nested.Elem}, ownerIdx: ownerIdx}
+			}
+			r.fail("tuple has no field %q", attr)
+		default:
+			r.fail("cannot reach set attribute %q on %T", attr, rep)
+		}
+	}
+	r.fail("empty set path")
+	return setRes{}
+}

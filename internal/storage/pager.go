@@ -1,0 +1,218 @@
+// Package storage simulates the paged, memory-mapped storage layer that the
+// Monet kernel of Boncz et al. (ICDE 1998) obtains from the operating system.
+//
+// Monet has no page-based buffer manager of its own: BATs live in memory
+// mapped files and the MMU pages them in on demand. The paper's evaluation
+// (Figures 8, 9 and 10) is stated in terms of page faults, so this package
+// provides the equivalent observable: every heap access performed by the BAT
+// algebra is routed through a Pager, which maintains an LRU pool of fixed
+// size pages and counts the faults that a cold or capacity-limited buffer
+// would incur.
+//
+// A nil *Pager is valid everywhere and disables accounting, which is the
+// "database hot-set fits in main memory" regime the paper assumes for its
+// main-memory algorithms.
+package storage
+
+import "sync/atomic"
+
+// DefaultPageSize is the page size used throughout the paper's cost model
+// (B = 4096 in Section 5.2.2).
+const DefaultPageSize = 4096
+
+// HeapID identifies one storage heap (one column's BUN heap or string heap).
+// IDs are allocated by NextHeapID (or Pager.NewHeap) and are never reused.
+// The zero HeapID marks transient storage: intermediate results live in
+// main memory (the paper's hot-set assumption) and never fault.
+type HeapID uint64
+
+// heapCounter allocates globally unique heap identifiers; see NextHeapID.
+var heapCounter uint64
+
+// NextHeapID allocates a fresh heap identifier for persistent storage.
+func NextHeapID() HeapID {
+	return HeapID(atomic.AddUint64(&heapCounter, 1))
+}
+
+type pageKey struct {
+	heap HeapID
+	page int64
+}
+
+type pageNode struct {
+	key        pageKey
+	prev, next *pageNode
+}
+
+// Pager is an LRU buffer pool of fixed-size pages with fault accounting.
+// It is not safe for concurrent use; the MIL interpreter is single-threaded
+// per session, mirroring Monet's per-query execution.
+type Pager struct {
+	pageSize int64
+	capacity int // max resident pages; <= 0 means unbounded
+
+	table map[pageKey]*pageNode
+	head  *pageNode // most recently used
+	tail  *pageNode // least recently used
+
+	faults uint64
+	hits   uint64
+}
+
+// NewPager returns a Pager with the given page size in bytes and capacity in
+// pages. pageSize <= 0 selects DefaultPageSize. capacity <= 0 means the pool
+// never evicts (every page faults exactly once — the "cold start" model of
+// Section 5.2.2).
+func NewPager(pageSize int64, capacity int) *Pager {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &Pager{
+		pageSize: pageSize,
+		capacity: capacity,
+
+		table: make(map[pageKey]*pageNode),
+	}
+}
+
+// PageSize reports the page size in bytes.
+func (p *Pager) PageSize() int64 {
+	if p == nil {
+		return DefaultPageSize
+	}
+	return p.pageSize
+}
+
+// NewHeap allocates a fresh heap identifier (shared namespace with
+// NextHeapID, so ids never collide across allocators).
+func (p *Pager) NewHeap() HeapID {
+	if p == nil {
+		return 0
+	}
+	return NextHeapID()
+}
+
+// Faults reports the number of page faults since the last ResetStats.
+func (p *Pager) Faults() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.faults
+}
+
+// Hits reports the number of page hits since the last ResetStats.
+func (p *Pager) Hits() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.hits
+}
+
+// ResetStats zeroes the fault and hit counters without touching pool state.
+func (p *Pager) ResetStats() {
+	if p == nil {
+		return
+	}
+	p.faults = 0
+	p.hits = 0
+}
+
+// DropAll empties the pool, simulating a cold buffer (e.g. between benchmark
+// queries). Counters are unaffected.
+func (p *Pager) DropAll() {
+	if p == nil {
+		return
+	}
+	p.table = make(map[pageKey]*pageNode)
+	p.head, p.tail = nil, nil
+}
+
+// Resident reports the number of pages currently in the pool.
+func (p *Pager) Resident() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.table)
+}
+
+// Touch records an access to byte offset off in heap h. Exactly one page is
+// touched. Accesses to transient storage (heap 0) are ignored.
+func (p *Pager) Touch(h HeapID, off int64) {
+	if p == nil || h == 0 {
+		return
+	}
+	p.touchPage(pageKey{h, off / p.pageSize})
+}
+
+// TouchRange records a sequential access to bytes [off, off+n) of heap h,
+// touching each page in the range once. Accesses to transient storage
+// (heap 0) are ignored.
+func (p *Pager) TouchRange(h HeapID, off, n int64) {
+	if p == nil || h == 0 || n <= 0 {
+		return
+	}
+	first := off / p.pageSize
+	last := (off + n - 1) / p.pageSize
+	for pg := first; pg <= last; pg++ {
+		p.touchPage(pageKey{h, pg})
+	}
+}
+
+func (p *Pager) touchPage(k pageKey) {
+	if n, ok := p.table[k]; ok {
+		p.hits++
+		p.moveToFront(n)
+		return
+	}
+	p.faults++
+	n := &pageNode{key: k}
+	p.table[k] = n
+	p.pushFront(n)
+	if p.capacity > 0 && len(p.table) > p.capacity {
+		p.evict()
+	}
+}
+
+func (p *Pager) pushFront(n *pageNode) {
+	n.prev = nil
+	n.next = p.head
+	if p.head != nil {
+		p.head.prev = n
+	}
+	p.head = n
+	if p.tail == nil {
+		p.tail = n
+	}
+}
+
+func (p *Pager) moveToFront(n *pageNode) {
+	if p.head == n {
+		return
+	}
+	// unlink
+	if n.prev != nil {
+		n.prev.next = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	if p.tail == n {
+		p.tail = n.prev
+	}
+	p.pushFront(n)
+}
+
+func (p *Pager) evict() {
+	n := p.tail
+	if n == nil {
+		return
+	}
+	if n.prev != nil {
+		n.prev.next = nil
+	}
+	p.tail = n.prev
+	if p.head == n {
+		p.head = nil
+	}
+	delete(p.table, n.key)
+}

@@ -1,0 +1,155 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNilPagerIsSafe(t *testing.T) {
+	var p *Pager
+	p.Touch(1, 0)
+	p.TouchRange(1, 0, 1<<20)
+	p.ResetStats()
+	p.DropAll()
+	if p.Faults() != 0 || p.Hits() != 0 || p.Resident() != 0 {
+		t.Fatal("nil pager must report zeros")
+	}
+	if p.PageSize() != DefaultPageSize {
+		t.Fatalf("nil pager page size = %d", p.PageSize())
+	}
+	if p.NewHeap() != 0 {
+		t.Fatal("nil pager NewHeap should return 0")
+	}
+}
+
+func TestColdSequentialScanFaultsOncePerPage(t *testing.T) {
+	p := NewPager(4096, 0)
+	h := p.NewHeap()
+	// 10 pages worth of data, touched byte by byte.
+	for off := int64(0); off < 10*4096; off += 8 {
+		p.Touch(h, off)
+	}
+	if got, want := p.Faults(), uint64(10); got != want {
+		t.Fatalf("faults = %d, want %d", got, want)
+	}
+	// Re-scan: warm, no new faults.
+	before := p.Faults()
+	for off := int64(0); off < 10*4096; off += 8 {
+		p.Touch(h, off)
+	}
+	if p.Faults() != before {
+		t.Fatalf("warm scan faulted: %d -> %d", before, p.Faults())
+	}
+}
+
+func TestTouchRangeCountsPages(t *testing.T) {
+	p := NewPager(4096, 0)
+	h := p.NewHeap()
+	p.TouchRange(h, 100, 4096) // spans pages 0 and 1
+	if got := p.Faults(); got != 2 {
+		t.Fatalf("faults = %d, want 2", got)
+	}
+	p.TouchRange(h, 0, 0) // empty range
+	if got := p.Faults(); got != 2 {
+		t.Fatalf("empty range faulted: %d", got)
+	}
+}
+
+func TestDistinctHeapsDoNotShare(t *testing.T) {
+	p := NewPager(4096, 0)
+	h1, h2 := p.NewHeap(), p.NewHeap()
+	if h1 == h2 {
+		t.Fatal("heap ids must be distinct")
+	}
+	p.Touch(h1, 0)
+	p.Touch(h2, 0)
+	if got := p.Faults(); got != 2 {
+		t.Fatalf("faults = %d, want 2 (one per heap)", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	p := NewPager(4096, 2) // room for two pages
+	h := p.NewHeap()
+	p.Touch(h, 0*4096) // page 0 faults
+	p.Touch(h, 1*4096) // page 1 faults
+	p.Touch(h, 0*4096) // hit, page 0 becomes MRU
+	p.Touch(h, 2*4096) // page 2 faults, evicts page 1 (LRU)
+	p.Touch(h, 0*4096) // still resident: hit
+	p.Touch(h, 1*4096) // was evicted: faults again
+	if got, want := p.Faults(), uint64(4); got != want {
+		t.Fatalf("faults = %d, want %d", got, want)
+	}
+	if got, want := p.Hits(), uint64(2); got != want {
+		t.Fatalf("hits = %d, want %d", got, want)
+	}
+	if p.Resident() != 2 {
+		t.Fatalf("resident = %d, want 2", p.Resident())
+	}
+}
+
+func TestDropAllColdsTheCache(t *testing.T) {
+	p := NewPager(4096, 0)
+	h := p.NewHeap()
+	p.Touch(h, 0)
+	p.DropAll()
+	p.Touch(h, 0)
+	if got := p.Faults(); got != 2 {
+		t.Fatalf("faults = %d, want 2 after DropAll", got)
+	}
+}
+
+func TestResetStatsKeepsPool(t *testing.T) {
+	p := NewPager(4096, 0)
+	h := p.NewHeap()
+	p.Touch(h, 0)
+	p.ResetStats()
+	p.Touch(h, 0) // still resident: a hit, not a fault
+	if p.Faults() != 0 {
+		t.Fatalf("faults = %d, want 0 after reset", p.Faults())
+	}
+	if p.Hits() != 1 {
+		t.Fatalf("hits = %d, want 1", p.Hits())
+	}
+}
+
+// Property: for an unbounded pool, faults equal the number of distinct pages
+// touched, regardless of access order or repetition.
+func TestFaultsEqualDistinctPages(t *testing.T) {
+	f := func(offsets []uint32) bool {
+		p := NewPager(4096, 0)
+		h := p.NewHeap()
+		distinct := make(map[int64]bool)
+		for _, o := range offsets {
+			off := int64(o)
+			p.Touch(h, off)
+			distinct[off/4096] = true
+		}
+		return p.Faults() == uint64(len(distinct)) && p.Resident() == len(distinct)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a capacity-bounded pool never holds more than capacity pages and
+// faults at least as often as an unbounded one.
+func TestBoundedPoolInvariants(t *testing.T) {
+	f := func(offsets []uint16, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		bounded := NewPager(512, capacity)
+		unbounded := NewPager(512, 0)
+		hb, hu := bounded.NewHeap(), unbounded.NewHeap()
+		for _, o := range offsets {
+			bounded.Touch(hb, int64(o))
+			unbounded.Touch(hu, int64(o))
+			if bounded.Resident() > capacity {
+				return false
+			}
+		}
+		return bounded.Faults() >= unbounded.Faults()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,623 @@
+package tpcd
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bat"
+	"repro/internal/moa"
+)
+
+// This file is the independent reference implementation used to validate the
+// flattened execution: each query is evaluated directly over the generated
+// object graph ("the other gray path" of Fig. 6). Results are built as
+// moa.SetVal values so they can be compared structurally against the
+// materialized engine output.
+
+func yearOf(days int32) int64 {
+	return int64(time.Unix(int64(days)*86400, 0).UTC().Year())
+}
+
+func tup(names []string, vals ...moa.Val) *moa.TupleVal {
+	return &moa.TupleVal{Names: names, Fields: vals}
+}
+
+// Reference evaluates query num directly over the object graph.
+func Reference(db *DB, num int) (*moa.SetVal, error) {
+	switch num {
+	case 1:
+		return refQ1(db), nil
+	case 2:
+		return refQ2(db), nil
+	case 3:
+		return refQ3(db), nil
+	case 4:
+		return refQ4(db), nil
+	case 5:
+		return refQ5(db), nil
+	case 6:
+		return refQ6(db), nil
+	case 7:
+		return refQ7(db), nil
+	case 8:
+		return refQ8(db), nil
+	case 9:
+		return refQ9(db), nil
+	case 10:
+		return refQ10(db), nil
+	case 11:
+		return refQ11(db), nil
+	case 12:
+		return refQ12(db), nil
+	case 13:
+		return refQ13(db), nil
+	case 14:
+		return refQ14(db), nil
+	case 15:
+		return refQ15(db), nil
+	}
+	return nil, fmt.Errorf("tpcd: no reference for query %d", num)
+}
+
+func scalarSet(v bat.Value) *moa.SetVal {
+	return &moa.SetVal{Elems: []moa.Elem{{ID: 0, V: v}}}
+}
+
+func refQ1(db *DB) *moa.SetVal {
+	cutoff := int32(bat.MustDate("1998-09-02").I)
+	type acc struct {
+		qty, cnt                 int64
+		base, disc, charge, dsum float64
+	}
+	groups := map[[2]byte]*acc{}
+	var order [][2]byte
+	for _, it := range db.Items {
+		if it.Shipdate > cutoff {
+			continue
+		}
+		k := [2]byte{it.Returnflag, it.Linestatus}
+		a := groups[k]
+		if a == nil {
+			a = &acc{}
+			groups[k] = a
+			order = append(order, k)
+		}
+		a.qty += it.Quantity
+		a.cnt++
+		a.base += it.Extendedprice
+		dp := it.Extendedprice * (1 - it.Discount)
+		a.disc += dp
+		a.charge += dp * (1 + it.Tax)
+		a.dsum += it.Discount
+	}
+	names := []string{"returnflag", "linestatus", "sum_qty", "sum_base_price",
+		"sum_disc_price", "sum_charge", "avg_qty", "avg_price", "avg_disc", "count_order"}
+	out := &moa.SetVal{}
+	for i, k := range order {
+		a := groups[k]
+		n := float64(a.cnt)
+		out.Elems = append(out.Elems, moa.Elem{ID: bat.OID(i), V: tup(names,
+			bat.C(k[0]), bat.C(k[1]), bat.I(a.qty), bat.F(a.base), bat.F(a.disc),
+			bat.F(a.charge), bat.F(float64(a.qty)/n), bat.F(a.base/n),
+			bat.F(a.dsum/n), bat.I(a.cnt))})
+	}
+	return out
+}
+
+// q2Qualify reports the supplies entries matching Q2's filters.
+func q2Qualify(db *DB) []int32 {
+	var out []int32
+	for i, sp := range db.Supplies {
+		s := db.Suppliers[sp.Supplier]
+		p := db.Parts[sp.Part]
+		if db.Regions[db.Nations[s.Nation].Region].Name != "EUROPE" {
+			continue
+		}
+		if p.Size != 15 || len(p.Type) < 5 || p.Type[len(p.Type)-5:] != "BRASS" {
+			continue
+		}
+		out = append(out, int32(i))
+	}
+	return out
+}
+
+func refQ2(db *DB) *moa.SetVal {
+	qual := q2Qualify(db)
+	minCost := map[int32]float64{}
+	for _, i := range qual {
+		sp := db.Supplies[i]
+		if c, ok := minCost[sp.Part]; !ok || sp.Cost < c {
+			minCost[sp.Part] = sp.Cost
+		}
+	}
+	names := []string{"s_acctbal", "s_name", "n_name", "p", "cost"}
+	out := &moa.SetVal{}
+	for _, i := range qual {
+		sp := db.Supplies[i]
+		if sp.Cost != minCost[sp.Part] {
+			continue
+		}
+		s := db.Suppliers[sp.Supplier]
+		out.Elems = append(out.Elems, moa.Elem{ID: bat.OID(i), V: tup(names,
+			bat.F(s.Acctbal), bat.S(s.Name), bat.S(db.Nations[s.Nation].Name),
+			bat.O(bat.OID(sp.Part)), bat.F(sp.Cost))})
+	}
+	return out
+}
+
+func refQ3(db *DB) *moa.SetVal {
+	cut := int32(bat.MustDate("1995-03-15").I)
+	rev := map[int32]float64{}
+	var order []int32
+	for _, it := range db.Items {
+		o := db.Orders[it.Order]
+		if db.Customers[o.Cust].Mktsegment != "BUILDING" ||
+			o.Orderdate >= cut || it.Shipdate <= cut {
+			continue
+		}
+		if _, ok := rev[it.Order]; !ok {
+			order = append(order, it.Order)
+		}
+		rev[it.Order] += it.Extendedprice * (1 - it.Discount)
+	}
+	sort.SliceStable(order, func(i, j int) bool { return rev[order[i]] > rev[order[j]] })
+	if len(order) > 10 {
+		order = order[:10]
+	}
+	names := []string{"o", "revenue", "orderdate", "shippriority"}
+	out := &moa.SetVal{}
+	for _, o := range order {
+		out.Elems = append(out.Elems, moa.Elem{ID: bat.OID(o), V: tup(names,
+			bat.O(bat.OID(o)), bat.F(rev[o]), bat.D(db.Orders[o].Orderdate),
+			bat.S(db.Orders[o].Shippriority))})
+	}
+	return out
+}
+
+func refQ4(db *DB) *moa.SetVal {
+	lo := int32(bat.MustDate("1993-07-01").I)
+	hi := int32(bat.MustDate("1993-10-01").I)
+	counts := map[string]int64{}
+	for _, o := range db.Orders {
+		if o.Orderdate < lo || o.Orderdate >= hi {
+			continue
+		}
+		has := false
+		for _, it := range o.Items {
+			if db.Items[it].Commitdate < db.Items[it].Receiptdate {
+				has = true
+				break
+			}
+		}
+		if has {
+			counts[o.Orderpriority]++
+		}
+	}
+	names := []string{"orderpriority", "order_count"}
+	out := &moa.SetVal{}
+	i := 0
+	for p, c := range counts {
+		out.Elems = append(out.Elems, moa.Elem{ID: bat.OID(i), V: tup(names, bat.S(p), bat.I(c))})
+		i++
+	}
+	return out
+}
+
+func refQ5(db *DB) *moa.SetVal {
+	lo := int32(bat.MustDate("1994-01-01").I)
+	hi := int32(bat.MustDate("1995-01-01").I)
+	rev := map[string]float64{}
+	for _, it := range db.Items {
+		o := db.Orders[it.Order]
+		c := db.Customers[o.Cust]
+		s := db.Suppliers[it.Supplier]
+		if db.Regions[db.Nations[c.Nation].Region].Name != "ASIA" {
+			continue
+		}
+		if o.Orderdate < lo || o.Orderdate >= hi || s.Nation != c.Nation {
+			continue
+		}
+		rev[db.Nations[s.Nation].Name] += it.Extendedprice * (1 - it.Discount)
+	}
+	names := []string{"n_name", "revenue"}
+	out := &moa.SetVal{}
+	i := 0
+	for n, r := range rev {
+		out.Elems = append(out.Elems, moa.Elem{ID: bat.OID(i), V: tup(names, bat.S(n), bat.F(r))})
+		i++
+	}
+	return out
+}
+
+func refQ6(db *DB) *moa.SetVal {
+	lo := int32(bat.MustDate("1994-01-01").I)
+	hi := int32(bat.MustDate("1995-01-01").I)
+	sum := 0.0
+	for _, it := range db.Items {
+		if it.Shipdate >= lo && it.Shipdate < hi &&
+			it.Discount >= 0.05 && it.Discount <= 0.07 && it.Quantity < 24 {
+			sum += it.Extendedprice * it.Discount
+		}
+	}
+	return scalarSet(bat.F(sum))
+}
+
+func refQ7(db *DB) *moa.SetVal {
+	lo := int32(bat.MustDate("1995-01-01").I)
+	hi := int32(bat.MustDate("1996-12-31").I)
+	type key struct {
+		sn, cn string
+		yr     int64
+	}
+	rev := map[key]float64{}
+	for _, it := range db.Items {
+		if it.Shipdate < lo || it.Shipdate > hi {
+			continue
+		}
+		sn := db.Nations[db.Suppliers[it.Supplier].Nation].Name
+		cn := db.Nations[db.Customers[db.Orders[it.Order].Cust].Nation].Name
+		if !(sn == "FRANCE" && cn == "GERMANY") && !(sn == "GERMANY" && cn == "FRANCE") {
+			continue
+		}
+		rev[key{sn, cn, yearOf(it.Shipdate)}] += it.Extendedprice * (1 - it.Discount)
+	}
+	names := []string{"supp_nation", "cust_nation", "l_year", "revenue"}
+	out := &moa.SetVal{}
+	i := 0
+	for k, r := range rev {
+		out.Elems = append(out.Elems, moa.Elem{ID: bat.OID(i), V: tup(names,
+			bat.S(k.sn), bat.S(k.cn), bat.I(k.yr), bat.F(r))})
+		i++
+	}
+	return out
+}
+
+func refQ8(db *DB) *moa.SetVal {
+	lo := int32(bat.MustDate("1995-01-01").I)
+	hi := int32(bat.MustDate("1996-12-31").I)
+	tot := map[int64]float64{}
+	bra := map[int64]float64{}
+	for _, it := range db.Items {
+		o := db.Orders[it.Order]
+		if db.Parts[it.Part].Type != "ECONOMY ANODIZED STEEL" {
+			continue
+		}
+		if db.Regions[db.Nations[db.Customers[o.Cust].Nation].Region].Name != "AMERICA" {
+			continue
+		}
+		if o.Orderdate < lo || o.Orderdate > hi {
+			continue
+		}
+		yr := yearOf(o.Orderdate)
+		r := it.Extendedprice * (1 - it.Discount)
+		tot[yr] += r
+		if db.Nations[db.Suppliers[it.Supplier].Nation].Name == "BRAZIL" {
+			bra[yr] += r
+		}
+	}
+	names := []string{"o_year", "mkt_share"}
+	out := &moa.SetVal{}
+	i := 0
+	for yr, t := range tot {
+		share := 0.0
+		if t != 0 {
+			share = bra[yr] / t
+		}
+		out.Elems = append(out.Elems, moa.Elem{ID: bat.OID(i), V: tup(names, bat.I(yr), bat.F(share))})
+		i++
+	}
+	return out
+}
+
+func refQ9(db *DB) *moa.SetVal {
+	type key struct {
+		n  string
+		yr int64
+	}
+	profit := map[key]float64{}
+	for _, it := range db.Items {
+		p := db.Parts[it.Part]
+		if !containsStr(p.Name, "green") {
+			continue
+		}
+		cost, ok := db.SupplyCost(it.Supplier, it.Part)
+		if !ok {
+			continue
+		}
+		n := db.Nations[db.Suppliers[it.Supplier].Nation].Name
+		yr := yearOf(db.Orders[it.Order].Orderdate)
+		profit[key{n, yr}] += it.Extendedprice*(1-it.Discount) - cost*float64(it.Quantity)
+	}
+	names := []string{"nation", "o_year", "sum_profit"}
+	out := &moa.SetVal{}
+	i := 0
+	for k, v := range profit {
+		out.Elems = append(out.Elems, moa.Elem{ID: bat.OID(i), V: tup(names,
+			bat.S(k.n), bat.I(k.yr), bat.F(v))})
+		i++
+	}
+	return out
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func refQ10(db *DB) *moa.SetVal {
+	lo := int32(bat.MustDate("1993-10-01").I)
+	hi := int32(bat.MustDate("1994-01-01").I)
+	rev := map[int32]float64{}
+	var order []int32
+	for _, it := range db.Items {
+		o := db.Orders[it.Order]
+		if it.Returnflag != 'R' || o.Orderdate < lo || o.Orderdate >= hi {
+			continue
+		}
+		if _, ok := rev[o.Cust]; !ok {
+			order = append(order, o.Cust)
+		}
+		rev[o.Cust] += it.Extendedprice * (1 - it.Discount)
+	}
+	sort.SliceStable(order, func(i, j int) bool { return rev[order[i]] > rev[order[j]] })
+	if len(order) > 20 {
+		order = order[:20]
+	}
+	names := []string{"c", "revenue", "c_name", "c_acctbal", "n_name"}
+	out := &moa.SetVal{}
+	for _, c := range order {
+		cc := db.Customers[c]
+		out.Elems = append(out.Elems, moa.Elem{ID: bat.OID(c), V: tup(names,
+			bat.O(bat.OID(c)), bat.F(rev[c]), bat.S(cc.Name), bat.F(cc.Acctbal),
+			bat.S(db.Nations[cc.Nation].Name))})
+	}
+	return out
+}
+
+func refQ11(db *DB) *moa.SetVal {
+	value := map[int32]float64{}
+	total := 0.0
+	for _, sp := range db.Supplies {
+		if db.Nations[db.Suppliers[sp.Supplier].Nation].Name != "GERMANY" {
+			continue
+		}
+		v := sp.Cost * float64(sp.Available)
+		value[sp.Part] += v
+		total += v
+	}
+	threshold := 0.0001 * total
+	names := []string{"p", "v"}
+	out := &moa.SetVal{}
+	for p, v := range value {
+		if v > threshold {
+			out.Elems = append(out.Elems, moa.Elem{ID: bat.OID(p), V: tup(names,
+				bat.O(bat.OID(p)), bat.F(v))})
+		}
+	}
+	return out
+}
+
+func refQ12(db *DB) *moa.SetVal {
+	lo := int32(bat.MustDate("1994-01-01").I)
+	hi := int32(bat.MustDate("1995-01-01").I)
+	high := map[string]int64{}
+	low := map[string]int64{}
+	for _, it := range db.Items {
+		if it.Shipmode != "MAIL" && it.Shipmode != "SHIP" {
+			continue
+		}
+		if !(it.Commitdate < it.Receiptdate && it.Shipdate < it.Commitdate) {
+			continue
+		}
+		if it.Receiptdate < lo || it.Receiptdate >= hi {
+			continue
+		}
+		p := db.Orders[it.Order].Orderpriority
+		if p == "1-URGENT" || p == "2-HIGH" {
+			high[it.Shipmode]++
+			low[it.Shipmode] += 0
+		} else {
+			low[it.Shipmode]++
+			high[it.Shipmode] += 0
+		}
+	}
+	names := []string{"shipmode", "high_line_count", "low_line_count"}
+	out := &moa.SetVal{}
+	i := 0
+	for m := range high {
+		out.Elems = append(out.Elems, moa.Elem{ID: bat.OID(i), V: tup(names,
+			bat.S(m), bat.I(high[m]), bat.I(low[m]))})
+		i++
+	}
+	return out
+}
+
+func refQ13(db *DB) *moa.SetVal {
+	clerk := db.Clerk()
+	loss := map[int64]float64{}
+	for _, it := range db.Items {
+		o := db.Orders[it.Order]
+		if it.Returnflag != 'R' || o.Clerk != clerk {
+			continue
+		}
+		loss[yearOf(o.Orderdate)] += it.Extendedprice * (1 - it.Discount)
+	}
+	names := []string{"year", "loss"}
+	out := &moa.SetVal{}
+	i := 0
+	for yr, l := range loss {
+		out.Elems = append(out.Elems, moa.Elem{ID: bat.OID(i), V: tup(names, bat.I(yr), bat.F(l))})
+		i++
+	}
+	return out
+}
+
+func refQ14(db *DB) *moa.SetVal {
+	lo := int32(bat.MustDate("1995-09-01").I)
+	hi := int32(bat.MustDate("1995-10-01").I)
+	promo, total := 0.0, 0.0
+	for _, it := range db.Items {
+		if it.Shipdate < lo || it.Shipdate >= hi {
+			continue
+		}
+		r := it.Extendedprice * (1 - it.Discount)
+		total += r
+		ty := db.Parts[it.Part].Type
+		if len(ty) >= 5 && ty[:5] == "PROMO" {
+			promo += r
+		}
+	}
+	if total == 0 {
+		return scalarSet(bat.F(0))
+	}
+	return scalarSet(bat.F(100 * promo / total))
+}
+
+func refQ15(db *DB) *moa.SetVal {
+	lo := int32(bat.MustDate("1996-01-01").I)
+	hi := int32(bat.MustDate("1996-04-01").I)
+	rev := map[int32]float64{}
+	for _, it := range db.Items {
+		if it.Shipdate < lo || it.Shipdate >= hi {
+			continue
+		}
+		rev[it.Supplier] += it.Extendedprice * (1 - it.Discount)
+	}
+	max := 0.0
+	for _, r := range rev {
+		if r > max {
+			max = r
+		}
+	}
+	names := []string{"s", "total_revenue", "s_name"}
+	out := &moa.SetVal{}
+	for s, r := range rev {
+		if r >= max {
+			out.Elems = append(out.Elems, moa.Elem{ID: bat.OID(s), V: tup(names,
+				bat.O(bat.OID(s)), bat.F(r), bat.S(db.Suppliers[s].Name))})
+		}
+	}
+	return out
+}
+
+// --- structural comparison with tolerance -----------------------------------
+
+// CompareResults checks that got and want contain the same elements, with
+// float comparison to a relative tolerance (summation order differs between
+// the flattened and the direct evaluation). For ordered results the
+// sort-key float sequences must also agree position by position.
+func CompareResults(got, want *moa.SetVal, ordered bool) error {
+	if len(got.Elems) != len(want.Elems) {
+		return fmt.Errorf("cardinality: got %d elements, want %d", len(got.Elems), len(want.Elems))
+	}
+	used := make([]bool, len(want.Elems))
+	for i, g := range got.Elems {
+		found := false
+		for j, w := range want.Elems {
+			if used[j] {
+				continue
+			}
+			if valsEqual(g.V, w.V) {
+				used[j] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("element %d (%s) has no match in reference", i, moa.RenderVal(g.V))
+		}
+	}
+	if ordered {
+		for i := range got.Elems {
+			gk, gok := sortKey(got.Elems[i].V)
+			wk, wok := sortKey(want.Elems[i].V)
+			if gok && wok && !floatEq(gk, wk) {
+				return fmt.Errorf("order: position %d key %v, want %v", i, gk, wk)
+			}
+		}
+	}
+	return nil
+}
+
+// sortKey extracts the first float field of a tuple (the revenue column of
+// the top-N queries).
+func sortKey(v moa.Val) (float64, bool) {
+	tv, ok := v.(*moa.TupleVal)
+	if !ok {
+		return 0, false
+	}
+	for _, f := range tv.Fields {
+		if bv, ok := f.(bat.Value); ok && bv.K == bat.KFlt {
+			return bv.F, true
+		}
+	}
+	return 0, false
+}
+
+func valsEqual(a, b moa.Val) bool {
+	switch x := a.(type) {
+	case bat.Value:
+		y, ok := b.(bat.Value)
+		if !ok {
+			return false
+		}
+		if x.K == bat.KFlt || y.K == bat.KFlt {
+			return floatEq(x.AsFloat(), y.AsFloat())
+		}
+		return bat.Equal(x, y)
+	case *moa.TupleVal:
+		y, ok := b.(*moa.TupleVal)
+		if !ok || len(x.Fields) != len(y.Fields) {
+			return false
+		}
+		for i := range x.Fields {
+			if !valsEqual(x.Fields[i], y.Fields[i]) {
+				return false
+			}
+		}
+		return true
+	case *moa.SetVal:
+		y, ok := b.(*moa.SetVal)
+		if !ok || len(x.Elems) != len(y.Elems) {
+			return false
+		}
+		used := make([]bool, len(y.Elems))
+		for _, e := range x.Elems {
+			found := false
+			for j, f := range y.Elems {
+				if !used[j] && valsEqual(e.V, f.V) {
+					used[j] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func floatEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := a
+	if scale < 0 {
+		scale = -scale
+	}
+	if b > scale {
+		scale = b
+	} else if -b > scale {
+		scale = -b
+	}
+	return d <= 1e-6*scale+1e-9
+}

@@ -1,0 +1,315 @@
+package tpcd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bat"
+)
+
+// DB is an in-memory TPC-D database instance at some scale factor,
+// structured as the object graph of Fig. 1. Object references are class
+// indexes (which the loader maps one-to-one onto dense oids).
+type DB struct {
+	SF        float64
+	Regions   []Region
+	Nations   []Nation
+	Parts     []Part
+	Suppliers []Supplier
+	Customers []Customer
+	Orders    []Order
+	Items     []Item
+	// Supplies is the flattened PartSupp relation; Supplier.Supplies holds
+	// index ranges into it, so supply element ids are global indexes.
+	Supplies []Supply
+	// partSuppliers[p] lists the suppliers offering part p (TPC-D
+	// consistency: every Item's (part, supplier) pair exists in PartSupp,
+	// which TPC-D Q9 depends on).
+	partSuppliers [][]int32
+	supplyIndex   map[[2]int32]int32 // (supplier, part) -> supply index
+}
+
+// Region mirrors class Region.
+type Region struct{ Name, Comment string }
+
+// Nation mirrors class Nation.
+type Nation struct {
+	Name   string
+	Region int32
+}
+
+// Part mirrors class Part.
+type Part struct {
+	Name, Manufacturer, Brand, Type string
+	Size                            int64
+	Container                       string
+	RetailPrice                     float64
+}
+
+// Supply is one element of a supplier's supplies set.
+type Supply struct {
+	Supplier  int32
+	Part      int32
+	Cost      float64
+	Available int64
+}
+
+// Supplier mirrors class Supplier; Supplies is the [lo,hi) range of its
+// elements in DB.Supplies.
+type Supplier struct {
+	Name, Address, Phone   string
+	Acctbal                float64
+	Nation                 int32
+	SuppliesLo, SuppliesHi int32
+}
+
+// Customer mirrors class Customer; Orders is derived (inverse of
+// Order.Cust).
+type Customer struct {
+	Name, Address, Phone string
+	Acctbal              float64
+	Nation               int32
+	Mktsegment           string
+	Orders               []int32
+}
+
+// Order mirrors class Order; Items is derived (inverse of Item.Order).
+type Order struct {
+	Cust          int32
+	Status        byte
+	Totalprice    float64
+	Orderdate     int32 // days since epoch
+	Orderpriority string
+	Clerk         string
+	Shippriority  string
+	Items         []int32
+}
+
+// Item mirrors class Item.
+type Item struct {
+	Part, Supplier, Order             int32
+	Quantity                          int64
+	Returnflag, Linestatus            byte
+	Extendedprice, Discount, Tax      float64
+	Shipdate, Commitdate, Receiptdate int32
+	Shipmode, Shipinstruct            string
+}
+
+// TPC-D value domains.
+var (
+	regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nationSpec  = []struct {
+		name   string
+		region int32
+	}{
+		{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+		{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+		{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+		{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+		{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+		{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+		{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+	}
+	typeSyllable1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	typeSyllable2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	typeSyllable3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	containers1   = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+	containers2   = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+	partColors    = []string{"almond", "antique", "aquamarine", "azure", "beige", "bisque",
+		"black", "blanched", "blue", "blush", "brown", "burlywood", "burnished",
+		"chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cornsilk",
+		"cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+		"floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green",
+		"grey", "honeydew", "hot", "hazelnut", "indian", "ivory", "khaki"}
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipmodes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	instructs  = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+)
+
+// Cardinality constants of TPC-D at SF=1.
+const (
+	partsPerSF       = 200000
+	suppliersPerSF   = 10000
+	customersPerSF   = 150000
+	ordersPerSF      = 1500000
+	clerksPerSF      = 1000
+	suppliersPerPart = 4
+)
+
+var (
+	startDate   = bat.MustDate("1992-01-01")
+	endDate     = bat.MustDate("1998-08-02")
+	currentDate = bat.MustDate("1995-06-17")
+)
+
+// Generate builds a deterministic TPC-D database at the given scale factor.
+// The same (sf, seed) always yields the same database. Cardinality ratios
+// follow the official DBGEN (Item ≈ 6M×SF, four suppliers per part, one to
+// seven items per order).
+func Generate(sf float64, seed int64) *DB {
+	rng := rand.New(rand.NewSource(seed))
+	db := &DB{SF: sf, supplyIndex: map[[2]int32]int32{}}
+
+	for i, n := range regionNames {
+		db.Regions = append(db.Regions, Region{Name: n, Comment: fmt.Sprintf("region comment %d", i)})
+	}
+	for _, n := range nationSpec {
+		db.Nations = append(db.Nations, Nation{Name: n.name, Region: n.region})
+	}
+
+	nParts := scaled(partsPerSF, sf)
+	nSuppliers := scaled(suppliersPerSF, sf)
+	nCustomers := scaled(customersPerSF, sf)
+	nOrders := scaled(ordersPerSF, sf)
+	nClerks := scaled(clerksPerSF, sf)
+
+	for i := 0; i < nParts; i++ {
+		ty := pick(rng, typeSyllable1) + " " + pick(rng, typeSyllable2) + " " + pick(rng, typeSyllable3)
+		db.Parts = append(db.Parts, Part{
+			Name:         pick(rng, partColors) + " " + pick(rng, partColors),
+			Manufacturer: fmt.Sprintf("Manufacturer#%d", 1+rng.Intn(5)),
+			Brand:        fmt.Sprintf("Brand#%d%d", 1+rng.Intn(5), 1+rng.Intn(5)),
+			Type:         ty,
+			Size:         int64(1 + rng.Intn(50)),
+			Container:    pick(rng, containers1) + " " + pick(rng, containers2),
+			RetailPrice:  900 + float64(i%1000)/10 + float64(rng.Intn(100)),
+		})
+	}
+
+	for i := 0; i < nSuppliers; i++ {
+		db.Suppliers = append(db.Suppliers, Supplier{
+			Name:    fmt.Sprintf("Supplier#%09d", i+1),
+			Address: fmt.Sprintf("addr-s-%d", i),
+			Phone:   fmt.Sprintf("%02d-%03d-%03d-%04d", 10+rng.Intn(25), rng.Intn(1000), rng.Intn(1000), rng.Intn(10000)),
+			Acctbal: -999.99 + float64(rng.Intn(1099998))/100,
+			Nation:  int32(rng.Intn(len(db.Nations))),
+		})
+	}
+
+	// PartSupp: four suppliers per part; group by supplier for the
+	// supplies nested sets.
+	db.partSuppliers = make([][]int32, nParts)
+	perSupplier := make([][]Supply, nSuppliers)
+	for p := 0; p < nParts; p++ {
+		for k := 0; k < suppliersPerPart; k++ {
+			s := (p + k*(nParts/suppliersPerPart+1)) % nSuppliers
+			db.partSuppliers[p] = append(db.partSuppliers[p], int32(s))
+			perSupplier[s] = append(perSupplier[s], Supply{
+				Supplier:  int32(s),
+				Part:      int32(p),
+				Cost:      1 + float64(rng.Intn(99900))/100,
+				Available: int64(1 + rng.Intn(9999)),
+			})
+		}
+	}
+	for s := range perSupplier {
+		db.Suppliers[s].SuppliesLo = int32(len(db.Supplies))
+		db.Supplies = append(db.Supplies, perSupplier[s]...)
+		db.Suppliers[s].SuppliesHi = int32(len(db.Supplies))
+	}
+	for i, sp := range db.Supplies {
+		db.supplyIndex[[2]int32{sp.Supplier, sp.Part}] = int32(i)
+	}
+
+	for i := 0; i < nCustomers; i++ {
+		db.Customers = append(db.Customers, Customer{
+			Name:       fmt.Sprintf("Customer#%09d", i+1),
+			Address:    fmt.Sprintf("addr-c-%d", i),
+			Phone:      fmt.Sprintf("%02d-%03d-%03d-%04d", 10+rng.Intn(25), rng.Intn(1000), rng.Intn(1000), rng.Intn(10000)),
+			Acctbal:    -999.99 + float64(rng.Intn(1099998))/100,
+			Nation:     int32(rng.Intn(len(db.Nations))),
+			Mktsegment: pick(rng, segments),
+		})
+	}
+
+	dateRange := int(endDate.I - startDate.I)
+	for o := 0; o < nOrders; o++ {
+		cust := int32(rng.Intn(nCustomers))
+		odate := int32(startDate.I) + int32(rng.Intn(dateRange-151))
+		ord := Order{
+			Cust:          cust,
+			Orderdate:     odate,
+			Orderpriority: pick(rng, priorities),
+			Clerk:         fmt.Sprintf("Clerk#%09d", 1+rng.Intn(nClerks)),
+			Shippriority:  "0",
+		}
+		nItems := 1 + rng.Intn(7)
+		var total float64
+		allF := true
+		anyF := false
+		for k := 0; k < nItems; k++ {
+			p := int32(rng.Intn(nParts))
+			sups := db.partSuppliers[p]
+			s := sups[rng.Intn(len(sups))]
+			qty := int64(1 + rng.Intn(50))
+			price := db.Parts[p].RetailPrice * float64(qty) / 10
+			ship := odate + int32(1+rng.Intn(121))
+			commit := odate + int32(30+rng.Intn(61))
+			receipt := ship + int32(1+rng.Intn(30))
+			it := Item{
+				Part: p, Supplier: s, Order: int32(o),
+				Quantity:      qty,
+				Extendedprice: price,
+				Discount:      float64(rng.Intn(11)) / 100,
+				Tax:           float64(rng.Intn(9)) / 100,
+				Shipdate:      ship,
+				Commitdate:    commit,
+				Receiptdate:   receipt,
+				Shipmode:      pick(rng, shipmodes),
+				Shipinstruct:  pick(rng, instructs),
+			}
+			if int64(receipt) <= currentDate.I {
+				if rng.Intn(2) == 0 {
+					it.Returnflag = 'R'
+				} else {
+					it.Returnflag = 'A'
+				}
+			} else {
+				it.Returnflag = 'N'
+			}
+			if int64(ship) > currentDate.I {
+				it.Linestatus = 'O'
+				allF = false
+			} else {
+				it.Linestatus = 'F'
+				anyF = true
+			}
+			total += price * (1 - it.Discount) * (1 + it.Tax)
+			ord.Items = append(ord.Items, int32(len(db.Items)))
+			db.Items = append(db.Items, it)
+		}
+		switch {
+		case allF && anyF:
+			ord.Status = 'F'
+		case !anyF:
+			ord.Status = 'O'
+		default:
+			ord.Status = 'P'
+		}
+		ord.Totalprice = total
+		db.Customers[cust].Orders = append(db.Customers[cust].Orders, int32(o))
+		db.Orders = append(db.Orders, ord)
+	}
+	return db
+}
+
+// SupplyCost looks up the cost of (supplier, part) in the PartSupp relation,
+// reporting whether the pair exists.
+func (db *DB) SupplyCost(supplier, part int32) (float64, bool) {
+	i, ok := db.supplyIndex[[2]int32{supplier, part}]
+	if !ok {
+		return 0, false
+	}
+	return db.Supplies[i].Cost, true
+}
+
+func scaled(base int, sf float64) int {
+	n := int(float64(base) * sf)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func pick(rng *rand.Rand, from []string) string { return from[rng.Intn(len(from))] }

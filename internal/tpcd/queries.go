@@ -1,0 +1,198 @@
+package tpcd
+
+import "fmt"
+
+// Query is one TPC-D benchmark query: its MOA text (the hand-translation
+// from SQL that Section 6 describes) plus metadata for the Fig. 9 harness.
+type Query struct {
+	Num     int
+	Name    string // the Fig. 9 comment column
+	MOA     string
+	Ordered bool // result order is significant (top-N queries)
+}
+
+// Clerk returns a clerk name guaranteed to exist at the database's scale
+// (the paper's literal Clerk#000000088 only exists when SF ≥ 0.088).
+func (db *DB) Clerk() string {
+	n := scaled(clerksPerSF, db.SF)
+	k := 88
+	if k > n {
+		k = 1
+	}
+	return fmt.Sprintf("Clerk#%09d", k)
+}
+
+// Queries returns the fifteen TPC-D queries of Fig. 9, hand-translated into
+// MOA against the Fig. 1 schema.
+func Queries(db *DB) []Query {
+	clerk := db.Clerk()
+	return []Query{
+		{1, "billing aggregates over the Item table", q1, false},
+		{2, "cheapest part supplier for a region", q2, false},
+		{3, "find top-10 valuable orders", q3, true},
+		{4, "priority assessment, customer satisfaction", q4, false},
+		{5, "revenue per local supplier", q5, false},
+		{6, "benefits if discounts abolished", q6, false},
+		{7, "value of shipped goods between 2 nations", q7, false},
+		{8, "part market share change for a region", q8, false},
+		{9, "line of parts profit for year and nation", q9, false},
+		{10, "top-20 customers with problematic parts", q10, true},
+		{11, "significant stock per nation", q11, false},
+		{12, "cheap shipping affecting critical orders", q12, false},
+		{13, "loss due to returned orders of a clerk", fmt.Sprintf(q13, clerk), false},
+		{14, "market change after a campaign date", q14, false},
+		{15, "identify the top supplier", q15, false},
+	}
+}
+
+const q1 = `
+project[<returnflag : returnflag, linestatus : linestatus,
+         sum(project[quantity](%3)) : sum_qty,
+         sum(project[extendedprice](%3)) : sum_base_price,
+         sum(project[disc_price](%3)) : sum_disc_price,
+         sum(project[charge](%3)) : sum_charge,
+         avg(project[quantity](%3)) : avg_qty,
+         avg(project[extendedprice](%3)) : avg_price,
+         avg(project[discount](%3)) : avg_disc,
+         count(%3) : count_order>](
+  nest[returnflag, linestatus](
+    project[<returnflag : returnflag, linestatus : linestatus,
+             quantity : quantity, extendedprice : extendedprice,
+             *(extendedprice, -(1.0, discount)) : disc_price,
+             *(*(extendedprice, -(1.0, discount)), +(1.0, tax)) : charge,
+             discount : discount>](
+      select[<=(shipdate, date("1998-09-02"))](Item))))`
+
+const q2 = `
+project[<%1.owner.acctbal : s_acctbal, %1.owner.name : s_name,
+         %1.owner.nation.name : n_name, %1.part : p, %1.cost : cost>](
+  join[and(=(%1.part, %2.p), =(%1.cost, %2.mc))](
+    select[=(owner.nation.region.name, "EUROPE"), =(part.size, 15),
+           strends(part.type, "BRASS")](unnest[supplies](Supplier)),
+    project[<p : p, min(project[cost](%2)) : mc>](
+      nest[p](
+        project[<part : p, cost : cost>](
+          select[=(owner.nation.region.name, "EUROPE"), =(part.size, 15),
+                 strends(part.type, "BRASS")](unnest[supplies](Supplier))))))) `
+
+const q3 = `
+top[10](sort[revenue desc](
+  project[<o : o, sum(project[rev](%2)) : revenue,
+           o.orderdate : orderdate, o.shippriority : shippriority>](
+    nest[o](
+      project[<order : o, *(extendedprice, -(1.0, discount)) : rev>](
+        select[=(order.cust.mktsegment, "BUILDING"),
+               <(order.orderdate, date("1995-03-15")),
+               >(shipdate, date("1995-03-15"))](Item))))))`
+
+const q4 = `
+project[<orderpriority : orderpriority, count(%2) : order_count>](
+  nest[orderpriority](
+    project[<orderpriority : orderpriority>](
+      select[>=(orderdate, date("1993-07-01")), <(orderdate, date("1993-10-01")),
+             exists(select[<(commitdate, receiptdate)](item))](Order))))`
+
+const q5 = `
+project[<n_name : n_name, sum(project[rev](%2)) : revenue>](
+  nest[n_name](
+    project[<supplier.nation.name : n_name, *(extendedprice, -(1.0, discount)) : rev>](
+      select[=(order.cust.nation.region.name, "ASIA"),
+             >=(order.orderdate, date("1994-01-01")),
+             <(order.orderdate, date("1995-01-01")),
+             =(supplier.nation, order.cust.nation)](Item))))`
+
+const q6 = `
+sum(project[*(extendedprice, discount)](
+  select[>=(shipdate, date("1994-01-01")), <(shipdate, date("1995-01-01")),
+         >=(discount, 0.05), <=(discount, 0.07), <(quantity, 24)](Item)))`
+
+const q7 = `
+project[<sn : supp_nation, cn : cust_nation, yr : l_year,
+         sum(project[rev](%4)) : revenue>](
+  nest[sn, cn, yr](
+    project[<supplier.nation.name : sn, order.cust.nation.name : cn,
+             year(shipdate) : yr, *(extendedprice, -(1.0, discount)) : rev>](
+      select[>=(shipdate, date("1995-01-01")), <=(shipdate, date("1996-12-31")),
+             or(and(=(supplier.nation.name, "FRANCE"), =(order.cust.nation.name, "GERMANY")),
+                and(=(supplier.nation.name, "GERMANY"), =(order.cust.nation.name, "FRANCE")))](Item))))`
+
+const q8 = `
+project[<yr : o_year,
+         /(sum(project[brazil_rev](%2)), sum(project[rev](%2))) : mkt_share>](
+  nest[yr](
+    project[<year(order.orderdate) : yr,
+             *(extendedprice, -(1.0, discount)) : rev,
+             if(=(supplier.nation.name, "BRAZIL"),
+                *(extendedprice, -(1.0, discount)), 0.0) : brazil_rev>](
+      select[=(part.type, "ECONOMY ANODIZED STEEL"),
+             =(order.cust.nation.region.name, "AMERICA"),
+             >=(order.orderdate, date("1995-01-01")),
+             <=(order.orderdate, date("1996-12-31"))](Item))))`
+
+const q9 = `
+project[<n : nation, yr : o_year, sum(project[profit](%3)) : sum_profit>](
+  nest[n, yr](
+    project[<%1.supplier.nation.name : n, year(%1.order.orderdate) : yr,
+             -(*(%1.extendedprice, -(1.0, %1.discount)),
+               *(%2.cost, flt(%1.quantity))) : profit>](
+      join[and(=(%1.supplier, %2.owner), =(%1.part, %2.part))](
+        select[strcontains(part.name, "green")](Item),
+        unnest[supplies](Supplier)))))`
+
+const q10 = `
+top[20](sort[revenue desc](
+  project[<c : c, sum(project[rev](%2)) : revenue,
+           c.name : c_name, c.acctbal : c_acctbal, c.nation.name : n_name>](
+    nest[c](
+      project[<order.cust : c, *(extendedprice, -(1.0, discount)) : rev>](
+        select[=(returnflag, 'R'),
+               >=(order.orderdate, date("1993-10-01")),
+               <(order.orderdate, date("1994-01-01"))](Item))))))`
+
+const q11 = `
+select[>(v, *(0.0001,
+              sum(project[pv](project[<*(cost, flt(available)) : pv>](
+                select[=(owner.nation.name, "GERMANY")](unnest[supplies](Supplier)))))))](
+  project[<p : p, sum(project[val](%2)) : v>](
+    nest[p](
+      project[<part : p, *(cost, flt(available)) : val>](
+        select[=(owner.nation.name, "GERMANY")](unnest[supplies](Supplier))))))`
+
+const q12 = `
+project[<sm : shipmode,
+         sum(project[high](%2)) : high_line_count,
+         sum(project[low](%2)) : low_line_count>](
+  nest[sm](
+    project[<shipmode : sm,
+             if(or(=(order.orderpriority, "1-URGENT"), =(order.orderpriority, "2-HIGH")), 1, 0) : high,
+             if(or(=(order.orderpriority, "1-URGENT"), =(order.orderpriority, "2-HIGH")), 0, 1) : low>](
+      select[in(shipmode, "MAIL", "SHIP"),
+             <(commitdate, receiptdate), <(shipdate, commitdate),
+             >=(receiptdate, date("1994-01-01")), <(receiptdate, date("1995-01-01"))](Item))))`
+
+const q13 = `
+project[<date : year, sum(project[revenue](%%2)) : loss>](
+  nest[date](
+    project[<year(order.orderdate) : date,
+             *(extendedprice, -(1.0, discount)) : revenue>](
+      select[=(order.clerk, "%s"), =(returnflag, 'R')](Item))))`
+
+const q14 = `
+/(*(100.0, sum(project[pr](project[<if(strstarts(part.type, "PROMO"),
+                                       *(extendedprice, -(1.0, discount)), 0.0) : pr>](
+      select[>=(shipdate, date("1995-09-01")), <(shipdate, date("1995-10-01"))](Item))))),
+  sum(project[r](project[<*(extendedprice, -(1.0, discount)) : r>](
+      select[>=(shipdate, date("1995-09-01")), <(shipdate, date("1995-10-01"))](Item)))))`
+
+const q15 = `
+project[<s : s, r : total_revenue, s.name : s_name>](
+  select[>=(r, max(project[r](
+      project[<s : s, sum(project[rev](%2)) : r>](
+        nest[s](
+          project[<supplier : s, *(extendedprice, -(1.0, discount)) : rev>](
+            select[>=(shipdate, date("1996-01-01")), <(shipdate, date("1996-04-01"))](Item))))))
+    )](
+    project[<s : s, sum(project[rev](%2)) : r>](
+      nest[s](
+        project[<supplier : s, *(extendedprice, -(1.0, discount)) : rev>](
+          select[>=(shipdate, date("1996-01-01")), <(shipdate, date("1996-04-01"))](Item))))))`

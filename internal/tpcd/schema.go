@@ -1,0 +1,80 @@
+// Package tpcd provides the TPC-D substrate of the paper's evaluation
+// (Section 6): the object-oriented reformulation of the TPC-D schema
+// (Fig. 1), a deterministic scale-factor-parameterised data generator
+// standing in for DBGEN, the vertical-decomposition bulk loader that creates
+// extents and datavectors, the fifteen benchmark queries hand-translated to
+// MOA (as the paper hand-translated them from SQL), and an independent
+// reference evaluator used to validate every query result.
+package tpcd
+
+import "repro/internal/moa"
+
+// Schema returns the MOA data model of Fig. 1.
+func Schema() *moa.Schema {
+	s := moa.NewSchema()
+	s.AddClass(&moa.Class{Name: "Region", Attrs: []moa.Field{
+		{Name: "name", Type: moa.TStr},
+		{Name: "comment", Type: moa.TStr},
+	}})
+	s.AddClass(&moa.Class{Name: "Nation", Attrs: []moa.Field{
+		{Name: "name", Type: moa.TStr},
+		{Name: "region", Type: moa.ObjectType{Class: "Region"}},
+	}})
+	s.AddClass(&moa.Class{Name: "Part", Attrs: []moa.Field{
+		{Name: "name", Type: moa.TStr},
+		{Name: "manufacturer", Type: moa.TStr},
+		{Name: "brand", Type: moa.TStr},
+		{Name: "type", Type: moa.TStr},
+		{Name: "size", Type: moa.TInt},
+		{Name: "container", Type: moa.TStr},
+		{Name: "retailPrice", Type: moa.TFlt},
+	}})
+	s.AddClass(&moa.Class{Name: "Supplier", Attrs: []moa.Field{
+		{Name: "name", Type: moa.TStr},
+		{Name: "address", Type: moa.TStr},
+		{Name: "phone", Type: moa.TStr},
+		{Name: "acctbal", Type: moa.TFlt},
+		{Name: "nation", Type: moa.ObjectType{Class: "Nation"}},
+		{Name: "supplies", Type: moa.SetType{Elem: moa.TupleType{Fields: []moa.Field{
+			{Name: "part", Type: moa.ObjectType{Class: "Part"}},
+			{Name: "cost", Type: moa.TFlt},
+			{Name: "available", Type: moa.TInt},
+		}}}},
+	}})
+	s.AddClass(&moa.Class{Name: "Customer", Attrs: []moa.Field{
+		{Name: "name", Type: moa.TStr},
+		{Name: "address", Type: moa.TStr},
+		{Name: "phone", Type: moa.TStr},
+		{Name: "acctbal", Type: moa.TFlt},
+		{Name: "nation", Type: moa.ObjectType{Class: "Nation"}},
+		{Name: "mktsegment", Type: moa.TStr},
+		{Name: "orders", Type: moa.SetType{Elem: moa.ObjectType{Class: "Order"}}},
+	}})
+	s.AddClass(&moa.Class{Name: "Order", Attrs: []moa.Field{
+		{Name: "cust", Type: moa.ObjectType{Class: "Customer"}},
+		{Name: "item", Type: moa.SetType{Elem: moa.ObjectType{Class: "Item"}}},
+		{Name: "status", Type: moa.TChr},
+		{Name: "totalprice", Type: moa.TFlt},
+		{Name: "orderdate", Type: moa.TDate},
+		{Name: "orderpriority", Type: moa.TStr},
+		{Name: "clerk", Type: moa.TStr},
+		{Name: "shippriority", Type: moa.TStr},
+	}})
+	s.AddClass(&moa.Class{Name: "Item", Attrs: []moa.Field{
+		{Name: "part", Type: moa.ObjectType{Class: "Part"}},
+		{Name: "supplier", Type: moa.ObjectType{Class: "Supplier"}},
+		{Name: "order", Type: moa.ObjectType{Class: "Order"}},
+		{Name: "quantity", Type: moa.TInt},
+		{Name: "returnflag", Type: moa.TChr},
+		{Name: "linestatus", Type: moa.TChr},
+		{Name: "extendedprice", Type: moa.TFlt},
+		{Name: "discount", Type: moa.TFlt},
+		{Name: "tax", Type: moa.TFlt},
+		{Name: "shipdate", Type: moa.TDate},
+		{Name: "commitdate", Type: moa.TDate},
+		{Name: "receiptdate", Type: moa.TDate},
+		{Name: "shipmode", Type: moa.TStr},
+		{Name: "shipinstruct", Type: moa.TStr},
+	}})
+	return s
+}
