@@ -1,0 +1,30 @@
+# Tier-1 gate and benchmark tooling. See EXPERIMENTS.md for methodology.
+
+GO ?= go
+
+.PHONY: verify build vet test bench bench-ablation bench-snapshot
+
+## verify: the tier-1 gate — build, vet, and the full test suite.
+verify: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+## bench: the full benchmark sweep with allocation accounting.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=3s .
+
+## bench-ablation: just the kernel ablations (fast inner loop while tuning).
+bench-ablation:
+	$(GO) test -run '^$$' -bench 'BenchmarkAblation' -benchmem -benchtime=3s .
+
+## bench-snapshot: machine-readable trajectory snapshot (test2json events
+## carrying ns/op, B/op, allocs/op and the custom Figure 9/10 metrics).
+bench-snapshot:
+	./scripts/bench.sh

@@ -199,19 +199,28 @@ func BenchmarkAblationDatavectorSemijoin(b *testing.B) {
 	}
 	selBAT := bat.New("sel", bat.NewOIDCol(dedupe(sel)), bat.NewVoid(0, len(dedupe(sel))), bat.HKey)
 
+	// "hash" keeps the right operand's accelerator cached across
+	// iterations (Monet's run-time accelerator semantics); "hash(cold)"
+	// drops it each iteration, mirroring the dv mode's DropLookups
+	// discipline, so the probe-only and build+probe costs are both visible.
 	for _, mode := range []struct {
-		name   string
-		withDV bool
-	}{{"datavector", true}, {"hash", false}} {
+		name     string
+		withDV   bool
+		coldHash bool
+	}{{"datavector", true, false}, {"hash", false, false}, {"hash(cold)", false, true}} {
 		attrs := mkAttrs(mode.withDV)
 		b.Run(mode.name, func(b *testing.B) {
 			ctx := &mil.Ctx{}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if mode.withDV {
 					for _, a := range attrs {
 						a.Datavector().DropLookups()
 					}
+				}
+				if mode.coldHash {
+					selBAT.DropHashes()
 				}
 				for _, a := range attrs {
 					mil.Semijoin(ctx, a, selBAT)
@@ -254,6 +263,7 @@ func BenchmarkAblationPropertyJoin(b *testing.B) {
 
 	b.Run("merge(properties)", func(b *testing.B) {
 		ctx := &mil.Ctx{}
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			mil.Join(ctx, l, rSorted)
 		}
@@ -263,7 +273,16 @@ func BenchmarkAblationPropertyJoin(b *testing.B) {
 	})
 	b.Run("hash(stripped)", func(b *testing.B) {
 		ctx := &mil.Ctx{}
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
+			mil.Join(ctx, l, rStripped)
+		}
+	})
+	b.Run("hash(stripped,cold)", func(b *testing.B) {
+		ctx := &mil.Ctx{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rStripped.DropHashes()
 			mil.Join(ctx, l, rStripped)
 		}
 	})
@@ -293,6 +312,7 @@ func BenchmarkAblationParallelIteration(b *testing.B) {
 		w := w
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			ctx := &mil.Ctx{Workers: w}
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				mil.SelectRange(ctx, data, &lo, &hi, true, false)
 			}

@@ -23,12 +23,14 @@ func main() {
 	plan := flag.Bool("plan", false, "print the translated MIL program and structure function")
 	trace := flag.Bool("trace", false, "print the Fig. 10-style execution trace")
 	noResult := flag.Bool("noresult", false, "suppress result printing")
+	workers := flag.Int("workers", engine.AutoWorkers(), "parallel iteration degree for bulk operators (1 = sequential)")
 	flag.Parse()
 
 	gen := tpcd.Generate(*sf, *seed)
 	env, _ := tpcd.Load(gen)
 	db := engine.New(tpcd.Schema(), env)
 	db.Pager = storage.NewPager(4096, 0)
+	db.Workers = *workers
 
 	src := ""
 	if *q != 0 {

@@ -25,7 +25,7 @@ func main() {
 	pool := flag.Int("poolpages", 0, "buffer pool capacity in 4 KB pages (0 = unbounded)")
 	validate := flag.Bool("validate", false, "validate both engines against the reference evaluator")
 	only := flag.Int("q", 0, "run a single query (1-15)")
-	workers := flag.Int("workers", 1, "parallel iteration degree for bulk operators")
+	workers := flag.Int("workers", engine.AutoWorkers(), "parallel iteration degree for bulk operators (1 = sequential)")
 	flag.Parse()
 
 	fmt.Printf("generating TPC-D at SF=%g (seed %d)...\n", *sf, *seed)

@@ -194,6 +194,16 @@ func (b *BAT) Persist() {
 	}
 }
 
+// DropHashes discards the cached hash accelerators (and the mirror's view
+// of them): memory reclamation for long-lived BATs, and the way benchmarks
+// force cold accelerator builds per iteration.
+func (b *BAT) DropHashes() {
+	b.hashT, b.hashH = nil, nil
+	if b.mirror != nil {
+		b.mirror.hashT, b.mirror.hashH = nil, nil
+	}
+}
+
 // Datavector returns the datavector accelerator attached to b, or nil.
 func (b *BAT) Datavector() *Datavector { return b.dv }
 

@@ -120,11 +120,11 @@ func (c *IntCol) Get(i int) Value { return I(c.V[i]) }
 // Heap implements Column.
 func (c *IntCol) Heap() storage.HeapID { return c.heap }
 
-// TouchAt implements Column.
-func (c *IntCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(i)*4) }
+// TouchAt implements Column; entries are 8 bytes wide, matching ByteSize.
+func (c *IntCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(i)*8) }
 
 // TouchAll implements Column.
-func (c *IntCol) TouchAll(p *storage.Pager) { p.TouchRange(c.heap, 0, int64(len(c.V))*4) }
+func (c *IntCol) TouchAll(p *storage.Pager) { p.TouchRange(c.heap, 0, int64(len(c.V))*8) }
 
 // ByteSize implements Column.
 func (c *IntCol) ByteSize() int64 { return int64(len(c.V)) * 8 }
@@ -375,7 +375,17 @@ func FromValues(k Kind, vs []Value) Column {
 // Gather builds a new column containing col[perm[0]], col[perm[1]], ... It
 // is the positional-fetch primitive underlying sorts, joins and the
 // datavector semijoin.
-func Gather(col Column, perm []int) Column {
+func Gather(col Column, perm []int) Column { return gatherInto(col, perm) }
+
+// Gather32 is Gather over the int32 position buffers the typed kernels
+// produce, saving the widening copy.
+func Gather32(col Column, perm []int32) Column { return gatherInto(col, perm) }
+
+// GatherAny is the generic entry point for callers that are themselves
+// generic over the position width.
+func GatherAny[I int | int32](col Column, perm []I) Column { return gatherInto(col, perm) }
+
+func gatherInto[I int | int32](col Column, perm []I) Column {
 	switch c := col.(type) {
 	case *VoidCol:
 		out := make([]OID, len(perm))
@@ -422,13 +432,13 @@ func Gather(col Column, perm []int) Column {
 	case *StrCol:
 		out := make([]string, len(perm))
 		for i, p := range perm {
-			out[i] = c.At(p)
+			out[i] = c.At(int(p))
 		}
 		return NewStrColFromStrings(out)
 	}
 	out := make([]Value, len(perm))
 	for i, p := range perm {
-		out[i] = col.Get(p)
+		out[i] = col.Get(int(p))
 	}
 	return FromValues(col.Kind(), out)
 }

@@ -75,6 +75,16 @@ func (dv *Datavector) Probe(p *storage.Pager, x OID) (int, bool) {
 	return 0, false
 }
 
+// DenseExtent reports whether the extent is the dense sequence
+// base..base+n-1, in which case probes and oid materialization are pure
+// arithmetic and callers can run them as inline loops.
+func (dv *Datavector) DenseExtent() (dense bool, base OID, n int) {
+	if dv.Extent != nil {
+		return false, 0, 0
+	}
+	return true, dv.Base, dv.N
+}
+
 // OIDAt returns the oid at extent position pos.
 func (dv *Datavector) OIDAt(pos int) OID {
 	if dv.Extent == nil {
@@ -90,8 +100,9 @@ func (dv *Datavector) Lookup(r *BAT) []int32 { return dv.lookups[r] }
 // Memoize records the LOOKUP array for right operand r.
 func (dv *Datavector) Memoize(r *BAT, lookup []int32) { dv.lookups[r] = lookup }
 
-// DropLookups clears the memo (used between benchmark repetitions).
-func (dv *Datavector) DropLookups() { dv.lookups = make(map[*BAT][]int32) }
+// DropLookups clears the memo (used between benchmark repetitions). The map
+// is reused so that re-probing does not pay for fresh bucket arrays.
+func (dv *Datavector) DropLookups() { clear(dv.lookups) }
 
 // SortOnTail returns a copy of b reordered ascending on tail values — the
 // physical layout Section 5.2 prescribes for all attribute BATs ("store all

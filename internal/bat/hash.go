@@ -1,27 +1,286 @@
 package bat
 
+import "math"
+
 // HashIndex is a persistent hash-table search accelerator on one column
-// (Fig. 2 shows such an accelerator heap attached to a BAT). It maps each
-// distinct value to the positions holding it.
+// (Fig. 2 shows such an accelerator heap attached to a BAT). It is the
+// Monet-style bucket+link layout: bucket[hash(v)&mask] holds the first
+// position with that hash, link[i] chains to the next one — two int32
+// arrays built directly over the column's typed backing slice, with zero
+// per-key allocations. Chains are built back to front, so walking one
+// yields positions in ascending order.
+//
+// Dense (void) columns need no arrays at all: the position of an oid is
+// arithmetic. Columns without a typed backing fall back to a boxed map.
 type HashIndex struct {
-	pos map[Value][]int32
+	col Column
+
+	// dense accelerator (void columns)
+	dense bool
+	seq   OID
+	n     int
+
+	// bucket+link accelerator
+	rep    KeyRep
+	bucket []int32
+	link   []int32
+	mask   uint32
+
+	card int
+
+	// boxed fallback for columns without typed backing slices
+	boxed map[Value][]int32
 }
 
 // BuildHashIndex constructs a hash index over col.
 func BuildHashIndex(col Column) *HashIndex {
-	m := make(map[Value][]int32, col.Len())
-	for i := 0; i < col.Len(); i++ {
-		v := col.Get(i)
-		m[v] = append(m[v], int32(i))
+	if v, ok := col.(*VoidCol); ok {
+		return &HashIndex{col: col, dense: true, seq: v.Seq, n: v.N, card: v.N}
 	}
-	return &HashIndex{pos: m}
+	rep, ok := NewKeyRep(col)
+	if !ok {
+		n := col.Len()
+		m := make(map[Value][]int32, n)
+		for i := 0; i < n; i++ {
+			v := col.Get(i)
+			m[v] = append(m[v], int32(i))
+		}
+		return &HashIndex{col: col, boxed: m, card: len(m)}
+	}
+	n := col.Len()
+	sz := nextPow2(max(n, 1))
+	h := &HashIndex{
+		col:    col,
+		rep:    rep,
+		bucket: make([]int32, sz),
+		link:   make([]int32, n),
+		mask:   uint32(sz - 1),
+		n:      n,
+	}
+	for i := range h.bucket {
+		h.bucket[i] = -1
+	}
+	// Insert back to front so chains walk ascending; count distinct keys on
+	// the way (a key is new when no equal entry is already chained).
+	for i := n - 1; i >= 0; i-- {
+		x := rep.Rep[i]
+		b := fibHash(x) & h.mask
+		dup := false
+		for j := h.bucket[b]; j >= 0; j = h.link[j] {
+			if rep.Rep[j] == x && (rep.Exact || rep.KeyEqual(int32(i), j)) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			h.card++
+		}
+		h.link[i] = h.bucket[b]
+		h.bucket[b] = int32(i)
+	}
+	return h
 }
 
-// Lookup returns the positions at which v occurs.
-func (h *HashIndex) Lookup(v Value) []int32 { return h.pos[v] }
-
 // Card reports the number of distinct values.
-func (h *HashIndex) Card() int { return len(h.pos) }
+func (h *HashIndex) Card() int { return h.card }
+
+// repOfValue condenses a boxed probe value into the indexed column's key
+// space; ok is false when the kind cannot occur in the column (map-key
+// semantics: a probe of a different kind never matches).
+func (h *HashIndex) repOfValue(v Value) (uint64, bool) {
+	switch h.col.(type) {
+	case *FltCol:
+		if v.K != KFlt {
+			return 0, false
+		}
+		f := v.F
+		if f == 0 {
+			f = 0
+		}
+		return math.Float64bits(f), true
+	case *StrCol:
+		if v.K != KStr {
+			return 0, false
+		}
+		return hashString(v.S), true
+	}
+	if v.K != normKind(h.col.Kind()) {
+		return 0, false
+	}
+	return uint64(v.I), true
+}
+
+// Lookup returns the positions at which v occurs, in ascending order, or nil.
+func (h *HashIndex) Lookup(v Value) []int32 {
+	if h.boxed != nil {
+		return h.boxed[v]
+	}
+	if h.dense {
+		if v.K != KOID {
+			return nil
+		}
+		i := v.I - int64(h.seq)
+		if i < 0 || i >= int64(h.n) {
+			return nil
+		}
+		return []int32{int32(i)}
+	}
+	x, ok := h.repOfValue(v)
+	if !ok || h.n == 0 {
+		return nil
+	}
+	var out []int32
+	for j := h.bucket[fibHash(x)&h.mask]; j >= 0; j = h.link[j] {
+		if h.rep.Rep[j] != x {
+			continue
+		}
+		if !h.rep.Exact && !h.valueEqualAt(v, j) {
+			continue
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// Lookup1 returns the first (lowest) position at which v occurs, without
+// allocating; ok is false when v does not occur. It is the probe for
+// callers that resolve one id at a time (the structure-function resolvers).
+func (h *HashIndex) Lookup1(v Value) (int32, bool) {
+	if h.boxed != nil {
+		if pos := h.boxed[v]; len(pos) > 0 {
+			return pos[0], true
+		}
+		return 0, false
+	}
+	if h.dense {
+		if v.K != KOID {
+			return 0, false
+		}
+		i := v.I - int64(h.seq)
+		if i < 0 || i >= int64(h.n) {
+			return 0, false
+		}
+		return int32(i), true
+	}
+	x, ok := h.repOfValue(v)
+	if !ok || h.n == 0 {
+		return 0, false
+	}
+	for j := h.bucket[fibHash(x)&h.mask]; j >= 0; j = h.link[j] {
+		if h.rep.Rep[j] != x {
+			continue
+		}
+		if !h.rep.Exact && !h.valueEqualAt(v, j) {
+			continue
+		}
+		return j, true
+	}
+	return 0, false
+}
+
+// valueEqualAt settles an inexact rep match of boxed v against position j.
+func (h *HashIndex) valueEqualAt(v Value, j int32) bool {
+	switch c := h.col.(type) {
+	case *FltCol:
+		return c.V[j] == v.F
+	case *StrCol:
+		return c.At(int(j)) == v.S
+	}
+	return h.col.Get(int(j)) == v
+}
+
+// Probe is a prepared probe column: its key reps plus (when needed) a
+// verifier of probe-row against indexed-row equality. Probes are read-only
+// and safe to share across parallel range workers.
+type Probe struct {
+	rep KeyRep
+	eq  func(pi, bi int32) bool // nil when rep equality is conclusive
+}
+
+// NewProbe prepares probe for typed probing into h. It reports false when
+// the probe column's kind cannot match the indexed column (the caller then
+// takes the boxed Lookup path, which preserves map-key semantics).
+func (h *HashIndex) NewProbe(probe Column) (Probe, bool) {
+	if h.boxed != nil {
+		return Probe{}, false
+	}
+	if normKind(probe.Kind()) != normKind(h.col.Kind()) {
+		return Probe{}, false
+	}
+	rep, ok := NewKeyRep(probe)
+	if !ok {
+		return Probe{}, false
+	}
+	p := Probe{rep: rep}
+	if !h.dense && !(rep.Exact && h.rep.Exact) {
+		p.eq = crossEq(probe, h.col)
+	}
+	return p, true
+}
+
+// JoinRange probes rows [lo,hi) of the prepared probe column and appends
+// every (probe position, indexed position) match pair — the hash-join inner
+// loop. Pairs follow probe order; per probe row, indexed positions ascend.
+func (h *HashIndex) JoinRange(p Probe, lo, hi int, lpos, rpos []int32) ([]int32, []int32) {
+	if h.dense {
+		seq := uint64(h.seq)
+		n := uint64(h.n)
+		for i := lo; i < hi; i++ {
+			if j := p.rep.Rep[i] - seq; j < n {
+				lpos = append(lpos, int32(i))
+				rpos = append(rpos, int32(j))
+			}
+		}
+		return lpos, rpos
+	}
+	if h.n == 0 {
+		return lpos, rpos
+	}
+	rep := h.rep.Rep
+	for i := lo; i < hi; i++ {
+		x := p.rep.Rep[i]
+		for j := h.bucket[fibHash(x)&h.mask]; j >= 0; j = h.link[j] {
+			if rep[j] == x && (p.eq == nil || p.eq(int32(i), j)) {
+				lpos = append(lpos, int32(i))
+				rpos = append(rpos, j)
+			}
+		}
+	}
+	return lpos, rpos
+}
+
+// FilterRange probes rows [lo,hi) of the prepared probe column and appends
+// the probe positions having at least one match (want=true: semijoin,
+// intersection) or none (want=false: difference).
+func (h *HashIndex) FilterRange(p Probe, lo, hi int, want bool, pos []int32) []int32 {
+	if h.dense {
+		seq := uint64(h.seq)
+		n := uint64(h.n)
+		for i := lo; i < hi; i++ {
+			if (p.rep.Rep[i]-seq < n) == want {
+				pos = append(pos, int32(i))
+			}
+		}
+		return pos
+	}
+	rep := h.rep.Rep
+	for i := lo; i < hi; i++ {
+		hit := false
+		if h.n > 0 {
+			x := p.rep.Rep[i]
+			for j := h.bucket[fibHash(x)&h.mask]; j >= 0; j = h.link[j] {
+				if rep[j] == x && (p.eq == nil || p.eq(int32(i), j)) {
+					hit = true
+					break
+				}
+			}
+		}
+		if hit == want {
+			pos = append(pos, int32(i))
+		}
+	}
+	return pos
+}
 
 // TailHash returns (building and caching on first use) the hash accelerator
 // on b's tail column. Building an accelerator at run time is exactly what

@@ -7,6 +7,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/mil"
@@ -14,6 +15,13 @@ import (
 	"repro/internal/rewrite"
 	"repro/internal/storage"
 )
+
+// AutoWorkers reports the default parallel iteration degree for this host:
+// one worker per schedulable CPU. Parallel execution stays bit-identical to
+// sequential (the bulk operators merge per-worker partials in range order),
+// so any degree is safe; 1 disables parallelism for paper-faithful
+// single-CPU measurements.
+func AutoWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // Database is an open MOA database: a schema plus the BAT environment
 // holding its vertically decomposed extents, attribute BATs and

@@ -6,7 +6,7 @@ import (
 	"repro/internal/bat"
 )
 
-// aggAcc accumulates one group for one aggregate function.
+// aggAcc accumulates one group for one aggregate function (boxed path).
 type aggAcc struct {
 	count int64
 	sumI  int64
@@ -86,15 +86,357 @@ func aggResultKind(fn string, in bat.Kind) bat.Kind {
 //
 // The result holds one BUN per distinct head, in first-occurrence order, so
 // an ordered operand head yields an ordered (and always key) result head.
+//
+// Execution is slot-based: each row's head resolves to a dense group slot
+// (contiguous runs when the head is ordered, the bucket+link grouper
+// otherwise) and typed accumulator arrays replace per-group boxed
+// accumulators. Over large unordered inputs the grouping runs as parallel
+// per-range partials merged in range order; the merge is restricted to
+// aggregates whose combination is exact (integer sums, count, min, max), so
+// parallel results are bit-identical to sequential execution.
 func Aggr(ctx *Ctx, fn string, b *bat.BAT) *bat.BAT {
 	p := ctx.pager()
 	b.H.TouchAll(p)
 	b.T.TouchAll(p)
-	if b.Props.Has(bat.HOrdered) {
-		return aggrOrdered(ctx, fn, b)
+	n := b.Len()
+	hr, ok := bat.NewKeyRep(b.H)
+	if n == 0 || !ok {
+		return aggrBoxed(ctx, fn, b)
 	}
-	if out, ok := aggrOIDFast(ctx, fn, b); ok {
-		return out
+	eq := hr.Verifier()
+	if b.Props.Has(bat.HOrdered) {
+		ctx.chose("ordered-aggr")
+		part := aggrScanOrdered(b, hr, n)
+		return aggrAssembleTyped(fn, b, part.first, part)
+	}
+	ctx.chose("hash-aggr")
+	k := 1
+	if aggrParallelOK(fn, b.T) {
+		k = workersFor(ctx, n)
+	}
+	rs := ranges(n, k)
+	if len(rs) <= 1 {
+		part := aggrScanHash(b, hr, eq, 0, n)
+		return aggrAssembleTyped(fn, b, part.g.Rows(), part)
+	}
+	parts := make([]*aggPart, len(rs))
+	parallelFill(len(rs), len(rs), func(lo, hi int) {
+		for w := lo; w < hi; w++ {
+			parts[w] = aggrScanHash(b, hr, eq, rs[w][0], rs[w][1])
+		}
+	})
+	merged, first := aggrMerge(parts, hr, eq)
+	return aggrAssembleTyped(fn, b, first, merged)
+}
+
+// aggrParallelOK gates the parallel grouped aggregation on combinations
+// whose partial merge is exact: floating-point sums are order-sensitive, so
+// sum/avg over float tails stay sequential.
+func aggrParallelOK(fn string, t bat.Column) bool {
+	switch t.(type) {
+	case *bat.IntCol:
+		return fn != "avg" // avg reads the float sum
+	case *bat.DateCol:
+		return true
+	case *bat.FltCol:
+		return fn == "count" || fn == "min" || fn == "max"
+	}
+	return false
+}
+
+// aggPart holds per-slot accumulators for one scan range. Exactly one of
+// the typed array sets (or boxed) is populated, matching the tail kind.
+type aggPart struct {
+	g     *bat.Grouper // hash path; nil for the ordered path
+	first []int32      // ordered path: first row per slot
+
+	count      []int64
+	sumI       []int64
+	sumF       []float64
+	minI, maxI []int64
+	minF, maxF []float64
+	boxed      []aggAcc
+}
+
+func (a *aggPart) firstRows() []int32 {
+	if a.g != nil {
+		return a.g.Rows()
+	}
+	return a.first
+}
+
+// aggrScanHash accumulates rows [lo,hi) with grouper slot assignment.
+func aggrScanHash(b *bat.BAT, hr bat.KeyRep, eq bat.KeyEq, lo, hi int) *aggPart {
+	g := bat.NewGrouper(hi - lo)
+	a := &aggPart{g: g}
+	a.scan(b, lo, hi, func(i int) (int32, bool) {
+		return g.Slot(hr.Rep[i], int32(i), eq)
+	})
+	return a
+}
+
+// aggrScanOrdered accumulates all rows with run-detection slot assignment:
+// an ordered head clusters each group contiguously.
+func aggrScanOrdered(b *bat.BAT, hr bat.KeyRep, n int) *aggPart {
+	a := &aggPart{}
+	slot := int32(-1)
+	a.scan(b, 0, n, func(i int) (int32, bool) {
+		if i == 0 || !(hr.Exact && hr.Rep[i-1] == hr.Rep[i] || !hr.Exact && hr.KeyEqual(int32(i-1), int32(i))) {
+			slot++
+			a.first = append(a.first, int32(i))
+			return slot, true
+		}
+		return slot, false
+	})
+	return a
+}
+
+// scan runs the typed accumulation loop for the part's tail kind.
+func (a *aggPart) scan(b *bat.BAT, lo, hi int, slot func(i int) (int32, bool)) {
+	switch t := b.T.(type) {
+	case *bat.IntCol:
+		for i := lo; i < hi; i++ {
+			s, fresh := slot(i)
+			v := t.V[i]
+			if fresh {
+				a.count = append(a.count, 0)
+				a.sumI = append(a.sumI, 0)
+				a.sumF = append(a.sumF, 0)
+				a.minI = append(a.minI, v)
+				a.maxI = append(a.maxI, v)
+			}
+			a.count[s]++
+			a.sumI[s] += v
+			a.sumF[s] += float64(v)
+			if v < a.minI[s] {
+				a.minI[s] = v
+			}
+			if v > a.maxI[s] {
+				a.maxI[s] = v
+			}
+		}
+	case *bat.FltCol:
+		for i := lo; i < hi; i++ {
+			s, fresh := slot(i)
+			v := t.V[i]
+			if fresh {
+				a.count = append(a.count, 0)
+				a.sumF = append(a.sumF, 0)
+				a.minF = append(a.minF, v)
+				a.maxF = append(a.maxF, v)
+			}
+			a.count[s]++
+			a.sumF[s] += v
+			if v < a.minF[s] {
+				a.minF[s] = v
+			}
+			if v > a.maxF[s] {
+				a.maxF[s] = v
+			}
+		}
+	case *bat.DateCol:
+		for i := lo; i < hi; i++ {
+			s, fresh := slot(i)
+			v := int64(t.V[i])
+			if fresh {
+				a.count = append(a.count, 0)
+				a.minI = append(a.minI, v)
+				a.maxI = append(a.maxI, v)
+			}
+			a.count[s]++
+			if v < a.minI[s] {
+				a.minI[s] = v
+			}
+			if v > a.maxI[s] {
+				a.maxI[s] = v
+			}
+		}
+	default:
+		for i := lo; i < hi; i++ {
+			s, fresh := slot(i)
+			if fresh {
+				a.boxed = append(a.boxed, aggAcc{})
+			}
+			a.boxed[s].add(b.T.Get(i))
+		}
+	}
+}
+
+// aggrMerge folds per-range partials into one, in range order, remapping
+// each partial slot through a global grouper. Group order equals the
+// sequential first-occurrence order: a group's first row lies in the
+// earliest range that saw it.
+func aggrMerge(parts []*aggPart, hr bat.KeyRep, eq bat.KeyEq) (*aggPart, []int32) {
+	total := 0
+	for _, p := range parts {
+		total += p.slots()
+	}
+	g := bat.NewGrouper(total)
+	out := &aggPart{}
+	for _, p := range parts {
+		rows := p.firstRows()
+		for s := 0; s < p.slots(); s++ {
+			row := rows[s]
+			gs, fresh := g.Slot(hr.Rep[row], row, eq)
+			if fresh {
+				out.appendSlotFrom(p, s)
+				continue
+			}
+			out.combineSlot(gs, p, s)
+		}
+	}
+	return out, g.Rows()
+}
+
+func (a *aggPart) slots() int {
+	if a.g != nil {
+		return a.g.Len()
+	}
+	if a.first != nil {
+		return len(a.first)
+	}
+	return len(a.count) + len(a.boxed)
+}
+
+func (a *aggPart) appendSlotFrom(p *aggPart, s int) {
+	if p.count != nil {
+		a.count = append(a.count, p.count[s])
+	}
+	if p.sumI != nil {
+		a.sumI = append(a.sumI, p.sumI[s])
+	}
+	if p.sumF != nil {
+		a.sumF = append(a.sumF, p.sumF[s])
+	}
+	if p.minI != nil {
+		a.minI = append(a.minI, p.minI[s])
+		a.maxI = append(a.maxI, p.maxI[s])
+	}
+	if p.minF != nil {
+		a.minF = append(a.minF, p.minF[s])
+		a.maxF = append(a.maxF, p.maxF[s])
+	}
+	if p.boxed != nil {
+		a.boxed = append(a.boxed, p.boxed[s])
+	}
+}
+
+func (a *aggPart) combineSlot(gs int32, p *aggPart, s int) {
+	if p.count != nil {
+		a.count[gs] += p.count[s]
+	}
+	if p.sumI != nil {
+		a.sumI[gs] += p.sumI[s]
+	}
+	if p.sumF != nil {
+		a.sumF[gs] += p.sumF[s]
+	}
+	if p.minI != nil {
+		if p.minI[s] < a.minI[gs] {
+			a.minI[gs] = p.minI[s]
+		}
+		if p.maxI[s] > a.maxI[gs] {
+			a.maxI[gs] = p.maxI[s]
+		}
+	}
+	if p.minF != nil {
+		if p.minF[s] < a.minF[gs] {
+			a.minF[gs] = p.minF[s]
+		}
+		if p.maxF[s] > a.maxF[gs] {
+			a.maxF[gs] = p.maxF[s]
+		}
+	}
+}
+
+// aggrAssembleTyped builds the result BAT from accumulated slots: the head
+// gathers the first-occurrence rows, the tail is constructed directly as a
+// typed column.
+func aggrAssembleTyped(fn string, b *bat.BAT, first []int32, a *aggPart) *bat.BAT {
+	G := len(first)
+	var head bat.Column
+	if v, ok := b.H.(*bat.VoidCol); ok {
+		// a void head is dense and key: every row is its own group, and the
+		// result head is the same dense sequence.
+		head = bat.NewVoid(v.Seq, G)
+	} else {
+		head = bat.Gather32(b.H, first)
+	}
+
+	var tail bat.Column
+	if a.boxed != nil {
+		kind := aggResultKind(fn, b.T.Kind())
+		vals := make([]bat.Value, G)
+		for i := range vals {
+			vals[i] = a.boxed[i].result(fn, b.T.Kind())
+		}
+		tail = bat.FromValues(kind, vals)
+	} else {
+		switch fn {
+		case "count":
+			tail = bat.NewIntCol(a.count)
+		case "sum":
+			if b.T.Kind() == bat.KInt {
+				tail = bat.NewIntCol(a.sumI)
+			} else {
+				tail = bat.NewFltCol(a.sumFOrZero(G))
+			}
+		case "avg":
+			sum := a.sumFOrZero(G)
+			vals := make([]float64, G)
+			for i := range vals {
+				vals[i] = sum[i] / float64(a.count[i])
+			}
+			tail = bat.NewFltCol(vals)
+		case "min", "max":
+			tail = a.minmaxCol(fn, b.T.Kind())
+		default:
+			panic(fmt.Sprintf("mil: unknown aggregate %q", fn))
+		}
+	}
+
+	out := bat.New("{"+fn+"}", head, tail, bat.HKey)
+	if b.Props.Has(bat.HOrdered) {
+		out.Props |= bat.HOrdered
+	}
+	return out
+}
+
+// sumFOrZero returns the float sums, or zeros for kinds that accumulate
+// none (dates), matching the boxed accumulator's behavior.
+func (a *aggPart) sumFOrZero(G int) []float64 {
+	if a.sumF != nil {
+		return a.sumF
+	}
+	return make([]float64, G)
+}
+
+func (a *aggPart) minmaxCol(fn string, kind bat.Kind) bat.Column {
+	sel64 := a.minI
+	selF := a.minF
+	if fn == "max" {
+		sel64, selF = a.maxI, a.maxF
+	}
+	switch kind {
+	case bat.KInt:
+		return bat.NewIntCol(sel64)
+	case bat.KFlt:
+		return bat.NewFltCol(selF)
+	case bat.KDate:
+		days := make([]int32, len(sel64))
+		for i, v := range sel64 {
+			days[i] = int32(v)
+		}
+		return bat.NewDateCol(days)
+	}
+	panic("mil: typed min/max over kind " + kind.String())
+}
+
+// aggrBoxed is the boxed reference implementation (also the fallback for
+// empty inputs and columns without typed backing).
+func aggrBoxed(ctx *Ctx, fn string, b *bat.BAT) *bat.BAT {
+	if b.Props.Has(bat.HOrdered) {
+		return aggrOrderedBoxed(ctx, fn, b)
 	}
 	ctx.chose("hash-aggr")
 	accs := make(map[bat.Value]*aggAcc, 64)
@@ -112,9 +454,9 @@ func Aggr(ctx *Ctx, fn string, b *bat.BAT) *bat.BAT {
 	return aggrAssemble(fn, b, order, func(h bat.Value) *aggAcc { return accs[h] })
 }
 
-// aggrOrdered exploits an ordered head: groups are contiguous runs, no hash
-// table needed.
-func aggrOrdered(ctx *Ctx, fn string, b *bat.BAT) *bat.BAT {
+// aggrOrderedBoxed exploits an ordered head: groups are contiguous runs, no
+// hash table needed.
+func aggrOrderedBoxed(ctx *Ctx, fn string, b *bat.BAT) *bat.BAT {
 	ctx.chose("ordered-aggr")
 	var order []bat.Value
 	var accs []*aggAcc

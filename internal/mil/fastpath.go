@@ -4,10 +4,9 @@ import (
 	"repro/internal/bat"
 )
 
-// The operators' generic implementations work on boxed values; the accessors
-// here unlock allocation-free typed paths for the dominant case — oid
-// columns (object identifiers are what the flattened representation joins
-// on, Section 3.3).
+// The typed kernels in internal/bat carry the operators' hot loops; the
+// accessors here cover the remaining positional oid fast paths — object
+// identifiers are what the flattened representation joins on (Section 3.3).
 
 // oidGetter returns a positional oid accessor for oid-typed columns.
 func oidGetter(c bat.Column) (func(int) bat.OID, bool) {
@@ -20,206 +19,27 @@ func oidGetter(c bat.Column) (func(int) bat.OID, bool) {
 	return nil, false
 }
 
-// hashSemijoinOID is the typed variant of hashSemijoin for oid head columns.
-func hashSemijoinOID(ctx *Ctx, l, r *bat.BAT) (*bat.BAT, bool) {
-	rh, rok := oidGetter(r.H)
+// syncSemijoinPrecheck detects identical oid head sequences at run time: the
+// semijoin then degenerates to a copy (the sync-semijoin of Section 5.1),
+// and the discovered correspondence is recorded on the operands for later
+// operators.
+func syncSemijoinPrecheck(ctx *Ctx, l, r *bat.BAT) (*bat.BAT, bool) {
+	if l.Len() != r.Len() || l.Len() == 0 {
+		return nil, false
+	}
 	lh, lok := oidGetter(l.H)
-	if !rok || !lok {
-		return nil, false
-	}
-	// Positional pre-check: identical head sequences make the semijoin a
-	// copy (the sync-semijoin of Section 5.1, detected at run time).
-	if l.Len() == r.Len() && l.Len() > 0 {
-		same := true
-		for i := 0; i < l.Len(); i++ {
-			if lh(i) != rh(i) {
-				same = false
-				break
-			}
-		}
-		if same {
-			ctx.chose("sync-semijoin")
-			out := bat.New(l.Name+".sel", l.H, l.T, l.Props&filterProps)
-			out.SyncWith(l)
-			// record the discovered correspondence for later operators
-			r.SyncWith(l)
-			return out, true
-		}
-	}
-	ctx.chose("hash-semijoin")
-	p := ctx.pager()
-	r.H.TouchAll(p)
-	set := make(map[bat.OID]struct{}, r.Len())
-	for i := 0; i < r.Len(); i++ {
-		set[rh(i)] = struct{}{}
-	}
-	l.H.TouchAll(p)
-	var pos []int
-	for i := 0; i < l.Len(); i++ {
-		if _, ok := set[lh(i)]; ok {
-			pos = append(pos, i)
-		}
-	}
-	return gatherPositions(ctx, l.Name+".sel", l, pos), true
-}
-
-// hashJoinOID is the typed variant of hashJoin when both join columns are
-// oids.
-func hashJoinOID(ctx *Ctx, l, r *bat.BAT) (*bat.BAT, bool) {
 	rh, rok := oidGetter(r.H)
-	lt, lok := oidGetter(l.T)
-	if !rok || !lok {
+	if !lok || !rok {
 		return nil, false
 	}
-	ctx.chose("hash-join")
-	p := ctx.pager()
-	r.H.TouchAll(p)
-	idx := make(map[bat.OID][]int32, r.Len())
-	for i := 0; i < r.Len(); i++ {
-		h := rh(i)
-		idx[h] = append(idx[h], int32(i))
-	}
-	l.T.TouchAll(p)
-	var lpos, rpos []int
 	for i := 0; i < l.Len(); i++ {
-		for _, rp := range idx[lt(i)] {
-			lpos = append(lpos, i)
-			rpos = append(rpos, int(rp))
+		if lh(i) != rh(i) {
+			return nil, false
 		}
 	}
-	return joinResult(ctx, l, r, lpos, rpos), true
-}
-
-// groupUnaryFast assigns group oids with typed hash tables for the common
-// tail kinds; it reports false when the tail needs the boxed path.
-func groupUnaryFast(b *bat.BAT, out []bat.OID) bool {
-	switch t := b.T.(type) {
-	case *bat.ChrCol:
-		var ids [256]bat.OID
-		var seen [256]bool
-		var next bat.OID
-		for i, c := range t.V {
-			if !seen[c] {
-				ids[c] = next
-				seen[c] = true
-				next++
-			}
-			out[i] = ids[c]
-		}
-		return true
-	case *bat.OIDCol:
-		ids := make(map[bat.OID]bat.OID, 64)
-		var next bat.OID
-		for i, v := range t.V {
-			id, ok := ids[v]
-			if !ok {
-				id = next
-				next++
-				ids[v] = id
-			}
-			out[i] = id
-		}
-		return true
-	case *bat.IntCol:
-		ids := make(map[int64]bat.OID, 64)
-		var next bat.OID
-		for i, v := range t.V {
-			id, ok := ids[v]
-			if !ok {
-				id = next
-				next++
-				ids[v] = id
-			}
-			out[i] = id
-		}
-		return true
-	case *bat.StrCol:
-		ids := make(map[string]bat.OID, 64)
-		var next bat.OID
-		for i := 0; i < t.Len(); i++ {
-			v := t.At(i)
-			id, ok := ids[v]
-			if !ok {
-				id = next
-				next++
-				ids[v] = id
-			}
-			out[i] = id
-		}
-		return true
-	}
-	return false
-}
-
-// aggrOIDFast is the typed set-aggregate for oid heads, covering the
-// grouped-aggregation joins of every nest-based TPC-D query.
-func aggrOIDFast(ctx *Ctx, fn string, b *bat.BAT) (*bat.BAT, bool) {
-	h, ok := oidGetter(b.H)
-	if !ok {
-		return nil, false
-	}
-	ctx.chose("hash-aggr")
-	accs := make(map[bat.OID]*aggAcc, 64)
-	var order []bat.OID
-	acc := func(i int) *aggAcc {
-		o := h(i)
-		a, ok := accs[o]
-		if !ok {
-			a = &aggAcc{}
-			accs[o] = a
-			order = append(order, o)
-		}
-		return a
-	}
-	switch t := b.T.(type) {
-	case *bat.FltCol:
-		for i, v := range t.V {
-			a := acc(i)
-			a.count++
-			a.sumF += v
-			if !a.first {
-				a.min, a.max, a.first, a.kind = bat.F(v), bat.F(v), true, bat.KFlt
-			} else {
-				if v < a.min.F {
-					a.min = bat.F(v)
-				}
-				if v > a.max.F {
-					a.max = bat.F(v)
-				}
-			}
-		}
-	case *bat.IntCol:
-		for i, v := range t.V {
-			a := acc(i)
-			a.count++
-			a.sumI += v
-			a.sumF += float64(v)
-			if !a.first {
-				a.min, a.max, a.first, a.kind = bat.I(v), bat.I(v), true, bat.KInt
-			} else {
-				if v < a.min.I {
-					a.min = bat.I(v)
-				}
-				if v > a.max.I {
-					a.max = bat.I(v)
-				}
-			}
-		}
-	default:
-		for i := 0; i < b.Len(); i++ {
-			acc(i).add(b.T.Get(i))
-		}
-	}
-	heads := make([]bat.OID, len(order))
-	copy(heads, order)
-	kind := aggResultKind(fn, b.T.Kind())
-	vals := make([]bat.Value, len(order))
-	for i, o := range order {
-		vals[i] = accs[o].result(fn, b.T.Kind())
-	}
-	out := bat.New("{"+fn+"}", bat.NewOIDCol(heads), bat.FromValues(kind, vals), bat.HKey)
-	if b.Props.Has(bat.HOrdered) {
-		out.Props |= bat.HOrdered
-	}
+	ctx.chose("sync-semijoin")
+	out := bat.New(l.Name+".sel", l.H, l.T, l.Props&filterProps)
+	out.SyncWith(l)
+	r.SyncWith(l)
 	return out, true
 }

@@ -5,12 +5,33 @@ import (
 )
 
 // Unique implements AB.unique: it removes duplicate BUNs, keeping first
-// occurrences, so order properties of the operand are preserved.
+// occurrences, so order properties of the operand are preserved. The typed
+// path dedupes composite (head, tail) key reps through the bucket+link
+// grouper; the boxed map path remains as fallback (and parity reference).
 func Unique(ctx *Ctx, b *bat.BAT) *bat.BAT {
 	ctx.chose("hash-unique")
 	p := ctx.pager()
 	b.H.TouchAll(p)
 	b.T.TouchAll(p)
+	n := b.Len()
+	hr, ok1 := bat.NewKeyRep(b.H)
+	tr, ok2 := bat.NewKeyRep(b.T)
+	if !ok1 || !ok2 {
+		return uniqueBoxed(ctx, b)
+	}
+	g := bat.NewGrouper(n)
+	eq := bat.PairEq{A: hr, B: tr} // Mix keys always need verifying
+	var pos []int32
+	for i := 0; i < n; i++ {
+		if _, fresh := g.Slot(bat.Mix(hr.Rep[i], tr.Rep[i]), int32(i), eq); fresh {
+			pos = append(pos, int32(i))
+		}
+	}
+	return gatherPositions(ctx, b.Name+".uniq", b, pos)
+}
+
+// uniqueBoxed is the boxed-map variant of Unique.
+func uniqueBoxed(ctx *Ctx, b *bat.BAT) *bat.BAT {
 	type bun struct{ h, t bat.Value }
 	seen := make(map[bun]struct{}, b.Len())
 	var pos []int
@@ -22,8 +43,7 @@ func Unique(ctx *Ctx, b *bat.BAT) *bat.BAT {
 		seen[k] = struct{}{}
 		pos = append(pos, i)
 	}
-	out := gatherPositions(ctx, b.Name+".uniq", b, pos)
-	return out
+	return gatherPositions(ctx, b.Name+".uniq", b, pos)
 }
 
 // GroupUnary implements AB.group: {a·o_b | ab ∈ AB ∧ o_b = unique_oid(b)} —
@@ -31,29 +51,43 @@ func Unique(ctx *Ctx, b *bat.BAT) *bat.BAT {
 // result has the same head (at the same positions) as the operand and is
 // positionally synced with it; its tail identifies the group of each BUN.
 // This is the primitive behind SQL GROUP BY and MOA nest (Section 4.2,
-// "grouping").
+// "grouping"). Grouper slots are handed out in first-occurrence order, so
+// group oids are identical to the boxed implementation's.
 func GroupUnary(ctx *Ctx, b *bat.BAT) *bat.BAT {
 	ctx.chose("hash-group")
 	p := ctx.pager()
 	b.T.TouchAll(p)
-	out := make([]bat.OID, b.Len())
-	if !groupUnaryFast(b, out) {
-		ids := make(map[bat.Value]bat.OID, b.Len())
-		var next bat.OID
-		for i := 0; i < b.Len(); i++ {
-			v := b.T.Get(i)
-			id, ok := ids[v]
-			if !ok {
-				id = next
-				next++
-				ids[v] = id
-			}
-			out[i] = id
+	n := b.Len()
+	out := make([]bat.OID, n)
+	if tr, ok := bat.NewKeyRep(b.T); ok {
+		g := bat.NewGrouper(n)
+		eq := tr.Verifier()
+		for i := 0; i < n; i++ {
+			s, _ := g.Slot(tr.Rep[i], int32(i), eq)
+			out[i] = bat.OID(s)
 		}
+	} else {
+		groupTailsBoxed(b, out)
 	}
 	res := bat.New(b.Name+".grp", b.H, bat.NewOIDCol(out), b.Props&(bat.HOrdered|bat.HKey))
 	res.SyncWith(b)
 	return res
+}
+
+// groupTailsBoxed assigns group oids per distinct boxed tail value.
+func groupTailsBoxed(b *bat.BAT, out []bat.OID) {
+	ids := make(map[bat.Value]bat.OID, b.Len())
+	var next bat.OID
+	for i := 0; i < b.Len(); i++ {
+		v := b.T.Get(i)
+		id, ok := ids[v]
+		if !ok {
+			id = next
+			next++
+			ids[v] = id
+		}
+		out[i] = id
+	}
 }
 
 // GroupBinary implements AB.group(CD): it refines an existing grouping g
@@ -68,15 +102,35 @@ func GroupBinary(ctx *Ctx, g, b *bat.BAT) *bat.BAT {
 	p := ctx.pager()
 	g.T.TouchAll(p)
 	b.T.TouchAll(p)
+	n := g.Len()
+	out := make([]bat.OID, n)
 
+	gr, ok1 := bat.NewKeyRep(g.T)
+	br, ok2 := bat.NewKeyRep(b.T)
+	if bat.Synced(g, b) && ok1 && ok2 {
+		gp := bat.NewGrouper(n)
+		eq := bat.PairEq{A: gr, B: br}
+		for i := 0; i < n; i++ {
+			s, _ := gp.Slot(bat.Mix(gr.Rep[i], br.Rep[i]), int32(i), eq)
+			out[i] = bat.OID(s)
+		}
+	} else {
+		groupBinaryBoxed(g, b, out)
+	}
+	res := bat.New(g.Name+".grp", g.H, bat.NewOIDCol(out), g.Props&(bat.HOrdered|bat.HKey))
+	res.SyncWith(g)
+	return res
+}
+
+// groupBinaryBoxed refines boxed (group, value) pairs through a map; it also
+// handles the un-synced case by aligning b's tails to g's heads.
+func groupBinaryBoxed(g, b *bat.BAT, out []bat.OID) {
 	valueAt := alignedTailAccessor(g, b)
-
 	type refKey struct {
 		grp bat.Value
 		val bat.Value
 	}
 	ids := make(map[refKey]bat.OID, g.Len())
-	out := make([]bat.OID, g.Len())
 	var next bat.OID
 	for i := 0; i < g.Len(); i++ {
 		k := refKey{g.T.Get(i), valueAt(i)}
@@ -88,9 +142,6 @@ func GroupBinary(ctx *Ctx, g, b *bat.BAT) *bat.BAT {
 		}
 		out[i] = id
 	}
-	res := bat.New(g.Name+".grp", g.H, bat.NewOIDCol(out), g.Props&(bat.HOrdered|bat.HKey))
-	res.SyncWith(g)
-	return res
 }
 
 // alignedTailAccessor returns a function mapping positions of a to the tail

@@ -1,6 +1,9 @@
 package mil
 
 import (
+	"encoding/binary"
+	"math"
+
 	"repro/internal/bat"
 )
 
@@ -13,6 +16,9 @@ import (
 //   - merge-join: AB's tail and CD's head are both ordered;
 //   - hash-join: fallback, hash accelerator on CD's head (built and cached
 //     on first use, like Monet's run-time accelerator construction).
+//
+// All variants run as typed kernels over the columns' backing slices; boxed
+// loops remain only as fallbacks for column pairs without a typed path.
 func Join(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
 	if out, ok := syncJoin(ctx, l, r); ok {
 		return out
@@ -48,16 +54,18 @@ func dvJoin(ctx *Ctx, l, r *bat.BAT) (*bat.BAT, bool) {
 	p := ctx.pager()
 	l.T.TouchAll(p)
 	n := l.Len()
-	lpos := make([]int, 0, n)
-	vpos := make([]int, 0, n)
+	lpos := make([]int32, 0, n)
+	vpos := make([]int32, 0, n)
 	for i := 0; i < n; i++ {
 		if pos, hit := dv.Probe(p, lt(i)); hit {
-			lpos = append(lpos, i)
-			vpos = append(vpos, pos)
-			dv.Vector.TouchAt(p, pos)
+			lpos = append(lpos, int32(i))
+			vpos = append(vpos, int32(pos))
+			if p != nil {
+				dv.Vector.TouchAt(p, pos)
+			}
 		}
 	}
-	out := bat.New(l.Name+".join", bat.Gather(l.H, lpos), bat.Gather(dv.Vector, vpos), 0)
+	out := bat.New(l.Name+".join", bat.Gather32(l.H, lpos), bat.Gather32(dv.Vector, vpos), 0)
 	if l.Props.Has(bat.HOrdered) {
 		out.Props |= bat.HOrdered
 	}
@@ -75,15 +83,15 @@ func dvJoin(ctx *Ctx, l, r *bat.BAT) (*bat.BAT, bool) {
 // scan order, so the left head's order carries over; the left head stays key
 // only if no left row matched more than one right row, which is guaranteed
 // when the right head is key.
-func joinResult(ctx *Ctx, l, r *bat.BAT, lpos, rpos []int) *bat.BAT {
+func joinResult(ctx *Ctx, l, r *bat.BAT, lpos, rpos []int32) *bat.BAT {
 	p := ctx.pager()
 	if p != nil {
 		for i := range lpos {
-			l.H.TouchAt(p, lpos[i])
-			r.T.TouchAt(p, rpos[i])
+			l.H.TouchAt(p, int(lpos[i]))
+			r.T.TouchAt(p, int(rpos[i]))
 		}
 	}
-	out := bat.New(l.Name+".join", bat.Gather(l.H, lpos), bat.Gather(r.T, rpos), 0)
+	out := bat.New(l.Name+".join", bat.Gather32(l.H, lpos), bat.Gather32(r.T, rpos), 0)
 	if l.Props.Has(bat.HOrdered) {
 		out.Props |= bat.HOrdered
 	}
@@ -97,6 +105,28 @@ func joinResult(ctx *Ctx, l, r *bat.BAT, lpos, rpos []int) *bat.BAT {
 		out.Props |= l.Props & (bat.HOrdered | bat.HKey)
 	}
 	return out
+}
+
+// joinCap estimates the match count for pre-sizing the position buffers: a
+// key right head caps matches at one per left row; otherwise the accelerator
+// cardinality gives the average duplicate factor.
+func joinCap(l, r *bat.BAT, idx *bat.HashIndex) int {
+	n := l.Len()
+	if r.Props.Has(bat.HKey) {
+		return n
+	}
+	if c := idx.Card(); c > 0 {
+		dup := (r.Len() + c - 1) / c
+		est := int64(n) * int64(dup)
+		if lim := int64(n) * 8; est > lim {
+			est = lim
+		}
+		if est > 1<<24 {
+			est = 1 << 24
+		}
+		return int(est)
+	}
+	return n
 }
 
 // syncJoin recognizes the case where l's tail and r's head correspond
@@ -154,21 +184,23 @@ func fetchJoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
 		}
 	}
 	n := r.Len()
-	var lpos, rpos []int
+	nl := l.Len()
+	lpos := make([]int32, 0, nl)
+	rpos := make([]int32, 0, nl)
 	if t, ok := l.T.(*bat.OIDCol); ok {
 		for i, v := range t.V {
 			idx := int(v) - int(seq)
 			if idx >= 0 && idx < n {
-				lpos = append(lpos, i)
-				rpos = append(rpos, idx)
+				lpos = append(lpos, int32(i))
+				rpos = append(rpos, int32(idx))
 			}
 		}
 	} else {
-		for i := 0; i < l.Len(); i++ {
+		for i := 0; i < nl; i++ {
 			idx := int(l.T.Get(i).I) - int(seq)
 			if idx >= 0 && idx < n {
-				lpos = append(lpos, i)
-				rpos = append(rpos, idx)
+				lpos = append(lpos, int32(i))
+				rpos = append(rpos, int32(idx))
 			}
 		}
 	}
@@ -180,7 +212,13 @@ func mergeJoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
 	p := ctx.pager()
 	l.T.TouchAll(p)
 	r.H.TouchAll(p)
-	var lpos, rpos []int
+	hint := l.Len()
+	lpos := make([]int32, 0, hint)
+	rpos := make([]int32, 0, hint)
+	if lp, rp, ok := bat.MergeJoinPositions(l.T, r.H, lpos, rpos); ok {
+		return joinResult(ctx, l, r, lp, rp)
+	}
+	// boxed fallback: column pair without a typed path
 	i, j := 0, 0
 	nl, nr := l.Len(), r.Len()
 	for i < nl && j < nr {
@@ -194,8 +232,8 @@ func mergeJoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
 			// emit the full group product for this key
 			j2 := j
 			for j2 < nr && bat.Compare(l.T.Get(i), r.H.Get(j2)) == 0 {
-				lpos = append(lpos, i)
-				rpos = append(rpos, j2)
+				lpos = append(lpos, int32(i))
+				rpos = append(rpos, int32(j2))
 				j2++
 			}
 			i++
@@ -205,23 +243,25 @@ func mergeJoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
 }
 
 func hashJoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
-	// Prefer an existing (persistent, cached) hash accelerator; otherwise
-	// the typed oid path beats building a boxed hash table.
-	if !r.HasHeadHash() {
-		if out, ok := hashJoinOID(ctx, l, r); ok {
-			return out
-		}
-	}
 	ctx.chose("hash-join")
 	p := ctx.pager()
 	r.H.TouchAll(p)
-	idx := r.HeadHash()
 	l.T.TouchAll(p)
-	var lpos, rpos []int
-	for i := 0; i < l.Len(); i++ {
+	idx := r.HeadHash()
+	n := l.Len()
+	if pr, ok := idx.NewProbe(l.T); ok {
+		lpos, rpos := parallelPairs(n, workersFor(ctx, n), joinCap(l, r, idx),
+			func(lo, hi int, lp, rp []int32) ([]int32, []int32) {
+				return idx.JoinRange(pr, lo, hi, lp, rp)
+			})
+		return joinResult(ctx, l, r, lpos, rpos)
+	}
+	// boxed fallback: probe kind without a typed path into the accelerator
+	var lpos, rpos []int32
+	for i := 0; i < n; i++ {
 		for _, rp := range idx.Lookup(l.T.Get(i)) {
-			lpos = append(lpos, i)
-			rpos = append(rpos, int(rp))
+			lpos = append(lpos, int32(i))
+			rpos = append(rpos, rp)
 		}
 	}
 	return joinResult(ctx, l, r, lpos, rpos)
@@ -234,23 +274,21 @@ func hashJoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
 // matching (left id, right id) pairs; the rewriter uses it for MOA's general
 // join[pred](A,B) on multi-attribute predicates (e.g. TPC-D Q9's
 // (supplier, part) lookup into the supplies set, or Q2's (part, mincost)).
+// The key arity is arbitrary: composite keys are encoded into a byte string
+// per element, so four-attribute (and wider) predicates work unchanged.
 func JoinMulti(ctx *Ctx, lKeys, rKeys []*bat.BAT) (lids, rids []bat.Value) {
 	ctx.chose("hash-join")
 	if len(lKeys) == 0 || len(lKeys) != len(rKeys) {
 		return nil, nil
 	}
 	p := ctx.pager()
-	// compositeKey covers up to three key attributes — bat.Value is a
-	// comparable struct, so composite keys need no rendering. The TPC-D
-	// suite needs at most two.
-	type compositeKey struct{ a, b, c bat.Value }
 	type entry struct {
 		id  bat.Value
-		key compositeKey
+		key string
 	}
-	if len(lKeys) > 3 {
-		panic("mil: joinmulti supports at most three key attributes")
-	}
+	// One nonce across both sides: every NaN key gets a globally fresh
+	// salt, so NaNs never match — not within a side, not across sides.
+	var nanNonce uint64
 	// compose per-side entries aligned on head ids
 	compose := func(keys []*bat.BAT) []entry {
 		for _, k := range keys {
@@ -286,33 +324,27 @@ func JoinMulti(ctx *Ctx, lKeys, rKeys []*bat.BAT) (lids, rids []bat.Value) {
 			}
 		}
 		out := make([]entry, 0, base.Len())
+		var buf []byte
 		for i := 0; i < base.Len(); i++ {
-			var key compositeKey
+			buf = buf[:0]
 			ok := true
-			for j, acc := range accessors {
+			for _, acc := range accessors {
 				v, has := acc(i)
 				if !has {
 					ok = false
 					break
 				}
-				switch j {
-				case 0:
-					key.a = v
-				case 1:
-					key.b = v
-				case 2:
-					key.c = v
-				}
+				buf = encodeKeyValue(buf, v, &nanNonce)
 			}
 			if ok {
-				out = append(out, entry{id: normHeadID(base.H.Get(i)), key: key})
+				out = append(out, entry{id: normHeadID(base.H.Get(i)), key: string(buf)})
 			}
 		}
 		return out
 	}
 
 	rEntries := compose(rKeys)
-	m := make(map[compositeKey][]bat.Value, len(rEntries))
+	m := make(map[string][]bat.Value, len(rEntries))
 	for _, e := range rEntries {
 		m[e.key] = append(m[e.key], e.id)
 	}
@@ -323,6 +355,30 @@ func JoinMulti(ctx *Ctx, lKeys, rKeys []*bat.BAT) (lids, rids []bat.Value) {
 		}
 	}
 	return lids, rids
+}
+
+// encodeKeyValue appends an injective byte encoding of v: kind tag, the
+// fixed-width payloads, and the length-prefixed string payload. Encoded
+// equality coincides with Value equality under Go map-key semantics: -0
+// normalizes to +0 (one key), and a NaN is salted with a fresh nonce so it
+// never equals any key — not even itself — exactly as a map keyed on the
+// old compositeKey struct behaved.
+func encodeKeyValue(buf []byte, v bat.Value, nanNonce *uint64) []byte {
+	f := v.F
+	if f == 0 {
+		f = 0
+	}
+	bits := math.Float64bits(f)
+	if math.IsNaN(f) {
+		*nanNonce++
+		bits = *nanNonce
+		buf = append(buf, 0xff) // distinct tag: nonce space must not collide
+	}
+	buf = append(buf, byte(v.K))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(v.I))
+	buf = binary.LittleEndian.AppendUint64(buf, bits)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.S)))
+	return append(buf, v.S...)
 }
 
 // normHeadID boxes void heads as oids so ids compare uniformly.

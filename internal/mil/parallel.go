@@ -78,6 +78,77 @@ func parallelCollect(n, k int, fn func(lo, hi int) []int) []int {
 	return out
 }
 
+// parallelCollect32 is parallelCollect for the int32 position buffers of the
+// typed kernels; capHint pre-sizes each worker's buffer from the operator's
+// cardinality estimate so results do not grow by repeated doubling.
+func parallelCollect32(n, k, capHint int, fn func(lo, hi int, out []int32) []int32) []int32 {
+	rs := ranges(n, k)
+	if capHint < 0 {
+		capHint = 0
+	}
+	if len(rs) <= 1 {
+		return fn(0, n, make([]int32, 0, capHint))
+	}
+	parts := make([][]int32, len(rs))
+	perWorker := capHint/len(rs) + 1
+	var wg sync.WaitGroup
+	for i, r := range rs {
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			parts[i] = fn(lo, hi, make([]int32, 0, perWorker))
+		}(i, r[0], r[1])
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]int32, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// parallelPairs runs fn over per-worker ranges of [0, n), each producing
+// matched (left, right) position pairs in range order, and concatenates the
+// partials in range order — the parallel hash-join probe. The result is
+// identical to a sequential left-to-right probe.
+func parallelPairs(n, k, capHint int, fn func(lo, hi int, lp, rp []int32) ([]int32, []int32)) ([]int32, []int32) {
+	rs := ranges(n, k)
+	if capHint < 0 {
+		capHint = 0
+	}
+	if len(rs) <= 1 {
+		return fn(0, n, make([]int32, 0, capHint), make([]int32, 0, capHint))
+	}
+	lparts := make([][]int32, len(rs))
+	rparts := make([][]int32, len(rs))
+	perWorker := capHint/len(rs) + 1
+	var wg sync.WaitGroup
+	for i, r := range rs {
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			lparts[i], rparts[i] = fn(lo, hi,
+				make([]int32, 0, perWorker), make([]int32, 0, perWorker))
+		}(i, r[0], r[1])
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range lparts {
+		total += len(p)
+	}
+	lpos := make([]int32, 0, total)
+	rpos := make([]int32, 0, total)
+	for i := range lparts {
+		lpos = append(lpos, lparts[i]...)
+		rpos = append(rpos, rparts[i]...)
+	}
+	return lpos, rpos
+}
+
 // parallelFill runs fn over per-worker ranges of [0, n); fn writes its own
 // output range, so no merging is needed.
 func parallelFill(n, k int, fn func(lo, hi int)) {

@@ -1,0 +1,393 @@
+package mil
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bat"
+)
+
+// The typed kernels must be observationally identical to the boxed
+// reference implementations: same BUNs in the same order, same properties,
+// same sync state. These property-style tests drive every column kind
+// through the typed operators and compare against boxed references,
+// including empty and all-duplicate inputs, and check that parallel
+// execution is bit-identical to sequential.
+
+// parityKinds are the kinds exercised as join/group keys.
+var parityKinds = []bat.Kind{bat.KOID, bat.KInt, bat.KFlt, bat.KStr, bat.KChr, bat.KDate, bat.KBit}
+
+// randKindValues draws n values of kind k from a small domain (so that
+// duplicates and cross-operand matches are frequent). allDup collapses the
+// domain to a single value.
+func randKindValues(rng *rand.Rand, k bat.Kind, n int, allDup bool) []bat.Value {
+	out := make([]bat.Value, n)
+	for i := range out {
+		d := int64(rng.Intn(16))
+		if allDup {
+			d = 7
+		}
+		switch k {
+		case bat.KOID:
+			out[i] = bat.O(bat.OID(d))
+		case bat.KInt:
+			out[i] = bat.I(d - 8)
+		case bat.KFlt:
+			out[i] = bat.F(float64(d) / 4)
+		case bat.KStr:
+			out[i] = bat.S(fmt.Sprintf("s%02d", d))
+		case bat.KChr:
+			out[i] = bat.C(byte('a' + d))
+		case bat.KDate:
+			out[i] = bat.D(int32(9000 + d))
+		case bat.KBit:
+			out[i] = bat.B(d%2 == 0)
+		default:
+			panic("unexpected kind")
+		}
+	}
+	return out
+}
+
+// batsEqual asserts byte-for-byte observational equality of two BATs.
+func batsEqual(t *testing.T, label string, got, want *bat.BAT) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: len %d != %d", label, got.Len(), want.Len())
+	}
+	if got.Props != want.Props {
+		t.Fatalf("%s: props %s != %s", label, got.Props, want.Props)
+	}
+	for i := 0; i < got.Len(); i++ {
+		if got.HeadValue(i) != want.HeadValue(i) || got.TailValue(i) != want.TailValue(i) {
+			t.Fatalf("%s: BUN %d [%s,%s] != [%s,%s]", label, i,
+				got.HeadValue(i), got.TailValue(i), want.HeadValue(i), want.TailValue(i))
+		}
+	}
+}
+
+// refJoinPairs is the boxed reference equi-join: probe l tails against r
+// heads under Go map-key equality, pairs in left order with ascending right
+// positions per probe.
+func refJoinPairs(l, r *bat.BAT) (lpos, rpos []int32) {
+	for i := 0; i < l.Len(); i++ {
+		v := l.TailValue(i)
+		for j := 0; j < r.Len(); j++ {
+			if r.HeadValue(j) == v {
+				lpos = append(lpos, int32(i))
+				rpos = append(rpos, int32(j))
+			}
+		}
+	}
+	return
+}
+
+func TestParityHashJoinAllKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, k := range parityKinds {
+		for _, n := range []int{0, 1, 17, 64} {
+			for _, allDup := range []bool{false, true} {
+				lt := randKindValues(rng, k, n, allDup)
+				rh := randKindValues(rng, k, n+n/2, allDup)
+				rt := randKindValues(rng, bat.KInt, n+n/2, false)
+				lh := make([]bat.OID, n)
+				for i := range lh {
+					lh[i] = bat.OID(i + 500)
+				}
+				l := bat.New("l", bat.NewOIDCol(lh), bat.FromValues(k, lt), 0)
+				r := bat.New("r", bat.FromValues(k, rh), bat.FromValues(bat.KInt, rt), 0)
+				got := hashJoin(nil, l, r)
+				refL, refR := refJoinPairs(l, r)
+				want := joinResult(nil, l, r, refL, refR)
+				batsEqual(t, fmt.Sprintf("hash-join/%s/n=%d/alldup=%v", k, n, allDup), got, want)
+			}
+		}
+	}
+}
+
+func TestParityMergeJoinAllKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for _, k := range parityKinds {
+		if k == bat.KBit {
+			continue // bit columns have no merge path (not orderable storage)
+		}
+		for _, n := range []int{0, 1, 33} {
+			for _, allDup := range []bool{false, true} {
+				lt := randKindValues(rng, k, n, allDup)
+				rh := randKindValues(rng, k, n+3, allDup)
+				rt := randKindValues(rng, bat.KFlt, n+3, false)
+				lh := make([]bat.OID, n)
+				for i := range lh {
+					lh[i] = bat.OID(i)
+				}
+				l := bat.SortOnTail(bat.New("l", bat.NewOIDCol(lh), bat.FromValues(k, lt), 0))
+				r0 := bat.SortOnTail(bat.New("r0", bat.FromValues(bat.KFlt, rt), bat.FromValues(k, rh), 0)).Mirror()
+				r := bat.New("r", r0.H, r0.T, bat.HOrdered)
+				got := mergeJoin(nil, l, r)
+				refL, refR := refJoinPairs(l, r)
+				want := joinResult(nil, l, r, refL, refR)
+				batsEqual(t, fmt.Sprintf("merge-join/%s/n=%d/alldup=%v", k, n, allDup), got, want)
+			}
+		}
+	}
+}
+
+func TestParitySemijoinAllKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for _, k := range parityKinds {
+		for _, n := range []int{0, 1, 29, 64} {
+			for _, allDup := range []bool{false, true} {
+				lh := randKindValues(rng, k, n, allDup)
+				lt := randKindValues(rng, bat.KInt, n, false)
+				rh := randKindValues(rng, k, n/2+1, allDup)
+				l := bat.New("l", bat.FromValues(k, lh), bat.FromValues(bat.KInt, lt), 0)
+				r := bat.New("r", bat.FromValues(k, rh), bat.NewVoid(0, r0len(n/2+1)), 0)
+				got := hashSemijoin(nil, l, r)
+
+				// boxed reference: map membership on boxed heads
+				set := make(map[bat.Value]struct{}, r.Len())
+				for i := 0; i < r.Len(); i++ {
+					set[r.HeadValue(i)] = struct{}{}
+				}
+				var pos []int
+				for i := 0; i < l.Len(); i++ {
+					if _, ok := set[l.HeadValue(i)]; ok {
+						pos = append(pos, i)
+					}
+				}
+				want := gatherPositions(nil, l.Name+".sel", l, pos)
+				batsEqual(t, fmt.Sprintf("semijoin/%s/n=%d/alldup=%v", k, n, allDup), got, want)
+			}
+		}
+	}
+}
+
+func r0len(n int) int { return n }
+
+func TestParityUniqueAllKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	for _, hk := range parityKinds {
+		for _, tk := range parityKinds {
+			for _, n := range []int{0, 1, 40} {
+				for _, allDup := range []bool{false, true} {
+					h := randKindValues(rng, hk, n, allDup)
+					v := randKindValues(rng, tk, n, allDup)
+					b := bat.New("b", bat.FromValues(hk, h), bat.FromValues(tk, v), 0)
+					got := Unique(nil, b)
+					want := uniqueBoxed(nil, b)
+					batsEqual(t, fmt.Sprintf("unique/%s-%s/n=%d/alldup=%v", hk, tk, n, allDup), got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestParityGroupUnaryAllKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	for _, tk := range parityKinds {
+		for _, n := range []int{0, 1, 50} {
+			for _, allDup := range []bool{false, true} {
+				v := randKindValues(rng, tk, n, allDup)
+				b := bat.New("b", bat.NewVoid(10, n), bat.FromValues(tk, v), 0)
+				got := GroupUnary(nil, b)
+				wantIDs := make([]bat.OID, n)
+				groupTailsBoxed(b, wantIDs)
+				if got.Len() != n {
+					t.Fatalf("group/%s: len %d != %d", tk, got.Len(), n)
+				}
+				for i := 0; i < n; i++ {
+					if got.TailValue(i).OID() != wantIDs[i] {
+						t.Fatalf("group/%s/n=%d/alldup=%v: id[%d] = %d, want %d",
+							tk, n, allDup, i, got.TailValue(i).OID(), wantIDs[i])
+					}
+				}
+				if n > 0 && !bat.Synced(got, b) {
+					t.Fatalf("group/%s: result not synced with operand", tk)
+				}
+			}
+		}
+	}
+}
+
+func TestParityGroupBinaryAllKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(106))
+	for _, tk := range parityKinds {
+		for _, n := range []int{0, 1, 50} {
+			gv := randKindValues(rng, bat.KOID, n, false)
+			bv := randKindValues(rng, tk, n, false)
+			g := bat.New("g", bat.NewVoid(0, n), bat.FromValues(bat.KOID, gv), 0)
+			b := bat.New("b", bat.NewVoid(0, n), bat.FromValues(tk, bv), 0)
+			b.SyncWith(g)
+			got := GroupBinary(nil, g, b)
+			wantIDs := make([]bat.OID, n)
+			groupBinaryBoxed(g, b, wantIDs)
+			for i := 0; i < n; i++ {
+				if got.TailValue(i).OID() != wantIDs[i] {
+					t.Fatalf("group2/%s: id[%d] = %d, want %d", tk, i, got.TailValue(i).OID(), wantIDs[i])
+				}
+			}
+		}
+	}
+}
+
+func TestParityAggrAllFunctionsAndKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	fns := []string{"sum", "count", "avg", "min", "max"}
+	tailKinds := []bat.Kind{bat.KInt, bat.KFlt, bat.KDate, bat.KStr, bat.KOID}
+	headKinds := []bat.Kind{bat.KOID, bat.KInt, bat.KStr}
+	for _, hk := range headKinds {
+		for _, tk := range tailKinds {
+			for _, ordered := range []bool{false, true} {
+				for _, n := range []int{0, 1, 60} {
+					h := randKindValues(rng, hk, n, false)
+					v := randKindValues(rng, tk, n, false)
+					props := bat.Props(0)
+					if ordered {
+						hb := bat.SortOnTail(bat.New("x", bat.FromValues(tk, v), bat.FromValues(hk, h), 0)).Mirror()
+						h, v = hb.HeadValues(), hb.TailValues()
+						props = bat.HOrdered
+					}
+					b := bat.New("b", bat.FromValues(hk, h), bat.FromValues(tk, v), props)
+					for _, fn := range fns {
+						if (fn == "min" || fn == "max") && n == 0 {
+							continue // empty min/max yields zero Values either way
+						}
+						got := Aggr(nil, fn, b)
+						want := aggrBoxed(nil, fn, b)
+						batsEqual(t, fmt.Sprintf("aggr-%s/%s-%s/ordered=%v/n=%d", fn, hk, tk, ordered, n), got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParityFloatEdgeCases pins map-key semantics on the typed paths:
+// +0 and -0 are one key; NaN matches nothing.
+func TestParityFloatEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	l := bat.New("l", bat.NewOIDCol([]bat.OID{1, 2, 3}),
+		bat.NewFltCol([]float64{math.Copysign(0, -1), nan, 2.5}), 0)
+	r := bat.New("r", bat.NewFltCol([]float64{0, nan, 2.5}),
+		bat.NewIntCol([]int64{10, 20, 30}), 0)
+	out := hashJoin(nil, l, r)
+	if out.Len() != 2 {
+		t.Fatalf("len = %d, want 2 (-0 matches +0, NaN matches nothing)", out.Len())
+	}
+	if out.TailValue(0).I != 10 || out.TailValue(1).I != 30 {
+		t.Fatalf("tails = %v", out.TailValues())
+	}
+	// each NaN row is its own group (map semantics: NaN never equals itself)
+	g := GroupUnary(nil, bat.New("g", bat.NewVoid(0, 3), bat.NewFltCol([]float64{nan, nan, 1}), 0))
+	if g.TailValue(0).OID() == g.TailValue(1).OID() {
+		t.Fatal("NaN rows must form distinct groups")
+	}
+}
+
+// TestParityParallelBitIdentical: worker counts must not change any output
+// bit — positions merge in range order and only exactly-mergeable
+// aggregates run parallel.
+func TestParityParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(108))
+	n := parallelMinRows + parallelMinRows/3
+	lh := make([]bat.OID, n)
+	lt := make([]bat.OID, n)
+	ht := make([]int64, n)
+	for i := range lh {
+		lh[i] = bat.OID(rng.Intn(n))
+		lt[i] = bat.OID(rng.Intn(n / 4))
+		ht[i] = int64(rng.Intn(64))
+	}
+	l := bat.New("l", bat.NewOIDCol(lh), bat.NewOIDCol(lt), 0)
+	r := bat.New("r", bat.NewOIDCol(lt[:n/4]), bat.NewIntCol(ht[:n/4]), 0)
+
+	seqJ := hashJoin(&Ctx{Workers: 1}, l, r)
+	parJ := hashJoin(&Ctx{Workers: 8}, l, r)
+	batsEqual(t, "parallel hash-join", parJ, seqJ)
+
+	seqS := hashSemijoin(&Ctx{Workers: 1}, l, r)
+	parS := hashSemijoin(&Ctx{Workers: 8}, l, r)
+	batsEqual(t, "parallel hash-semijoin", parS, seqS)
+
+	grp := bat.New("g", bat.NewOIDCol(lh), bat.NewIntCol(ht), 0)
+	for _, fn := range []string{"sum", "count", "min", "max", "avg"} {
+		seqA := Aggr(&Ctx{Workers: 1}, fn, grp)
+		parA := Aggr(&Ctx{Workers: 8}, fn, grp)
+		batsEqual(t, "parallel aggr "+fn, parA, seqA)
+	}
+	fvals := make([]float64, n)
+	for i := range fvals {
+		fvals[i] = rng.Float64() * 100
+	}
+	fgrp := bat.New("fg", bat.NewOIDCol(lh), bat.NewFltCol(fvals), 0)
+	for _, fn := range []string{"sum", "count", "avg", "min", "max"} {
+		seqA := Aggr(&Ctx{Workers: 1}, fn, fgrp)
+		parA := Aggr(&Ctx{Workers: 8}, fn, fgrp)
+		batsEqual(t, "parallel flt aggr "+fn, parA, seqA)
+	}
+}
+
+// TestJoinMultiFloatKeySemantics pins the map-key behavior of composite
+// float keys: -0 and +0 are one key, NaN never matches (the semantics of
+// the replaced map[compositeKey]).
+func TestJoinMultiFloatKeySemantics(t *testing.T) {
+	nan := math.NaN()
+	mkF := func(vals []float64) *bat.BAT {
+		return bat.New("k", bat.NewVoid(0, len(vals)), bat.NewFltCol(vals), 0)
+	}
+	mkI := func(vals []int64) *bat.BAT {
+		return bat.New("k", bat.NewVoid(0, len(vals)), bat.NewIntCol(vals), 0)
+	}
+	lKeys := []*bat.BAT{mkI([]int64{1, 2, 3}), mkF([]float64{math.Copysign(0, -1), nan, 5})}
+	rKeys := []*bat.BAT{mkI([]int64{1, 2, 3}), mkF([]float64{0, nan, 5})}
+	lids, rids := JoinMulti(nil, lKeys, rKeys)
+	found := map[[2]int64]bool{}
+	for i := range lids {
+		found[[2]int64{lids[i].I, rids[i].I}] = true
+	}
+	if !found[[2]int64{0, 0}] {
+		t.Fatal("-0 key must match +0 key")
+	}
+	if !found[[2]int64{2, 2}] {
+		t.Fatal("plain float key must match")
+	}
+	if len(lids) != 2 {
+		t.Fatalf("matches = %d, want 2 (NaN keys must never match)", len(lids))
+	}
+}
+
+// TestJoinMultiArbitraryArity covers composite keys beyond the old
+// three-attribute limit (which used to panic).
+func TestJoinMultiArbitraryArity(t *testing.T) {
+	mk := func(tails []int64) *bat.BAT {
+		return bat.New("k", bat.NewVoid(0, len(tails)), bat.NewIntCol(tails), 0)
+	}
+	// four key attributes; rows 0 and 2 of l match rows 1 and 0 of r
+	lKeys := []*bat.BAT{
+		mk([]int64{1, 2, 3}), mk([]int64{10, 20, 30}),
+		mk([]int64{100, 200, 300}), mk([]int64{7, 8, 9}),
+	}
+	rKeys := []*bat.BAT{
+		mk([]int64{3, 1}), mk([]int64{30, 10}),
+		mk([]int64{300, 100}), mk([]int64{9, 7}),
+	}
+	lids, rids := JoinMulti(nil, lKeys, rKeys)
+	if len(lids) != 2 {
+		t.Fatalf("matches = %d, want 2", len(lids))
+	}
+	found := map[[2]int64]bool{}
+	for i := range lids {
+		found[[2]int64{lids[i].I, rids[i].I}] = true
+	}
+	if !found[[2]int64{0, 1}] || !found[[2]int64{2, 0}] {
+		t.Fatalf("pairs = %v / %v", lids, rids)
+	}
+	// five attributes with a deliberate mismatch on the fifth: no matches
+	lKeys = append(lKeys, mk([]int64{1, 1, 1}))
+	rKeys = append(rKeys, mk([]int64{2, 2}))
+	if lids, _ := JoinMulti(nil, lKeys, rKeys); len(lids) != 0 {
+		t.Fatalf("mismatched fifth key still joined: %v", lids)
+	}
+}

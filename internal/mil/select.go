@@ -7,20 +7,21 @@ import (
 )
 
 // gatherPositions builds the result BAT of a filtering operation: the BUNs
-// of b at the given ascending positions. Filters preserve BUN order, so all
-// order/key properties of the operand carry over to the result (Section 5.1:
-// "a rangeselect will propagate the ordered information on both head and
-// tail to the result"; semijoin propagates the key properties of its left
+// of b at the given ascending positions (int from the boxed paths, int32
+// from the typed kernels). Filters preserve BUN order, so all order/key
+// properties of the operand carry over to the result (Section 5.1: "a
+// rangeselect will propagate the ordered information on both head and tail
+// to the result"; semijoin propagates the key properties of its left
 // operand).
-func gatherPositions(ctx *Ctx, name string, b *bat.BAT, pos []int) *bat.BAT {
+func gatherPositions[I int | int32](ctx *Ctx, name string, b *bat.BAT, pos []I) *bat.BAT {
 	p := ctx.pager()
 	if p != nil {
 		for _, i := range pos {
-			b.H.TouchAt(p, i)
-			b.T.TouchAt(p, i)
+			b.H.TouchAt(p, int(i))
+			b.T.TouchAt(p, int(i))
 		}
 	}
-	out := bat.New(name, bat.Gather(b.H, pos), bat.Gather(b.T, pos), 0)
+	out := bat.New(name, bat.GatherAny(b.H, pos), bat.GatherAny(b.T, pos), 0)
 	out.Props |= b.Props & (bat.HOrdered | bat.TOrdered | bat.HKey | bat.TKey)
 	// A filter that kept every BUN left the sequence untouched: the result
 	// is positionally synced with its operand.
@@ -113,10 +114,53 @@ func selectScan(ctx *Ctx, b *bat.BAT, lo, hi *bat.Value, loIncl, hiIncl bool) *b
 			return p
 		})
 	case *bat.ChrCol:
-		for i, v := range t.V {
-			if inRange(bat.C(v), lo, hi, loIncl, hiIncl) {
-				pos = append(pos, i)
+		pos = parallelCollect(n, k, func(from, to int) []int {
+			var p []int
+			for i := from; i < to; i++ {
+				if inRange(bat.C(t.V[i]), lo, hi, loIncl, hiIncl) {
+					p = append(p, i)
+				}
 			}
+			return p
+		})
+	case *bat.OIDCol:
+		loO, hiO, ok := oidBounds(lo, hi, loIncl, hiIncl)
+		if ok {
+			pos = parallelCollect(n, k, func(from, to int) []int {
+				var p []int
+				for i := from; i < to; i++ {
+					if v := int64(t.V[i]); v >= loO && v <= hiO {
+						p = append(p, i)
+					}
+				}
+				return p
+			})
+		} else {
+			pos = scanGeneric(b, lo, hi, loIncl, hiIncl)
+		}
+	case *bat.StrCol:
+		loS, hiS, ok := strBounds(lo, hi)
+		if ok {
+			pos = parallelCollect(n, k, func(from, to int) []int {
+				var p []int
+				for i := from; i < to; i++ {
+					v := t.At(i)
+					if loS != nil {
+						if v < *loS || (v == *loS && !loIncl) {
+							continue
+						}
+					}
+					if hiS != nil {
+						if v > *hiS || (v == *hiS && !hiIncl) {
+							continue
+						}
+					}
+					p = append(p, i)
+				}
+				return p
+			})
+		} else {
+			pos = scanGeneric(b, lo, hi, loIncl, hiIncl)
 		}
 	case *bat.DateCol:
 		pos = parallelCollect(n, k, func(from, to int) []int {
@@ -186,6 +230,50 @@ func intBounds(lo, hi *bat.Value, loIncl, hiIncl bool) (int64, int64, bool) {
 		}
 	}
 	return loI, hiI, true
+}
+
+// oidBounds converts optional boxed bounds into closed int64 bounds, when
+// both sides are oid-typed (or absent).
+func oidBounds(lo, hi *bat.Value, loIncl, hiIncl bool) (int64, int64, bool) {
+	loO := int64(-1 << 62)
+	hiO := int64(1<<62 - 1)
+	if lo != nil {
+		if lo.K != bat.KOID {
+			return 0, 0, false
+		}
+		loO = lo.I
+		if !loIncl {
+			loO++
+		}
+	}
+	if hi != nil {
+		if hi.K != bat.KOID {
+			return 0, 0, false
+		}
+		hiO = hi.I
+		if !hiIncl {
+			hiO--
+		}
+	}
+	return loO, hiO, true
+}
+
+// strBounds validates optional boxed bounds as string-typed (or absent).
+func strBounds(lo, hi *bat.Value) (*string, *string, bool) {
+	var loS, hiS *string
+	if lo != nil {
+		if lo.K != bat.KStr {
+			return nil, nil, false
+		}
+		loS = &lo.S
+	}
+	if hi != nil {
+		if hi.K != bat.KStr {
+			return nil, nil, false
+		}
+		hiS = &hi.S
+	}
+	return loS, hiS, true
 }
 
 func selectBinSearch(ctx *Ctx, b *bat.BAT, lo, hi *bat.Value, loIncl, hiIncl bool) *bat.BAT {

@@ -14,7 +14,8 @@ import (
 //   - datavector-semijoin: the left operand carries a datavector
 //     accelerator (Section 5.2.1 pseudo-code);
 //   - merge-semijoin: both heads are ordered;
-//   - hash-semijoin: the fallback.
+//   - hash-semijoin: the fallback, probing the right head's bucket+link
+//     accelerator with a typed (and, over large inputs, parallel) scan.
 func Semijoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
 	switch {
 	case bat.Synced(l, r):
@@ -64,9 +65,19 @@ func datavectorSemijoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
 		rh.TouchAll(p)
 		switch h := rh.(type) {
 		case *bat.OIDCol:
-			for _, x := range h.V {
-				if pos, ok := dv.Probe(p, x); ok {
-					lookup = append(lookup, int32(pos))
+			if dense, base, n := dv.DenseExtent(); dense {
+				// probedlookup against a dense extent is pure arithmetic:
+				// keep the loop free of per-element calls.
+				for _, x := range h.V {
+					if i := uint32(x) - uint32(base); i < uint32(n) {
+						lookup = append(lookup, int32(i))
+					}
+				}
+			} else {
+				for _, x := range h.V {
+					if pos, ok := dv.Probe(p, x); ok {
+						lookup = append(lookup, int32(pos))
+					}
 				}
 			}
 		case *bat.VoidCol:
@@ -86,15 +97,24 @@ func datavectorSemijoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
 	}
 
 	// Insertion phase: fetch matching head and tail values from EXTENT and
-	// VECTOR (pseudo-code lines 17-19).
+	// VECTOR (pseudo-code lines 17-19). The LOOKUP array doubles as the
+	// gather permutation into the value vector.
 	heads := make([]bat.OID, len(lookup))
-	perm := make([]int, len(lookup))
-	for i, pos := range lookup {
-		heads[i] = dv.OIDAt(int(pos))
-		perm[i] = int(pos)
-		dv.Vector.TouchAt(p, int(pos))
+	if dense, base, _ := dv.DenseExtent(); dense {
+		for i, pos := range lookup {
+			heads[i] = base + bat.OID(pos)
+		}
+	} else {
+		for i, pos := range lookup {
+			heads[i] = dv.OIDAt(int(pos))
+		}
 	}
-	out := bat.New(l.Name+".sel", bat.NewOIDCol(heads), bat.Gather(dv.Vector, perm), 0)
+	if p != nil {
+		for _, pos := range lookup {
+			dv.Vector.TouchAt(p, int(pos))
+		}
+	}
+	out := bat.New(l.Name+".sel", bat.NewOIDCol(heads), bat.Gather32(dv.Vector, lookup), 0)
 	// Result BUNs follow r's order. If every r element matched, the result
 	// is positionally synced with r (and with any other full-match
 	// datavector semijoin against r) — the effect exploited in Fig. 10:
@@ -115,7 +135,7 @@ func mergeSemijoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
 	p := ctx.pager()
 	l.H.TouchAll(p)
 	r.H.TouchAll(p)
-	var pos []int
+	pos := make([]int32, 0, semijoinCap(l, r))
 	i, j := 0, 0
 	for i < l.Len() && j < r.Len() {
 		c := bat.Compare(l.H.Get(i), r.H.Get(j))
@@ -125,7 +145,7 @@ func mergeSemijoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
 		case c > 0:
 			j++
 		default:
-			pos = append(pos, i)
+			pos = append(pos, int32(i))
 			i++
 			// j stays: multiple l heads may match this r head; advancing i
 			// handles l duplicates, and r duplicates must not duplicate
@@ -135,31 +155,39 @@ func mergeSemijoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
 	return gatherPositions(ctx, l.Name+".sel", l, pos)
 }
 
+// semijoinCap bounds the match count for pre-sizing: a semijoin keeps at
+// most every left row, and at most one row per right element when the left
+// head is key.
+func semijoinCap(l, r *bat.BAT) int {
+	n := l.Len()
+	if l.Props.Has(bat.HKey) && r.Len() < n {
+		return r.Len()
+	}
+	return n
+}
+
 func hashSemijoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
-	if out, ok := hashSemijoinOID(ctx, l, r); ok {
+	if out, ok := syncSemijoinPrecheck(ctx, l, r); ok {
 		return out
 	}
 	ctx.chose("hash-semijoin")
 	p := ctx.pager()
 	r.H.TouchAll(p)
-	set := make(map[bat.Value]struct{}, r.Len())
-	for i := 0; i < r.Len(); i++ {
-		set[r.H.Get(i)] = struct{}{}
-	}
 	l.H.TouchAll(p)
-	var pos []int
-	switch h := l.H.(type) {
-	case *bat.OIDCol:
-		for i, v := range h.V {
-			if _, ok := set[bat.O(v)]; ok {
-				pos = append(pos, i)
-			}
-		}
-	default:
-		for i := 0; i < l.Len(); i++ {
-			if _, ok := set[l.H.Get(i)]; ok {
-				pos = append(pos, i)
-			}
+	idx := r.HeadHash()
+	n := l.Len()
+	if pr, ok := idx.NewProbe(l.H); ok {
+		pos := parallelCollect32(n, workersFor(ctx, n), semijoinCap(l, r),
+			func(lo, hi int, out []int32) []int32 {
+				return idx.FilterRange(pr, lo, hi, true, out)
+			})
+		return gatherPositions(ctx, l.Name+".sel", l, pos)
+	}
+	// boxed fallback: probe kind without a typed path into the accelerator
+	var pos []int32
+	for i := 0; i < n; i++ {
+		if len(idx.Lookup(l.H.Get(i))) > 0 {
+			pos = append(pos, int32(i))
 		}
 	}
 	return gatherPositions(ctx, l.Name+".sel", l, pos)

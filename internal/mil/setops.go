@@ -51,20 +51,26 @@ func Union(ctx *Ctx, a, b *bat.BAT) *bat.BAT {
 }
 
 // Diff implements set difference on identified value sets: the BUNs of a
-// whose head does not occur in b.
+// whose head does not occur in b. It is the anti-probe of the semijoin:
+// the same bucket+link accelerator on b's head, keeping the misses.
 func Diff(ctx *Ctx, a, b *bat.BAT) *bat.BAT {
 	ctx.chose("hash-diff")
 	p := ctx.pager()
 	b.H.TouchAll(p)
-	drop := make(map[bat.Value]struct{}, b.Len())
-	for i := 0; i < b.Len(); i++ {
-		drop[b.H.Get(i)] = struct{}{}
-	}
 	a.H.TouchAll(p)
-	var pos []int
-	for i := 0; i < a.Len(); i++ {
-		if _, ok := drop[a.H.Get(i)]; !ok {
-			pos = append(pos, i)
+	n := a.Len()
+	idx := b.HeadHash()
+	if pr, ok := idx.NewProbe(a.H); ok {
+		pos := parallelCollect32(n, workersFor(ctx, n), n,
+			func(lo, hi int, out []int32) []int32 {
+				return idx.FilterRange(pr, lo, hi, false, out)
+			})
+		return gatherPositions(ctx, a.Name+".diff", a, pos)
+	}
+	var pos []int32
+	for i := 0; i < n; i++ {
+		if len(idx.Lookup(a.H.Get(i))) == 0 {
+			pos = append(pos, int32(i))
 		}
 	}
 	return gatherPositions(ctx, a.Name+".diff", a, pos)

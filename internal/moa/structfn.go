@@ -204,11 +204,11 @@ func buildResolver(env mil.Env, s Struct) (*resolver, error) {
 			}
 		} else {
 			get = func(id bat.Value) (Val, bool) {
-				hits := b.HeadHash().Lookup(normID(id))
-				if len(hits) == 0 {
+				pos, ok := b.HeadHash().Lookup1(normID(id))
+				if !ok {
 					return nil, false
 				}
-				return b.TailValue(int(hits[0])), true
+				return b.TailValue(int(pos)), true
 			}
 		}
 		return &resolver{
@@ -330,11 +330,11 @@ func buildResolver(env mil.Env, s Struct) (*resolver, error) {
 		}
 		return &resolver{
 			get: func(id bat.Value) (Val, bool) {
-				hits := via.HeadHash().Lookup(normID(id))
-				if len(hits) == 0 {
+				pos, ok := via.HeadHash().Lookup1(normID(id))
+				if !ok {
 					return nil, false
 				}
-				return elem.get(normID(via.TailValue(int(hits[0]))))
+				return elem.get(normID(via.TailValue(int(pos))))
 			},
 			enum: func() []bat.Value {
 				ids := make([]bat.Value, via.Len())

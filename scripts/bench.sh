@@ -1,0 +1,17 @@
+#!/bin/sh
+# Record a machine-readable benchmark snapshot for the perf trajectory
+# (see EXPERIMENTS.md). Output: BENCH_<utc-timestamp>_<git-sha>.json in the
+# repo root, one test2json event per line; benchmark result lines carry
+# ns/op, B/op, allocs/op and the custom metrics.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+stamp=$(date -u +%Y%m%dT%H%M%SZ)
+sha=$(git rev-parse --short HEAD 2>/dev/null || echo nogit)
+out="BENCH_${stamp}_${sha}.json"
+
+go test -json -run '^$' -bench . -benchmem -benchtime=3s . > "$out"
+
+echo "wrote $out"
+grep -h '"Output".*ns/op' "$out" | sed 's/.*"Output":"//; s/\\n"}//' || true
