@@ -2,10 +2,11 @@
 
 GO ?= go
 
-.PHONY: verify build vet test bench bench-ablation bench-snapshot
+.PHONY: verify build vet test test-race bench bench-ablation bench-snapshot bench-compare
 
-## verify: the tier-1 gate — build, vet, and the full test suite.
-verify: build vet test
+## verify: the tier-1 gate — build, vet, the full test suite, and the race
+## detector over the parallel kernels (partitioned builds, parallel probes).
+verify: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -15,6 +16,9 @@ vet:
 
 test:
 	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
 
 ## bench: the full benchmark sweep with allocation accounting.
 bench:
@@ -26,5 +30,12 @@ bench-ablation:
 
 ## bench-snapshot: machine-readable trajectory snapshot (test2json events
 ## carrying ns/op, B/op, allocs/op and the custom Figure 9/10 metrics).
+## Writes the next BENCH_<n>.json in sequence; commit it so the perf
+## trajectory stays diffable across PRs.
 bench-snapshot:
 	./scripts/bench.sh
+
+## bench-compare: benchstat-style diff of the two most recent committed
+## snapshots (falls back to a side-by-side table when benchstat is absent).
+bench-compare:
+	./scripts/bench_compare.sh

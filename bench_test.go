@@ -260,6 +260,18 @@ func BenchmarkAblationPropertyJoin(b *testing.B) {
 	}
 	rSorted := bat.New("r", bat.NewOIDCol(seq(n)), bat.NewIntCol(rVals), bat.HOrdered|bat.HKey)
 	rStripped := bat.New("r", bat.NewOIDCol(seq(n)), bat.NewIntCol(rVals), bat.HKey)
+	// The stripped head is still the dense sequence 0..n-1, which the
+	// accelerator's run-time property detection now rediscovers. rPerm
+	// shuffles the head so the permuted variants keep measuring genuine
+	// bucket probing (same key set, no exploitable order).
+	perm := rng.Perm(n)
+	rpHeads := make([]bat.OID, n)
+	rpVals := make([]int64, n)
+	for i, p := range perm {
+		rpHeads[i] = bat.OID(p)
+		rpVals[i] = rVals[p]
+	}
+	rPerm := bat.New("rp", bat.NewOIDCol(rpHeads), bat.NewIntCol(rpVals), bat.HKey)
 
 	b.Run("merge(properties)", func(b *testing.B) {
 		ctx := &mil.Ctx{}
@@ -286,6 +298,21 @@ func BenchmarkAblationPropertyJoin(b *testing.B) {
 			mil.Join(ctx, l, rStripped)
 		}
 	})
+	b.Run("hash(stripped,perm)", func(b *testing.B) {
+		ctx := &mil.Ctx{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mil.Join(ctx, l, rPerm)
+		}
+	})
+	b.Run("hash(stripped,perm,cold)", func(b *testing.B) {
+		ctx := &mil.Ctx{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rPerm.DropHashes()
+			mil.Join(ctx, l, rPerm)
+		}
+	})
 }
 
 func seq(n int) []bat.OID {
@@ -294,6 +321,76 @@ func seq(n int) []bat.OID {
 		out[i] = bat.OID(i)
 	}
 	return out
+}
+
+// BenchmarkAblationPartitionedBuild sweeps the radix fan-out of the
+// accelerator build: cold constructs the index from scratch every iteration
+// (the build cost the dynamic optimizer pays when it selects a hash variant
+// at run time); warm measures the amortized cached-accelerator access for
+// contrast. Keys are drawn at random so the dense-sequence detection cannot
+// shortcut the build.
+func BenchmarkAblationPartitionedBuild(b *testing.B) {
+	const n = 1 << 20
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]bat.OID, n)
+	for i := range keys {
+		keys[i] = bat.OID(rng.Intn(n))
+	}
+	col := bat.NewOIDCol(keys)
+	for _, p := range []int{1, 2, 4, 8} {
+		p := p
+		b.Run(fmt.Sprintf("cold/P=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bat.BuildHashIndexPartitioned(col, p, 1)
+			}
+		})
+	}
+	b.Run("warm", func(b *testing.B) {
+		warm := bat.New("w", bat.NewOIDCol(keys), bat.NewVoid(0, n), 0)
+		warm.HeadHash()
+		probe := bat.O(keys[0])
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			warm.HeadHash().Lookup1(probe)
+		}
+	})
+}
+
+// BenchmarkAblationZeroCopyGather measures the zero-copy candidate pipeline:
+// a range selection on a tail-ordered BAT gathers its result as column views
+// (no copies, allocations independent of the qualifying count), against the
+// same predicate through the copying scan path.
+func BenchmarkAblationZeroCopyGather(b *testing.B) {
+	const n = 1 << 20
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	ordered := bat.New("ord", bat.NewVoid(0, n), bat.NewIntCol(vals), bat.TOrdered|bat.TKey)
+	// The scan baseline shuffles the values so its qualifying positions are
+	// scattered — a contiguous hit run would itself be view-gathered,
+	// measuring binsearch-vs-scan instead of view-vs-copy.
+	shuffled := make([]int64, n)
+	for i, p := range rand.New(rand.NewSource(13)).Perm(n) {
+		shuffled[i] = int64(p)
+	}
+	scan := bat.New("scan", bat.NewVoid(0, n), bat.NewIntCol(shuffled), 0)
+	lo, hi := bat.I(n/4), bat.I(3*n/4)
+	b.Run("view(binsearch)", func(b *testing.B) {
+		ctx := &mil.Ctx{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mil.SelectRange(ctx, ordered, &lo, &hi, true, false)
+		}
+	})
+	b.Run("copy(scan)", func(b *testing.B) {
+		ctx := &mil.Ctx{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mil.SelectRange(ctx, scan, &lo, &hi, true, false)
+		}
+	})
 }
 
 // BenchmarkAblationParallelIteration measures the Section 2 shared-memory

@@ -23,6 +23,9 @@ type Column interface {
 	Heap() storage.HeapID
 	// TouchAt records a random access to entry i against the pager.
 	TouchAt(p *storage.Pager, i int)
+	// TouchRange records a sequential access to entries [i, i+n) against the
+	// pager, accounting one page span instead of n single touches.
+	TouchRange(p *storage.Pager, i, n int)
 	// TouchAll records a full sequential scan against the pager.
 	TouchAll(p *storage.Pager)
 	// ByteSize reports the memory footprint in bytes.
@@ -60,6 +63,9 @@ func (c *VoidCol) Heap() storage.HeapID { return 0 }
 // TouchAt implements Column; void columns never fault.
 func (c *VoidCol) TouchAt(p *storage.Pager, i int) {}
 
+// TouchRange implements Column; void columns never fault.
+func (c *VoidCol) TouchRange(p *storage.Pager, i, n int) {}
+
 // TouchAll implements Column; void columns never fault.
 func (c *VoidCol) TouchAll(p *storage.Pager) {}
 
@@ -73,6 +79,7 @@ func (c *VoidCol) ByteSize() int64 { return 0 }
 type OIDCol struct {
 	V    []OID
 	heap storage.HeapID
+	off  int // heap entry offset of V[0] (non-zero for views)
 }
 
 // NewOIDCol wraps a slice of oids as a column.
@@ -91,10 +98,15 @@ func (c *OIDCol) Get(i int) Value { return O(c.V[i]) }
 func (c *OIDCol) Heap() storage.HeapID { return c.heap }
 
 // TouchAt implements Column.
-func (c *OIDCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(i)*4) }
+func (c *OIDCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(c.off+i)*4) }
+
+// TouchRange implements Column.
+func (c *OIDCol) TouchRange(p *storage.Pager, i, n int) {
+	p.TouchRange(c.heap, int64(c.off+i)*4, int64(n)*4)
+}
 
 // TouchAll implements Column.
-func (c *OIDCol) TouchAll(p *storage.Pager) { p.TouchRange(c.heap, 0, int64(len(c.V))*4) }
+func (c *OIDCol) TouchAll(p *storage.Pager) { c.TouchRange(p, 0, len(c.V)) }
 
 // ByteSize implements Column.
 func (c *OIDCol) ByteSize() int64 { return int64(len(c.V)) * 4 }
@@ -103,6 +115,7 @@ func (c *OIDCol) ByteSize() int64 { return int64(len(c.V)) * 4 }
 type IntCol struct {
 	V    []int64
 	heap storage.HeapID
+	off  int // heap entry offset of V[0] (non-zero for views)
 }
 
 // NewIntCol wraps a slice of integers as a column.
@@ -121,10 +134,15 @@ func (c *IntCol) Get(i int) Value { return I(c.V[i]) }
 func (c *IntCol) Heap() storage.HeapID { return c.heap }
 
 // TouchAt implements Column; entries are 8 bytes wide, matching ByteSize.
-func (c *IntCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(i)*8) }
+func (c *IntCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(c.off+i)*8) }
+
+// TouchRange implements Column.
+func (c *IntCol) TouchRange(p *storage.Pager, i, n int) {
+	p.TouchRange(c.heap, int64(c.off+i)*8, int64(n)*8)
+}
 
 // TouchAll implements Column.
-func (c *IntCol) TouchAll(p *storage.Pager) { p.TouchRange(c.heap, 0, int64(len(c.V))*8) }
+func (c *IntCol) TouchAll(p *storage.Pager) { c.TouchRange(p, 0, len(c.V)) }
 
 // ByteSize implements Column.
 func (c *IntCol) ByteSize() int64 { return int64(len(c.V)) * 8 }
@@ -133,6 +151,7 @@ func (c *IntCol) ByteSize() int64 { return int64(len(c.V)) * 8 }
 type FltCol struct {
 	V    []float64
 	heap storage.HeapID
+	off  int // heap entry offset of V[0] (non-zero for views)
 }
 
 // NewFltCol wraps a slice of floats as a column.
@@ -151,10 +170,15 @@ func (c *FltCol) Get(i int) Value { return F(c.V[i]) }
 func (c *FltCol) Heap() storage.HeapID { return c.heap }
 
 // TouchAt implements Column.
-func (c *FltCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(i)*8) }
+func (c *FltCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(c.off+i)*8) }
+
+// TouchRange implements Column.
+func (c *FltCol) TouchRange(p *storage.Pager, i, n int) {
+	p.TouchRange(c.heap, int64(c.off+i)*8, int64(n)*8)
+}
 
 // TouchAll implements Column.
-func (c *FltCol) TouchAll(p *storage.Pager) { p.TouchRange(c.heap, 0, int64(len(c.V))*8) }
+func (c *FltCol) TouchAll(p *storage.Pager) { c.TouchRange(p, 0, len(c.V)) }
 
 // ByteSize implements Column.
 func (c *FltCol) ByteSize() int64 { return int64(len(c.V)) * 8 }
@@ -163,6 +187,7 @@ func (c *FltCol) ByteSize() int64 { return int64(len(c.V)) * 8 }
 type ChrCol struct {
 	V    []byte
 	heap storage.HeapID
+	off  int // heap entry offset of V[0] (non-zero for views)
 }
 
 // NewChrCol wraps a byte slice as a character column.
@@ -181,10 +206,15 @@ func (c *ChrCol) Get(i int) Value { return C(c.V[i]) }
 func (c *ChrCol) Heap() storage.HeapID { return c.heap }
 
 // TouchAt implements Column.
-func (c *ChrCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(i)) }
+func (c *ChrCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(c.off+i)) }
+
+// TouchRange implements Column.
+func (c *ChrCol) TouchRange(p *storage.Pager, i, n int) {
+	p.TouchRange(c.heap, int64(c.off+i), int64(n))
+}
 
 // TouchAll implements Column.
-func (c *ChrCol) TouchAll(p *storage.Pager) { p.TouchRange(c.heap, 0, int64(len(c.V))) }
+func (c *ChrCol) TouchAll(p *storage.Pager) { c.TouchRange(p, 0, len(c.V)) }
 
 // ByteSize implements Column.
 func (c *ChrCol) ByteSize() int64 { return int64(len(c.V)) }
@@ -193,6 +223,7 @@ func (c *ChrCol) ByteSize() int64 { return int64(len(c.V)) }
 type BitCol struct {
 	V    []bool
 	heap storage.HeapID
+	off  int // heap entry offset of V[0] (non-zero for views)
 }
 
 // NewBitCol wraps a bool slice as a column.
@@ -211,10 +242,15 @@ func (c *BitCol) Get(i int) Value { return B(c.V[i]) }
 func (c *BitCol) Heap() storage.HeapID { return c.heap }
 
 // TouchAt implements Column.
-func (c *BitCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(i)) }
+func (c *BitCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(c.off+i)) }
+
+// TouchRange implements Column.
+func (c *BitCol) TouchRange(p *storage.Pager, i, n int) {
+	p.TouchRange(c.heap, int64(c.off+i), int64(n))
+}
 
 // TouchAll implements Column.
-func (c *BitCol) TouchAll(p *storage.Pager) { p.TouchRange(c.heap, 0, int64(len(c.V))) }
+func (c *BitCol) TouchAll(p *storage.Pager) { c.TouchRange(p, 0, len(c.V)) }
 
 // ByteSize implements Column.
 func (c *BitCol) ByteSize() int64 { return int64(len(c.V)) }
@@ -223,6 +259,7 @@ func (c *BitCol) ByteSize() int64 { return int64(len(c.V)) }
 type DateCol struct {
 	V    []int32
 	heap storage.HeapID
+	off  int // heap entry offset of V[0] (non-zero for views)
 }
 
 // NewDateCol wraps a slice of day numbers as a date column.
@@ -241,10 +278,15 @@ func (c *DateCol) Get(i int) Value { return D(c.V[i]) }
 func (c *DateCol) Heap() storage.HeapID { return c.heap }
 
 // TouchAt implements Column.
-func (c *DateCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(i)*4) }
+func (c *DateCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(c.off+i)*4) }
+
+// TouchRange implements Column.
+func (c *DateCol) TouchRange(p *storage.Pager, i, n int) {
+	p.TouchRange(c.heap, int64(c.off+i)*4, int64(n)*4)
+}
 
 // TouchAll implements Column.
-func (c *DateCol) TouchAll(p *storage.Pager) { p.TouchRange(c.heap, 0, int64(len(c.V))*4) }
+func (c *DateCol) TouchAll(p *storage.Pager) { c.TouchRange(p, 0, len(c.V)) }
 
 // ByteSize implements Column.
 func (c *DateCol) ByteSize() int64 { return int64(len(c.V)) * 4 }
@@ -260,6 +302,7 @@ type StrCol struct {
 	Chars    string
 	heap     storage.HeapID // offset heap
 	charHeap storage.HeapID // character heap
+	off      int            // heap entry offset of Off[0] (non-zero for views)
 }
 
 // NewStrColFromStrings builds a string column (and its character heap) from
@@ -297,18 +340,26 @@ func (c *StrCol) Heap() storage.HeapID { return c.heap }
 // TouchAt implements Column; it touches both the offset entry and the
 // character bytes.
 func (c *StrCol) TouchAt(p *storage.Pager, i int) {
-	p.Touch(c.heap, int64(i)*4)
+	p.Touch(c.heap, int64(c.off+i)*4)
 	lo, hi := int64(c.Off[i]), int64(c.Off[i+1])
 	if hi > lo {
 		p.TouchRange(c.charHeap, lo, hi-lo)
 	}
 }
 
-// TouchAll implements Column.
-func (c *StrCol) TouchAll(p *storage.Pager) {
-	p.TouchRange(c.heap, 0, int64(len(c.Off))*4)
-	p.TouchRange(c.charHeap, 0, int64(len(c.Chars)))
+// TouchRange implements Column; the character span is contiguous because
+// offsets ascend.
+func (c *StrCol) TouchRange(p *storage.Pager, i, n int) {
+	p.TouchRange(c.heap, int64(c.off+i)*4, int64(n+1)*4)
+	lo, hi := int64(c.Off[i]), int64(c.Off[i+n])
+	if hi > lo {
+		p.TouchRange(c.charHeap, lo, hi-lo)
+	}
 }
+
+// TouchAll implements Column; routing through TouchRange keeps a view's
+// accounting anchored at its heap offset and limited to its character span.
+func (c *StrCol) TouchAll(p *storage.Pager) { c.TouchRange(p, 0, c.Len()) }
 
 // ByteSize implements Column.
 func (c *StrCol) ByteSize() int64 { return int64(len(c.Off))*4 + int64(len(c.Chars)) }
@@ -372,9 +423,70 @@ func FromValues(k Kind, vs []Value) Column {
 	panic("bat: unknown kind " + k.String())
 }
 
-// Gather builds a new column containing col[perm[0]], col[perm[1]], ... It
-// is the positional-fetch primitive underlying sorts, joins and the
-// datavector semijoin.
+// PositionRun reports whether pos is the contiguous ascending run
+// lo, lo+1, ..., lo+len(pos)-1, returning lo. The endpoint check rejects
+// almost every non-run in O(1); a full verification pass runs only when the
+// endpoints agree (and is then cheaper than the gather copy it saves).
+func PositionRun[I int | int32 | OID](pos []I) (int, bool) {
+	n := len(pos)
+	if n == 0 {
+		return 0, false
+	}
+	lo := int(pos[0])
+	if int(pos[n-1])-lo != n-1 {
+		return 0, false
+	}
+	for i := 1; i < n; i++ {
+		if pos[i] != pos[i-1]+1 {
+			return 0, false
+		}
+	}
+	return lo, true
+}
+
+// SliceView returns a zero-copy view of rows [lo, lo+n) of col: the view
+// shares col's backing storage — legal because BAT-algebra operations never
+// change their operands after construction — and keeps fault accounting
+// anchored at the original heap offsets. A view of a void column is itself a
+// void column (a slice of a dense sequence is dense).
+//
+// Lifetime note: a view pins its operand's whole backing array (and a
+// string view the whole character heap) for as long as it is retained, so a
+// tiny long-lived result can hold a large operand in memory. Callers that
+// retain small results past their operand's life should materialize them
+// (see ROADMAP: view-aware accounting / materialize-on-retain).
+func SliceView(col Column, lo, n int) Column {
+	switch c := col.(type) {
+	case *VoidCol:
+		return NewVoid(c.Seq+OID(lo), n)
+	case *OIDCol:
+		return &OIDCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo}
+	case *IntCol:
+		return &IntCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo}
+	case *FltCol:
+		return &FltCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo}
+	case *ChrCol:
+		return &ChrCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo}
+	case *BitCol:
+		return &BitCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo}
+	case *DateCol:
+		return &DateCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo}
+	case *StrCol:
+		return &StrCol{Off: c.Off[lo : lo+n+1], Chars: c.Chars,
+			heap: c.heap, charHeap: c.charHeap, off: c.off + lo}
+	}
+	// boxed fallback: no backing to share, materialize
+	out := make([]Value, n)
+	for i := range out {
+		out[i] = col.Get(lo + i)
+	}
+	return FromValues(col.Kind(), out)
+}
+
+// Gather builds the column col[perm[0]], col[perm[1]], ... It is the
+// positional-fetch primitive underlying sorts, joins and the datavector
+// semijoin. When perm is a contiguous run the result is a zero-copy
+// SliceView instead of a materialized copy.
 func Gather(col Column, perm []int) Column { return gatherInto(col, perm) }
 
 // Gather32 is Gather over the int32 position buffers the typed kernels
@@ -386,6 +498,9 @@ func Gather32(col Column, perm []int32) Column { return gatherInto(col, perm) }
 func GatherAny[I int | int32](col Column, perm []I) Column { return gatherInto(col, perm) }
 
 func gatherInto[I int | int32](col Column, perm []I) Column {
+	if lo, ok := PositionRun(perm); ok {
+		return SliceView(col, lo, len(perm))
+	}
 	switch c := col.(type) {
 	case *VoidCol:
 		out := make([]OID, len(perm))

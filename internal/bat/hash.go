@@ -3,86 +3,317 @@ package bat
 import "math"
 
 // HashIndex is a persistent hash-table search accelerator on one column
-// (Fig. 2 shows such an accelerator heap attached to a BAT). It is the
-// Monet-style bucket+link layout: bucket[hash(v)&mask] holds the first
-// position with that hash, link[i] chains to the next one — two int32
-// arrays built directly over the column's typed backing slice, with zero
-// per-key allocations. Chains are built back to front, so walking one
-// yields positions in ascending order.
+// (Fig. 2 shows such an accelerator heap attached to a BAT). The layout is
+// bucket-clustered: ents holds all (key rep, position) entries sorted by
+// (bucket, position) and bucketOff[b] .. bucketOff[b+1] delimits bucket b's
+// entries. Walking a bucket is therefore a short sequential scan over one
+// contiguous entry span instead of a pointer chase, and it yields positions
+// in ascending order — the same observable order the classic back-to-front
+// bucket+link chains produced.
+//
+// Construction is a counting sort by bucket. Above radixBuildMinRows it runs
+// radix-partitioned (see partition.go): rows are scattered by the top bits of
+// their bucket into P contiguous bucket ranges, and each range is counted,
+// scattered and deduplicated independently — touching only a cache-sized
+// slice of the table, and in parallel when the caller passes workers > 1.
+// The partitioned build is bit-identical to the sequential one by
+// construction: bucket entries are ascending either way.
 //
 // Dense (void) columns need no arrays at all: the position of an oid is
 // arithmetic. Columns without a typed backing fall back to a boxed map.
 type HashIndex struct {
-	col Column
+	col   Column
+	exact bool // rep equality ⇔ value equality on the indexed column
 
 	// dense accelerator (void columns)
 	dense bool
 	seq   OID
 	n     int
 
-	// bucket+link accelerator
-	rep    KeyRep
-	bucket []int32
-	link   []int32
-	mask   uint32
+	// bucket-clustered accelerator
+	bucketOff []int32   // len mask+2: entry range per bucket
+	ents      []hashEnt // (key rep, position) entries clustered by bucket
+	mask      uint32
 
-	card int
+	card   int
+	cardOK bool // card computed (eagerly for dense/boxed, lazily otherwise)
 
 	// boxed fallback for columns without typed backing slices
 	boxed map[Value][]int32
 }
 
-// BuildHashIndex constructs a hash index over col.
-func BuildHashIndex(col Column) *HashIndex {
-	if v, ok := col.(*VoidCol); ok {
-		return &HashIndex{col: col, dense: true, seq: v.Seq, n: v.N, card: v.N}
+// hashEnt is one clustered accelerator entry. Rep and position share a
+// cache line, so probe hits and build scatters touch one random line, not
+// two. Within a bucket entries are position-ascending.
+type hashEnt struct {
+	rep uint64
+	pos int32
+}
+
+// radixBuildMinRows is the smallest build that a multi-worker request
+// partitions; below it goroutine overhead dominates.
+const radixBuildMinRows = 1 << 14
+
+// radixSoloMinBuckets is the bucket-array size past which a single-threaded
+// build partitions too: below it the table is cache-resident and the scatter
+// pass would be pure overhead, above it confining each counting sort to a
+// cache-sized bucket span wins (measured crossover ≈1M buckets).
+const radixSoloMinBuckets = 1 << 20
+
+// buildPartitions picks the radix fan-out for a build over sz buckets: one
+// partition while the table fits the caches, otherwise ≈512 KB of bucket
+// offsets per partition; a multi-worker build additionally splits enough to
+// feed and load-balance the workers.
+func buildPartitions(n, sz, workers int) int {
+	p := 1
+	if sz >= radixSoloMinBuckets {
+		p = sz >> 17
 	}
-	rep, ok := NewKeyRep(col)
-	if !ok {
+	if workers > 1 && n >= radixBuildMinRows {
+		if w := nextPow2(workers * 2); w > p {
+			p = w
+		}
+	}
+	if p > 256 {
+		p = 256
+	}
+	if p > sz {
+		p = sz
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// denseOIDSeq reports whether v holds the dense ascending sequence
+// v[0], v[0]+1, ... — PositionRun's run detection over oid values
+// (O(1) endpoint rejection, full verification only when endpoints agree).
+func denseOIDSeq(v []OID) (OID, bool) {
+	seq, ok := PositionRun(v)
+	return OID(seq), ok
+}
+
+// BuildHashIndex constructs a hash index over col sequentially.
+func BuildHashIndex(col Column) *HashIndex { return BuildHashIndexP(col, 1) }
+
+// BuildHashIndexP constructs a hash index over col, radix-partitioning large
+// builds and running the per-partition work on up to workers goroutines.
+// Every worker count yields the identical index.
+func BuildHashIndexP(col Column, workers int) *HashIndex {
+	return buildHashIndexRadix(col, 0, workers)
+}
+
+// BuildHashIndexPartitioned constructs a hash index with an explicit radix
+// fan-out (partitions <= 0 picks it automatically). Every fan-out yields the
+// identical index; the knob exists for the partition-sweep ablation.
+func BuildHashIndexPartitioned(col Column, partitions, workers int) *HashIndex {
+	return buildHashIndexRadix(col, partitions, workers)
+}
+
+// buildHashIndexRadix is the full-knob constructor: partitions <= 0 picks the
+// fan-out automatically. The explicit knob exists for the partition-sweep
+// ablation and the parity tests.
+func buildHashIndexRadix(col Column, partitions, workers int) *HashIndex {
+	if v, ok := col.(*VoidCol); ok {
+		return &HashIndex{col: col, dense: true, seq: v.Seq, n: v.N, card: v.N, cardOK: true}
+	}
+	// Run-time property detection (Section 5.1): an oid column that stores a
+	// dense ascending sequence — common for base-extent heads even when no
+	// density property survived the plan — gets the arithmetic accelerator,
+	// no table at all. The detection pass aborts at the first violation, so
+	// it costs almost nothing on non-dense columns.
+	if c, ok := col.(*OIDCol); ok {
+		if seq, dense := denseOIDSeq(c.V); dense {
+			return &HashIndex{col: col, dense: true, seq: seq, n: len(c.V), card: len(c.V), cardOK: true}
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	exact, typed := repExactness(col)
+	if !typed {
 		n := col.Len()
 		m := make(map[Value][]int32, n)
 		for i := 0; i < n; i++ {
 			v := col.Get(i)
 			m[v] = append(m[v], int32(i))
 		}
-		return &HashIndex{col: col, boxed: m, card: len(m)}
+		return &HashIndex{col: col, boxed: m, card: len(m), cardOK: true}
 	}
 	n := col.Len()
 	sz := nextPow2(max(n, 1))
 	h := &HashIndex{
-		col:    col,
-		rep:    rep,
-		bucket: make([]int32, sz),
-		link:   make([]int32, n),
-		mask:   uint32(sz - 1),
-		n:      n,
+		col:       col,
+		exact:     exact,
+		bucketOff: make([]int32, sz+1),
+		ents:      make([]hashEnt, n),
+		mask:      uint32(sz - 1),
+		n:         n,
 	}
-	for i := range h.bucket {
-		h.bucket[i] = -1
+	p := partitions
+	if p <= 0 {
+		p = buildPartitions(n, sz, workers)
 	}
-	// Insert back to front so chains walk ascending; count distinct keys on
-	// the way (a key is new when no equal entry is already chained).
-	for i := n - 1; i >= 0; i-- {
-		x := rep.Rep[i]
-		b := fibHash(x) & h.mask
-		dup := false
-		for j := h.bucket[b]; j >= 0; j = h.link[j] {
-			if rep.Rep[j] == x && (rep.Exact || rep.KeyEqual(int32(i), j)) {
-				dup = true
-				break
-			}
+	p = nextPow2(p) // the bucket-range split needs a power-of-two fan-out
+	if p > sz {
+		p = sz
+	}
+	if p <= 1 {
+		// Unpartitioned counting sort, with the key reps computed inline
+		// from the typed backing slice for the fixed-width kinds — no rep
+		// vector is ever materialized.
+		switch c := col.(type) {
+		case *OIDCol:
+			buildClusteredFixed(h, c.V)
+		case *IntCol:
+			buildClusteredFixed(h, c.V)
+		case *DateCol:
+			buildClusteredFixed(h, c.V)
+		case *ChrCol:
+			buildClusteredFixed(h, c.V)
+		default:
+			rep, _ := NewKeyRep(col)
+			h.buildPartition(scattered{P: 1, off: []int32{0, int32(n)}, reps: rep.Rep},
+				0, 0, make([]int32, sz))
 		}
-		if !dup {
-			h.card++
-		}
-		h.link[i] = h.bucket[b]
-		h.bucket[b] = int32(i)
+		h.bucketOff[sz] = int32(n)
+		return h
 	}
+	rep, _ := NewKeyRepP(col, workers)
+	sc := scatterByHash(rep.Rep, p, h.mask, log2(sz)-log2(p), workers)
+	w := workers
+	if w > p {
+		w = p
+	}
+	nb := sz >> log2(p) // buckets per partition
+	parallelDo(w, func(wi int) {
+		counts := make([]int32, nb)
+		for pi := wi; pi < p; pi += w {
+			h.buildPartition(sc, pi, int32(pi*nb), counts[:nb])
+			clear(counts)
+		}
+	})
+	h.bucketOff[sz] = int32(n)
 	return h
 }
 
-// Card reports the number of distinct values.
-func (h *HashIndex) Card() int { return h.card }
+// buildClusteredFixed is the unpartitioned counting sort for fixed-width
+// columns: one histogram pass and one scatter pass, both converting elements
+// to key reps on the fly (the conversion matches NewKeyRep bit for bit).
+// Like the probe loops, both passes resolve a block of buckets up front so
+// the random accesses of a block overlap instead of serializing.
+func buildClusteredFixed[E fixedElem](h *HashIndex, v []E) {
+	counts := make([]int32, h.mask+1)
+	var bbuf [probeBlock]int32
+	n := len(v)
+	for base := 0; base < n; base += probeBlock {
+		m := n - base
+		if m > probeBlock {
+			m = probeBlock
+		}
+		for t := 0; t < m; t++ {
+			bbuf[t] = int32(fibHash(uint64(v[base+t])) & h.mask)
+		}
+		for t := 0; t < m; t++ {
+			counts[bbuf[t]]++
+		}
+	}
+	cur := int32(0)
+	for j := range counts {
+		h.bucketOff[j] = cur
+		cur += counts[j]
+		counts[j] = h.bucketOff[j]
+	}
+	for base := 0; base < n; base += probeBlock {
+		m := n - base
+		if m > probeBlock {
+			m = probeBlock
+		}
+		for t := 0; t < m; t++ {
+			bbuf[t] = int32(fibHash(uint64(v[base+t])) & h.mask)
+		}
+		for t := 0; t < m; t++ {
+			b := bbuf[t]
+			c := counts[b]
+			h.ents[c] = hashEnt{rep: uint64(v[base+t]), pos: int32(base + t)}
+			counts[b] = c + 1
+		}
+	}
+}
+
+// buildPartition counting-sorts partition pi's rows into the bucket range
+// starting at bucket bLo (nb buckets wide). counts must be zeroed scratch.
+func (h *HashIndex) buildPartition(sc scattered, pi int, bLo int32, counts []int32) {
+	lo, hi := sc.off[pi], sc.off[pi+1]
+	reps := sc.reps
+	for k := lo; k < hi; k++ {
+		counts[int32(fibHash(reps[k])&h.mask)-bLo]++
+	}
+	cur := lo
+	for j := range counts {
+		h.bucketOff[bLo+int32(j)] = cur
+		cur += counts[j]
+		counts[j] = h.bucketOff[bLo+int32(j)] // becomes the bucket's write cursor
+	}
+	for k := lo; k < hi; k++ {
+		x := reps[k]
+		b := int32(fibHash(x)&h.mask) - bLo
+		c := counts[b]
+		row := int32(k)
+		if sc.rows != nil {
+			row = sc.rows[k]
+		}
+		h.ents[c] = hashEnt{rep: x, pos: row}
+		counts[b] = c + 1
+	}
+}
+
+// computeCard counts the distinct keys of a clustered index: within each
+// bucket, an entry is a duplicate when an earlier entry holds an equal key.
+// Scanning earlier entries nearest-first settles all-duplicate columns in
+// O(1) per entry, like the old chain walk did. It runs lazily on the first
+// Card() call — the frequent build sides (unique heads) never ask.
+func (h *HashIndex) computeCard() int {
+	card := 0
+	for b := 0; b <= int(h.mask); b++ {
+		s, e := h.bucketOff[b], h.bucketOff[b+1]
+		for k := s; k < e; k++ {
+			dup := false
+			for k2 := k - 1; k2 >= s; k2-- {
+				if h.ents[k2].rep == h.ents[k].rep && (h.exact || h.keyEqualRows(h.ents[k2].pos, h.ents[k].pos)) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				card++
+			}
+		}
+	}
+	return card
+}
+
+// keyEqualRows settles an inexact rep match between two indexed rows.
+func (h *HashIndex) keyEqualRows(a, b int32) bool {
+	switch c := h.col.(type) {
+	case *FltCol:
+		return c.V[a] == c.V[b]
+	case *StrCol:
+		return c.At(int(a)) == c.At(int(b))
+	}
+	return h.col.Get(int(a)) == h.col.Get(int(b))
+}
+
+// Card reports the number of distinct values (computed on first use for
+// clustered indexes, cached after).
+func (h *HashIndex) Card() int {
+	if !h.cardOK {
+		h.card = h.computeCard()
+		h.cardOK = true
+	}
+	return h.card
+}
 
 // repOfValue condenses a boxed probe value into the indexed column's key
 // space; ok is false when the kind cannot occur in the column (map-key
@@ -110,6 +341,12 @@ func (h *HashIndex) repOfValue(v Value) (uint64, bool) {
 	return uint64(v.I), true
 }
 
+// bucketRange returns the clustered entry range holding key rep x.
+func (h *HashIndex) bucketRange(x uint64) (int32, int32) {
+	b := fibHash(x) & h.mask
+	return h.bucketOff[b], h.bucketOff[b+1]
+}
+
 // Lookup returns the positions at which v occurs, in ascending order, or nil.
 func (h *HashIndex) Lookup(v Value) []int32 {
 	if h.boxed != nil {
@@ -130,14 +367,15 @@ func (h *HashIndex) Lookup(v Value) []int32 {
 		return nil
 	}
 	var out []int32
-	for j := h.bucket[fibHash(x)&h.mask]; j >= 0; j = h.link[j] {
-		if h.rep.Rep[j] != x {
+	s, e := h.bucketRange(x)
+	for k := s; k < e; k++ {
+		if h.ents[k].rep != x {
 			continue
 		}
-		if !h.rep.Exact && !h.valueEqualAt(v, j) {
+		if !h.exact && !h.valueEqualAt(v, h.ents[k].pos) {
 			continue
 		}
-		out = append(out, j)
+		out = append(out, h.ents[k].pos)
 	}
 	return out
 }
@@ -166,14 +404,15 @@ func (h *HashIndex) Lookup1(v Value) (int32, bool) {
 	if !ok || h.n == 0 {
 		return 0, false
 	}
-	for j := h.bucket[fibHash(x)&h.mask]; j >= 0; j = h.link[j] {
-		if h.rep.Rep[j] != x {
+	s, e := h.bucketRange(x)
+	for k := s; k < e; k++ {
+		if h.ents[k].rep != x {
 			continue
 		}
-		if !h.rep.Exact && !h.valueEqualAt(v, j) {
+		if !h.exact && !h.valueEqualAt(v, h.ents[k].pos) {
 			continue
 		}
-		return j, true
+		return h.ents[k].pos, true
 	}
 	return 0, false
 }
@@ -189,12 +428,23 @@ func (h *HashIndex) valueEqualAt(v Value, j int32) bool {
 	return h.col.Get(int(j)) == v
 }
 
-// Probe is a prepared probe column: its key reps plus (when needed) a
-// verifier of probe-row against indexed-row equality. Probes are read-only
-// and safe to share across parallel range workers.
+// Probe is a prepared probe column. For the exact fixed-width kinds the key
+// reps are computed inline from the column's backing slice — no per-probe
+// rep array is materialized at all; float, string and bit probes carry a
+// prepared rep vector plus (when needed) a verifier of probe-row against
+// indexed-row equality. Probes are read-only and safe to share across
+// parallel range workers.
 type Probe struct {
 	rep KeyRep
 	eq  func(pi, bi int32) bool // nil when rep equality is conclusive
+
+	// inline key sources (at most one non-nil): rep[i] is computed from the
+	// element exactly as NewKeyRep would, saving the O(n) materialization.
+	void  *VoidCol
+	oidV  []OID
+	intV  []int64
+	dateV []int32
+	chrV  []byte
 }
 
 // NewProbe prepares probe for typed probing into h. It reports false when
@@ -207,21 +457,124 @@ func (h *HashIndex) NewProbe(probe Column) (Probe, bool) {
 	if normKind(probe.Kind()) != normKind(h.col.Kind()) {
 		return Probe{}, false
 	}
+	switch c := probe.(type) {
+	case *VoidCol:
+		return Probe{void: c}, true
+	case *OIDCol:
+		return Probe{oidV: c.V}, true
+	case *IntCol:
+		return Probe{intV: c.V}, true
+	case *DateCol:
+		return Probe{dateV: c.V}, true
+	case *ChrCol:
+		return Probe{chrV: c.V}, true
+	}
 	rep, ok := NewKeyRep(probe)
 	if !ok {
 		return Probe{}, false
 	}
 	p := Probe{rep: rep}
-	if !h.dense && !(rep.Exact && h.rep.Exact) {
+	if !h.dense && !(rep.Exact && h.exact) {
 		p.eq = crossEq(probe, h.col)
 	}
 	return p, true
+}
+
+// fixedElem are the element types whose key rep is the plain uint64
+// conversion (matching NewKeyRep).
+type fixedElem interface {
+	~uint8 | ~uint32 | ~int32 | ~int64
+}
+
+// probeBlock is the software-pipelining batch of the probe loops: bucket
+// ranges for a whole block are resolved first (independent loads the CPU
+// overlaps), then the entries are walked. On out-of-cache indexes this turns
+// one dependent miss chain per probe into batches of parallel misses.
+const probeBlock = 256
+
+func joinRangeFixed[E fixedElem](h *HashIndex, v []E, lo, hi int, lpos, rpos []int32) ([]int32, []int32) {
+	if h.dense {
+		seq, n := uint64(h.seq), uint64(h.n)
+		for i := lo; i < hi; i++ {
+			if j := uint64(v[i]) - seq; j < n {
+				lpos = append(lpos, int32(i))
+				rpos = append(rpos, int32(j))
+			}
+		}
+		return lpos, rpos
+	}
+	if h.n == 0 {
+		return lpos, rpos
+	}
+	ents, bo := h.ents, h.bucketOff
+	var sbuf, ebuf [probeBlock]int32
+	for base := lo; base < hi; base += probeBlock {
+		m := hi - base
+		if m > probeBlock {
+			m = probeBlock
+		}
+		for t := 0; t < m; t++ {
+			b := fibHash(uint64(v[base+t])) & h.mask
+			sbuf[t] = bo[b]
+			ebuf[t] = bo[b+1]
+		}
+		for t := 0; t < m; t++ {
+			x := uint64(v[base+t])
+			for k := sbuf[t]; k < ebuf[t]; k++ {
+				if ents[k].rep == x {
+					lpos = append(lpos, int32(base+t))
+					rpos = append(rpos, ents[k].pos)
+				}
+			}
+		}
+	}
+	return lpos, rpos
+}
+
+func joinRangeVoid(h *HashIndex, seq OID, lo, hi int, lpos, rpos []int32) ([]int32, []int32) {
+	if h.dense {
+		iseq, n := uint64(h.seq), uint64(h.n)
+		for i := lo; i < hi; i++ {
+			if j := uint64(seq) + uint64(i) - iseq; j < n {
+				lpos = append(lpos, int32(i))
+				rpos = append(rpos, int32(j))
+			}
+		}
+		return lpos, rpos
+	}
+	if h.n == 0 {
+		return lpos, rpos
+	}
+	ents := h.ents
+	for i := lo; i < hi; i++ {
+		x := uint64(seq) + uint64(i)
+		s, e := h.bucketRange(x)
+		for k := s; k < e; k++ {
+			if ents[k].rep == x {
+				lpos = append(lpos, int32(i))
+				rpos = append(rpos, ents[k].pos)
+			}
+		}
+	}
+	return lpos, rpos
 }
 
 // JoinRange probes rows [lo,hi) of the prepared probe column and appends
 // every (probe position, indexed position) match pair — the hash-join inner
 // loop. Pairs follow probe order; per probe row, indexed positions ascend.
 func (h *HashIndex) JoinRange(p Probe, lo, hi int, lpos, rpos []int32) ([]int32, []int32) {
+	switch {
+	case p.oidV != nil:
+		return joinRangeFixed(h, p.oidV, lo, hi, lpos, rpos)
+	case p.intV != nil:
+		return joinRangeFixed(h, p.intV, lo, hi, lpos, rpos)
+	case p.dateV != nil:
+		return joinRangeFixed(h, p.dateV, lo, hi, lpos, rpos)
+	case p.chrV != nil:
+		return joinRangeFixed(h, p.chrV, lo, hi, lpos, rpos)
+	case p.void != nil:
+		return joinRangeVoid(h, p.void.Seq, lo, hi, lpos, rpos)
+	}
 	if h.dense {
 		seq := uint64(h.seq)
 		n := uint64(h.n)
@@ -236,23 +589,105 @@ func (h *HashIndex) JoinRange(p Probe, lo, hi int, lpos, rpos []int32) ([]int32,
 	if h.n == 0 {
 		return lpos, rpos
 	}
-	rep := h.rep.Rep
+	ents := h.ents
 	for i := lo; i < hi; i++ {
 		x := p.rep.Rep[i]
-		for j := h.bucket[fibHash(x)&h.mask]; j >= 0; j = h.link[j] {
-			if rep[j] == x && (p.eq == nil || p.eq(int32(i), j)) {
+		s, e := h.bucketRange(x)
+		for k := s; k < e; k++ {
+			if ents[k].rep == x && (p.eq == nil || p.eq(int32(i), ents[k].pos)) {
 				lpos = append(lpos, int32(i))
-				rpos = append(rpos, j)
+				rpos = append(rpos, ents[k].pos)
 			}
 		}
 	}
 	return lpos, rpos
 }
 
+func filterRangeFixed[E fixedElem](h *HashIndex, v []E, lo, hi int, want bool, out []int32) []int32 {
+	if h.dense {
+		seq, n := uint64(h.seq), uint64(h.n)
+		for i := lo; i < hi; i++ {
+			if (uint64(v[i])-seq < n) == want {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	ents, bo := h.ents, h.bucketOff
+	var sbuf, ebuf [probeBlock]int32
+	for base := lo; base < hi; base += probeBlock {
+		m := hi - base
+		if m > probeBlock {
+			m = probeBlock
+		}
+		for t := 0; t < m; t++ {
+			b := fibHash(uint64(v[base+t])) & h.mask
+			sbuf[t] = bo[b]
+			ebuf[t] = bo[b+1]
+		}
+		for t := 0; t < m; t++ {
+			hit := false
+			x := uint64(v[base+t])
+			for k := sbuf[t]; k < ebuf[t]; k++ {
+				if ents[k].rep == x {
+					hit = true
+					break
+				}
+			}
+			if hit == want {
+				out = append(out, int32(base+t))
+			}
+		}
+	}
+	return out
+}
+
+func filterRangeVoid(h *HashIndex, seq OID, lo, hi int, want bool, out []int32) []int32 {
+	if h.dense {
+		iseq, n := uint64(h.seq), uint64(h.n)
+		for i := lo; i < hi; i++ {
+			if (uint64(seq)+uint64(i)-iseq < n) == want {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	ents := h.ents
+	for i := lo; i < hi; i++ {
+		hit := false
+		if h.n > 0 {
+			x := uint64(seq) + uint64(i)
+			s, e := h.bucketRange(x)
+			for k := s; k < e; k++ {
+				if ents[k].rep == x {
+					hit = true
+					break
+				}
+			}
+		}
+		if hit == want {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
 // FilterRange probes rows [lo,hi) of the prepared probe column and appends
 // the probe positions having at least one match (want=true: semijoin,
 // intersection) or none (want=false: difference).
 func (h *HashIndex) FilterRange(p Probe, lo, hi int, want bool, pos []int32) []int32 {
+	switch {
+	case p.oidV != nil:
+		return filterRangeFixed(h, p.oidV, lo, hi, want, pos)
+	case p.intV != nil:
+		return filterRangeFixed(h, p.intV, lo, hi, want, pos)
+	case p.dateV != nil:
+		return filterRangeFixed(h, p.dateV, lo, hi, want, pos)
+	case p.chrV != nil:
+		return filterRangeFixed(h, p.chrV, lo, hi, want, pos)
+	case p.void != nil:
+		return filterRangeVoid(h, p.void.Seq, lo, hi, want, pos)
+	}
 	if h.dense {
 		seq := uint64(h.seq)
 		n := uint64(h.n)
@@ -263,13 +698,14 @@ func (h *HashIndex) FilterRange(p Probe, lo, hi int, want bool, pos []int32) []i
 		}
 		return pos
 	}
-	rep := h.rep.Rep
+	ents := h.ents
 	for i := lo; i < hi; i++ {
 		hit := false
 		if h.n > 0 {
 			x := p.rep.Rep[i]
-			for j := h.bucket[fibHash(x)&h.mask]; j >= 0; j = h.link[j] {
-				if rep[j] == x && (p.eq == nil || p.eq(int32(i), j)) {
+			s, e := h.bucketRange(x)
+			for k := s; k < e; k++ {
+				if ents[k].rep == x && (p.eq == nil || p.eq(int32(i), ents[k].pos)) {
 					hit = true
 					break
 				}
@@ -285,9 +721,13 @@ func (h *HashIndex) FilterRange(p Probe, lo, hi int, want bool, pos []int32) []i
 // TailHash returns (building and caching on first use) the hash accelerator
 // on b's tail column. Building an accelerator at run time is exactly what
 // Monet's dynamic optimization does when a hash variant is selected.
-func (b *BAT) TailHash() *HashIndex {
+func (b *BAT) TailHash() *HashIndex { return b.TailHashP(1) }
+
+// TailHashP is TailHash with a parallel build degree for the first
+// construction; the cached accelerator is identical for every degree.
+func (b *BAT) TailHashP(workers int) *HashIndex {
 	if b.hashT == nil {
-		b.hashT = BuildHashIndex(b.T)
+		b.hashT = BuildHashIndexP(b.T, workers)
 		if b.mirror != nil {
 			b.mirror.hashH = b.hashT
 		}
@@ -297,9 +737,13 @@ func (b *BAT) TailHash() *HashIndex {
 
 // HeadHash returns (building and caching on first use) the hash accelerator
 // on b's head column.
-func (b *BAT) HeadHash() *HashIndex {
+func (b *BAT) HeadHash() *HashIndex { return b.HeadHashP(1) }
+
+// HeadHashP is HeadHash with a parallel build degree for the first
+// construction; the cached accelerator is identical for every degree.
+func (b *BAT) HeadHashP(workers int) *HashIndex {
 	if b.hashH == nil {
-		b.hashH = BuildHashIndex(b.H)
+		b.hashH = BuildHashIndexP(b.H, workers)
 		if b.mirror != nil {
 			b.mirror.hashT = b.hashH
 		}

@@ -59,63 +59,85 @@ type KeyRep struct {
 
 // NewKeyRep builds the key representation of col. It reports false for
 // column implementations without a typed backing (none in this package).
-func NewKeyRep(c Column) (KeyRep, bool) {
+func NewKeyRep(c Column) (KeyRep, bool) { return NewKeyRepP(c, 1) }
+
+// NewKeyRepP builds the key representation of col, filling the rep vector on
+// up to workers goroutines (the fill is embarrassingly parallel; every
+// worker count yields the identical vector).
+func NewKeyRepP(c Column, workers int) (KeyRep, bool) {
+	exact, ok := repExactness(c)
+	if !ok {
+		return KeyRep{}, false
+	}
+	n := c.Len()
+	rep := make([]uint64, n)
+	if workers <= 1 || n < radixBuildMinRows {
+		fillKeyReps(c, rep, 0, n)
+	} else {
+		bounds := splitRange(n, workers)
+		parallelDo(len(bounds), func(w int) {
+			fillKeyReps(c, rep, bounds[w][0], bounds[w][1])
+		})
+	}
+	return KeyRep{Rep: rep, Exact: exact, col: c}, true
+}
+
+// repExactness reports whether rep equality is conclusive for col's kind,
+// and whether the kind has a key representation at all.
+func repExactness(c Column) (exact, ok bool) {
+	switch c.(type) {
+	case *VoidCol, *OIDCol, *IntCol, *DateCol, *ChrCol, *BitCol:
+		return true, true
+	case *FltCol, *StrCol:
+		return false, true
+	}
+	return false, false
+}
+
+// fillKeyReps computes rep[i] for rows [lo, hi) of c.
+func fillKeyReps(c Column, rep []uint64, lo, hi int) {
 	switch cc := c.(type) {
 	case *VoidCol:
-		rep := make([]uint64, cc.N)
-		for i := range rep {
+		for i := lo; i < hi; i++ {
 			rep[i] = uint64(cc.Seq) + uint64(i)
 		}
-		return KeyRep{Rep: rep, Exact: true, col: c}, true
 	case *OIDCol:
-		rep := make([]uint64, len(cc.V))
-		for i, v := range cc.V {
-			rep[i] = uint64(v)
+		for i := lo; i < hi; i++ {
+			rep[i] = uint64(cc.V[i])
 		}
-		return KeyRep{Rep: rep, Exact: true, col: c}, true
 	case *IntCol:
-		rep := make([]uint64, len(cc.V))
-		for i, v := range cc.V {
-			rep[i] = uint64(v)
+		for i := lo; i < hi; i++ {
+			rep[i] = uint64(cc.V[i])
 		}
-		return KeyRep{Rep: rep, Exact: true, col: c}, true
 	case *DateCol:
-		rep := make([]uint64, len(cc.V))
-		for i, v := range cc.V {
-			rep[i] = uint64(v)
+		for i := lo; i < hi; i++ {
+			rep[i] = uint64(cc.V[i])
 		}
-		return KeyRep{Rep: rep, Exact: true, col: c}, true
 	case *ChrCol:
-		rep := make([]uint64, len(cc.V))
-		for i, v := range cc.V {
-			rep[i] = uint64(v)
+		for i := lo; i < hi; i++ {
+			rep[i] = uint64(cc.V[i])
 		}
-		return KeyRep{Rep: rep, Exact: true, col: c}, true
 	case *BitCol:
-		rep := make([]uint64, len(cc.V))
-		for i, v := range cc.V {
-			if v {
+		for i := lo; i < hi; i++ {
+			if cc.V[i] {
 				rep[i] = 1
+			} else {
+				rep[i] = 0
 			}
 		}
-		return KeyRep{Rep: rep, Exact: true, col: c}, true
 	case *FltCol:
-		rep := make([]uint64, len(cc.V))
-		for i, v := range cc.V {
+		for i := lo; i < hi; i++ {
+			v := cc.V[i]
 			if v == 0 {
 				v = 0 // -0 and +0 are one key
 			}
 			rep[i] = math.Float64bits(v)
 		}
-		return KeyRep{Rep: rep, Exact: false, col: c}, true
 	case *StrCol:
-		rep := make([]uint64, cc.Len())
-		for i := range rep {
+		for i := lo; i < hi; i++ {
 			rep[i] = hashString(cc.At(i))
 		}
-		return KeyRep{Rep: rep, Exact: false, col: c}, true
 	}
-	return KeyRep{}, false
 }
 
 // KeyEqual implements KeyEq on a single column under map-key semantics.

@@ -90,16 +90,20 @@ func aggResultKind(fn string, in bat.Kind) bat.Kind {
 // Execution is slot-based: each row's head resolves to a dense group slot
 // (contiguous runs when the head is ordered, the bucket+link grouper
 // otherwise) and typed accumulator arrays replace per-group boxed
-// accumulators. Over large unordered inputs the grouping runs as parallel
-// per-range partials merged in range order; the merge is restricted to
-// aggregates whose combination is exact (integer sums, count, min, max), so
-// parallel results are bit-identical to sequential execution.
+// accumulators. Over large unordered inputs the grouping runs
+// radix-partitioned: rows are split by key hash, per-partition groupers run
+// concurrently, and accumulation proceeds partition-parallel over disjoint
+// slot sets. Because a group never spans partitions, every accumulator —
+// including order-sensitive floating-point sums — combines its rows in
+// ascending row order, so parallel results are bit-identical to sequential
+// execution for all aggregate functions.
 func Aggr(ctx *Ctx, fn string, b *bat.BAT) *bat.BAT {
 	p := ctx.pager()
 	b.H.TouchAll(p)
 	b.T.TouchAll(p)
 	n := b.Len()
-	hr, ok := bat.NewKeyRep(b.H)
+	k := workersFor(ctx, n)
+	hr, ok := bat.NewKeyRepP(b.H, k)
 	if n == 0 || !ok {
 		return aggrBoxed(ctx, fn, b)
 	}
@@ -110,38 +114,13 @@ func Aggr(ctx *Ctx, fn string, b *bat.BAT) *bat.BAT {
 		return aggrAssembleTyped(fn, b, part.first, part)
 	}
 	ctx.chose("hash-aggr")
-	k := 1
-	if aggrParallelOK(fn, b.T) {
-		k = workersFor(ctx, n)
+	if k > 1 {
+		gs := bat.BuildGroupSlotsPartitioned(hr.Rep, eq, k)
+		part := aggrScanPartitioned(b, gs, k)
+		return aggrAssembleTyped(fn, b, gs.First, part)
 	}
-	rs := ranges(n, k)
-	if len(rs) <= 1 {
-		part := aggrScanHash(b, hr, eq, 0, n)
-		return aggrAssembleTyped(fn, b, part.g.Rows(), part)
-	}
-	parts := make([]*aggPart, len(rs))
-	parallelFill(len(rs), len(rs), func(lo, hi int) {
-		for w := lo; w < hi; w++ {
-			parts[w] = aggrScanHash(b, hr, eq, rs[w][0], rs[w][1])
-		}
-	})
-	merged, first := aggrMerge(parts, hr, eq)
-	return aggrAssembleTyped(fn, b, first, merged)
-}
-
-// aggrParallelOK gates the parallel grouped aggregation on combinations
-// whose partial merge is exact: floating-point sums are order-sensitive, so
-// sum/avg over float tails stay sequential.
-func aggrParallelOK(fn string, t bat.Column) bool {
-	switch t.(type) {
-	case *bat.IntCol:
-		return fn != "avg" // avg reads the float sum
-	case *bat.DateCol:
-		return true
-	case *bat.FltCol:
-		return fn == "count" || fn == "min" || fn == "max"
-	}
-	return false
+	part := aggrScanHash(b, hr, eq, 0, n)
+	return aggrAssembleTyped(fn, b, part.g.Rows(), part)
 }
 
 // aggPart holds per-slot accumulators for one scan range. Exactly one of
@@ -158,11 +137,102 @@ type aggPart struct {
 	boxed      []aggAcc
 }
 
-func (a *aggPart) firstRows() []int32 {
-	if a.g != nil {
-		return a.g.Rows()
+// aggrScanPartitioned accumulates all rows against pre-assigned group slots,
+// running the partitions of gs concurrently on up to k workers. Partitions
+// own disjoint slot sets, so the workers write disjoint accumulator entries;
+// within a partition rows ascend, so per-group accumulation order equals the
+// sequential scan's.
+func aggrScanPartitioned(b *bat.BAT, gs *bat.GroupSlots, k int) *aggPart {
+	G := len(gs.First)
+	a := &aggPart{first: gs.First}
+	switch b.T.(type) {
+	case *bat.IntCol:
+		a.count = make([]int64, G)
+		a.sumI = make([]int64, G)
+		a.sumF = make([]float64, G)
+		a.minI = make([]int64, G)
+		a.maxI = make([]int64, G)
+	case *bat.FltCol:
+		a.count = make([]int64, G)
+		a.sumF = make([]float64, G)
+		a.minF = make([]float64, G)
+		a.maxF = make([]float64, G)
+	case *bat.DateCol:
+		a.count = make([]int64, G)
+		a.minI = make([]int64, G)
+		a.maxI = make([]int64, G)
+	default:
+		a.boxed = make([]aggAcc, G)
 	}
-	return a.first
+	parts := gs.PartRows
+	if k > len(parts) {
+		k = len(parts)
+	}
+	parallelFill(len(parts), k, func(lo, hi int) {
+		for w := lo; w < hi; w++ {
+			a.accumulateRows(b, parts[w], gs.Slots, gs.First)
+		}
+	})
+	return a
+}
+
+// accumulateRows folds the given rows into pre-sized accumulator arrays; a
+// row is its group's first when it equals the slot's first-occurrence row.
+func (a *aggPart) accumulateRows(b *bat.BAT, rows []int32, slots, first []int32) {
+	switch t := b.T.(type) {
+	case *bat.IntCol:
+		for _, r := range rows {
+			s := slots[r]
+			v := t.V[r]
+			if first[s] == r {
+				a.minI[s], a.maxI[s] = v, v
+			}
+			a.count[s]++
+			a.sumI[s] += v
+			a.sumF[s] += float64(v)
+			if v < a.minI[s] {
+				a.minI[s] = v
+			}
+			if v > a.maxI[s] {
+				a.maxI[s] = v
+			}
+		}
+	case *bat.FltCol:
+		for _, r := range rows {
+			s := slots[r]
+			v := t.V[r]
+			if first[s] == r {
+				a.minF[s], a.maxF[s] = v, v
+			}
+			a.count[s]++
+			a.sumF[s] += v
+			if v < a.minF[s] {
+				a.minF[s] = v
+			}
+			if v > a.maxF[s] {
+				a.maxF[s] = v
+			}
+		}
+	case *bat.DateCol:
+		for _, r := range rows {
+			s := slots[r]
+			v := int64(t.V[r])
+			if first[s] == r {
+				a.minI[s], a.maxI[s] = v, v
+			}
+			a.count[s]++
+			if v < a.minI[s] {
+				a.minI[s] = v
+			}
+			if v > a.maxI[s] {
+				a.maxI[s] = v
+			}
+		}
+	default:
+		for _, r := range rows {
+			a.boxed[slots[r]].add(b.T.Get(int(r)))
+		}
+	}
 }
 
 // aggrScanHash accumulates rows [lo,hi) with grouper slot assignment.
@@ -258,93 +328,6 @@ func (a *aggPart) scan(b *bat.BAT, lo, hi int, slot func(i int) (int32, bool)) {
 				a.boxed = append(a.boxed, aggAcc{})
 			}
 			a.boxed[s].add(b.T.Get(i))
-		}
-	}
-}
-
-// aggrMerge folds per-range partials into one, in range order, remapping
-// each partial slot through a global grouper. Group order equals the
-// sequential first-occurrence order: a group's first row lies in the
-// earliest range that saw it.
-func aggrMerge(parts []*aggPart, hr bat.KeyRep, eq bat.KeyEq) (*aggPart, []int32) {
-	total := 0
-	for _, p := range parts {
-		total += p.slots()
-	}
-	g := bat.NewGrouper(total)
-	out := &aggPart{}
-	for _, p := range parts {
-		rows := p.firstRows()
-		for s := 0; s < p.slots(); s++ {
-			row := rows[s]
-			gs, fresh := g.Slot(hr.Rep[row], row, eq)
-			if fresh {
-				out.appendSlotFrom(p, s)
-				continue
-			}
-			out.combineSlot(gs, p, s)
-		}
-	}
-	return out, g.Rows()
-}
-
-func (a *aggPart) slots() int {
-	if a.g != nil {
-		return a.g.Len()
-	}
-	if a.first != nil {
-		return len(a.first)
-	}
-	return len(a.count) + len(a.boxed)
-}
-
-func (a *aggPart) appendSlotFrom(p *aggPart, s int) {
-	if p.count != nil {
-		a.count = append(a.count, p.count[s])
-	}
-	if p.sumI != nil {
-		a.sumI = append(a.sumI, p.sumI[s])
-	}
-	if p.sumF != nil {
-		a.sumF = append(a.sumF, p.sumF[s])
-	}
-	if p.minI != nil {
-		a.minI = append(a.minI, p.minI[s])
-		a.maxI = append(a.maxI, p.maxI[s])
-	}
-	if p.minF != nil {
-		a.minF = append(a.minF, p.minF[s])
-		a.maxF = append(a.maxF, p.maxF[s])
-	}
-	if p.boxed != nil {
-		a.boxed = append(a.boxed, p.boxed[s])
-	}
-}
-
-func (a *aggPart) combineSlot(gs int32, p *aggPart, s int) {
-	if p.count != nil {
-		a.count[gs] += p.count[s]
-	}
-	if p.sumI != nil {
-		a.sumI[gs] += p.sumI[s]
-	}
-	if p.sumF != nil {
-		a.sumF[gs] += p.sumF[s]
-	}
-	if p.minI != nil {
-		if p.minI[s] < a.minI[gs] {
-			a.minI[gs] = p.minI[s]
-		}
-		if p.maxI[s] > a.maxI[gs] {
-			a.maxI[gs] = p.maxI[s]
-		}
-	}
-	if p.minF != nil {
-		if p.minF[s] < a.minF[gs] {
-			a.minF[gs] = p.minF[s]
-		}
-		if p.maxF[s] > a.maxF[gs] {
-			a.maxF[gs] = p.maxF[s]
 		}
 	}
 }

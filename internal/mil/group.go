@@ -14,13 +14,21 @@ func Unique(ctx *Ctx, b *bat.BAT) *bat.BAT {
 	b.H.TouchAll(p)
 	b.T.TouchAll(p)
 	n := b.Len()
-	hr, ok1 := bat.NewKeyRep(b.H)
-	tr, ok2 := bat.NewKeyRep(b.T)
+	k := workersFor(ctx, n)
+	hr, ok1 := bat.NewKeyRepP(b.H, k)
+	tr, ok2 := bat.NewKeyRepP(b.T, k)
 	if !ok1 || !ok2 {
 		return uniqueBoxed(ctx, b)
 	}
-	g := bat.NewGrouper(n)
 	eq := bat.PairEq{A: hr, B: tr} // Mix keys always need verifying
+	if k > 1 {
+		// Partitioned dedup: the first-occurrence rows of the partitioned
+		// grouping (ascending by construction) are exactly the BUNs a
+		// sequential scan keeps.
+		first := bat.BuildGroupFirstRowsPartitioned(mixedReps(hr, tr, n, k), eq, k)
+		return gatherPositions(ctx, b.Name+".uniq", b, first)
+	}
+	g := bat.NewGrouper(n)
 	var pos []int32
 	for i := 0; i < n; i++ {
 		if _, fresh := g.Slot(bat.Mix(hr.Rep[i], tr.Rep[i]), int32(i), eq); fresh {
@@ -28,6 +36,19 @@ func Unique(ctx *Ctx, b *bat.BAT) *bat.BAT {
 		}
 	}
 	return gatherPositions(ctx, b.Name+".uniq", b, pos)
+}
+
+// mixedReps materializes the composite key reps Mix(a[i], b[i]) with up to k
+// workers; partitioned groupings need the vector up front for the radix
+// scatter.
+func mixedReps(a, b bat.KeyRep, n, k int) []uint64 {
+	mixed := make([]uint64, n)
+	parallelFill(n, k, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mixed[i] = bat.Mix(a.Rep[i], b.Rep[i])
+		}
+	})
+	return mixed
 }
 
 // uniqueBoxed is the boxed-map variant of Unique.
@@ -59,12 +80,18 @@ func GroupUnary(ctx *Ctx, b *bat.BAT) *bat.BAT {
 	b.T.TouchAll(p)
 	n := b.Len()
 	out := make([]bat.OID, n)
-	if tr, ok := bat.NewKeyRep(b.T); ok {
-		g := bat.NewGrouper(n)
+	k := workersFor(ctx, n)
+	if tr, ok := bat.NewKeyRepP(b.T, k); ok {
 		eq := tr.Verifier()
-		for i := 0; i < n; i++ {
-			s, _ := g.Slot(tr.Rep[i], int32(i), eq)
-			out[i] = bat.OID(s)
+		if k > 1 {
+			gs := bat.BuildGroupSlotsPartitioned(tr.Rep, eq, k)
+			slotsToOIDs(gs.Slots, out, k)
+		} else {
+			g := bat.NewGrouper(n)
+			for i := 0; i < n; i++ {
+				s, _ := g.Slot(tr.Rep[i], int32(i), eq)
+				out[i] = bat.OID(s)
+			}
 		}
 	} else {
 		groupTailsBoxed(b, out)
@@ -72,6 +99,16 @@ func GroupUnary(ctx *Ctx, b *bat.BAT) *bat.BAT {
 	res := bat.New(b.Name+".grp", b.H, bat.NewOIDCol(out), b.Props&(bat.HOrdered|bat.HKey))
 	res.SyncWith(b)
 	return res
+}
+
+// slotsToOIDs widens group slots into the result oid vector with up to k
+// workers.
+func slotsToOIDs(slots []int32, out []bat.OID, k int) {
+	parallelFill(len(slots), k, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = bat.OID(slots[i])
+		}
+	})
 }
 
 // groupTailsBoxed assigns group oids per distinct boxed tail value.
@@ -105,14 +142,20 @@ func GroupBinary(ctx *Ctx, g, b *bat.BAT) *bat.BAT {
 	n := g.Len()
 	out := make([]bat.OID, n)
 
-	gr, ok1 := bat.NewKeyRep(g.T)
-	br, ok2 := bat.NewKeyRep(b.T)
+	k := workersFor(ctx, n)
+	gr, ok1 := bat.NewKeyRepP(g.T, k)
+	br, ok2 := bat.NewKeyRepP(b.T, k)
 	if bat.Synced(g, b) && ok1 && ok2 {
-		gp := bat.NewGrouper(n)
 		eq := bat.PairEq{A: gr, B: br}
-		for i := 0; i < n; i++ {
-			s, _ := gp.Slot(bat.Mix(gr.Rep[i], br.Rep[i]), int32(i), eq)
-			out[i] = bat.OID(s)
+		if k > 1 {
+			gs := bat.BuildGroupSlotsPartitioned(mixedReps(gr, br, n, k), eq, k)
+			slotsToOIDs(gs.Slots, out, k)
+		} else {
+			gp := bat.NewGrouper(n)
+			for i := 0; i < n; i++ {
+				s, _ := gp.Slot(bat.Mix(gr.Rep[i], br.Rep[i]), int32(i), eq)
+				out[i] = bat.OID(s)
+			}
 		}
 	} else {
 		groupBinaryBoxed(g, b, out)

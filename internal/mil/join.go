@@ -247,7 +247,10 @@ func hashJoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
 	p := ctx.pager()
 	r.H.TouchAll(p)
 	l.T.TouchAll(p)
-	idx := r.HeadHash()
+	// Accelerator construction radix-partitions above the kernel threshold
+	// and parallelizes across the context's workers (sized by the build
+	// side); every degree builds the identical index.
+	idx := r.HeadHashP(workersFor(ctx, r.Len()))
 	n := l.Len()
 	if pr, ok := idx.NewProbe(l.T); ok {
 		lpos, rpos := parallelPairs(n, workersFor(ctx, n), joinCap(l, r, idx),

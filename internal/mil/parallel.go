@@ -2,6 +2,8 @@ package mil
 
 import (
 	"sync"
+
+	"repro/internal/bat"
 )
 
 // Monet "supports shared-memory parallelism via parallel iteration and
@@ -24,30 +26,9 @@ func (c *Ctx) workers() int {
 	return c.Workers
 }
 
-// ranges splits [0, n) into at most k contiguous chunks.
-func ranges(n, k int) [][2]int {
-	if k > n {
-		k = n
-	}
-	if k < 1 {
-		k = 1
-	}
-	out := make([][2]int, 0, k)
-	chunk := n / k
-	rem := n % k
-	start := 0
-	for i := 0; i < k; i++ {
-		end := start + chunk
-		if i < rem {
-			end++
-		}
-		if end > start {
-			out = append(out, [2]int{start, end})
-		}
-		start = end
-	}
-	return out
-}
+// ranges splits [0, n) into at most k contiguous chunks (the kernel layer's
+// chunking helper, shared so the split stays identical across layers).
+func ranges(n, k int) [][2]int { return bat.SplitRange(n, k) }
 
 // parallelCollect runs fn over per-worker ranges of [0, n), each producing a
 // slice of positions (ascending within its range), and concatenates them in

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/bat"
+	"repro/internal/storage"
 )
 
 // The typed kernels must be observationally identical to the boxed
@@ -326,6 +327,139 @@ func TestParityParallelBitIdentical(t *testing.T) {
 		seqA := Aggr(&Ctx{Workers: 1}, fn, fgrp)
 		parA := Aggr(&Ctx{Workers: 8}, fn, fgrp)
 		batsEqual(t, "parallel flt aggr "+fn, parA, seqA)
+	}
+}
+
+// TestParityPartitionedGroupOps: the radix-partitioned grouping paths
+// (group, binary group, unique, and all grouped aggregates — including
+// order-sensitive float sums) must be bit-identical to sequential execution
+// for every worker count. Groups never span radix partitions, so per-group
+// accumulation order is ascending row order in both regimes.
+func TestParityPartitionedGroupOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	n := parallelMinRows + parallelMinRows/2
+	heads := make([]bat.OID, n)
+	ints := make([]int64, n)
+	flts := make([]float64, n)
+	strs := make([]bat.Value, n)
+	for i := 0; i < n; i++ {
+		heads[i] = bat.OID(rng.Intn(n / 8))
+		ints[i] = int64(rng.Intn(256))
+		flts[i] = rng.Float64() * 1000
+		strs[i] = bat.S(fmt.Sprintf("s%03d", rng.Intn(64)))
+	}
+	flts[0], flts[n/2], flts[n-1] = math.NaN(), math.Copysign(0, -1), 0
+
+	seqCtx, parCtx := &Ctx{Workers: 1}, &Ctx{Workers: 8}
+
+	gInt := bat.New("gi", bat.NewOIDCol(heads), bat.NewIntCol(ints), 0)
+	gFlt := bat.New("gf", bat.NewOIDCol(heads), bat.NewFltCol(flts), 0)
+	gStr := bat.New("gs", bat.NewOIDCol(heads), bat.FromValues(bat.KStr, strs), 0)
+
+	// NaN-tolerant BUN equality: Unique results carry the NaN tails through,
+	// and boxed Value comparison would treat equal-position NaNs as unequal.
+	valEq := func(a, b bat.Value) bool {
+		if a == b {
+			return true
+		}
+		return a.K == bat.KFlt && b.K == bat.KFlt && math.IsNaN(a.F) && math.IsNaN(b.F)
+	}
+	batsEqualNaN := func(label string, got, want *bat.BAT) {
+		t.Helper()
+		if got.Len() != want.Len() || got.Props != want.Props {
+			t.Fatalf("%s: len/props %d{%s} != %d{%s}", label, got.Len(), got.Props, want.Len(), want.Props)
+		}
+		for i := 0; i < got.Len(); i++ {
+			if !valEq(got.HeadValue(i), want.HeadValue(i)) || !valEq(got.TailValue(i), want.TailValue(i)) {
+				t.Fatalf("%s: BUN %d [%s,%s] != [%s,%s]", label, i,
+					got.HeadValue(i), got.TailValue(i), want.HeadValue(i), want.TailValue(i))
+			}
+		}
+	}
+
+	for _, b := range []*bat.BAT{gInt, gFlt, gStr} {
+		batsEqualNaN("partitioned group "+b.Name, GroupUnary(parCtx, b), GroupUnary(seqCtx, b))
+		batsEqualNaN("partitioned unique "+b.Name, Unique(parCtx, b), Unique(seqCtx, b))
+	}
+
+	grp := GroupUnary(seqCtx, gInt)
+	refine := bat.New("rf", bat.NewVoid(0, n), bat.NewIntCol(ints), 0)
+	refine.SyncWith(grp)
+	batsEqual(t, "partitioned binary group", GroupBinary(parCtx, grp, refine), GroupBinary(seqCtx, grp, refine))
+
+	// float sum/avg are order-sensitive; the partitioned path must still be
+	// bit-identical because groups never span partitions
+	for _, fn := range []string{"sum", "count", "avg", "min", "max"} {
+		batsEqualNaN("partitioned aggr(flt) "+fn, Aggr(parCtx, fn, gFlt), Aggr(seqCtx, fn, gFlt))
+		batsEqual(t, "partitioned aggr(int) "+fn, Aggr(parCtx, fn, gInt), Aggr(seqCtx, fn, gInt))
+	}
+	// boxed accumulator kinds (string tails) through the partitioned path
+	for _, fn := range []string{"count", "min", "max"} {
+		batsEqual(t, "partitioned aggr(str) "+fn, Aggr(parCtx, fn, gStr), Aggr(seqCtx, fn, gStr))
+	}
+}
+
+// TestParityViewGather: run-positions gather as zero-copy views; the result
+// must be observationally identical to a materialized gather, keep its
+// operand's properties, and account one page span per column instead of one
+// touch per BUN.
+func TestParityViewGather(t *testing.T) {
+	n := 4096
+	tails := make([]int64, n)
+	for i := range tails {
+		tails[i] = int64(i) * 3 // ordered, duplicate-free
+	}
+	b := bat.New("a", bat.NewVoid(0, n), bat.NewIntCol(tails), bat.TOrdered|bat.TKey)
+	b.Persist()
+	lo, hi := bat.I(3000), bat.I(9000)
+	ctx := &Ctx{Pager: storage.NewPager(4096, 0)}
+	got := SelectRange(ctx, b, &lo, &hi, true, true)
+	if ctx.LastAlgo() != "binsearch-select" {
+		t.Fatalf("algo = %s", ctx.LastAlgo())
+	}
+	// reference: the scan path over the same predicate
+	want := selectScan(nil, b, &lo, &hi, true, true)
+	if got.Len() != want.Len() || got.Len() == 0 {
+		t.Fatalf("len %d != %d", got.Len(), want.Len())
+	}
+	for i := 0; i < got.Len(); i++ {
+		if got.HeadValue(i) != want.HeadValue(i) || got.TailValue(i) != want.TailValue(i) {
+			t.Fatalf("BUN %d: [%s,%s] != [%s,%s]", i,
+				got.HeadValue(i), got.TailValue(i), want.HeadValue(i), want.TailValue(i))
+		}
+	}
+	if !got.Props.Has(bat.TOrdered | bat.TKey) {
+		t.Fatalf("props = %s", got.Props)
+	}
+	if err := got.CheckProps(); err != nil {
+		t.Fatal(err)
+	}
+	// span accounting: the selected run covers ~2000 int64 entries ≈ 4 tail
+	// pages; per-position accounting would report one access per BUN.
+	if faults := ctx.Pager.Faults(); faults > 8 {
+		t.Fatalf("view gather faulted %d pages, expected a handful of spans", faults)
+	}
+}
+
+// TestParitySelectEqHashDirect: the hash-select path hands the accelerator's
+// int32 hits straight to the gather; results must match the scan path.
+func TestParitySelectEqHashDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	n := 512
+	tails := make([]int64, n)
+	for i := range tails {
+		tails[i] = int64(rng.Intn(16))
+	}
+	b := bat.New("x", bat.NewVoid(0, n), bat.NewIntCol(tails), 0)
+	b.TailHash()
+	for probe := int64(0); probe < 16; probe++ {
+		ctx := &Ctx{}
+		got := SelectEq(ctx, b, bat.I(probe))
+		if ctx.LastAlgo() != "hash-select" {
+			t.Fatalf("algo = %s", ctx.LastAlgo())
+		}
+		want := selectScan(nil, b, ptr(bat.I(probe)), ptr(bat.I(probe)), true, true)
+		batsEqual(t, fmt.Sprintf("hash-select v=%d", probe), got, want)
 	}
 }
 

@@ -14,6 +14,12 @@ import (
 // to the result"; semijoin propagates the key properties of its left
 // operand).
 func gatherPositions[I int | int32](ctx *Ctx, name string, b *bat.BAT, pos []I) *bat.BAT {
+	// Positions forming a contiguous run (binary-search selections, slices,
+	// 100%-selectivity filters) gather as zero-copy column views: no copies,
+	// and the pager accounts one page span instead of one touch per row.
+	if lo, ok := bat.PositionRun(pos); ok {
+		return gatherRun(ctx, name, b, lo, len(pos))
+	}
 	p := ctx.pager()
 	if p != nil {
 		for _, i := range pos {
@@ -26,6 +32,22 @@ func gatherPositions[I int | int32](ctx *Ctx, name string, b *bat.BAT, pos []I) 
 	// A filter that kept every BUN left the sequence untouched: the result
 	// is positionally synced with its operand.
 	if len(pos) == b.Len() {
+		out.SyncWith(b)
+	}
+	return out
+}
+
+// gatherRun is gatherPositions for the contiguous run [lo, lo+n): the result
+// BAT shares its operand's backing storage through column views. A
+// contiguous slice additionally preserves density of dense columns.
+func gatherRun(ctx *Ctx, name string, b *bat.BAT, lo, n int) *bat.BAT {
+	if p := ctx.pager(); p != nil {
+		b.H.TouchRange(p, lo, n)
+		b.T.TouchRange(p, lo, n)
+	}
+	out := bat.New(name, bat.SliceView(b.H, lo, n), bat.SliceView(b.T, lo, n), 0)
+	out.Props |= b.Props & (filterProps | bat.HDense | bat.TDense)
+	if n == b.Len() {
 		out.SyncWith(b)
 	}
 	return out
@@ -53,13 +75,10 @@ func SelectEq(ctx *Ctx, b *bat.BAT, v bat.Value) *bat.BAT {
 	}
 	if b.HasTailHash() {
 		ctx.chose("hash-select")
-		hits := b.TailHash().Lookup(v)
-		pos := make([]int, len(hits))
-		for i, h := range hits {
-			pos[i] = int(h)
-		}
-		sort.Ints(pos)
-		return gatherPositions(ctx, b.Name+".sel", b, pos)
+		// Lookup yields positions in ascending order (bucket entries are
+		// clustered ascending), so the hits gather directly — no widening
+		// copy into []int and no re-sort.
+		return gatherPositions(ctx, b.Name+".sel", b, b.TailHash().Lookup(v))
 	}
 	return selectScan(ctx, b, &v, &v, true, true)
 }
@@ -302,11 +321,9 @@ func selectBinSearch(ctx *Ctx, b *bat.BAT, lo, hi *bat.Value, loIncl, hiIncl boo
 	if end < start {
 		end = start
 	}
-	pos := make([]int, end-start)
-	for i := range pos {
-		pos[i] = start + i
-	}
-	out := gatherPositions(ctx, b.Name+".sel", b, pos)
+	// The qualifying positions are exactly [start, end): gather the run as
+	// zero-copy views without materializing a position vector at all.
+	out := gatherRun(ctx, b.Name+".sel", b, start, end-start)
 	// A contiguous slice of a tail-ordered BAT is itself tail-ordered even
 	// if the operand lost other properties.
 	out.Props |= bat.TOrdered
@@ -344,9 +361,5 @@ func Slice(ctx *Ctx, b *bat.BAT, n int) *bat.BAT {
 	if n > b.Len() {
 		n = b.Len()
 	}
-	pos := make([]int, n)
-	for i := range pos {
-		pos[i] = i
-	}
-	return gatherPositions(ctx, b.Name+".slice", b, pos)
+	return gatherRun(ctx, b.Name+".slice", b, 0, n)
 }

@@ -174,7 +174,7 @@ func hashSemijoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
 	p := ctx.pager()
 	r.H.TouchAll(p)
 	l.H.TouchAll(p)
-	idx := r.HeadHash()
+	idx := r.HeadHashP(workersFor(ctx, r.Len()))
 	n := l.Len()
 	if pr, ok := idx.NewProbe(l.H); ok {
 		pos := parallelCollect32(n, workersFor(ctx, n), semijoinCap(l, r),

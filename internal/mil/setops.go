@@ -59,7 +59,7 @@ func Diff(ctx *Ctx, a, b *bat.BAT) *bat.BAT {
 	b.H.TouchAll(p)
 	a.H.TouchAll(p)
 	n := a.Len()
-	idx := b.HeadHash()
+	idx := b.HeadHashP(workersFor(ctx, b.Len()))
 	if pr, ok := idx.NewProbe(a.H); ok {
 		pos := parallelCollect32(n, workersFor(ctx, n), n,
 			func(lo, hi int, out []int32) []int32 {

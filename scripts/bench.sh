@@ -1,17 +1,27 @@
 #!/bin/sh
 # Record a machine-readable benchmark snapshot for the perf trajectory
-# (see EXPERIMENTS.md). Output: BENCH_<utc-timestamp>_<git-sha>.json in the
-# repo root, one test2json event per line; benchmark result lines carry
-# ns/op, B/op, allocs/op and the custom metrics.
+# (see EXPERIMENTS.md). Output: BENCH_<n>.json in the repo root — n is the
+# next free index, so committed snapshots form an ordered, benchstat-
+# comparable series. Each line is one test2json event; benchmark result
+# lines carry ns/op, B/op, allocs/op and the custom metrics.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-stamp=$(date -u +%Y%m%dT%H%M%SZ)
-sha=$(git rev-parse --short HEAD 2>/dev/null || echo nogit)
-out="BENCH_${stamp}_${sha}.json"
+n=1
+for f in BENCH_*.json; do
+	[ -e "$f" ] || continue
+	i=${f#BENCH_}
+	i=${i%.json}
+	case "$i" in
+	*[!0-9]*) continue ;;
+	esac
+	[ "$i" -ge "$n" ] && n=$((i + 1))
+done
+out="BENCH_${n}.json"
 
-go test -json -run '^$' -bench . -benchmem -benchtime=3s . > "$out"
+go test -json -run '^$' -bench . -benchmem -benchtime=3s . >"$out"
 
 echo "wrote $out"
-grep -h '"Output".*ns/op' "$out" | sed 's/.*"Output":"//; s/\\n"}//' || true
+# Human-readable echo: one benchstat-compatible line per result.
+./scripts/bench_extract.sh "$out" || true

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Diff the two most recent BENCH_<n>.json snapshots. Benchmark result lines
+# are extracted into benchstat-compatible text; benchstat is used when
+# installed, otherwise an awk join prints old/new ns/op with the delta.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+last=""
+prev=""
+for f in $(ls BENCH_*.json 2>/dev/null | sed 's/BENCH_\([0-9]*\)\.json/\1 &/' | sort -n | awk '{print $2}'); do
+	prev="$last"
+	last="$f"
+done
+if [ -z "$prev" ] || [ -z "$last" ]; then
+	echo "need at least two BENCH_<n>.json snapshots (run make bench-snapshot)" >&2
+	exit 1
+fi
+
+extract() {
+	./scripts/bench_extract.sh "$1"
+}
+
+tmp_old=$(mktemp)
+tmp_new=$(mktemp)
+trap 'rm -f "$tmp_old" "$tmp_new"' EXIT
+extract "$prev" >"$tmp_old"
+extract "$last" >"$tmp_new"
+
+echo "comparing $prev -> $last"
+if command -v benchstat >/dev/null 2>&1; then
+	benchstat "$tmp_old" "$tmp_new"
+else
+	awk -F'\t' '
+		NR == FNR { old[$1] = $3; next }
+		{
+			new[$1] = $3
+			if ($1 in old) {
+				o = old[$1] + 0
+				n = $3 + 0
+				d = o > 0 ? (n - o) * 100 / o : 0
+				printf "%-60s %14.0f %14.0f %+7.1f%%\n", $1, o, n, d
+			} else {
+				printf "%-60s %14s %14.0f     new\n", $1, "-", $3 + 0
+			}
+		}
+	' "$tmp_old" "$tmp_new"
+fi

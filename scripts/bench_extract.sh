@@ -1,0 +1,10 @@
+#!/bin/sh
+# Extract benchstat-compatible benchmark result lines from a test2json
+# snapshot ($1): "<name>\t<iters>\t<metrics...>". test2json emits two
+# shapes — metrics-only Output with the name in the Test field, or the full
+# "BenchmarkX \t ... ns/op" line inline — both are handled. Shared by
+# bench.sh and bench_compare.sh so the shape handling cannot drift.
+set -eu
+
+sed -n 's/.*"Test":"\(Benchmark[^"]*\)","Output":"\( *[0-9][^"]*ns\/op[^"]*\)\\n"}.*/\1\t\2/p; s/.*"Output":"\(Benchmark[^"]*[0-9][^"]*ns\/op[^"]*\)\\n"}.*/\1/p' "$1" |
+	sed 's/\\t/\t/g'
