@@ -1,11 +1,13 @@
 # Tier-1 gate and benchmark tooling. See EXPERIMENTS.md for methodology.
+# `make ci` mirrors .github/workflows/ci.yml locally.
 
 GO ?= go
 
-.PHONY: verify build vet test test-race bench bench-ablation bench-snapshot bench-compare
+.PHONY: verify build vet test test-race bench bench-ablation bench-smoke bench-snapshot bench-compare bench-gate ci
 
 ## verify: the tier-1 gate — build, vet, the full test suite, and the race
-## detector over the parallel kernels (partitioned builds, parallel probes).
+## detector over the parallel kernels (partitioned builds, parallel probes,
+## the morsel claim queue).
 verify: build vet test test-race
 
 build:
@@ -28,6 +30,11 @@ bench:
 bench-ablation:
 	$(GO) test -run '^$$' -bench 'BenchmarkAblation' -benchmem -benchtime=3s .
 
+## bench-smoke: one iteration of every ablation — proves the bench harness
+## itself still builds and runs (the CI bench job). No timing value.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkAblation' -benchmem -benchtime=1x .
+
 ## bench-snapshot: machine-readable trajectory snapshot (test2json events
 ## carrying ns/op, B/op, allocs/op and the custom Figure 9/10 metrics).
 ## Writes the next BENCH_<n>.json in sequence; commit it so the perf
@@ -39,3 +46,16 @@ bench-snapshot:
 ## snapshots (falls back to a side-by-side table when benchstat is absent).
 bench-compare:
 	./scripts/bench_compare.sh
+
+## bench-gate: advisory perf regression gate — short ablation run diffed
+## against the latest committed BENCH_<n>.json; fails on >25% ns/op
+## regression in any ablation (tune with GATE_PCT / BENCHTIME).
+bench-gate:
+	./scripts/bench_gate.sh
+
+## ci: everything the CI workflow runs, reproducible without pushing.
+## bench-gate stays advisory here too (the workflow runs it with
+## continue-on-error): a red gate on a different host class is a prompt
+## to re-measure, not a failure.
+ci: verify bench-smoke
+	-./scripts/bench_gate.sh

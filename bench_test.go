@@ -16,6 +16,7 @@ package flatalg
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 
@@ -414,5 +415,209 @@ func BenchmarkAblationParallelIteration(b *testing.B) {
 				mil.SelectRange(ctx, data, &lo, &hi, true, false)
 			}
 		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-driven scheduling ablations. PR 2 striped parallel work statically
+// across workers (worker w owned ranges/partitions w, w+k, ...); these
+// ablations measure the morsel queue against that baseline on uniform vs
+// skewed key distributions. On skew the work concentrates — a tail-ordered
+// probe column clusters the hot key's expensive rows contiguously, a Zipf
+// build concentrates rows in the hot keys' radix partitions — so the static
+// schedule's critical path is one overloaded worker while the morsel queue
+// drains the tail across all of them. The ns/op delta appears on multi-core
+// hosts (the CI runners; wall time on a 1-vCPU host is work-bound, not
+// critical-path-bound); the reported max_share_pct metric — the heaviest
+// work unit a single worker is stuck with, as a share of total work — is
+// the host-independent statement of the same effect.
+
+// zipfInts draws n Zipf-distributed keys (value 0 hottest).
+func zipfInts(rng *rand.Rand, n int, s float64, imax uint64) []int64 {
+	z := rand.NewZipf(rng, s, 1, imax)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(z.Uint64())
+	}
+	return out
+}
+
+// BenchmarkAblationMorselProbe: a hash-join probe whose per-row cost is
+// skewed — the hottest key matches 32 build-side rows, every other key one —
+// over a tail-ordered probe column (hot rows contiguous, as in any sorted
+// attribute BAT). static = per-worker striping, morsel = the claim queue.
+func BenchmarkAblationMorselProbe(b *testing.B) {
+	const nl = 1 << 17
+	const domain = 1 << 16
+	const hotCopies = 32
+
+	mkJoin := func(zipfed bool) (l, r *bat.BAT) {
+		rng := rand.New(rand.NewSource(23))
+		var keys []int64
+		if zipfed {
+			keys = zipfInts(rng, nl, 1.3, domain-1)
+		} else {
+			keys = make([]int64, nl)
+			for i := range keys {
+				keys[i] = rng.Int63n(domain)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		l = bat.New("probe", bat.NewVoid(0, nl), bat.NewIntCol(keys), 0)
+		// build side: every domain key once, the hottest key hotCopies times
+		rk := make([]int64, 0, domain+hotCopies)
+		for k := int64(0); k < domain; k++ {
+			rk = append(rk, k)
+			if k == 0 {
+				for c := 1; c < hotCopies; c++ {
+					rk = append(rk, k)
+				}
+			}
+		}
+		rng.Shuffle(len(rk), func(i, j int) { rk[i], rk[j] = rk[j], rk[i] })
+		r = bat.New("build", bat.NewIntCol(rk), bat.NewVoid(0, len(rk)), 0)
+		r.HeadHash() // warm accelerator: the bench measures the probe
+		return l, r
+	}
+
+	// maxSharePct reports the share of all matches emitted by the heaviest
+	// of the given probe ranges — the work a single worker cannot shed.
+	maxSharePct := func(b *testing.B, l, r *bat.BAT, rs [][2]int) float64 {
+		idx := r.HeadHash()
+		pr, ok := idx.NewProbe(l.T)
+		if !ok {
+			b.Fatal("no typed probe")
+		}
+		maxN, total := 0, 0
+		for _, rg := range rs {
+			lp, _ := idx.JoinRange(pr, rg[0], rg[1], nil, nil)
+			if len(lp) > maxN {
+				maxN = len(lp)
+			}
+			total += len(lp)
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(maxN) * 100 / float64(total)
+	}
+
+	for _, dist := range []struct {
+		name   string
+		zipfed bool
+	}{{"uniform", false}, {"zipf", true}} {
+		l, r := mkJoin(dist.zipfed)
+		for _, mode := range []struct {
+			name    string
+			workers int
+			morsel  int
+		}{
+			{"seq", 1, 0},
+			{"static-w4", 4, -1},
+			{"morsel-w4", 4, 0},
+			{"static-w8", 8, -1},
+			{"morsel-w8", 8, 0},
+			{"morsel-w8-2k", 8, 2048},
+			{"morsel-w8-8k", 8, 8192},
+		} {
+			b.Run(dist.name+"/"+mode.name, func(b *testing.B) {
+				ctx := &mil.Ctx{Workers: mode.workers, MorselRows: mode.morsel}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					mil.Join(ctx, l, r)
+				}
+				b.StopTimer()
+				if mode.workers > 1 {
+					b.ReportMetric(maxSharePct(b, l, r, ctx.ProbeRanges(l.Len())), "max_share_pct")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationMorselBuild: cold radix-partitioned accelerator builds.
+// Zipf keys concentrate rows in the hot keys' partitions, so the static
+// schedule strands the heavy partitions on whichever workers drew them.
+func BenchmarkAblationMorselBuild(b *testing.B) {
+	const n = 1 << 20
+	rng := rand.New(rand.NewSource(29))
+	cols := map[string]*bat.IntCol{
+		"uniform": bat.NewIntCol(func() []int64 {
+			v := make([]int64, n)
+			for i := range v {
+				v[i] = rng.Int63n(n)
+			}
+			return v
+		}()),
+		"zipf": bat.NewIntCol(zipfInts(rng, n, 1.2, 1<<16)),
+	}
+	for _, dist := range []string{"uniform", "zipf"} {
+		col := cols[dist]
+		for _, mode := range []struct {
+			name  string
+			sched bat.Sched
+		}{
+			{"static-w8", bat.Sched{Workers: 8, Static: true}},
+			{"morsel-w8", bat.Sched{Workers: 8}},
+		} {
+			b.Run(dist+"/"+mode.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					bat.BuildHashIndexSched(col, 0, mode.sched)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationMorselGroup: partitioned grouping over skewed keys. The
+// reported max_share_pct is the largest radix partition's share of all rows
+// — under static striping one worker owns at least that much of the scan.
+func BenchmarkAblationMorselGroup(b *testing.B) {
+	const n = 1 << 20
+	rng := rand.New(rand.NewSource(37))
+	reps := map[string][]uint64{
+		"uniform": func() []uint64 {
+			v := make([]uint64, n)
+			for i := range v {
+				v[i] = uint64(rng.Int63n(n))
+			}
+			return v
+		}(),
+		"zipf": func() []uint64 {
+			v := make([]uint64, n)
+			z := rand.NewZipf(rng, 1.2, 1, 1<<16)
+			for i := range v {
+				v[i] = z.Uint64()
+			}
+			return v
+		}(),
+	}
+	for _, dist := range []string{"uniform", "zipf"} {
+		rep := reps[dist]
+		for _, mode := range []struct {
+			name  string
+			sched bat.Sched
+		}{
+			{"static-w8", bat.Sched{Workers: 8, Static: true}},
+			{"morsel-w8", bat.Sched{Workers: 8}},
+		} {
+			b.Run(dist+"/"+mode.name, func(b *testing.B) {
+				b.ReportAllocs()
+				var gs *bat.GroupSlots
+				for i := 0; i < b.N; i++ {
+					gs = bat.BuildGroupSlotsPartitionedSched(rep, nil, mode.sched)
+				}
+				maxP, total := 0, 0
+				for _, rows := range gs.PartRows {
+					if len(rows) > maxP {
+						maxP = len(rows)
+					}
+					total += len(rows)
+				}
+				b.ReportMetric(float64(maxP)*100/float64(total), "max_share_pct")
+			})
+		}
 	}
 }

@@ -24,6 +24,7 @@ func main() {
 	trace := flag.Bool("trace", false, "print the Fig. 10-style execution trace")
 	noResult := flag.Bool("noresult", false, "suppress result printing")
 	workers := flag.Int("workers", engine.AutoWorkers(), "parallel iteration degree for bulk operators (1 = sequential)")
+	morsel := flag.Int("morsel", 0, "morsel scheduling: rows per probe morsel (0 = skew-aware default, <0 = static per-worker striping)")
 	flag.Parse()
 
 	gen := tpcd.Generate(*sf, *seed)
@@ -31,6 +32,7 @@ func main() {
 	db := engine.New(tpcd.Schema(), env)
 	db.Pager = storage.NewPager(4096, 0)
 	db.Workers = *workers
+	db.MorselRows = *morsel
 
 	src := ""
 	if *q != 0 {

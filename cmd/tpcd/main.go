@@ -26,6 +26,7 @@ func main() {
 	validate := flag.Bool("validate", false, "validate both engines against the reference evaluator")
 	only := flag.Int("q", 0, "run a single query (1-15)")
 	workers := flag.Int("workers", engine.AutoWorkers(), "parallel iteration degree for bulk operators (1 = sequential)")
+	morsel := flag.Int("morsel", 0, "morsel scheduling: rows per probe morsel (0 = skew-aware default, <0 = static per-worker striping)")
 	flag.Parse()
 
 	fmt.Printf("generating TPC-D at SF=%g (seed %d)...\n", *sf, *seed)
@@ -45,6 +46,7 @@ func main() {
 	db := engine.New(tpcd.Schema(), env)
 	db.Pager = storage.NewPager(4096, *pool)
 	db.Workers = *workers
+	db.MorselRows = *morsel
 
 	store := relational.Load(gen)
 	store.Pager = storage.NewPager(4096, *pool)

@@ -101,20 +101,28 @@ func BuildHashIndex(col Column) *HashIndex { return BuildHashIndexP(col, 1) }
 // builds and running the per-partition work on up to workers goroutines.
 // Every worker count yields the identical index.
 func BuildHashIndexP(col Column, workers int) *HashIndex {
-	return buildHashIndexRadix(col, 0, workers)
+	return buildHashIndexRadix(col, 0, Sched{Workers: workers})
 }
 
 // BuildHashIndexPartitioned constructs a hash index with an explicit radix
 // fan-out (partitions <= 0 picks it automatically). Every fan-out yields the
 // identical index; the knob exists for the partition-sweep ablation.
 func BuildHashIndexPartitioned(col Column, partitions, workers int) *HashIndex {
-	return buildHashIndexRadix(col, partitions, workers)
+	return buildHashIndexRadix(col, partitions, Sched{Workers: workers})
+}
+
+// BuildHashIndexSched constructs a hash index under an explicit work
+// schedule (see Sched); the entry point for callers that carry a scheduling
+// mode, and for the morsel-vs-static build ablation.
+func BuildHashIndexSched(col Column, partitions int, s Sched) *HashIndex {
+	return buildHashIndexRadix(col, partitions, s)
 }
 
 // buildHashIndexRadix is the full-knob constructor: partitions <= 0 picks the
 // fan-out automatically. The explicit knob exists for the partition-sweep
 // ablation and the parity tests.
-func buildHashIndexRadix(col Column, partitions, workers int) *HashIndex {
+func buildHashIndexRadix(col Column, partitions int, s Sched) *HashIndex {
+	workers := s.Workers
 	if v, ok := col.(*VoidCol); ok {
 		return &HashIndex{col: col, dense: true, seq: v.Seq, n: v.N, card: v.N, cardOK: true}
 	}
@@ -182,17 +190,17 @@ func buildHashIndexRadix(col Column, partitions, workers int) *HashIndex {
 	}
 	rep, _ := NewKeyRepP(col, workers)
 	sc := scatterByHash(rep.Rep, p, h.mask, log2(sz)-log2(p), workers)
-	w := workers
-	if w > p {
-		w = p
-	}
 	nb := sz >> log2(p) // buckets per partition
-	parallelDo(w, func(wi int) {
-		counts := make([]int32, nb)
-		for pi := wi; pi < p; pi += w {
-			h.buildPartition(sc, pi, int32(pi*nb), counts[:nb])
-			clear(counts)
+	// Whole partitions are the build's morsels: each counting-sorts into a
+	// disjoint bucket span, so claim order cannot affect the result, and a
+	// worker stuck on a skew-heavy partition never strands the rest.
+	counts := make([][]int32, s.workersOver(p))
+	s.Dispatch(p, func(wi, pi int) {
+		if counts[wi] == nil {
+			counts[wi] = make([]int32, nb)
 		}
+		h.buildPartition(sc, pi, int32(pi*nb), counts[wi])
+		clear(counts[wi])
 	})
 	h.bucketOff[sz] = int32(n)
 	return h
@@ -726,8 +734,14 @@ func (b *BAT) TailHash() *HashIndex { return b.TailHashP(1) }
 // TailHashP is TailHash with a parallel build degree for the first
 // construction; the cached accelerator is identical for every degree.
 func (b *BAT) TailHashP(workers int) *HashIndex {
+	return b.TailHashSched(Sched{Workers: workers})
+}
+
+// TailHashSched is TailHash under an explicit work schedule for the first
+// construction; the cached accelerator is identical for every schedule.
+func (b *BAT) TailHashSched(s Sched) *HashIndex {
 	if b.hashT == nil {
-		b.hashT = BuildHashIndexP(b.T, workers)
+		b.hashT = BuildHashIndexSched(b.T, 0, s)
 		if b.mirror != nil {
 			b.mirror.hashH = b.hashT
 		}
@@ -742,8 +756,14 @@ func (b *BAT) HeadHash() *HashIndex { return b.HeadHashP(1) }
 // HeadHashP is HeadHash with a parallel build degree for the first
 // construction; the cached accelerator is identical for every degree.
 func (b *BAT) HeadHashP(workers int) *HashIndex {
+	return b.HeadHashSched(Sched{Workers: workers})
+}
+
+// HeadHashSched is HeadHash under an explicit work schedule for the first
+// construction; the cached accelerator is identical for every schedule.
+func (b *BAT) HeadHashSched(s Sched) *HashIndex {
 	if b.hashH == nil {
-		b.hashH = BuildHashIndexP(b.H, workers)
+		b.hashH = BuildHashIndexSched(b.H, 0, s)
 		if b.mirror != nil {
 			b.mirror.hashT = b.hashH
 		}

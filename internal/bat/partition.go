@@ -169,42 +169,54 @@ func groupPartitions(workers int) int {
 // the stitch renumbers the partition-local slots by global first-occurrence
 // row.
 func BuildGroupSlotsPartitioned(rep []uint64, eq KeyEq, workers int) *GroupSlots {
-	return buildGroupsPartitioned(rep, eq, workers, true)
+	return buildGroupsPartitioned(rep, eq, Sched{Workers: workers}, true)
+}
+
+// BuildGroupSlotsPartitionedSched is BuildGroupSlotsPartitioned under an
+// explicit work schedule (see Sched); every schedule yields the identical
+// grouping.
+func BuildGroupSlotsPartitionedSched(rep []uint64, eq KeyEq, s Sched) *GroupSlots {
+	return buildGroupsPartitioned(rep, eq, s, true)
 }
 
 // BuildGroupFirstRowsPartitioned is the dedup-only variant: it returns just
 // the first-occurrence rows (ascending), skipping the per-row slot vector
 // and the rank-remap pass that consumers like Unique never read.
 func BuildGroupFirstRowsPartitioned(rep []uint64, eq KeyEq, workers int) []int32 {
-	return buildGroupsPartitioned(rep, eq, workers, false).First
+	return buildGroupsPartitioned(rep, eq, Sched{Workers: workers}, false).First
 }
 
-func buildGroupsPartitioned(rep []uint64, eq KeyEq, workers int, needSlots bool) *GroupSlots {
+// BuildGroupFirstRowsPartitionedSched is the dedup-only variant under an
+// explicit work schedule.
+func BuildGroupFirstRowsPartitionedSched(rep []uint64, eq KeyEq, s Sched) []int32 {
+	return buildGroupsPartitioned(rep, eq, s, false).First
+}
+
+func buildGroupsPartitioned(rep []uint64, eq KeyEq, s Sched, needSlots bool) *GroupSlots {
 	n := len(rep)
-	p := groupPartitions(workers)
-	sc := scatterByHash(rep, p, ^uint32(0), 32-log2(p), workers)
+	p := groupPartitions(s.Workers)
+	sc := scatterByHash(rep, p, ^uint32(0), 32-log2(p), s.Workers)
 	var slots []int32
 	if needSlots {
 		slots = make([]int32, n)
 	}
 	firsts := make([][]int32, p)
-	w := workers
-	if w > p {
-		w = p
-	}
-	parallelDo(w, func(wi int) {
-		for pi := wi; pi < p; pi += w {
-			lo, hi := sc.off[pi], sc.off[pi+1]
-			g := NewGrouper(int(hi - lo))
-			for k := lo; k < hi; k++ {
-				row := sc.rows[k]
-				s, _ := g.Slot(sc.reps[k], row, eq)
-				if needSlots {
-					slots[row] = s
-				}
+	// Partitions are the grouping's morsels: a skewed key distribution
+	// concentrates rows in the hot keys' partitions, and the morsel queue
+	// lets the other workers drain the rest instead of idling behind a
+	// static stripe. Results are indexed by partition, so claim order is
+	// unobservable.
+	s.Dispatch(p, func(_, pi int) {
+		lo, hi := sc.off[pi], sc.off[pi+1]
+		g := NewGrouper(int(hi - lo))
+		for k := lo; k < hi; k++ {
+			row := sc.rows[k]
+			slot, _ := g.Slot(sc.reps[k], row, eq)
+			if needSlots {
+				slots[row] = slot
 			}
-			firsts[pi] = g.Rows()
 		}
+		firsts[pi] = g.Rows()
 	})
 	// Stitch: the global slot of a group is the rank of its first-occurrence
 	// row among all first-occurrence rows. Mark the first rows, then one
@@ -230,13 +242,11 @@ func buildGroupsPartitioned(rep []uint64, eq KeyEq, workers int, needSlots bool)
 	if !needSlots {
 		return &GroupSlots{First: first}
 	}
-	parallelDo(w, func(wi int) {
-		for pi := wi; pi < p; pi += w {
-			lf := firsts[pi]
-			for k := sc.off[pi]; k < sc.off[pi+1]; k++ {
-				row := sc.rows[k]
-				slots[row] = rank[lf[slots[row]]]
-			}
+	s.Dispatch(p, func(_, pi int) {
+		lf := firsts[pi]
+		for k := sc.off[pi]; k < sc.off[pi+1]; k++ {
+			row := sc.rows[k]
+			slots[row] = rank[lf[slots[row]]]
 		}
 	})
 	parts := make([][]int32, p)

@@ -21,11 +21,11 @@ func TestBuildHashIndexPartitionedParity(t *testing.T) {
 		for _, allDup := range []bool{false, true} {
 			for kind, col := range kernelTestColumns(rng, n, allDup) {
 				ref := buildRefIndex(col)
-				seq := buildHashIndexRadix(col, 1, 1)
+				seq := buildHashIndexRadix(col, 1, Sched{Workers: 1})
 				for _, parts := range []int{2, 4, 8} {
-					for _, workers := range []int{1, 4} {
-						idx := buildHashIndexRadix(col, parts, workers)
-						label := fmt.Sprintf("%s/n=%d/alldup=%v/p=%d/w=%d", kind, n, allDup, parts, workers)
+					for _, sched := range []Sched{{Workers: 1}, {Workers: 4}, {Workers: 4, Static: true}} {
+						idx := buildHashIndexRadix(col, parts, sched)
+						label := fmt.Sprintf("%s/n=%d/alldup=%v/p=%d/w=%d/static=%v", kind, n, allDup, parts, sched.Workers, sched.Static)
 						if idx.Card() != len(ref.pos) {
 							t.Fatalf("%s: card %d != %d", label, idx.Card(), len(ref.pos))
 						}
@@ -71,7 +71,7 @@ func TestBuildHashIndexPartitionedFloatEdges(t *testing.T) {
 	}
 	col := NewFltCol(vals)
 	for _, parts := range []int{1, 4} {
-		idx := buildHashIndexRadix(col, parts, 2)
+		idx := buildHashIndexRadix(col, parts, Sched{Workers: 2})
 		zero := idx.Lookup(F(0))
 		if len(zero) != 32 {
 			t.Fatalf("p=%d: zero matches %d, want 32 (-0 and +0 are one key)", parts, len(zero))
@@ -137,9 +137,9 @@ func TestBuildGroupSlotsPartitionedParity(t *testing.T) {
 					t.Fatalf("%s: no key rep", kind)
 				}
 				wantSlots, wantFirst := refGroupSlots(kr.Rep, kr.Verifier())
-				for _, workers := range []int{1, 3, 8} {
-					gs := BuildGroupSlotsPartitioned(kr.Rep, kr.Verifier(), workers)
-					label := fmt.Sprintf("%s/n=%d/alldup=%v/w=%d", kind, n, allDup, workers)
+				for _, sched := range []Sched{{Workers: 1}, {Workers: 3}, {Workers: 8}, {Workers: 8, Static: true}} {
+					gs := BuildGroupSlotsPartitionedSched(kr.Rep, kr.Verifier(), sched)
+					label := fmt.Sprintf("%s/n=%d/alldup=%v/w=%d/static=%v", kind, n, allDup, sched.Workers, sched.Static)
 					if len(gs.First) != len(wantFirst) {
 						t.Fatalf("%s: %d groups, want %d", label, len(gs.First), len(wantFirst))
 					}

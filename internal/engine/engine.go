@@ -41,6 +41,10 @@ type Database struct {
 	// Workers enables shared-memory parallel iteration for the bulk
 	// operators when > 1 (paper Section 2).
 	Workers int
+	// MorselRows tunes the morsel-driven work scheduler of the parallel
+	// operators: 0 = skew-aware default, > 0 = explicit probe morsel rows,
+	// < 0 = static per-worker striping. Bit-identical in every setting.
+	MorselRows int
 }
 
 // New creates a database over an existing BAT environment.
@@ -90,7 +94,7 @@ func (db *Database) Query(src string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx := &mil.Ctx{Pager: db.Pager, Workers: db.Workers}
+	ctx := &mil.Ctx{Pager: db.Pager, Workers: db.Workers, MorselRows: db.MorselRows}
 	var faults0 uint64
 	if db.Pager != nil {
 		faults0 = db.Pager.Faults()

@@ -115,8 +115,8 @@ func Aggr(ctx *Ctx, fn string, b *bat.BAT) *bat.BAT {
 	}
 	ctx.chose("hash-aggr")
 	if k > 1 {
-		gs := bat.BuildGroupSlotsPartitioned(hr.Rep, eq, k)
-		part := aggrScanPartitioned(b, gs, k)
+		gs := bat.BuildGroupSlotsPartitionedSched(hr.Rep, eq, ctx.sched(n))
+		part := aggrScanPartitioned(b, gs, ctx.sched(n))
 		return aggrAssembleTyped(fn, b, gs.First, part)
 	}
 	part := aggrScanHash(b, hr, eq, 0, n)
@@ -138,11 +138,12 @@ type aggPart struct {
 }
 
 // aggrScanPartitioned accumulates all rows against pre-assigned group slots,
-// running the partitions of gs concurrently on up to k workers. Partitions
-// own disjoint slot sets, so the workers write disjoint accumulator entries;
-// within a partition rows ascend, so per-group accumulation order equals the
-// sequential scan's.
-func aggrScanPartitioned(b *bat.BAT, gs *bat.GroupSlots, k int) *aggPart {
+// dispatching the partitions of gs to the schedule's workers (morsel-claimed
+// by default — a skew-heavy partition stops one worker, not its stripe).
+// Partitions own disjoint slot sets, so the workers write disjoint
+// accumulator entries; within a partition rows ascend, so per-group
+// accumulation order equals the sequential scan's.
+func aggrScanPartitioned(b *bat.BAT, gs *bat.GroupSlots, s bat.Sched) *aggPart {
 	G := len(gs.First)
 	a := &aggPart{first: gs.First}
 	switch b.T.(type) {
@@ -165,13 +166,8 @@ func aggrScanPartitioned(b *bat.BAT, gs *bat.GroupSlots, k int) *aggPart {
 		a.boxed = make([]aggAcc, G)
 	}
 	parts := gs.PartRows
-	if k > len(parts) {
-		k = len(parts)
-	}
-	parallelFill(len(parts), k, func(lo, hi int) {
-		for w := lo; w < hi; w++ {
-			a.accumulateRows(b, parts[w], gs.Slots, gs.First)
-		}
+	s.Dispatch(len(parts), func(_, pi int) {
+		a.accumulateRows(b, parts[pi], gs.Slots, gs.First)
 	})
 	return a
 }

@@ -28,6 +28,14 @@ type Ctx struct {
 	// sequential execution.
 	Workers int
 
+	// MorselRows tunes the morsel-driven scheduler that hands parallel work
+	// to the workers: 0 picks the skew-aware default (~L2-sized probe
+	// chunks, whole partitions for builds), > 0 forces an explicit probe
+	// morsel length in rows, and < 0 disables morsel claiming entirely in
+	// favor of static per-worker striping (the pre-morsel baseline, kept
+	// for ablations and parity runs). Every setting is bit-identical.
+	MorselRows int
+
 	// IntermBytes accumulates the size of every intermediate BAT created
 	// ("total MB" column in Fig. 9).
 	IntermBytes int64

@@ -25,7 +25,7 @@ func Unique(ctx *Ctx, b *bat.BAT) *bat.BAT {
 		// Partitioned dedup: the first-occurrence rows of the partitioned
 		// grouping (ascending by construction) are exactly the BUNs a
 		// sequential scan keeps.
-		first := bat.BuildGroupFirstRowsPartitioned(mixedReps(hr, tr, n, k), eq, k)
+		first := bat.BuildGroupFirstRowsPartitionedSched(mixedReps(ctx, hr, tr, n), eq, ctx.sched(n))
 		return gatherPositions(ctx, b.Name+".uniq", b, first)
 	}
 	g := bat.NewGrouper(n)
@@ -38,12 +38,12 @@ func Unique(ctx *Ctx, b *bat.BAT) *bat.BAT {
 	return gatherPositions(ctx, b.Name+".uniq", b, pos)
 }
 
-// mixedReps materializes the composite key reps Mix(a[i], b[i]) with up to k
-// workers; partitioned groupings need the vector up front for the radix
+// mixedReps materializes the composite key reps Mix(a[i], b[i]) in
+// parallel; partitioned groupings need the vector up front for the radix
 // scatter.
-func mixedReps(a, b bat.KeyRep, n, k int) []uint64 {
+func mixedReps(ctx *Ctx, a, b bat.KeyRep, n int) []uint64 {
 	mixed := make([]uint64, n)
-	parallelFill(n, k, func(lo, hi int) {
+	parallelFill(ctx, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			mixed[i] = bat.Mix(a.Rep[i], b.Rep[i])
 		}
@@ -84,8 +84,8 @@ func GroupUnary(ctx *Ctx, b *bat.BAT) *bat.BAT {
 	if tr, ok := bat.NewKeyRepP(b.T, k); ok {
 		eq := tr.Verifier()
 		if k > 1 {
-			gs := bat.BuildGroupSlotsPartitioned(tr.Rep, eq, k)
-			slotsToOIDs(gs.Slots, out, k)
+			gs := bat.BuildGroupSlotsPartitionedSched(tr.Rep, eq, ctx.sched(n))
+			slotsToOIDs(ctx, gs.Slots, out)
 		} else {
 			g := bat.NewGrouper(n)
 			for i := 0; i < n; i++ {
@@ -101,10 +101,9 @@ func GroupUnary(ctx *Ctx, b *bat.BAT) *bat.BAT {
 	return res
 }
 
-// slotsToOIDs widens group slots into the result oid vector with up to k
-// workers.
-func slotsToOIDs(slots []int32, out []bat.OID, k int) {
-	parallelFill(len(slots), k, func(lo, hi int) {
+// slotsToOIDs widens group slots into the result oid vector in parallel.
+func slotsToOIDs(ctx *Ctx, slots []int32, out []bat.OID) {
+	parallelFill(ctx, len(slots), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = bat.OID(slots[i])
 		}
@@ -148,8 +147,8 @@ func GroupBinary(ctx *Ctx, g, b *bat.BAT) *bat.BAT {
 	if bat.Synced(g, b) && ok1 && ok2 {
 		eq := bat.PairEq{A: gr, B: br}
 		if k > 1 {
-			gs := bat.BuildGroupSlotsPartitioned(mixedReps(gr, br, n, k), eq, k)
-			slotsToOIDs(gs.Slots, out, k)
+			gs := bat.BuildGroupSlotsPartitionedSched(mixedReps(ctx, gr, br, n), eq, ctx.sched(n))
+			slotsToOIDs(ctx, gs.Slots, out)
 		} else {
 			gp := bat.NewGrouper(n)
 			for i := 0; i < n; i++ {

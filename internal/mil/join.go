@@ -250,10 +250,10 @@ func hashJoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
 	// Accelerator construction radix-partitions above the kernel threshold
 	// and parallelizes across the context's workers (sized by the build
 	// side); every degree builds the identical index.
-	idx := r.HeadHashP(workersFor(ctx, r.Len()))
+	idx := r.HeadHashSched(ctx.sched(r.Len()))
 	n := l.Len()
 	if pr, ok := idx.NewProbe(l.T); ok {
-		lpos, rpos := parallelPairs(n, workersFor(ctx, n), joinCap(l, r, idx),
+		lpos, rpos := parallelPairs(ctx, n, joinCap(l, r, idx),
 			func(lo, hi int, lp, rp []int32) ([]int32, []int32) {
 				return idx.JoinRange(pr, lo, hi, lp, rp)
 			})

@@ -79,7 +79,7 @@ func multiplexAligned(ctx *Ctx, f *Func, first *bat.BAT, args []Operand) *bat.BA
 	}
 
 	vals := make([]bat.Value, n)
-	parallelFill(n, workersFor(ctx, n), func(from, to int) {
+	parallelFill(ctx, n, func(from, to int) {
 		buf := make([]bat.Value, len(args))
 		for i := from; i < to; i++ {
 			for j, a := range args {

@@ -1,22 +1,41 @@
 package mil
 
 import (
-	"sync"
-
 	"repro/internal/bat"
 )
 
 // Monet "supports shared-memory parallelism via parallel iteration and
 // parallel block execution" (Section 2). The Go kernel mirrors the parallel
 // iteration primitive: data-parallel operators split their input into
-// per-worker ranges and merge the partial results in order, so parallel and
-// sequential execution produce identical BATs.
+// contiguous ranges and merge the partial results in range order, so
+// parallel and sequential execution produce identical BATs.
+//
+// Scheduling is morsel-driven: the input splits into many more ranges
+// (morsels) than workers, and workers claim the next morsel index from an
+// atomic counter (bat.MorselDo). Under a skewed workload — a tail-ordered
+// attribute BAT clusters a hot key's rows contiguously, and those rows can
+// carry far more probe work than the rest — a static per-worker split
+// strands the whole hot range on one worker; morsel claiming lets the
+// fast workers steal the tail of the queue instead of idling. Partials are
+// stitched in morsel-index order (never completion order), so every
+// schedule produces the bit-identical result of a sequential scan.
 //
 // Parallelism is opt-in per execution context (Ctx.Workers > 1) and only
 // engages above parallelMinRows, below which goroutine overhead dominates.
 
 // parallelMinRows is the smallest input for which parallel iteration pays.
 const parallelMinRows = 1 << 14
+
+// Probe-morsel sizing. The default targets an L2-resident chunk (~32k rows
+// is 256 KB of 8-byte elements); the skew-aware cap guarantees at least
+// morselsPerWorker claimable units per worker even on inputs barely past
+// parallelMinRows, so there is always a tail to steal; the floor keeps the
+// per-morsel dispatch and stitch overhead amortized.
+const (
+	defaultMorselRows = 1 << 15
+	minMorselRows     = 1 << 9
+	morselsPerWorker  = 4
+)
 
 // workers reports the effective degree of parallelism.
 func (c *Ctx) workers() int {
@@ -26,28 +45,81 @@ func (c *Ctx) workers() int {
 	return c.Workers
 }
 
+// morselRows resolves the Ctx knob to a probe-morsel length for an n-row
+// scan on k workers. <= 0 selects static per-worker striping (one range per
+// worker, the pre-morsel baseline kept for ablations and parity runs).
+func (c *Ctx) morselRows(n, k int) int {
+	if c != nil && c.MorselRows != 0 {
+		return c.MorselRows
+	}
+	mr := defaultMorselRows
+	if lim := (n + k*morselsPerWorker - 1) / (k * morselsPerWorker); lim < mr {
+		mr = lim
+	}
+	if mr < minMorselRows {
+		mr = minMorselRows
+	}
+	return mr
+}
+
+// sched returns the partition-dispatch descriptor for an n-row operator:
+// how accelerator builds and partitioned groupings triggered by this
+// operator schedule their partitions onto workers. Builds use whole
+// partitions as morsels, so only the static/morsel mode carries over.
+func (c *Ctx) sched(n int) bat.Sched {
+	return bat.Sched{
+		Workers: workersFor(c, n),
+		Static:  c != nil && c.MorselRows < 0,
+	}
+}
+
 // ranges splits [0, n) into at most k contiguous chunks (the kernel layer's
 // chunking helper, shared so the split stays identical across layers).
 func ranges(n, k int) [][2]int { return bat.SplitRange(n, k) }
 
-// parallelCollect runs fn over per-worker ranges of [0, n), each producing a
+// probeRanges splits [0, n) into the morsel ranges of one parallel scan:
+// ~morselRows-sized chunks claimed dynamically, or exactly k per-worker
+// chunks when morsel scheduling is disabled.
+func probeRanges(c *Ctx, n, k int) [][2]int {
+	mr := c.morselRows(n, k)
+	if mr <= 0 {
+		return ranges(n, k)
+	}
+	m := (n + mr - 1) / mr
+	if m < k {
+		m = k
+	}
+	return ranges(n, m)
+}
+
+// ProbeRanges reports the morsel ranges an n-row parallel scan under c
+// would dispatch (one range when the scan stays sequential). Exported so
+// the scheduling ablations measure shares over the exact ranges the
+// scheduler uses rather than re-deriving the sizing heuristic.
+func (c *Ctx) ProbeRanges(n int) [][2]int {
+	k := workersFor(c, n)
+	if k <= 1 {
+		return [][2]int{{0, n}}
+	}
+	return probeRanges(c, n, k)
+}
+
+// parallelCollect runs fn over the morsel ranges of [0, n), each producing a
 // slice of positions (ascending within its range), and concatenates them in
 // range order — the result is identical to a sequential left-to-right scan.
-func parallelCollect(n, k int, fn func(lo, hi int) []int) []int {
-	rs := ranges(n, k)
+func parallelCollect(c *Ctx, n int, fn func(lo, hi int) []int) []int {
+	k := workersFor(c, n)
+	if k <= 1 {
+		return fn(0, n)
+	}
+	rs := probeRanges(c, n, k)
 	if len(rs) <= 1 {
 		return fn(0, n)
 	}
 	parts := make([][]int, len(rs))
-	var wg sync.WaitGroup
-	for i, r := range rs {
-		wg.Add(1)
-		go func(i, lo, hi int) {
-			defer wg.Done()
-			parts[i] = fn(lo, hi)
-		}(i, r[0], r[1])
-	}
-	wg.Wait()
+	bat.MorselDo(k, len(rs), func(_, mi int) {
+		parts[mi] = fn(rs[mi][0], rs[mi][1])
+	})
 	total := 0
 	for _, p := range parts {
 		total += len(p)
@@ -59,28 +131,37 @@ func parallelCollect(n, k int, fn func(lo, hi int) []int) []int {
 	return out
 }
 
+// scratchHint pre-sizes one morsel's position buffer from the operator's
+// total cardinality estimate, scaled by the morsel's share of the input —
+// sizing by morsel length rather than splitting the total hint evenly, so
+// the hint stays proportional even when ranges are uneven.
+func scratchHint(capHint, lo, hi, n int) int {
+	if capHint <= 0 || n <= 0 {
+		return 0
+	}
+	return int(int64(capHint)*int64(hi-lo)/int64(n)) + 1
+}
+
 // parallelCollect32 is parallelCollect for the int32 position buffers of the
-// typed kernels; capHint pre-sizes each worker's buffer from the operator's
+// typed kernels; capHint pre-sizes each morsel's buffer from the operator's
 // cardinality estimate so results do not grow by repeated doubling.
-func parallelCollect32(n, k, capHint int, fn func(lo, hi int, out []int32) []int32) []int32 {
-	rs := ranges(n, k)
+func parallelCollect32(c *Ctx, n, capHint int, fn func(lo, hi int, out []int32) []int32) []int32 {
+	k := workersFor(c, n)
 	if capHint < 0 {
 		capHint = 0
 	}
+	if k <= 1 {
+		return fn(0, n, make([]int32, 0, capHint))
+	}
+	rs := probeRanges(c, n, k)
 	if len(rs) <= 1 {
 		return fn(0, n, make([]int32, 0, capHint))
 	}
 	parts := make([][]int32, len(rs))
-	perWorker := capHint/len(rs) + 1
-	var wg sync.WaitGroup
-	for i, r := range rs {
-		wg.Add(1)
-		go func(i, lo, hi int) {
-			defer wg.Done()
-			parts[i] = fn(lo, hi, make([]int32, 0, perWorker))
-		}(i, r[0], r[1])
-	}
-	wg.Wait()
+	bat.MorselDo(k, len(rs), func(_, mi int) {
+		lo, hi := rs[mi][0], rs[mi][1]
+		parts[mi] = fn(lo, hi, make([]int32, 0, scratchHint(capHint, lo, hi, n)))
+	})
 	total := 0
 	for _, p := range parts {
 		total += len(p)
@@ -92,31 +173,30 @@ func parallelCollect32(n, k, capHint int, fn func(lo, hi int, out []int32) []int
 	return out
 }
 
-// parallelPairs runs fn over per-worker ranges of [0, n), each producing
+// parallelPairs runs fn over the morsel ranges of [0, n), each producing
 // matched (left, right) position pairs in range order, and concatenates the
 // partials in range order — the parallel hash-join probe. The result is
 // identical to a sequential left-to-right probe.
-func parallelPairs(n, k, capHint int, fn func(lo, hi int, lp, rp []int32) ([]int32, []int32)) ([]int32, []int32) {
-	rs := ranges(n, k)
+func parallelPairs(c *Ctx, n, capHint int, fn func(lo, hi int, lp, rp []int32) ([]int32, []int32)) ([]int32, []int32) {
+	k := workersFor(c, n)
 	if capHint < 0 {
 		capHint = 0
 	}
+	if k <= 1 {
+		return fn(0, n, make([]int32, 0, capHint), make([]int32, 0, capHint))
+	}
+	rs := probeRanges(c, n, k)
 	if len(rs) <= 1 {
 		return fn(0, n, make([]int32, 0, capHint), make([]int32, 0, capHint))
 	}
 	lparts := make([][]int32, len(rs))
 	rparts := make([][]int32, len(rs))
-	perWorker := capHint/len(rs) + 1
-	var wg sync.WaitGroup
-	for i, r := range rs {
-		wg.Add(1)
-		go func(i, lo, hi int) {
-			defer wg.Done()
-			lparts[i], rparts[i] = fn(lo, hi,
-				make([]int32, 0, perWorker), make([]int32, 0, perWorker))
-		}(i, r[0], r[1])
-	}
-	wg.Wait()
+	bat.MorselDo(k, len(rs), func(_, mi int) {
+		lo, hi := rs[mi][0], rs[mi][1]
+		hint := scratchHint(capHint, lo, hi, n)
+		lparts[mi], rparts[mi] = fn(lo, hi,
+			make([]int32, 0, hint), make([]int32, 0, hint))
+	})
 	total := 0
 	for _, p := range lparts {
 		total += len(p)
@@ -130,21 +210,20 @@ func parallelPairs(n, k, capHint int, fn func(lo, hi int, lp, rp []int32) ([]int
 	return lpos, rpos
 }
 
-// parallelFill runs fn over per-worker ranges of [0, n); fn writes its own
+// parallelFill runs fn over the morsel ranges of [0, n); fn writes its own
 // output range, so no merging is needed.
-func parallelFill(n, k int, fn func(lo, hi int)) {
-	rs := ranges(n, k)
+func parallelFill(c *Ctx, n int, fn func(lo, hi int)) {
+	k := workersFor(c, n)
+	if k <= 1 {
+		fn(0, n)
+		return
+	}
+	rs := probeRanges(c, n, k)
 	if len(rs) <= 1 {
 		fn(0, n)
 		return
 	}
-	var wg sync.WaitGroup
-	for _, r := range rs {
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(r[0], r[1])
-	}
-	wg.Wait()
+	bat.MorselDo(k, len(rs), func(_, mi int) {
+		fn(rs[mi][0], rs[mi][1])
+	})
 }

@@ -105,12 +105,11 @@ func selectScan(ctx *Ctx, b *bat.BAT, lo, hi *bat.Value, loIncl, hiIncl bool) *b
 	b.T.TouchAll(p)
 	var pos []int
 	n := b.Len()
-	k := workersFor(ctx, n)
 	switch t := b.T.(type) {
 	case *bat.IntCol:
 		loI, hiI, ok := intBounds(lo, hi, loIncl, hiIncl)
 		if ok {
-			pos = parallelCollect(n, k, func(from, to int) []int {
+			pos = parallelCollect(ctx, n, func(from, to int) []int {
 				var p []int
 				for i := from; i < to; i++ {
 					if t.V[i] >= loI && t.V[i] <= hiI {
@@ -123,7 +122,7 @@ func selectScan(ctx *Ctx, b *bat.BAT, lo, hi *bat.Value, loIncl, hiIncl bool) *b
 			pos = scanGeneric(b, lo, hi, loIncl, hiIncl)
 		}
 	case *bat.FltCol:
-		pos = parallelCollect(n, k, func(from, to int) []int {
+		pos = parallelCollect(ctx, n, func(from, to int) []int {
 			var p []int
 			for i := from; i < to; i++ {
 				if inRange(bat.F(t.V[i]), lo, hi, loIncl, hiIncl) {
@@ -133,7 +132,7 @@ func selectScan(ctx *Ctx, b *bat.BAT, lo, hi *bat.Value, loIncl, hiIncl bool) *b
 			return p
 		})
 	case *bat.ChrCol:
-		pos = parallelCollect(n, k, func(from, to int) []int {
+		pos = parallelCollect(ctx, n, func(from, to int) []int {
 			var p []int
 			for i := from; i < to; i++ {
 				if inRange(bat.C(t.V[i]), lo, hi, loIncl, hiIncl) {
@@ -145,7 +144,7 @@ func selectScan(ctx *Ctx, b *bat.BAT, lo, hi *bat.Value, loIncl, hiIncl bool) *b
 	case *bat.OIDCol:
 		loO, hiO, ok := oidBounds(lo, hi, loIncl, hiIncl)
 		if ok {
-			pos = parallelCollect(n, k, func(from, to int) []int {
+			pos = parallelCollect(ctx, n, func(from, to int) []int {
 				var p []int
 				for i := from; i < to; i++ {
 					if v := int64(t.V[i]); v >= loO && v <= hiO {
@@ -160,7 +159,7 @@ func selectScan(ctx *Ctx, b *bat.BAT, lo, hi *bat.Value, loIncl, hiIncl bool) *b
 	case *bat.StrCol:
 		loS, hiS, ok := strBounds(lo, hi)
 		if ok {
-			pos = parallelCollect(n, k, func(from, to int) []int {
+			pos = parallelCollect(ctx, n, func(from, to int) []int {
 				var p []int
 				for i := from; i < to; i++ {
 					v := t.At(i)
@@ -182,7 +181,7 @@ func selectScan(ctx *Ctx, b *bat.BAT, lo, hi *bat.Value, loIncl, hiIncl bool) *b
 			pos = scanGeneric(b, lo, hi, loIncl, hiIncl)
 		}
 	case *bat.DateCol:
-		pos = parallelCollect(n, k, func(from, to int) []int {
+		pos = parallelCollect(ctx, n, func(from, to int) []int {
 			var p []int
 			for i := from; i < to; i++ {
 				if inRange(bat.D(t.V[i]), lo, hi, loIncl, hiIncl) {
@@ -192,7 +191,7 @@ func selectScan(ctx *Ctx, b *bat.BAT, lo, hi *bat.Value, loIncl, hiIncl bool) *b
 			return p
 		})
 	default:
-		pos = parallelCollect(n, k, func(from, to int) []int {
+		pos = parallelCollect(ctx, n, func(from, to int) []int {
 			var p []int
 			for i := from; i < to; i++ {
 				if inRange(b.T.Get(i), lo, hi, loIncl, hiIncl) {

@@ -174,10 +174,10 @@ func hashSemijoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
 	p := ctx.pager()
 	r.H.TouchAll(p)
 	l.H.TouchAll(p)
-	idx := r.HeadHashP(workersFor(ctx, r.Len()))
+	idx := r.HeadHashSched(ctx.sched(r.Len()))
 	n := l.Len()
 	if pr, ok := idx.NewProbe(l.H); ok {
-		pos := parallelCollect32(n, workersFor(ctx, n), semijoinCap(l, r),
+		pos := parallelCollect32(ctx, n, semijoinCap(l, r),
 			func(lo, hi int, out []int32) []int32 {
 				return idx.FilterRange(pr, lo, hi, true, out)
 			})

@@ -59,9 +59,9 @@ func Diff(ctx *Ctx, a, b *bat.BAT) *bat.BAT {
 	b.H.TouchAll(p)
 	a.H.TouchAll(p)
 	n := a.Len()
-	idx := b.HeadHashP(workersFor(ctx, b.Len()))
+	idx := b.HeadHashSched(ctx.sched(b.Len()))
 	if pr, ok := idx.NewProbe(a.H); ok {
-		pos := parallelCollect32(n, workersFor(ctx, n), n,
+		pos := parallelCollect32(ctx, n, n,
 			func(lo, hi int, out []int32) []int32 {
 				return idx.FilterRange(pr, lo, hi, false, out)
 			})

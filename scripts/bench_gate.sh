@@ -1,0 +1,81 @@
+#!/bin/sh
+# Advisory perf gate: run the kernel ablations briefly and compare ns/op
+# against the latest committed BENCH_<n>.json snapshot. Exits non-zero when
+# any ablation regressed more than GATE_PCT percent (default 25). Only
+# ablation benchmarks are gated — the Figure 9/10 suites measure a simulated
+# pager and are too host-sensitive for a threshold.
+#
+# The gate is advisory by design (the CI job sets continue-on-error):
+# committed snapshots may come from a different host class than the runner,
+# so a failure is a prompt to look, not proof of a regression. Run
+# `make bench-snapshot` on the reference host to refresh the baseline.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GATE_PCT=${GATE_PCT:-25}
+BENCHTIME=${BENCHTIME:-1s}
+
+base=""
+for f in $(ls BENCH_*.json 2>/dev/null | sed 's/BENCH_\([0-9]*\)\.json/\1 &/' | sort -n | awk '{print $2}'); do
+	base="$f"
+done
+if [ -z "$base" ]; then
+	echo "bench-gate: no committed BENCH_<n>.json baseline; skipping" >&2
+	exit 0
+fi
+
+tmp_json=$(mktemp)
+tmp_old=$(mktemp)
+tmp_new=$(mktemp)
+trap 'rm -f "$tmp_json" "$tmp_old" "$tmp_new"' EXIT
+
+echo "bench-gate: running ablations (-benchtime=$BENCHTIME) against $base (threshold +$GATE_PCT%)"
+go test -json -run '^$' -bench 'BenchmarkAblation' -benchtime="$BENCHTIME" . >"$tmp_json"
+
+./scripts/bench_extract.sh "$base" >"$tmp_old"
+./scripts/bench_extract.sh "$tmp_json" >"$tmp_new"
+
+awk -F'\t' -v pct="$GATE_PCT" '
+	function nsop(line,    i, n, parts) {
+		# fields: name, iters, then "value unit" metric pairs; find ns/op
+		n = split(line, parts, "\t")
+		for (i = 2; i <= n; i++) {
+			if (parts[i] ~ /ns\/op/) {
+				gsub(/^ +/, "", parts[i])
+				return parts[i] + 0
+			}
+		}
+		return -1
+	}
+	# normalize the name: trim whitespace and any -<GOMAXPROCS> suffix so
+	# snapshots from hosts with different core counts still line up
+	function norm(name) {
+		gsub(/[ \t]+$/, "", name)
+		sub(/-[0-9]+$/, "", name)
+		return name
+	}
+	NR == FNR {
+		if ($1 ~ /^BenchmarkAblation/) old[norm($1)] = nsop($0)
+		next
+	}
+	$1 ~ /^BenchmarkAblation/ {
+		name = norm($1)
+		v = nsop($0)
+		o = (name in old) ? old[name] : -1
+		if (o <= 0 || v < 0) next
+		d = (v - o) * 100 / o
+		printf "%-64s %14.0f %14.0f %+7.1f%%\n", name, o, v, d
+		if (d > pct) {
+			bad++
+			worst = worst "\n  " name sprintf(" (+%.1f%%)", d)
+		}
+	}
+	END {
+		if (bad > 0) {
+			printf "\nbench-gate: %d ablation(s) regressed more than %s%%:%s\n", bad, pct, worst
+			exit 1
+		}
+		print "\nbench-gate: no ablation regressed more than " pct "%"
+	}
+' "$tmp_old" "$tmp_new"
