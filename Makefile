@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test test-race bench bench-ablation bench-smoke bench-snapshot bench-compare bench-gate ci
+.PHONY: verify build vet test test-race bench bench-ablation bench-smoke bench-snapshot bench-compare bench-gate server-smoke ci
 
 ## verify: the tier-1 gate — build, vet, the full test suite, and the race
 ## detector over the parallel kernels (partitioned builds, parallel probes,
@@ -26,14 +26,16 @@ test-race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=3s .
 
-## bench-ablation: just the kernel ablations (fast inner loop while tuning).
+## bench-ablation: the kernel ablations and the server-throughput sweep
+## (fast inner loop while tuning).
 bench-ablation:
-	$(GO) test -run '^$$' -bench 'BenchmarkAblation' -benchmem -benchtime=3s .
+	$(GO) test -run '^$$' -bench 'BenchmarkAblation|BenchmarkServerThroughput' -benchmem -benchtime=3s .
 
-## bench-smoke: one iteration of every ablation — proves the bench harness
-## itself still builds and runs (the CI bench job). No timing value.
+## bench-smoke: one iteration of every ablation and server-throughput
+## variant — proves the bench harness itself still builds and runs (the CI
+## bench job). No timing value.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkAblation' -benchmem -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkAblation|BenchmarkServerThroughput' -benchmem -benchtime=1x .
 
 ## bench-snapshot: machine-readable trajectory snapshot (test2json events
 ## carrying ns/op, B/op, allocs/op and the custom Figure 9/10 metrics).
@@ -53,9 +55,15 @@ bench-compare:
 bench-gate:
 	./scripts/bench_gate.sh
 
+## server-smoke: end-to-end proof of the concurrent query service — start
+## moaserve, drive the closed-loop load generator at it over HTTP, require
+## zero hard errors and a clean SIGTERM drain (the CI server job).
+server-smoke:
+	./scripts/server_smoke.sh
+
 ## ci: everything the CI workflow runs, reproducible without pushing.
 ## bench-gate stays advisory here too (the workflow runs it with
 ## continue-on-error): a red gate on a different host class is a prompt
 ## to re-measure, not a failure.
-ci: verify bench-smoke
+ci: verify bench-smoke server-smoke
 	-./scripts/bench_gate.sh

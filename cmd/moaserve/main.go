@@ -1,0 +1,156 @@
+// Command moaserve is the concurrent query service front end: it loads a
+// generated TPC-D database and serves MOA queries over HTTP from many
+// concurrent sessions sharing one read-only BAT environment (singleflight
+// accelerator builds, prepared-plan cache, memory-budget admission
+// control — see internal/server).
+//
+// Serve mode (default):
+//
+//	moaserve -addr :8080 -sf 0.005 -membudget-mb 256
+//
+// endpoints: POST /query (MOA source in the body, ?q=, ?trace=1,
+// ?noresult=1), GET /metrics, GET /healthz. SIGINT/SIGTERM drain in-flight
+// queries and exit cleanly.
+//
+// Load-generator mode (-loadgen) drives a closed loop of clients against a
+// running instance (or in process when -url is empty) with a Figure-9 query
+// mix and prints QPS and latency percentiles:
+//
+//	moaserve -loadgen -url http://localhost:8080 -clients 8 -duration 10s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/tpcd"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (serve mode)")
+	sf := flag.Float64("sf", 0.005, "TPC-D scale factor")
+	seed := flag.Int64("seed", 42, "generator seed")
+	workers := flag.Int("workers", 1, "per-query parallel iteration degree (1 = concurrency from sessions alone)")
+	morsel := flag.Int("morsel", 0, "morsel scheduling: rows per probe morsel (0 = skew-aware default, <0 = static)")
+	maxconc := flag.Int("maxconc", 0, "max concurrently executing queries (0 = GOMAXPROCS)")
+	membudget := flag.Int64("membudget-mb", 256, "admission control: live intermediate budget in MB (0 = unlimited)")
+	maxplans := flag.Int("maxplans", 0, "prepared-plan cache capacity (0 = default)")
+
+	loadgen := flag.Bool("loadgen", false, "run the closed-loop load generator instead of serving")
+	url := flag.String("url", "", "loadgen: target base URL (empty = drive the service in process)")
+	clients := flag.Int("clients", 4, "loadgen: closed-loop client count")
+	duration := flag.Duration("duration", 5*time.Second, "loadgen: run length")
+	mix := flag.String("mix", "", "loadgen: comma-separated TPC-D query numbers (empty = all 15)")
+	flag.Parse()
+
+	// One generation serves both the query mix and (when needed) the
+	// database load.
+	gen := tpcd.Generate(*sf, *seed)
+	cfg := serviceConfig(*workers, *morsel, *maxconc, *membudget, *maxplans)
+
+	if *loadgen {
+		os.Exit(runLoadgen(gen, *url, *clients, *duration, queryMix(gen, *mix), cfg))
+	}
+
+	svc := newService(gen, cfg)
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "moaserve: serving sf=%g on %s (workers=%d maxconc=%d membudget=%dMB)\n",
+		*sf, *addr, *workers, *maxconc, *membudget)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		fmt.Fprintf(os.Stderr, "moaserve: server stopped: %v\n", err)
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "moaserve: %v: draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "moaserve: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		m := svc.Snapshot()
+		fmt.Fprintf(os.Stderr, "moaserve: clean shutdown: queries=%d errors=%d shed=%d plan_hits=%d plan_misses=%d\n",
+			m.Queries, m.Errors, m.Shed, m.PlanHits, m.PlanMisses)
+	}
+}
+
+func serviceConfig(workers, morsel, maxconc int, membudgetMB int64, maxplans int) server.Config {
+	return server.Config{
+		Workers:        workers,
+		MorselRows:     morsel,
+		MaxConcurrent:  maxconc,
+		MemBudgetBytes: membudgetMB << 20,
+		MaxPlans:       maxplans,
+	}
+}
+
+func newService(gen *tpcd.DB, cfg server.Config) *server.Service {
+	env, _ := tpcd.Load(gen)
+	db := engine.New(tpcd.Schema(), env)
+	return server.New(db, cfg)
+}
+
+// queryMix resolves -mix into MOA sources from the Figure-9 suite.
+func queryMix(gen *tpcd.DB, mix string) []string {
+	all := tpcd.Queries(gen)
+	if mix == "" {
+		out := make([]string, len(all))
+		for i, q := range all {
+			out[i] = q.MOA
+		}
+		return out
+	}
+	var out []string
+	for _, part := range strings.Split(mix, ",") {
+		num, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moaserve: bad -mix entry %q: %v\n", part, err)
+			os.Exit(2)
+		}
+		found := false
+		for _, q := range all {
+			if q.Num == num {
+				out = append(out, q.MOA)
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "moaserve: no TPC-D query %d\n", num)
+			os.Exit(2)
+		}
+	}
+	return out
+}
+
+func runLoadgen(gen *tpcd.DB, url string, clients int, duration time.Duration, queries []string, cfg server.Config) int {
+	var do func(string) error
+	if url != "" {
+		do = server.HTTPQueryFunc(url, &http.Client{Timeout: 30 * time.Second})
+	} else {
+		svc := newService(gen, cfg)
+		do = func(src string) error { _, err := svc.Query(src); return err }
+	}
+	rep := server.RunLoad(server.LoadConfig{Clients: clients, Duration: duration, Queries: queries}, do)
+	fmt.Println(rep)
+	if rep.Errors > 0 || rep.Queries == 0 {
+		fmt.Fprintln(os.Stderr, "moaserve: load generation failed (errors or no completed queries)")
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,156 @@
+package bat
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// shuffledOIDCol builds a non-dense oid column (dense sequences take the
+// arithmetic accelerator and skip the table build entirely).
+func shuffledOIDCol(n int) *OIDCol {
+	v := make([]OID, n)
+	for i := range v {
+		v[i] = OID(i)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rng.Shuffle(n, func(i, j int) { v[i], v[j] = v[j], v[i] })
+	return NewOIDCol(v)
+}
+
+// TestAccelSingleflight drives many goroutines at the same missing hash
+// accelerator: exactly one build may run, and every caller must observe the
+// same fully built index.
+func TestAccelSingleflight(t *testing.T) {
+	b := New("t", NewVoid(0, 1<<15), shuffledOIDCol(1<<15), 0)
+	before := AccelBuilds()
+
+	const g = 16
+	got := make([]*HashIndex, g)
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = b.TailHashP(2)
+		}(i)
+	}
+	wg.Wait()
+
+	if d := AccelBuilds() - before; d != 1 {
+		t.Fatalf("concurrent TailHashP ran %d builds, want 1", d)
+	}
+	for i := 1; i < g; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("goroutine %d observed a different index", i)
+		}
+	}
+	if !b.HasTailHash() {
+		t.Fatal("accelerator not published")
+	}
+	// The mirror shares the slot: no further build through the other view.
+	if b.Mirror().HeadHash() != got[0] {
+		t.Fatal("mirror does not share the built accelerator")
+	}
+	if d := AccelBuilds() - before; d != 1 {
+		t.Fatalf("mirror access rebuilt the index (%d builds)", d)
+	}
+
+	// Dropping unpublishes through both views; the next use rebuilds once.
+	b.DropHashes()
+	if b.HasTailHash() || b.Mirror().HasHeadHash() {
+		t.Fatal("DropHashes left a published accelerator")
+	}
+	b.TailHash()
+	if d := AccelBuilds() - before; d != 2 {
+		t.Fatalf("rebuild after drop ran %d builds total, want 2", d)
+	}
+}
+
+// TestDatavectorLookupSingleflight: concurrent semijoins against the same
+// right operand coalesce onto one LOOKUP build.
+func TestDatavectorLookupSingleflight(t *testing.T) {
+	dv := NewDenseDatavector(0, NewIntCol([]int64{5, 6, 7, 8}))
+	r := New("r", NewOIDCol([]OID{3, 1}), NewVoid(0, 2), 0)
+
+	var builds atomic.Int64
+	build := func() []int32 {
+		builds.Add(1)
+		return []int32{3, 1}
+	}
+	const g = 16
+	got := make([][]int32, g)
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = dv.LookupOrBuild(r, build)
+		}(i)
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("LookupOrBuild ran %d builds, want 1", builds.Load())
+	}
+	for i := 0; i < g; i++ {
+		if len(got[i]) != 2 || got[i][0] != 3 || got[i][1] != 1 {
+			t.Fatalf("goroutine %d lookup = %v", i, got[i])
+		}
+	}
+	if got := dv.Lookup(r); len(got) != 2 {
+		t.Fatalf("memo not published: %v", got)
+	}
+}
+
+// TestMirrorConcurrent: every goroutine gets the one cached mirror.
+func TestMirrorConcurrent(t *testing.T) {
+	b := New("t", NewVoid(0, 8), NewIntCol(make([]int64, 8)), 0)
+	const g = 16
+	got := make([]*BAT, g)
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = b.Mirror()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < g; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("goroutine %d got a different mirror", i)
+		}
+	}
+	if got[0].Mirror() != b {
+		t.Fatal("mirror of mirror is not the original")
+	}
+}
+
+// TestSyncWithConcurrent: concurrent recorders of verified positional
+// correspondences agree on one group token.
+func TestSyncWithConcurrent(t *testing.T) {
+	o := New("o", NewOIDCol([]OID{5, 3}), NewVoid(0, 2), 0)
+	const g = 16
+	peers := make([]*BAT, g)
+	for i := range peers {
+		peers[i] = New("p", NewOIDCol([]OID{5, 3}), NewVoid(0, 2), 0)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			peers[i].SyncWith(o)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < g; i++ {
+		if !Synced(peers[i], o) {
+			t.Fatalf("peer %d not synced with o", i)
+		}
+		if !Synced(peers[i], peers[0]) {
+			t.Fatalf("peer %d not in peer 0's group", i)
+		}
+	}
+}

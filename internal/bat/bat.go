@@ -3,6 +3,8 @@ package bat
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Props is the set of kernel-maintained BAT properties of Section 5.1. Each
@@ -76,6 +78,11 @@ func (p Props) String() string {
 // operations never mutate a BAT after construction (Section 4.2:
 // "BAT-algebra operations materialize their result and never change their
 // operands"), so sharing columns between BATs — as mirror does — is safe.
+//
+// The mutable residue — lazily built accelerators, the cached mirror view
+// and the sync-group token — is published through atomics (singleflight for
+// the accelerator builds), so BATs are safe to share across concurrent
+// sessions executing read-only queries.
 type BAT struct {
 	Name  string
 	H, T  Column
@@ -83,15 +90,23 @@ type BAT struct {
 
 	// Synced links: BATs whose BUNs correspond by position with this one
 	// (Section 5.1). Stored as a shared group token; two BATs are synced
-	// iff they carry the same non-zero token and equal length.
-	syncGroup uint64
+	// iff they carry the same non-zero token and equal length. Run-time
+	// sync detection records tokens on operands, so access is atomic.
+	syncGroup atomic.Uint64
 
-	// Accelerators (lazily built, cached).
-	hashT *HashIndex  // hash table on tail values
-	hashH *HashIndex  // hash table on head values
+	// Accelerator publication points (lazily built, cached, singleflight).
+	// A mirror shares its original's slots with head and tail swapped, so
+	// an index built through either view is visible through both. The
+	// slots live inline (slots[0] = tail, slots[1] = head) and hashT/hashH
+	// point at them — no per-BAT slot allocations on the intermediate-BAT
+	// hot path; a mirror's pointers target its original's array.
+	slots [2]accelSlot
+	hashT *accelSlot  // hash table on tail values
+	hashH *accelSlot  // hash table on head values
 	dv    *Datavector // datavector accelerator (Section 5.2)
 
-	mirror *BAT // cached mirror view
+	mirrorMu sync.Mutex          // guards first mirror construction
+	mirror   atomic.Pointer[BAT] // cached mirror view
 }
 
 // New constructs a BAT from two equal-length columns.
@@ -112,34 +127,54 @@ func New(name string, h, t Column, props Props) *BAT {
 	if p.Has(TDense) {
 		p |= TOrdered | TKey
 	}
-	return &BAT{Name: name, H: h, T: t, Props: p}
+	b := &BAT{Name: name, H: h, T: t, Props: p}
+	b.hashT = &b.slots[0]
+	b.hashH = &b.slots[1]
+	return b
 }
 
 // Len reports the number of BUNs.
 func (b *BAT) Len() int { return b.H.Len() }
 
-// ByteSize reports the BAT's storage footprint.
+// ByteSize reports the BAT's logical storage footprint (views count their
+// full logical extent).
 func (b *BAT) ByteSize() int64 { return b.H.ByteSize() + b.T.ByteSize() }
+
+// OwnedByteSize reports the bytes of backing storage the BAT's columns own:
+// zero-copy views (SliceView results — slices, binary-search selections,
+// 100%-selectivity filters) contribute nothing, since their shared backing
+// was charged once when the owning column was created. Memory accounting
+// (Ctx.Account) charges owned bytes, so view-heavy plans no longer
+// over-report intermediate and peak MB.
+func (b *BAT) OwnedByteSize() int64 { return b.H.OwnedBytes() + b.T.OwnedBytes() }
 
 // Mirror returns the BAT viewed with head and tail swapped. Per Section 4.2
 // this is "an operation free of cost": the mirror shares the columns and
-// accelerators of its original.
+// accelerator slots of its original, so an index built through either view
+// serves both. Construction is synchronized; every caller gets the same
+// cached mirror.
 func (b *BAT) Mirror() *BAT {
-	if b.mirror == nil {
-		// The mirror does NOT inherit the sync group: syncedness asserts
-		// positional head correspondence, which swapping columns breaks.
-		m := &BAT{
-			Name:   b.Name + ".mirror",
-			H:      b.T,
-			T:      b.H,
-			Props:  b.Props.Swap(),
-			hashT:  b.hashH,
-			hashH:  b.hashT,
-			mirror: b,
-		}
-		b.mirror = m
+	if m := b.mirror.Load(); m != nil {
+		return m
 	}
-	return b.mirror
+	b.mirrorMu.Lock()
+	defer b.mirrorMu.Unlock()
+	if m := b.mirror.Load(); m != nil {
+		return m
+	}
+	// The mirror does NOT inherit the sync group: syncedness asserts
+	// positional head correspondence, which swapping columns breaks.
+	m := &BAT{
+		Name:  b.Name + ".mirror",
+		H:     b.T,
+		T:     b.H,
+		Props: b.Props.Swap(),
+		hashT: b.hashH,
+		hashH: b.hashT,
+	}
+	m.mirror.Store(b)
+	b.mirror.Store(m)
+	return m
 }
 
 // HeadValue returns the boxed head value at i.
@@ -149,20 +184,22 @@ func (b *BAT) HeadValue(i int) Value { return b.H.Get(i) }
 func (b *BAT) TailValue(i int) Value { return b.T.Get(i) }
 
 // SyncWith marks b and o as positionally synced (Section 5.1), joining o's
-// group or creating a fresh one.
+// group or creating a fresh one. Run-time sync detection calls this on
+// shared operands, so group tokens are allocated and published atomically:
+// concurrent recorders agree on one token, and every recorded fact is a
+// verified positional correspondence, so any interleaving stays sound.
 func (b *BAT) SyncWith(o *BAT) {
-	if o.syncGroup == 0 {
-		o.syncGroup = nextSyncGroup()
+	g := o.syncGroup.Load()
+	if g == 0 {
+		g = syncCounter.Add(1)
+		if !o.syncGroup.CompareAndSwap(0, g) {
+			g = o.syncGroup.Load()
+		}
 	}
-	b.syncGroup = o.syncGroup
+	b.syncGroup.Store(g)
 }
 
-var syncCounter uint64
-
-func nextSyncGroup() uint64 {
-	syncCounter++
-	return syncCounter
-}
+var syncCounter atomic.Uint64
 
 // Synced reports whether a and b are known to correspond by position: same
 // sync group, or both head columns are dense with the same seqbase, or they
@@ -171,7 +208,7 @@ func Synced(a, b *BAT) bool {
 	if a.Len() != b.Len() {
 		return false
 	}
-	if a.syncGroup != 0 && a.syncGroup == b.syncGroup {
+	if g := a.syncGroup.Load(); g != 0 && g == b.syncGroup.Load() {
 		return true
 	}
 	if a.H == b.H {
@@ -194,14 +231,12 @@ func (b *BAT) Persist() {
 	}
 }
 
-// DropHashes discards the cached hash accelerators (and the mirror's view
-// of them): memory reclamation for long-lived BATs, and the way benchmarks
-// force cold accelerator builds per iteration.
+// DropHashes discards the cached hash accelerators: memory reclamation for
+// long-lived BATs, and the way benchmarks force cold accelerator builds per
+// iteration. The mirror shares the same slots, so its view is dropped too.
 func (b *BAT) DropHashes() {
-	b.hashT, b.hashH = nil, nil
-	if b.mirror != nil {
-		b.mirror.hashT, b.mirror.hashH = nil, nil
-	}
+	b.hashT.drop()
+	b.hashH.drop()
 }
 
 // Datavector returns the datavector accelerator attached to b, or nil.

@@ -28,8 +28,14 @@ type Column interface {
 	TouchRange(p *storage.Pager, i, n int)
 	// TouchAll records a full sequential scan against the pager.
 	TouchAll(p *storage.Pager)
-	// ByteSize reports the memory footprint in bytes.
+	// ByteSize reports the logical memory footprint in bytes.
 	ByteSize() int64
+	// OwnedBytes reports the bytes of backing storage this column owns:
+	// equal to ByteSize for materialized columns, zero for views, whose
+	// backing was charged once when its owning column was created. Memory
+	// accounting sums owned bytes so view-heavy plans do not over-report
+	// (ROADMAP: view-aware memory accounting).
+	OwnedBytes() int64
 	// Persist assigns the column a persistent heap id so that accesses to
 	// it are fault-accounted. Idempotent; transient columns never fault.
 	Persist()
@@ -79,7 +85,8 @@ func (c *VoidCol) ByteSize() int64 { return 0 }
 type OIDCol struct {
 	V    []OID
 	heap storage.HeapID
-	off  int // heap entry offset of V[0] (non-zero for views)
+	off  int  // heap entry offset of V[0] (non-zero for views)
+	view bool // shares another column's backing (see SliceView)
 }
 
 // NewOIDCol wraps a slice of oids as a column.
@@ -115,7 +122,8 @@ func (c *OIDCol) ByteSize() int64 { return int64(len(c.V)) * 4 }
 type IntCol struct {
 	V    []int64
 	heap storage.HeapID
-	off  int // heap entry offset of V[0] (non-zero for views)
+	off  int  // heap entry offset of V[0] (non-zero for views)
+	view bool // shares another column's backing (see SliceView)
 }
 
 // NewIntCol wraps a slice of integers as a column.
@@ -151,7 +159,8 @@ func (c *IntCol) ByteSize() int64 { return int64(len(c.V)) * 8 }
 type FltCol struct {
 	V    []float64
 	heap storage.HeapID
-	off  int // heap entry offset of V[0] (non-zero for views)
+	off  int  // heap entry offset of V[0] (non-zero for views)
+	view bool // shares another column's backing (see SliceView)
 }
 
 // NewFltCol wraps a slice of floats as a column.
@@ -187,7 +196,8 @@ func (c *FltCol) ByteSize() int64 { return int64(len(c.V)) * 8 }
 type ChrCol struct {
 	V    []byte
 	heap storage.HeapID
-	off  int // heap entry offset of V[0] (non-zero for views)
+	off  int  // heap entry offset of V[0] (non-zero for views)
+	view bool // shares another column's backing (see SliceView)
 }
 
 // NewChrCol wraps a byte slice as a character column.
@@ -223,7 +233,8 @@ func (c *ChrCol) ByteSize() int64 { return int64(len(c.V)) }
 type BitCol struct {
 	V    []bool
 	heap storage.HeapID
-	off  int // heap entry offset of V[0] (non-zero for views)
+	off  int  // heap entry offset of V[0] (non-zero for views)
+	view bool // shares another column's backing (see SliceView)
 }
 
 // NewBitCol wraps a bool slice as a column.
@@ -259,7 +270,8 @@ func (c *BitCol) ByteSize() int64 { return int64(len(c.V)) }
 type DateCol struct {
 	V    []int32
 	heap storage.HeapID
-	off  int // heap entry offset of V[0] (non-zero for views)
+	off  int  // heap entry offset of V[0] (non-zero for views)
+	view bool // shares another column's backing (see SliceView)
 }
 
 // NewDateCol wraps a slice of day numbers as a date column.
@@ -303,6 +315,7 @@ type StrCol struct {
 	heap     storage.HeapID // offset heap
 	charHeap storage.HeapID // character heap
 	off      int            // heap entry offset of Off[0] (non-zero for views)
+	view     bool           // shares another column's backing (see SliceView)
 }
 
 // NewStrColFromStrings builds a string column (and its character heap) from
@@ -460,20 +473,20 @@ func SliceView(col Column, lo, n int) Column {
 	case *VoidCol:
 		return NewVoid(c.Seq+OID(lo), n)
 	case *OIDCol:
-		return &OIDCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo}
+		return &OIDCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo, view: true}
 	case *IntCol:
-		return &IntCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo}
+		return &IntCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo, view: true}
 	case *FltCol:
-		return &FltCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo}
+		return &FltCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo, view: true}
 	case *ChrCol:
-		return &ChrCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo}
+		return &ChrCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo, view: true}
 	case *BitCol:
-		return &BitCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo}
+		return &BitCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo, view: true}
 	case *DateCol:
-		return &DateCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo}
+		return &DateCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo, view: true}
 	case *StrCol:
 		return &StrCol{Off: c.Off[lo : lo+n+1], Chars: c.Chars,
-			heap: c.heap, charHeap: c.charHeap, off: c.off + lo}
+			heap: c.heap, charHeap: c.charHeap, off: c.off + lo, view: true}
 	}
 	// boxed fallback: no backing to share, materialize
 	out := make([]Value, n)
@@ -556,6 +569,69 @@ func gatherInto[I int | int32](col Column, perm []I) Column {
 		out[i] = col.Get(int(p))
 	}
 	return FromValues(col.Kind(), out)
+}
+
+// OwnedBytes implementations: a view shares its operand's backing, so it
+// owns nothing; every materialized column owns its full ByteSize. Void
+// columns occupy no storage either way.
+
+// OwnedBytes implements Column.
+func (c *VoidCol) OwnedBytes() int64 { return 0 }
+
+// OwnedBytes implements Column.
+func (c *OIDCol) OwnedBytes() int64 {
+	if c.view {
+		return 0
+	}
+	return c.ByteSize()
+}
+
+// OwnedBytes implements Column.
+func (c *IntCol) OwnedBytes() int64 {
+	if c.view {
+		return 0
+	}
+	return c.ByteSize()
+}
+
+// OwnedBytes implements Column.
+func (c *FltCol) OwnedBytes() int64 {
+	if c.view {
+		return 0
+	}
+	return c.ByteSize()
+}
+
+// OwnedBytes implements Column.
+func (c *ChrCol) OwnedBytes() int64 {
+	if c.view {
+		return 0
+	}
+	return c.ByteSize()
+}
+
+// OwnedBytes implements Column.
+func (c *BitCol) OwnedBytes() int64 {
+	if c.view {
+		return 0
+	}
+	return c.ByteSize()
+}
+
+// OwnedBytes implements Column.
+func (c *DateCol) OwnedBytes() int64 {
+	if c.view {
+		return 0
+	}
+	return c.ByteSize()
+}
+
+// OwnedBytes implements Column.
+func (c *StrCol) OwnedBytes() int64 {
+	if c.view {
+		return 0
+	}
+	return c.ByteSize()
 }
 
 // Persist implements Column; void columns occupy no storage.

@@ -2,6 +2,7 @@ package bat
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/storage"
 )
@@ -29,14 +30,44 @@ type Datavector struct {
 	Vector Column
 
 	extHeap storage.HeapID
-	lookups map[*BAT][]int32
+
+	// LOOKUP memo, keyed by right operand. Shared across concurrent
+	// sessions, so the map is lock-guarded and each entry is a
+	// singleflight publication point. memoBytes tracks the bytes the memo
+	// pins (keys reference whole BATs, entries hold lookup arrays) for
+	// the eviction budget.
+	mu        sync.Mutex
+	lookups   map[*BAT]*dvMemo
+	memoBytes int64
 }
+
+// dvMemo is one memoized LOOKUP array; construction is singleflight per
+// right operand (the entry lock is held for the build, so concurrent
+// semijoins against the same operand coalesce onto one probe pass).
+type dvMemo struct {
+	mu     sync.Mutex
+	built  bool
+	lookup []int32
+}
+
+// dvMemoMax and dvMemoMaxBytes bound the memo: the map is keyed by
+// right-operand identity, and under a long-running multi-session server
+// most right operands are per-query intermediates that never recur — each
+// key strongly references its whole (possibly dead) BAT, invisible to the
+// engine's live-bytes accounting. Past either cap — entry count, or bytes
+// pinned by keys plus lookup arrays — the whole memo is dropped: it is a
+// pure optimization, and the stable keys (base BATs, cached mirrors)
+// repopulate on the next probe.
+const (
+	dvMemoMax      = 256
+	dvMemoMaxBytes = 4 << 20
+)
 
 // NewDenseDatavector builds a datavector over the dense extent
 // base..base+vector.Len()-1.
 func NewDenseDatavector(base OID, vector Column) *Datavector {
 	return &Datavector{Base: base, N: vector.Len(), Vector: vector,
-		lookups: make(map[*BAT][]int32)}
+		lookups: make(map[*BAT]*dvMemo)}
 }
 
 // NewDatavector builds a datavector over an explicit sorted extent.
@@ -45,7 +76,7 @@ func NewDatavector(extent []OID, vector Column) *Datavector {
 		panic("bat: datavector extent/vector length mismatch")
 	}
 	return &Datavector{Extent: extent, N: len(extent), Vector: vector,
-		extHeap: storage.NextHeapID(), lookups: make(map[*BAT][]int32)}
+		extHeap: storage.NextHeapID(), lookups: make(map[*BAT]*dvMemo)}
 }
 
 // Len reports the extent size.
@@ -93,16 +124,87 @@ func (dv *Datavector) OIDAt(pos int) OID {
 	return dv.Extent[pos]
 }
 
+// memo returns the entry for right operand r, creating it when create is
+// set. Creation evicts the whole memo at either cap (see dvMemoMax).
+func (dv *Datavector) memo(r *BAT, create bool) *dvMemo {
+	dv.mu.Lock()
+	defer dv.mu.Unlock()
+	e := dv.lookups[r]
+	if e == nil && create {
+		if len(dv.lookups) >= dvMemoMax || dv.memoBytes >= dvMemoMaxBytes {
+			clear(dv.lookups)
+			dv.memoBytes = 0
+		}
+		e = &dvMemo{}
+		dv.lookups[r] = e
+		dv.memoBytes += memoPinned(r)
+	}
+	return e
+}
+
+// memoPinned estimates the bytes a memo entry for key r pins beyond the
+// base data: the lookup array (~one int32 per r row), plus r's own
+// transient backing — persistent (base) columns stay alive in the database
+// env regardless of the memo, and views own no backing, so charging either
+// would let one large stable key saturate the budget and flush the memo on
+// every insertion.
+func memoPinned(r *BAT) int64 {
+	pinned := int64(r.Len()) * 4
+	for _, c := range []Column{r.H, r.T} {
+		if c.Heap() == 0 {
+			pinned += c.OwnedBytes()
+		}
+	}
+	return pinned
+}
+
 // Lookup returns the memoized LOOKUP array for right operand r, or nil if
-// this is the first semijoin against r.
-func (dv *Datavector) Lookup(r *BAT) []int32 { return dv.lookups[r] }
+// no semijoin against r has completed yet.
+func (dv *Datavector) Lookup(r *BAT) []int32 {
+	e := dv.memo(r, false)
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.built {
+		return nil
+	}
+	return e.lookup
+}
+
+// LookupOrBuild returns the LOOKUP array for right operand r, running build
+// and memoizing its result on first use. Construction is singleflight:
+// concurrent semijoins against the same r wait for one build instead of
+// duplicating the probe pass (lines 5–15 of the Section 5.2.1 pseudo-code
+// run once; everyone else starts at the fetch phase).
+func (dv *Datavector) LookupOrBuild(r *BAT, build func() []int32) []int32 {
+	e := dv.memo(r, true)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.built {
+		e.lookup = build()
+		e.built = true
+		accelBuilds.Add(1)
+	}
+	return e.lookup
+}
 
 // Memoize records the LOOKUP array for right operand r.
-func (dv *Datavector) Memoize(r *BAT, lookup []int32) { dv.lookups[r] = lookup }
+func (dv *Datavector) Memoize(r *BAT, lookup []int32) {
+	e := dv.memo(r, true)
+	e.mu.Lock()
+	e.lookup, e.built = lookup, true
+	e.mu.Unlock()
+}
 
-// DropLookups clears the memo (used between benchmark repetitions). The map
-// is reused so that re-probing does not pay for fresh bucket arrays.
-func (dv *Datavector) DropLookups() { clear(dv.lookups) }
+// DropLookups clears the memo (used between benchmark repetitions).
+func (dv *Datavector) DropLookups() {
+	dv.mu.Lock()
+	clear(dv.lookups)
+	dv.memoBytes = 0
+	dv.mu.Unlock()
+}
 
 // SortOnTail returns a copy of b reordered ascending on tail values — the
 // physical layout Section 5.2 prescribes for all attribute BATs ("store all

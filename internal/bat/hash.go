@@ -1,6 +1,9 @@
 package bat
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // HashIndex is a persistent hash-table search accelerator on one column
 // (Fig. 2 shows such an accelerator heap attached to a BAT). The layout is
@@ -35,8 +38,9 @@ type HashIndex struct {
 	ents      []hashEnt // (key rep, position) entries clustered by bucket
 	mask      uint32
 
-	card   int
-	cardOK bool // card computed (eagerly for dense/boxed, lazily otherwise)
+	card     int
+	cardOK   bool      // card computed (eagerly for dense/boxed, lazily otherwise)
+	cardOnce sync.Once // synchronizes the lazy computation across sessions
 
 	// boxed fallback for columns without typed backing slices
 	boxed map[Value][]int32
@@ -314,13 +318,19 @@ func (h *HashIndex) keyEqualRows(a, b int32) bool {
 }
 
 // Card reports the number of distinct values (computed on first use for
-// clustered indexes, cached after).
+// clustered indexes, cached after). Shared indexes are probed by concurrent
+// sessions, so the lazy computation runs under a Once: every caller sees
+// the fully computed count.
 func (h *HashIndex) Card() int {
+	h.cardOnce.Do(h.ensureCard)
+	return h.card
+}
+
+func (h *HashIndex) ensureCard() {
 	if !h.cardOK {
 		h.card = h.computeCard()
 		h.cardOK = true
 	}
-	return h.card
 }
 
 // repOfValue condenses a boxed probe value into the indexed column's key
@@ -729,6 +739,8 @@ func (h *HashIndex) FilterRange(p Probe, lo, hi int, want bool, pos []int32) []i
 // TailHash returns (building and caching on first use) the hash accelerator
 // on b's tail column. Building an accelerator at run time is exactly what
 // Monet's dynamic optimization does when a hash variant is selected.
+// Construction is singleflight: concurrent sessions that need the same
+// missing index coalesce onto one build (see accelSlot).
 func (b *BAT) TailHash() *HashIndex { return b.TailHashP(1) }
 
 // TailHashP is TailHash with a parallel build degree for the first
@@ -740,13 +752,7 @@ func (b *BAT) TailHashP(workers int) *HashIndex {
 // TailHashSched is TailHash under an explicit work schedule for the first
 // construction; the cached accelerator is identical for every schedule.
 func (b *BAT) TailHashSched(s Sched) *HashIndex {
-	if b.hashT == nil {
-		b.hashT = BuildHashIndexSched(b.T, 0, s)
-		if b.mirror != nil {
-			b.mirror.hashH = b.hashT
-		}
-	}
-	return b.hashT
+	return b.hashT.getOrBuild(func() *HashIndex { return BuildHashIndexSched(b.T, 0, s) })
 }
 
 // HeadHash returns (building and caching on first use) the hash accelerator
@@ -762,17 +768,11 @@ func (b *BAT) HeadHashP(workers int) *HashIndex {
 // HeadHashSched is HeadHash under an explicit work schedule for the first
 // construction; the cached accelerator is identical for every schedule.
 func (b *BAT) HeadHashSched(s Sched) *HashIndex {
-	if b.hashH == nil {
-		b.hashH = BuildHashIndexSched(b.H, 0, s)
-		if b.mirror != nil {
-			b.mirror.hashT = b.hashH
-		}
-	}
-	return b.hashH
+	return b.hashH.getOrBuild(func() *HashIndex { return BuildHashIndexSched(b.H, 0, s) })
 }
 
 // HasTailHash reports whether a tail hash accelerator is already present.
-func (b *BAT) HasTailHash() bool { return b.hashT != nil }
+func (b *BAT) HasTailHash() bool { return b.hashT.load() != nil }
 
 // HasHeadHash reports whether a head hash accelerator is already present.
-func (b *BAT) HasHeadHash() bool { return b.hashH != nil }
+func (b *BAT) HasHeadHash() bool { return b.hashH.load() != nil }

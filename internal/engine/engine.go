@@ -27,11 +27,15 @@ func AutoWorkers() int { return runtime.GOMAXPROCS(0) }
 // holding its vertically decomposed extents, attribute BATs and
 // accelerators.
 //
-// A Database serves one session: queries must be issued sequentially (as in
-// Monet's per-session execution). Lazily built accelerators (head hashes,
-// datavector LOOKUP memos) mutate shared kernel state, so concurrent Query
-// calls on one Database are not safe; open one Database per session over a
-// shared read-only Env copy instead.
+// The base env and its BATs are safe to share between concurrent sessions
+// (see NewSession): queries never write the base env — each session
+// executes in a private scratch level layered over it — and the lazily
+// built accelerators (head hashes, datavector LOOKUP memos) publish
+// atomically with singleflight construction. The Pager is NOT safe to
+// share: its LRU pool is single-threaded, and NewSession inherits it so
+// that the sequential Figure 9/10 flows keep their fault accounting.
+// Callers running sessions concurrently must give each session its own
+// Pager or none (internal/server clears it; the hot-set regime).
 type Database struct {
 	Schema *moa.Schema
 	Env    mil.Env
@@ -88,38 +92,82 @@ func (db *Database) Prepare(src string) (*rewrite.Result, error) {
 	return res, nil
 }
 
-// Query executes a MOA query end to end.
+// Query executes a MOA query end to end on a fresh single-use session.
 func (db *Database) Query(src string) (*Result, error) {
-	prep, err := db.Prepare(src)
+	return db.NewSession().Query(src)
+}
+
+// Session is one client's sequential query stream over a shared Database —
+// the unit of concurrency of the query service. Many sessions may execute
+// simultaneously against one Database: each query runs with a private
+// mil.Ctx and a scratch env level layered over the shared base env (no
+// per-query copy of the database env map), while accelerator construction
+// on the shared BATs is coalesced by the kernel's singleflight slots.
+//
+// Within one Session, queries must still be issued sequentially (Monet's
+// per-session execution model); open more sessions for more concurrency.
+type Session struct {
+	db *Database
+	// Pager, when non-nil, accounts this session's page faults. It must
+	// not be shared with a concurrently executing session (the LRU pool
+	// is not thread-safe); the default inherited from the Database is
+	// meant for single-session use.
+	Pager *storage.Pager
+	// Workers and MorselRows mirror the Database knobs per session.
+	Workers    int
+	MorselRows int
+	// Gauge, when non-nil, feeds this session's intermediate-memory
+	// accounting into a process-wide gauge (admission control).
+	Gauge *mil.MemGauge
+}
+
+// NewSession opens a session over the database, inheriting its Pager,
+// Workers and MorselRows defaults.
+func (db *Database) NewSession() *Session {
+	return &Session{db: db, Pager: db.Pager, Workers: db.Workers, MorselRows: db.MorselRows}
+}
+
+// Query prepares and executes a MOA query on this session.
+func (s *Session) Query(src string) (*Result, error) {
+	prep, err := s.db.Prepare(src)
 	if err != nil {
 		return nil, err
 	}
-	ctx := &mil.Ctx{Pager: db.Pager, Workers: db.Workers, MorselRows: db.MorselRows}
+	return s.Execute(prep)
+}
+
+// Execute runs a prepared query. The preparation is immutable and may be
+// shared: many sessions can Execute the same *rewrite.Result concurrently
+// (the server's plan cache relies on this).
+func (s *Session) Execute(prep *rewrite.Result) (*Result, error) {
+	ctx := &mil.Ctx{Pager: s.Pager, Workers: s.Workers, MorselRows: s.MorselRows, Gauge: s.Gauge}
+	// Whatever stays live at the end (kept results) becomes garbage once
+	// the result set is materialized; return it to the shared gauge.
+	defer ctx.DrainGauge()
 	var faults0 uint64
-	if db.Pager != nil {
-		faults0 = db.Pager.Faults()
+	if s.Pager != nil {
+		faults0 = s.Pager.Faults()
 	}
 	start := time.Now()
 
-	// Execute against a scratch environment layered over the base BATs so
-	// that concurrent or repeated queries do not pollute the database env.
-	scratch := make(mil.Env, len(db.Env)+len(prep.Prog.Stmts))
-	for k, v := range db.Env {
-		scratch[k] = v
-	}
-	traces, err := mil.Run(ctx, prep.Prog, scratch)
+	// Execute in a scratch level layered over the shared base env: base
+	// BATs resolve through the shared map, every binding lands in the
+	// session-private level — no O(|database|) env copy per query, and
+	// concurrent or repeated queries cannot pollute the database env.
+	scope := mil.NewScope(s.db.Env, len(prep.Prog.Stmts))
+	traces, err := mil.RunScope(ctx, prep.Prog, scope)
 	if err != nil {
 		return nil, fmt.Errorf("execute: %w", err)
 	}
-	set, err := moa.Materialize(scratch, prep.Struct)
+	set, err := moa.Materialize(scope, prep.Struct)
 	if err != nil {
 		return nil, fmt.Errorf("materialize: %w", err)
 	}
 	elapsed := time.Since(start)
 
 	var faults uint64
-	if db.Pager != nil {
-		faults = db.Pager.Faults() - faults0
+	if s.Pager != nil {
+		faults = s.Pager.Faults() - faults0
 	}
 	return &Result{
 		Set:    set,

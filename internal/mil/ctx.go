@@ -10,9 +10,38 @@
 package mil
 
 import (
+	"sync/atomic"
+
 	"repro/internal/bat"
 	"repro/internal/storage"
 )
+
+// MemGauge is a process-wide gauge of live intermediate bytes, shared by
+// every concurrent query context that points at it: Account and Release
+// mirror their per-query deltas into the gauge atomically. It feeds the
+// server's admission controller — a query is refused while the gauge sits
+// above the memory budget, shedding load before the process OOMs. A nil
+// *MemGauge is valid and disables global tracking.
+type MemGauge struct {
+	live atomic.Int64
+}
+
+// Live reports the gauge's current live intermediate bytes.
+func (g *MemGauge) Live() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.live.Load()
+}
+
+// Add shifts the gauge by delta bytes. External reservations (admission
+// holds, retained result sets) use it directly; query contexts feed it
+// through Account/Release.
+func (g *MemGauge) Add(delta int64) {
+	if g != nil && delta != 0 {
+		g.live.Add(delta)
+	}
+}
 
 // Ctx carries the execution environment of one query: the paged-storage
 // simulator (for Fig. 9/10 fault accounting), memory accounting for
@@ -36,8 +65,14 @@ type Ctx struct {
 	// for ablations and parity runs). Every setting is bit-identical.
 	MorselRows int
 
-	// IntermBytes accumulates the size of every intermediate BAT created
-	// ("total MB" column in Fig. 9).
+	// Gauge, when non-nil, receives every Account/Release delta: the
+	// process-wide live-bytes feed of the server's admission control.
+	Gauge *MemGauge
+
+	// IntermBytes accumulates the owned size of every intermediate BAT
+	// created ("total MB" column in Fig. 9). Zero-copy views are counted
+	// at their owned (shared-backing-excluded) size, so view-heavy plans
+	// report the memory they actually allocate.
 	IntermBytes int64
 	// LiveBytes tracks currently-live intermediate bytes and PeakBytes its
 	// maximum ("max MB" column in Fig. 9).
@@ -71,28 +106,53 @@ func (c *Ctx) pager() *storage.Pager {
 	return c.Pager
 }
 
-// Account records the creation of an intermediate BAT.
+// Account records the creation of an intermediate BAT, charging the bytes
+// its columns own: a zero-copy view's shared backing was charged once when
+// the owning column was created, so views add (close to) nothing.
 func (c *Ctx) Account(b *bat.BAT) {
 	if c == nil || b == nil {
 		return
 	}
-	sz := b.ByteSize()
+	sz := b.OwnedByteSize()
 	c.IntermBytes += sz
 	c.LiveBytes += sz
 	if c.LiveBytes > c.PeakBytes {
 		c.PeakBytes = c.LiveBytes
 	}
+	c.Gauge.Add(sz)
 }
 
-// Release records that an intermediate BAT is no longer live.
+// Release records that an intermediate BAT is no longer live. It debits the
+// same owned-byte measure Account credited, so credits and debits always
+// balance. Known approximation: a zero-copy view that outlives its owning
+// intermediate keeps the owner's backing alive after the owner's release
+// debited it, so LiveBytes (and the gauge) can under-count within a query;
+// the window closes at query end (DrainGauge), and views of base BATs —
+// the common case — are unaffected (base data is never accounted). The
+// admission budget is a load-shedding heuristic, not an allocator.
 func (c *Ctx) Release(b *bat.BAT) {
 	if c == nil || b == nil {
 		return
 	}
-	c.LiveBytes -= b.ByteSize()
+	sz := b.OwnedByteSize()
+	c.LiveBytes -= sz
 	if c.LiveBytes < 0 {
 		c.LiveBytes = 0
 	}
+	c.Gauge.Add(-sz)
+}
+
+// DrainGauge returns the context's still-live bytes (kept results the
+// interpreter never releases) to the shared gauge; the session calls it
+// when the query's results have been materialized and the intermediates
+// become garbage. Idempotent; per-query stats (PeakBytes, IntermBytes) are
+// unaffected.
+func (c *Ctx) DrainGauge() {
+	if c == nil || c.Gauge == nil {
+		return
+	}
+	c.Gauge.Add(-c.LiveBytes)
+	c.LiveBytes = 0
 }
 
 // ResetStats zeroes the memory accounting for a fresh query.

@@ -177,15 +177,25 @@ func (t StmtTrace) String() string {
 }
 
 // Run executes the program against env, materializing every statement's
-// result under its Dst name. It performs simple liveness analysis: a
-// non-kept intermediate is released (for the Fig. 9 memory accounting) after
-// its last use. Base BATs that were already in env are never released or
-// accounted.
+// result under its Dst name. Names already bound in env are treated as base
+// data: never released or accounted. It is a compatibility wrapper over
+// RunScope — execution happens in a private Vars level and the surviving
+// bindings are merged back into env.
 func Run(ctx *Ctx, p *Program, env Env) ([]StmtTrace, error) {
-	base := make(map[string]bool, len(env))
-	for name := range env {
-		base[name] = true
+	scope := NewScope(env, len(p.Stmts))
+	traces, err := RunScope(ctx, p, scope)
+	for k, v := range scope.Vars {
+		env[k] = v
 	}
+	return traces, err
+}
+
+// RunScope executes the program inside a two-level scope: base BATs resolve
+// through scope.Base (shared, read-only), every result lands in scope.Vars.
+// It performs simple liveness analysis: a non-kept intermediate is released
+// (for the Fig. 9 memory accounting) after its last use. Only Vars bindings
+// are ever released, so the shared base env is structurally protected.
+func RunScope(ctx *Ctx, p *Program, scope *Scope) ([]StmtTrace, error) {
 	keep := make(map[string]bool, len(p.Keep))
 	for _, k := range p.Keep {
 		keep[k] = true
@@ -208,6 +218,12 @@ func Run(ctx *Ctx, p *Program, env Env) ([]StmtTrace, error) {
 		}
 	}
 
+	// Results this run accounted: releasing must debit exactly what was
+	// credited, no more. Mirror results are never accounted (mirror is
+	// free — and mirroring a mirror returns the original, possibly
+	// accounted, BAT), and a BAT bound under two names is released once.
+	accounted := make(map[*bat.BAT]bool)
+
 	traces := make([]StmtTrace, 0, len(p.Stmts))
 	for i, s := range p.Stmts {
 		var faults0 uint64
@@ -215,7 +231,7 @@ func Run(ctx *Ctx, p *Program, env Env) ([]StmtTrace, error) {
 			faults0 = ctx.Pager.Faults()
 		}
 		start := time.Now()
-		out, err := execStmt(ctx, s, env)
+		out, err := execStmt(ctx, s, scope)
 		if err != nil {
 			return traces, fmt.Errorf("stmt %d (%s): %w", i, s, err)
 		}
@@ -226,8 +242,9 @@ func Run(ctx *Ctx, p *Program, env Env) ([]StmtTrace, error) {
 		}
 		if s.Op != OpMirror { // mirror is free: no materialization
 			ctx.Account(out)
+			accounted[out] = true
 		}
-		env[s.Dst] = out
+		scope.Vars[s.Dst] = out
 		traces = append(traces, StmtTrace{
 			Index: i, Text: s.String(), Elapsed: elapsed,
 			Faults: faults, Rows: out.Len(), Algo: ctx.LastAlgo(),
@@ -238,57 +255,60 @@ func Run(ctx *Ctx, p *Program, env Env) ([]StmtTrace, error) {
 		// Release dead intermediates.
 		for _, a := range s.Args {
 			for _, v := range []string{a.Var, a.ScalarVar} {
-				releaseIfDead(ctx, env, base, keep, lastUse, v, i)
+				releaseIfDead(ctx, scope, keep, lastUse, accounted, v, i)
 			}
 		}
 		for _, v := range s.LKeys {
-			releaseIfDead(ctx, env, base, keep, lastUse, v, i)
+			releaseIfDead(ctx, scope, keep, lastUse, accounted, v, i)
 		}
 		for _, v := range s.RKeys {
-			releaseIfDead(ctx, env, base, keep, lastUse, v, i)
+			releaseIfDead(ctx, scope, keep, lastUse, accounted, v, i)
 		}
 	}
 	return traces, nil
 }
 
-func releaseIfDead(ctx *Ctx, env Env, base, keep map[string]bool, lastUse map[string]int, v string, i int) {
-	if v == "" || base[v] || keep[v] {
+func releaseIfDead(ctx *Ctx, scope *Scope, keep map[string]bool, lastUse map[string]int, accounted map[*bat.BAT]bool, v string, i int) {
+	if v == "" || keep[v] {
 		return
 	}
 	if lastUse[v] == i {
-		if b, ok := env[v]; ok {
-			ctx.Release(b)
-			delete(env, v)
+		if b, ok := scope.Vars[v]; ok {
+			if accounted[b] {
+				ctx.Release(b)
+				delete(accounted, b)
+			}
+			delete(scope.Vars, v)
 		}
 	}
 }
 
-func argBAT(env Env, a StmtArg) (*bat.BAT, error) {
-	b, ok := env[a.Var]
+func argBAT(scope *Scope, a StmtArg) (*bat.BAT, error) {
+	b, ok := scope.Lookup(a.Var)
 	if !ok {
 		return nil, fmt.Errorf("undefined variable %q", a.Var)
 	}
 	return b, nil
 }
 
-func execStmt(ctx *Ctx, s Stmt, env Env) (*bat.BAT, error) {
+func execStmt(ctx *Ctx, s Stmt, scope *Scope) (*bat.BAT, error) {
 	// Resolve the leading BAT operand, common to almost all ops.
 	var b0 *bat.BAT
 	if len(s.Args) > 0 && s.Args[0].Var != "" {
 		var err error
-		b0, err = argBAT(env, s.Args[0])
+		b0, err = argBAT(scope, s.Args[0])
 		if err != nil {
 			return nil, err
 		}
 	}
-	need2 := func() (*bat.BAT, error) { return argBAT(env, s.Args[1]) }
+	need2 := func() (*bat.BAT, error) { return argBAT(scope, s.Args[1]) }
 
 	switch s.Op {
 	case OpMirror:
 		ctx.chose("mirror")
 		return b0.Mirror(), nil
 	case OpSelect:
-		v, err := resolveLit(env, s.Args[1])
+		v, err := resolveLit(scope, s.Args[1])
 		if err != nil {
 			return nil, err
 		}
@@ -296,14 +316,14 @@ func execStmt(ctx *Ctx, s Stmt, env Env) (*bat.BAT, error) {
 	case OpSelectRange:
 		var lo, hi *bat.Value
 		if !s.Args[1].isNone() {
-			v, err := resolveLit(env, s.Args[1])
+			v, err := resolveLit(scope, s.Args[1])
 			if err != nil {
 				return nil, err
 			}
 			lo = &v
 		}
 		if !s.Args[2].isNone() {
-			v, err := resolveLit(env, s.Args[2])
+			v, err := resolveLit(scope, s.Args[2])
 			if err != nil {
 				return nil, err
 			}
@@ -339,13 +359,13 @@ func execStmt(ctx *Ctx, s Stmt, env Env) (*bat.BAT, error) {
 		for i, a := range s.Args {
 			switch {
 			case a.Var != "":
-				b, err := argBAT(env, a)
+				b, err := argBAT(scope, a)
 				if err != nil {
 					return nil, err
 				}
 				ops[i] = BATArg(b)
 			default:
-				v, err := resolveLit(env, a)
+				v, err := resolveLit(scope, a)
 				if err != nil {
 					return nil, err
 				}
@@ -380,13 +400,13 @@ func execStmt(ctx *Ctx, s Stmt, env Env) (*bat.BAT, error) {
 	case OpSlice:
 		return Slice(ctx, b0, s.N), nil
 	case OpJoinMulti:
-		return execJoinMulti(ctx, s, env)
+		return execJoinMulti(ctx, s, scope)
 	case OpMark:
 		return Mark(ctx, b0), nil
 	case OpCalc:
 		vals := make([]bat.Value, len(s.Args))
 		for i, a := range s.Args {
-			v, err := resolveLit(env, a)
+			v, err := resolveLit(scope, a)
 			if err != nil {
 				return nil, err
 			}
@@ -415,12 +435,12 @@ func Mark(ctx *Ctx, b *bat.BAT) *bat.BAT {
 	return bat.New(b.Name+".mark", bat.NewVoid(0, b.Len()), b.H, props)
 }
 
-func resolveLit(env Env, a StmtArg) (bat.Value, error) {
+func resolveLit(scope *Scope, a StmtArg) (bat.Value, error) {
 	if a.Lit != nil {
 		return *a.Lit, nil
 	}
 	if a.ScalarVar != "" {
-		b, ok := env[a.ScalarVar]
+		b, ok := scope.Lookup(a.ScalarVar)
 		if !ok {
 			return bat.Value{}, fmt.Errorf("undefined scalar variable %q", a.ScalarVar)
 		}
@@ -431,11 +451,11 @@ func resolveLit(env Env, a StmtArg) (bat.Value, error) {
 
 // execJoinMulti pairs left and right elements matching on all composite keys
 // and returns their ids: [left id, right id].
-func execJoinMulti(ctx *Ctx, s Stmt, env Env) (*bat.BAT, error) {
+func execJoinMulti(ctx *Ctx, s Stmt, scope *Scope) (*bat.BAT, error) {
 	resolve := func(names []string) ([]*bat.BAT, error) {
 		out := make([]*bat.BAT, len(names))
 		for i, v := range names {
-			b, ok := env[v]
+			b, ok := scope.Lookup(v)
 			if !ok {
 				return nil, fmt.Errorf("undefined variable %q", v)
 			}

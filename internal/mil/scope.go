@@ -1,0 +1,45 @@
+package mil
+
+import (
+	"repro/internal/bat"
+)
+
+// EnvReader is read-only variable resolution: what result materialization
+// and other consumers need from an execution environment. Both a plain Env
+// and a layered Scope satisfy it.
+type EnvReader interface {
+	Lookup(name string) (*bat.BAT, bool)
+}
+
+// Lookup implements EnvReader for a flat environment.
+func (e Env) Lookup(name string) (*bat.BAT, bool) {
+	b, ok := e[name]
+	return b, ok
+}
+
+// Scope is the two-level execution environment of one query: Vars holds the
+// query's own bindings (intermediates and results), layered over Base, the
+// shared database environment, which is read but never written. Layering
+// replaces the per-query copy of the whole database env map — sessions
+// resolve base BATs through the shared map directly, so starting a query
+// costs O(1) instead of O(|database|), and concurrent sessions cannot
+// pollute each other: every write lands in the session-private Vars level.
+type Scope struct {
+	Base Env // shared, read-only; never released or re-accounted
+	Vars Env // per-query bindings; shadow Base on name collision
+}
+
+// NewScope returns a scope over the shared base env with a Vars level
+// pre-sized for hint bindings.
+func NewScope(base Env, hint int) *Scope {
+	return &Scope{Base: base, Vars: make(Env, hint)}
+}
+
+// Lookup implements EnvReader: the query's own bindings shadow the base.
+func (s *Scope) Lookup(name string) (*bat.BAT, bool) {
+	if b, ok := s.Vars[name]; ok {
+		return b, true
+	}
+	b, ok := s.Base[name]
+	return b, ok
+}

@@ -53,14 +53,15 @@ func syncSemijoin(ctx *Ctx, l *bat.BAT) *bat.BAT {
 // and memoized on the accelerator, so subsequent semijoins with the same
 // right operand only pay for fetching out of the value vector ("the previous
 // datavector-semijoin has already blazed the trail into the extent").
+// Memoization is singleflight: concurrent sessions probing the same right
+// operand coalesce onto one extent-probe pass.
 func datavectorSemijoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
 	ctx.chose("datavector-semijoin")
 	dv := l.Datavector()
 	p := ctx.pager()
 
-	lookup := dv.Lookup(r)
-	if lookup == nil {
-		lookup = make([]int32, 0, r.Len())
+	lookup := dv.LookupOrBuild(r, func() []int32 {
+		lookup := make([]int32, 0, r.Len())
 		rh := r.H
 		rh.TouchAll(p)
 		switch h := rh.(type) {
@@ -93,8 +94,8 @@ func datavectorSemijoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
 				}
 			}
 		}
-		dv.Memoize(r, lookup)
-	}
+		return lookup
+	})
 
 	// Insertion phase: fetch matching head and tail values from EXTENT and
 	// VECTOR (pseudo-code lines 17-19). The LOOKUP array doubles as the

@@ -124,7 +124,8 @@ type Elem struct {
 }
 
 // Materialize evaluates the structure expression against the environment,
-// producing the structured value it denotes. The expression must be a SetFn
+// producing the structured value it denotes (env is any variable resolver —
+// a flat mil.Env or a layered mil.Scope). The expression must be a SetFn
 // (MOA queries and extents are sets).
 //
 // A top-level SET denotes one set: each BUN of the index BAT contributes one
@@ -136,7 +137,7 @@ type Elem struct {
 // Materialization is id-driven: only the elements the index lists are
 // resolved, through (cached) head hashes on the leaf BATs, so projecting a
 // few objects out of a large class does not scan every attribute BAT.
-func Materialize(env mil.Env, s Struct) (*SetVal, error) {
+func Materialize(env mil.EnvReader, s Struct) (*SetVal, error) {
 	set, ok := s.(SetFn)
 	if !ok {
 		return nil, fmt.Errorf("moa: top-level structure must be SET, got %s", s.Render())
@@ -154,7 +155,7 @@ func Materialize(env mil.Env, s Struct) (*SetVal, error) {
 		}
 		return out, nil
 	}
-	idx, ok := env[set.Index]
+	idx, ok := env.Lookup(set.Index)
 	if !ok {
 		return nil, fmt.Errorf("moa: structure references undefined index BAT %q", set.Index)
 	}
@@ -175,10 +176,10 @@ type resolver struct {
 	enum func() []bat.Value
 }
 
-func buildResolver(env mil.Env, s Struct) (*resolver, error) {
+func buildResolver(env mil.EnvReader, s Struct) (*resolver, error) {
 	switch x := s.(type) {
 	case AtomFn:
-		b, ok := env[x.Var]
+		b, ok := env.Lookup(x.Var)
 		if !ok {
 			return nil, fmt.Errorf("moa: structure references undefined BAT %q", x.Var)
 		}
@@ -259,7 +260,7 @@ func buildResolver(env mil.Env, s Struct) (*resolver, error) {
 		if x.Index == "" {
 			return elem, nil
 		}
-		idx, ok := env[x.Index]
+		idx, ok := env.Lookup(x.Index)
 		if !ok {
 			return nil, fmt.Errorf("moa: structure references undefined index BAT %q", x.Index)
 		}
@@ -281,7 +282,7 @@ func buildResolver(env mil.Env, s Struct) (*resolver, error) {
 		}, nil
 
 	case SimpleSetFn:
-		idx, ok := env[x.Index]
+		idx, ok := env.Lookup(x.Index)
 		if !ok {
 			return nil, fmt.Errorf("moa: structure references undefined BAT %q", x.Index)
 		}
@@ -302,7 +303,7 @@ func buildResolver(env mil.Env, s Struct) (*resolver, error) {
 		}, nil
 
 	case ViaFn:
-		via, ok := env[x.Via]
+		via, ok := env.Lookup(x.Via)
 		if !ok {
 			return nil, fmt.Errorf("moa: structure references undefined BAT %q", x.Via)
 		}

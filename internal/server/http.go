@@ -1,0 +1,133 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/bat"
+	"repro/internal/moa"
+)
+
+// QueryResponse is the JSON body of a successful /query call.
+type QueryResponse struct {
+	Count       int      `json:"count"`
+	Elems       []string `json:"elems,omitempty"`
+	ElapsedUS   int64    `json:"elapsed_us"`
+	Faults      uint64   `json:"faults"`
+	IntermBytes int64    `json:"interm_bytes"`
+	PeakBytes   int64    `json:"peak_bytes"`
+	Trace       []string `json:"trace,omitempty"`
+}
+
+// ErrorResponse is the JSON body of a failed /query call.
+type ErrorResponse struct {
+	Error      string `json:"error"`
+	Overloaded bool   `json:"overloaded,omitempty"`
+}
+
+// Handler returns the service's HTTP front end:
+//
+//	POST /query        MOA source in the body (or ?q=), result as JSON;
+//	                   ?noresult=1 suppresses element rendering,
+//	                   ?trace=1 adds the Fig. 10-style statement trace;
+//	                   503 + Retry-After when admission control sheds.
+//	GET  /metrics      service counters, text format (one "name value" line
+//	                   each, Prometheus-scrapable).
+//	GET  /healthz      liveness probe.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	src := r.URL.Query().Get("q")
+	if src == "" {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err, false)
+			return
+		}
+		src = string(body)
+	}
+	if src == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty query: pass MOA source as the request body or ?q="), false)
+		return
+	}
+
+	res, err := s.Query(src)
+	if err != nil {
+		var ee *ExecError
+		switch {
+		case IsOverloaded(err):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err, true)
+		case errors.As(err, &ee):
+			// Past preparation: a server-side execution defect, not a
+			// malformed request.
+			writeError(w, http.StatusInternalServerError, err, false)
+		default:
+			writeError(w, http.StatusBadRequest, err, false)
+		}
+		return
+	}
+
+	resp := QueryResponse{
+		Count:       len(res.Set.Elems),
+		ElapsedUS:   res.Stats.Elapsed.Microseconds(),
+		Faults:      res.Stats.Faults,
+		IntermBytes: res.Stats.IntermBytes,
+		PeakBytes:   res.Stats.PeakBytes,
+	}
+	if !boolParam(r, "noresult") {
+		resp.Elems = make([]string, len(res.Set.Elems))
+		for i, e := range res.Set.Elems {
+			resp.Elems[i] = moa.RenderVal(e.V)
+		}
+	}
+	if boolParam(r, "trace") {
+		resp.Trace = make([]string, len(res.Traces))
+		for i, tr := range res.Traces {
+			resp.Trace[i] = tr.String()
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// boolParam reads a flag-style query parameter: set and not one of the
+// explicit "off" spellings ("0", "false", "no") means on.
+func boolParam(r *http.Request, name string) bool {
+	switch r.URL.Query().Get(name) {
+	case "", "0", "false", "no":
+		return false
+	}
+	return true
+}
+
+func writeError(w http.ResponseWriter, status int, err error, overloaded bool) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error(), Overloaded: overloaded})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := s.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "moaserve_queries_total %d\n", m.Queries)
+	fmt.Fprintf(w, "moaserve_query_errors_total %d\n", m.Errors)
+	fmt.Fprintf(w, "moaserve_shed_total %d\n", m.Shed)
+	fmt.Fprintf(w, "moaserve_inflight %d\n", m.Inflight)
+	fmt.Fprintf(w, "moaserve_plan_cache_hits_total %d\n", m.PlanHits)
+	fmt.Fprintf(w, "moaserve_plan_cache_misses_total %d\n", m.PlanMisses)
+	fmt.Fprintf(w, "moaserve_live_intermediate_bytes %d\n", m.LiveBytes)
+	fmt.Fprintf(w, "moaserve_accel_builds_total %d\n", bat.AccelBuilds())
+}

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The closed-loop load generator: each client is a session issuing its next
+// query only after the previous one returned — the standard model for
+// measuring a service's sustainable QPS (offered load adapts to service
+// rate, so the system is never driven into an unbounded queue). Overload
+// refusals are counted separately from errors and retried after a short
+// backoff, which is exactly the client behavior the admission controller's
+// Retry-After contract asks for.
+
+// LoadConfig tunes one load-generation run.
+type LoadConfig struct {
+	// Clients is the number of closed-loop sessions (concurrent streams).
+	Clients int
+	// Duration bounds the run (wall clock).
+	Duration time.Duration
+	// Queries is the mix; client i starts at offset i and round-robins.
+	Queries []string
+	// ShedBackoff is the pause after an overload refusal (default 2ms).
+	ShedBackoff time.Duration
+}
+
+// LoadReport summarizes a load-generation run.
+type LoadReport struct {
+	Clients       int
+	Elapsed       time.Duration
+	Queries       int64 // completed successfully
+	Errors        int64 // hard failures
+	Shed          int64 // overload refusals (retried)
+	QPS           float64
+	P50, P95, P99 time.Duration
+}
+
+func (r *LoadReport) String() string {
+	return fmt.Sprintf("clients=%d elapsed=%v queries=%d errors=%d shed=%d qps=%.1f p50=%v p95=%v p99=%v",
+		r.Clients, r.Elapsed.Round(time.Millisecond), r.Queries, r.Errors, r.Shed,
+		r.QPS, r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+}
+
+// RunLoad drives the closed loop against do — any query executor: the
+// in-process Service.Query, or an HTTP doer from HTTPQueryFunc. It returns
+// when Duration has elapsed and every client's in-flight query finished.
+func RunLoad(cfg LoadConfig, do func(src string) error) *LoadReport {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.ShedBackoff <= 0 {
+		cfg.ShedBackoff = 2 * time.Millisecond
+	}
+	if len(cfg.Queries) == 0 {
+		return &LoadReport{Clients: cfg.Clients}
+	}
+
+	type clientStats struct {
+		lat          []time.Duration
+		queries      int64
+		errors, shed int64
+	}
+	stats := make([]clientStats, cfg.Clients)
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			st := &stats[c]
+			for i := c; time.Now().Before(deadline); i++ {
+				src := cfg.Queries[i%len(cfg.Queries)]
+				t0 := time.Now()
+				err := do(src)
+				switch {
+				case err == nil:
+					st.lat = append(st.lat, time.Since(t0))
+					st.queries++
+				case IsOverloaded(err):
+					st.shed++
+					time.Sleep(cfg.ShedBackoff)
+				default:
+					st.errors++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{Clients: cfg.Clients, Elapsed: elapsed}
+	var all []time.Duration
+	for i := range stats {
+		rep.Queries += stats[i].queries
+		rep.Errors += stats[i].errors
+		rep.Shed += stats[i].shed
+		all = append(all, stats[i].lat...)
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(rep.Queries) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		rep.P50 = percentile(all, 0.50)
+		rep.P95 = percentile(all, 0.95)
+		rep.P99 = percentile(all, 0.99)
+	}
+	return rep
+}
+
+// percentile reads the p-quantile from an ascending latency slice.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// HTTPQueryFunc returns a query executor that POSTs MOA source to a running
+// moaserve instance's /query endpoint — the load generator's remote mode.
+// A 503 maps back to an OverloadedError so closed-loop clients back off the
+// same way they do in process.
+func HTTPQueryFunc(baseURL string, client *http.Client) func(src string) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := strings.TrimRight(baseURL, "/") + "/query?noresult=1"
+	return func(src string) error {
+		resp, err := client.Post(url, "text/plain", strings.NewReader(src))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			return nil
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			return &OverloadedError{}
+		default:
+			return fmt.Errorf("query failed: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		}
+	}
+}

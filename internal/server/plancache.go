@@ -1,0 +1,74 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rewrite"
+)
+
+// planCache memoizes query preparation (parse → check → translate) by MOA
+// source text. Preparation is pure — it touches only the immutable schema —
+// so a cached *rewrite.Result can be executed by any number of sessions
+// concurrently. Construction is singleflight per source: a stampede of cold
+// sessions issuing the same query pays for one prepare.
+//
+// Outcomes are cached including errors (a source that fails to parse fails
+// deterministically). Past max entries the whole cache is dropped — the
+// expected working set is a small fixed query mix, so the crude eviction
+// only matters under adversarial source churn, where dropping memos is the
+// cheap, correct response.
+type planCache struct {
+	prepare func(string) (*rewrite.Result, error)
+	max     int
+
+	mu    sync.Mutex
+	plans map[string]*planEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// planEntry is one singleflight publication point: the entry lock is held
+// for the prepare, so concurrent requesters of the same source wait for the
+// one in flight instead of duplicating it.
+type planEntry struct {
+	mu   sync.Mutex
+	done bool
+	prep *rewrite.Result
+	err  error
+}
+
+func newPlanCache(max int, prepare func(string) (*rewrite.Result, error)) *planCache {
+	return &planCache{prepare: prepare, max: max, plans: make(map[string]*planEntry)}
+}
+
+// get returns the prepared plan for src, preparing it (once) when absent.
+func (c *planCache) get(src string) (*rewrite.Result, error) {
+	c.mu.Lock()
+	e := c.plans[src]
+	if e == nil {
+		if len(c.plans) >= c.max {
+			clear(c.plans)
+		}
+		e = &planEntry{}
+		c.plans[src] = e
+	}
+	c.mu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.done {
+		c.misses.Add(1)
+		e.prep, e.err = c.prepare(src)
+		e.done = true
+	} else {
+		c.hits.Add(1)
+	}
+	return e.prep, e.err
+}
+
+// stats reports (hits, misses); misses count actual prepares.
+func (c *planCache) stats() (int64, int64) {
+	return c.hits.Load(), c.misses.Load()
+}

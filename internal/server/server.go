@@ -1,0 +1,181 @@
+// Package server turns the single-session engine into a concurrent query
+// service: many sessions execute simultaneously over one shared, read-only
+// base Env. The paper's Monet executes each session's MIL sequentially over
+// a shared BAT kernel (Section 2); this layer is the reproduction's step
+// from "one fast query" to "a system under load":
+//
+//   - sessions share base BATs and their accelerators — construction is
+//     singleflight in the kernel (bat.accelSlot, Datavector.LookupOrBuild),
+//     so concurrent probes that need the same missing index coalesce onto
+//     one radix-partitioned build;
+//   - a prepared-plan cache parses/checks/translates each distinct MOA
+//     source once and executes it many times (preparation is pure);
+//   - admission control gates query start on a global memory budget fed by
+//     the engine's intermediate-result accounting, shedding load with a
+//     typed OverloadedError instead of running the process out of memory;
+//   - a bounded slot pool caps simultaneously executing queries, so a
+//     burst queues instead of oversubscribing the morsel workers.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/mil"
+)
+
+// Config tunes a Service.
+type Config struct {
+	// Workers is the per-query parallel iteration degree handed to each
+	// session (0 = sequential execution per query; concurrency then comes
+	// from running many sessions at once — the sensible default when
+	// sessions ≥ cores).
+	Workers int
+	// MorselRows is the morsel scheduling knob (see mil.Ctx.MorselRows).
+	MorselRows int
+	// MaxConcurrent caps simultaneously executing queries; excess callers
+	// queue. 0 picks GOMAXPROCS.
+	MaxConcurrent int
+	// MemBudgetBytes is the admission controller's global live-intermediate
+	// budget: a query is shed with an OverloadedError while the gauge is at
+	// or above it. 0 disables shedding.
+	MemBudgetBytes int64
+	// MaxPlans caps the prepared-plan cache (0 = 256 entries).
+	MaxPlans int
+}
+
+// Service is a concurrent query service over one shared database.
+type Service struct {
+	db    *engine.Database
+	cfg   Config
+	gauge *mil.MemGauge
+	plans *planCache
+	slots chan struct{}
+
+	queries  atomic.Int64 // completed successfully
+	errors   atomic.Int64 // failed (parse/check/translate/execute)
+	shed     atomic.Int64 // refused by admission control
+	inflight atomic.Int64
+}
+
+// New creates a service over db. The database's own Pager must not be set
+// when sessions run concurrently (the LRU pool is single-threaded); the
+// service runs its sessions without fault accounting — the paper's hot-set
+// regime.
+func New(db *engine.Database, cfg Config) *Service {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxPlans <= 0 {
+		cfg.MaxPlans = 256
+	}
+	s := &Service{
+		db:    db,
+		cfg:   cfg,
+		gauge: &mil.MemGauge{},
+		slots: make(chan struct{}, cfg.MaxConcurrent),
+	}
+	s.plans = newPlanCache(cfg.MaxPlans, db.Prepare)
+	return s
+}
+
+// OverloadedError is the admission controller's typed refusal: the service
+// is at its memory budget and sheds the query instead of risking OOM.
+// Clients should back off and retry.
+type OverloadedError struct {
+	Live   int64 // live intermediate bytes at refusal
+	Budget int64 // configured budget
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("server overloaded: %d live intermediate bytes >= %d budget", e.Live, e.Budget)
+}
+
+// IsOverloaded reports whether err is an admission-control refusal.
+func IsOverloaded(err error) bool {
+	var oe *OverloadedError
+	return errors.As(err, &oe)
+}
+
+// ExecError marks a failure past preparation: the source parsed, checked
+// and translated, so the fault lies in execution or materialization — a
+// server-side defect, not a caller error (the HTTP layer maps it to 500,
+// not 400).
+type ExecError struct{ Err error }
+
+func (e *ExecError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying execution error.
+func (e *ExecError) Unwrap() error { return e.Err }
+
+// Query admits, prepares (through the plan cache) and executes one MOA
+// query on a fresh session over the shared database.
+func (s *Service) Query(src string) (*engine.Result, error) {
+	// A bounded slot pool: a burst beyond MaxConcurrent queues here
+	// instead of oversubscribing the CPU with competing morsel workers.
+	s.slots <- struct{}{}
+	defer func() { <-s.slots }()
+
+	// Admission: gate query start on the global memory budget. The gauge
+	// is fed by every running query's Account/Release deltas, so shedding
+	// reacts to actual intermediate pressure, not a static session count.
+	if b := s.cfg.MemBudgetBytes; b > 0 {
+		if live := s.gauge.Live(); live >= b {
+			s.shed.Add(1)
+			return nil, &OverloadedError{Live: live, Budget: b}
+		}
+	}
+
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	prep, err := s.plans.get(src)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	sess := s.db.NewSession()
+	sess.Pager = nil // shared pager is not thread-safe; hot-set regime
+	sess.Workers = s.cfg.Workers
+	sess.MorselRows = s.cfg.MorselRows
+	sess.Gauge = s.gauge
+	res, err := sess.Execute(prep)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, &ExecError{Err: err}
+	}
+	s.queries.Add(1)
+	return res, nil
+}
+
+// Gauge exposes the service's live-intermediate gauge (metrics, tests,
+// external reservations).
+func (s *Service) Gauge() *mil.MemGauge { return s.gauge }
+
+// Metrics is a point-in-time snapshot of the service counters.
+type Metrics struct {
+	Queries    int64 // successfully completed queries
+	Errors     int64 // failed queries
+	Shed       int64 // admission-control refusals
+	Inflight   int64 // currently executing
+	PlanHits   int64 // plan-cache hits
+	PlanMisses int64 // plan-cache misses (actual prepares)
+	LiveBytes  int64 // current live intermediate bytes
+}
+
+// Snapshot reads the service counters.
+func (s *Service) Snapshot() Metrics {
+	hits, misses := s.plans.stats()
+	return Metrics{
+		Queries:    s.queries.Load(),
+		Errors:     s.errors.Load(),
+		Shed:       s.shed.Load(),
+		Inflight:   s.inflight.Load(),
+		PlanHits:   hits,
+		PlanMisses: misses,
+		LiveBytes:  s.gauge.Live(),
+	}
+}

@@ -1,0 +1,297 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bat"
+	"repro/internal/engine"
+	"repro/internal/moa"
+	"repro/internal/tpcd"
+)
+
+// testService loads a fresh small TPC-D database (private base env per
+// call, so accelerator warm-up in one test cannot leak into another) and
+// returns the Figure-9 query mix alongside.
+func testService(t *testing.T, cfg Config) (*Service, []string) {
+	t.Helper()
+	gen := tpcd.Generate(0.002, 7)
+	env, _ := tpcd.Load(gen)
+	db := engine.New(tpcd.Schema(), env)
+	var mix []string
+	for _, q := range tpcd.Queries(gen) {
+		mix = append(mix, q.MOA)
+	}
+	return New(db, cfg), mix
+}
+
+// TestConcurrentSessionsBitIdentical is the PR's central correctness
+// experiment: N sessions executing the mixed Figure-9 suite concurrently
+// over one shared base Env must each produce exactly the result a single
+// sequential session produces. Run under -race, this also sweeps the
+// shared-state paths (accelerator publication, sync groups, plan cache,
+// memory gauge) for data races.
+func TestConcurrentSessionsBitIdentical(t *testing.T) {
+	// Sequential reference: a private database instance.
+	gen := tpcd.Generate(0.002, 7)
+	envSeq, _ := tpcd.Load(gen)
+	dbSeq := engine.New(tpcd.Schema(), envSeq)
+	queries := tpcd.Queries(gen)
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		res, err := dbSeq.Query(q.MOA)
+		if err != nil {
+			t.Fatalf("sequential Q%d: %v", q.Num, err)
+		}
+		want[i] = moa.RenderVal(res.Set)
+	}
+
+	// Concurrent sessions share one service (and so one base env).
+	svc, mix := testService(t, Config{Workers: 2, MaxConcurrent: 8})
+	const sessions = 8
+	const rounds = 2
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Each session walks the mix at its own offset, so at any
+				// instant different queries are in flight.
+				for i := range mix {
+					qi := (i + s) % len(mix)
+					res, err := svc.Query(mix[qi])
+					if err != nil {
+						errs <- err
+						return
+					}
+					if got := moa.RenderVal(res.Set); got != want[qi] {
+						t.Errorf("session %d round %d Q%d diverged from sequential result", s, r, queries[qi].Num)
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if m := svc.Snapshot(); m.Queries != sessions*rounds*int64(len(mix)) {
+		t.Fatalf("completed %d queries, want %d", m.Queries, sessions*rounds*len(mix))
+	}
+}
+
+// TestSingleflightAcceleratorBuilds: after a warm-up pass, one sequential
+// pass over the mix performs a fixed number of accelerator builds D (all on
+// per-query intermediates — every shared base accelerator already exists
+// and is never rebuilt). N concurrent sessions running M passes each must
+// then perform exactly N*M*D builds: any duplicated or racing build of a
+// shared accelerator would push the count higher.
+func TestSingleflightAcceleratorBuilds(t *testing.T) {
+	svc, mix := testService(t, Config{Workers: 2, MaxConcurrent: 8})
+	pass := func() {
+		for _, q := range mix {
+			if _, err := svc.Query(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	pass() // warm-up: builds every shared base accelerator once
+
+	before := bat.AccelBuilds()
+	pass()
+	perPass := bat.AccelBuilds() - before
+	// A second measured pass must match: per-pass builds are deterministic
+	// once the shared accelerators exist.
+	before = bat.AccelBuilds()
+	pass()
+	if d := bat.AccelBuilds() - before; d != perPass {
+		t.Fatalf("sequential per-pass builds unstable: %d then %d", perPass, d)
+	}
+
+	const sessions, rounds = 6, 2
+	before = bat.AccelBuilds()
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				pass()
+			}
+		}()
+	}
+	wg.Wait()
+	got := bat.AccelBuilds() - before
+	want := int64(sessions*rounds) * perPass
+	if got != want {
+		t.Fatalf("concurrent phase ran %d accelerator builds, want %d (%d sessions × %d rounds × %d per pass): shared builds were duplicated or lost",
+			got, want, sessions, rounds, perPass)
+	}
+}
+
+// TestPlanCacheSingleflight: a cold-cache stampede of the same source
+// prepares once; distinct sources prepare independently.
+func TestPlanCacheSingleflight(t *testing.T) {
+	svc, mix := testService(t, Config{MaxConcurrent: 8})
+	const g = 8
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := svc.Query(mix[0]); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if _, misses := svc.plans.stats(); misses != 1 {
+		t.Fatalf("stampede prepared %d times, want 1", misses)
+	}
+	if _, err := svc.Query(mix[1]); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := svc.plans.stats(); misses != 2 || hits != g-1 {
+		t.Fatalf("hits=%d misses=%d, want hits=%d misses=2", hits, misses, g-1)
+	}
+	// Errors are cached outcomes too.
+	if _, err := svc.Query("select[=("); err == nil {
+		t.Fatal("bad source must fail")
+	}
+	if _, err := svc.Query("select[=("); err == nil {
+		t.Fatal("cached bad source must still fail")
+	}
+}
+
+// TestAdmissionControlSheds: with the gauge at the budget, query start is
+// refused with the typed overload error; under the budget it proceeds.
+func TestAdmissionControlSheds(t *testing.T) {
+	svc, mix := testService(t, Config{MemBudgetBytes: 1 << 20, MaxConcurrent: 2})
+	svc.Gauge().Add(1 << 20) // external reservation pins the gauge at budget
+	_, err := svc.Query(mix[0])
+	if !IsOverloaded(err) {
+		t.Fatalf("expected overload refusal, got %v", err)
+	}
+	var oe *OverloadedError
+	if !errorsAsOverloaded(err, &oe) || oe.Budget != 1<<20 || oe.Live < 1<<20 {
+		t.Fatalf("overload error carries wrong state: %+v", oe)
+	}
+	if m := svc.Snapshot(); m.Shed != 1 {
+		t.Fatalf("shed counter = %d, want 1", m.Shed)
+	}
+	svc.Gauge().Add(-(1 << 20))
+	if _, err := svc.Query(mix[0]); err != nil {
+		t.Fatalf("query under budget failed: %v", err)
+	}
+	// All intermediate memory returns to the gauge after the query.
+	if live := svc.Gauge().Live(); live != 0 {
+		t.Fatalf("gauge leaks %d live bytes after query end", live)
+	}
+}
+
+func errorsAsOverloaded(err error, target **OverloadedError) bool {
+	oe, ok := err.(*OverloadedError)
+	if ok {
+		*target = oe
+	}
+	return ok
+}
+
+// TestHTTPEndpoints drives the HTTP front end: query round-trip, metrics
+// exposition, and the 503 + Retry-After overload contract the load
+// generator's HTTP mode relies on.
+func TestHTTPEndpoints(t *testing.T) {
+	svc, mix := testService(t, Config{MemBudgetBytes: 1 << 20, MaxConcurrent: 4})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(mix[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	direct, err := svc.Query(mix[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.Count != len(direct.Set.Elems) || len(qr.Elems) != qr.Count {
+		t.Fatalf("HTTP result count %d (rendered %d), direct %d", qr.Count, len(qr.Elems), len(direct.Set.Elems))
+	}
+
+	// Bad source → 400 with an error body.
+	resp, err = http.Post(ts.URL+"/query", "text/plain", strings.NewReader("select[=("))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad source status %d, want 400", resp.StatusCode)
+	}
+
+	// Overload → 503 + Retry-After, and HTTPQueryFunc maps it back.
+	svc.Gauge().Add(1 << 20)
+	resp, err = http.Post(ts.URL+"/query", "text/plain", strings.NewReader(mix[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("overload status %d (Retry-After %q), want 503 with Retry-After", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	if err := HTTPQueryFunc(ts.URL, nil)(mix[0]); !IsOverloaded(err) {
+		t.Fatalf("HTTPQueryFunc did not map 503 to overload: %v", err)
+	}
+	svc.Gauge().Add(-(1 << 20))
+	if err := HTTPQueryFunc(ts.URL, nil)(mix[0]); err != nil {
+		t.Fatalf("HTTPQueryFunc under budget: %v", err)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{"moaserve_queries_total", "moaserve_shed_total", "moaserve_plan_cache_hits_total", "moaserve_live_intermediate_bytes"} {
+		if !strings.Contains(string(body), metric) {
+			t.Fatalf("metrics missing %s:\n%s", metric, body)
+		}
+	}
+}
+
+// TestRunLoadClosedLoop: the in-process load generator completes queries
+// without hard errors and reports sane latency percentiles.
+func TestRunLoadClosedLoop(t *testing.T) {
+	svc, mix := testService(t, Config{MaxConcurrent: 4})
+	rep := RunLoad(LoadConfig{Clients: 3, Duration: 300 * time.Millisecond, Queries: mix[:4]},
+		func(src string) error { _, err := svc.Query(src); return err })
+	if rep.Errors != 0 {
+		t.Fatalf("load run errored %d times", rep.Errors)
+	}
+	if rep.Queries == 0 || rep.QPS <= 0 {
+		t.Fatalf("no throughput: %v", rep)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 {
+		t.Fatalf("implausible percentiles: %v", rep)
+	}
+}

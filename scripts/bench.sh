@@ -20,7 +20,8 @@ for f in BENCH_*.json; do
 done
 out="BENCH_${n}.json"
 
-go test -json -run '^$' -bench . -benchmem -benchtime=3s . >"$out"
+BENCHTIME=${BENCHTIME:-3s}
+go test -json -run '^$' -bench . -benchmem -benchtime="$BENCHTIME" . >"$out"
 
 echo "wrote $out"
 # Human-readable echo: one benchstat-compatible line per result.

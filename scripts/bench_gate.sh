@@ -1,9 +1,10 @@
 #!/bin/sh
-# Advisory perf gate: run the kernel ablations briefly and compare ns/op
-# against the latest committed BENCH_<n>.json snapshot. Exits non-zero when
-# any ablation regressed more than GATE_PCT percent (default 25). Only
-# ablation benchmarks are gated — the Figure 9/10 suites measure a simulated
-# pager and are too host-sensitive for a threshold.
+# Advisory perf gate: run the kernel ablations (plus the server-throughput
+# sweep) briefly and compare ns/op against the latest committed
+# BENCH_<n>.json snapshot. Exits non-zero when any gated benchmark regressed
+# more than GATE_PCT percent (default 25). Only ablations and the server
+# throughput benchmark are gated — the Figure 9/10 suites measure a
+# simulated pager and are too host-sensitive for a threshold.
 #
 # The gate is advisory by design (the CI job sets continue-on-error):
 # committed snapshots may come from a different host class than the runner,
@@ -31,7 +32,7 @@ tmp_new=$(mktemp)
 trap 'rm -f "$tmp_json" "$tmp_old" "$tmp_new"' EXIT
 
 echo "bench-gate: running ablations (-benchtime=$BENCHTIME) against $base (threshold +$GATE_PCT%)"
-go test -json -run '^$' -bench 'BenchmarkAblation' -benchtime="$BENCHTIME" . >"$tmp_json"
+go test -json -run '^$' -bench 'BenchmarkAblation|BenchmarkServerThroughput' -benchtime="$BENCHTIME" . >"$tmp_json"
 
 ./scripts/bench_extract.sh "$base" >"$tmp_old"
 ./scripts/bench_extract.sh "$tmp_json" >"$tmp_new"
@@ -56,10 +57,10 @@ awk -F'\t' -v pct="$GATE_PCT" '
 		return name
 	}
 	NR == FNR {
-		if ($1 ~ /^BenchmarkAblation/) old[norm($1)] = nsop($0)
+		if ($1 ~ /^Benchmark(Ablation|ServerThroughput)/) old[norm($1)] = nsop($0)
 		next
 	}
-	$1 ~ /^BenchmarkAblation/ {
+	$1 ~ /^Benchmark(Ablation|ServerThroughput)/ {
 		name = norm($1)
 		v = nsop($0)
 		o = (name in old) ? old[name] : -1
