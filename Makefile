@@ -29,13 +29,13 @@ bench:
 ## bench-ablation: the kernel ablations and the server-throughput sweep
 ## (fast inner loop while tuning).
 bench-ablation:
-	$(GO) test -run '^$$' -bench 'BenchmarkAblation|BenchmarkServerThroughput' -benchmem -benchtime=3s .
+	$(GO) test -run '^$$' -bench 'BenchmarkAblation|BenchmarkServerThroughput|BenchmarkPagerConcurrent' -benchmem -benchtime=3s .
 
 ## bench-smoke: one iteration of every ablation and server-throughput
 ## variant — proves the bench harness itself still builds and runs (the CI
 ## bench job). No timing value.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkAblation|BenchmarkServerThroughput' -benchmem -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkAblation|BenchmarkServerThroughput|BenchmarkPagerConcurrent' -benchmem -benchtime=1x .
 
 ## bench-snapshot: machine-readable trajectory snapshot (test2json events
 ## carrying ns/op, B/op, allocs/op and the custom Figure 9/10 metrics).

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/server"
+	"repro/internal/storage"
 	"repro/internal/tpcd"
 )
 
@@ -45,6 +46,8 @@ func main() {
 	maxconc := flag.Int("maxconc", 0, "max concurrently executing queries (0 = GOMAXPROCS)")
 	membudget := flag.Int64("membudget-mb", 256, "admission control: live intermediate budget in MB (0 = unlimited)")
 	maxplans := flag.Int("maxplans", 0, "prepared-plan cache capacity (0 = default)")
+	pages := flag.Int("pages", 0, "shared buffer pool capacity in pages for fault accounting (0 = unbounded cold pool, <0 = disable the pager: hot-set regime)")
+	pagesize := flag.Int64("pagesize", 0, "buffer pool page size in bytes (0 = 4096, the paper's B)")
 
 	loadgen := flag.Bool("loadgen", false, "run the closed-loop load generator instead of serving")
 	url := flag.String("url", "", "loadgen: target base URL (empty = drive the service in process)")
@@ -59,16 +62,16 @@ func main() {
 	cfg := serviceConfig(*workers, *morsel, *maxconc, *membudget, *maxplans)
 
 	if *loadgen {
-		os.Exit(runLoadgen(gen, *url, *clients, *duration, queryMix(gen, *mix), cfg))
+		os.Exit(runLoadgen(gen, *url, *clients, *duration, queryMix(gen, *mix), cfg, *pages, *pagesize))
 	}
 
-	svc := newService(gen, cfg)
+	svc := newService(gen, cfg, *pages, *pagesize)
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "moaserve: serving sf=%g on %s (workers=%d maxconc=%d membudget=%dMB)\n",
-		*sf, *addr, *workers, *maxconc, *membudget)
+	fmt.Fprintf(os.Stderr, "moaserve: serving sf=%g on %s (workers=%d maxconc=%d membudget=%dMB pages=%d)\n",
+		*sf, *addr, *workers, *maxconc, *membudget, *pages)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -100,9 +103,16 @@ func serviceConfig(workers, morsel, maxconc int, membudgetMB int64, maxplans int
 	}
 }
 
-func newService(gen *tpcd.DB, cfg server.Config) *server.Service {
+// newService loads the database and attaches the shared lock-striped buffer
+// pool (unless pages < 0 disables fault accounting): all sessions touch one
+// pool, the stand-in for the OS page cache over Monet's memory-mapped BATs,
+// and each query reports its own faults through per-query attribution.
+func newService(gen *tpcd.DB, cfg server.Config, pages int, pagesize int64) *server.Service {
 	env, _ := tpcd.Load(gen)
 	db := engine.New(tpcd.Schema(), env)
+	if pages >= 0 {
+		db.Pager = storage.NewPager(pagesize, pages)
+	}
 	return server.New(db, cfg)
 }
 
@@ -138,12 +148,12 @@ func queryMix(gen *tpcd.DB, mix string) []string {
 	return out
 }
 
-func runLoadgen(gen *tpcd.DB, url string, clients int, duration time.Duration, queries []string, cfg server.Config) int {
+func runLoadgen(gen *tpcd.DB, url string, clients int, duration time.Duration, queries []string, cfg server.Config, pages int, pagesize int64) int {
 	var do func(string) error
 	if url != "" {
 		do = server.HTTPQueryFunc(url, &http.Client{Timeout: 30 * time.Second})
 	} else {
-		svc := newService(gen, cfg)
+		svc := newService(gen, cfg, pages, pagesize)
 		do = func(src string) error { _, err := svc.Query(src); return err }
 	}
 	rep := server.RunLoad(server.LoadConfig{Clients: clients, Duration: duration, Queries: queries}, do)

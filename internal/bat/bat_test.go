@@ -104,7 +104,7 @@ func TestVoidColumn(t *testing.T) {
 		}
 	}
 	// Void columns never fault.
-	p := storage.NewPager(4096, 0)
+	p := storage.NewPager(4096, 0).NewTracker()
 	v.TouchAll(p)
 	v.TouchAt(p, 3)
 	if p.Faults() != 0 {
@@ -417,7 +417,7 @@ func TestStrColTouchAccountsBothHeaps(t *testing.T) {
 	}
 	c := NewStrColFromStrings(strs)
 	c.Persist()
-	p := storage.NewPager(4096, 0)
+	p := storage.NewPager(4096, 0).NewTracker()
 	c.TouchAll(p)
 	// offsets: 3001*4 bytes -> 3 pages; chars: 3000*49 bytes -> 36 pages
 	wantOff := (int64(len(c.Off))*4 + 4095) / 4096

@@ -22,12 +22,12 @@ type Column interface {
 	// Heap identifies the column's BUN heap for fault accounting.
 	Heap() storage.HeapID
 	// TouchAt records a random access to entry i against the pager.
-	TouchAt(p *storage.Pager, i int)
+	TouchAt(p *storage.Tracker, i int)
 	// TouchRange records a sequential access to entries [i, i+n) against the
 	// pager, accounting one page span instead of n single touches.
-	TouchRange(p *storage.Pager, i, n int)
+	TouchRange(p *storage.Tracker, i, n int)
 	// TouchAll records a full sequential scan against the pager.
-	TouchAll(p *storage.Pager)
+	TouchAll(p *storage.Tracker)
 	// ByteSize reports the logical memory footprint in bytes.
 	ByteSize() int64
 	// OwnedBytes reports the bytes of backing storage this column owns:
@@ -67,13 +67,13 @@ func (c *VoidCol) Get(i int) Value { return O(c.Seq + OID(i)) }
 func (c *VoidCol) Heap() storage.HeapID { return 0 }
 
 // TouchAt implements Column; void columns never fault.
-func (c *VoidCol) TouchAt(p *storage.Pager, i int) {}
+func (c *VoidCol) TouchAt(p *storage.Tracker, i int) {}
 
 // TouchRange implements Column; void columns never fault.
-func (c *VoidCol) TouchRange(p *storage.Pager, i, n int) {}
+func (c *VoidCol) TouchRange(p *storage.Tracker, i, n int) {}
 
 // TouchAll implements Column; void columns never fault.
-func (c *VoidCol) TouchAll(p *storage.Pager) {}
+func (c *VoidCol) TouchAll(p *storage.Tracker) {}
 
 // ByteSize implements Column.
 func (c *VoidCol) ByteSize() int64 { return 0 }
@@ -105,15 +105,15 @@ func (c *OIDCol) Get(i int) Value { return O(c.V[i]) }
 func (c *OIDCol) Heap() storage.HeapID { return c.heap }
 
 // TouchAt implements Column.
-func (c *OIDCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(c.off+i)*4) }
+func (c *OIDCol) TouchAt(p *storage.Tracker, i int) { p.Touch(c.heap, int64(c.off+i)*4) }
 
 // TouchRange implements Column.
-func (c *OIDCol) TouchRange(p *storage.Pager, i, n int) {
+func (c *OIDCol) TouchRange(p *storage.Tracker, i, n int) {
 	p.TouchRange(c.heap, int64(c.off+i)*4, int64(n)*4)
 }
 
 // TouchAll implements Column.
-func (c *OIDCol) TouchAll(p *storage.Pager) { c.TouchRange(p, 0, len(c.V)) }
+func (c *OIDCol) TouchAll(p *storage.Tracker) { c.TouchRange(p, 0, len(c.V)) }
 
 // ByteSize implements Column.
 func (c *OIDCol) ByteSize() int64 { return int64(len(c.V)) * 4 }
@@ -142,15 +142,15 @@ func (c *IntCol) Get(i int) Value { return I(c.V[i]) }
 func (c *IntCol) Heap() storage.HeapID { return c.heap }
 
 // TouchAt implements Column; entries are 8 bytes wide, matching ByteSize.
-func (c *IntCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(c.off+i)*8) }
+func (c *IntCol) TouchAt(p *storage.Tracker, i int) { p.Touch(c.heap, int64(c.off+i)*8) }
 
 // TouchRange implements Column.
-func (c *IntCol) TouchRange(p *storage.Pager, i, n int) {
+func (c *IntCol) TouchRange(p *storage.Tracker, i, n int) {
 	p.TouchRange(c.heap, int64(c.off+i)*8, int64(n)*8)
 }
 
 // TouchAll implements Column.
-func (c *IntCol) TouchAll(p *storage.Pager) { c.TouchRange(p, 0, len(c.V)) }
+func (c *IntCol) TouchAll(p *storage.Tracker) { c.TouchRange(p, 0, len(c.V)) }
 
 // ByteSize implements Column.
 func (c *IntCol) ByteSize() int64 { return int64(len(c.V)) * 8 }
@@ -179,15 +179,15 @@ func (c *FltCol) Get(i int) Value { return F(c.V[i]) }
 func (c *FltCol) Heap() storage.HeapID { return c.heap }
 
 // TouchAt implements Column.
-func (c *FltCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(c.off+i)*8) }
+func (c *FltCol) TouchAt(p *storage.Tracker, i int) { p.Touch(c.heap, int64(c.off+i)*8) }
 
 // TouchRange implements Column.
-func (c *FltCol) TouchRange(p *storage.Pager, i, n int) {
+func (c *FltCol) TouchRange(p *storage.Tracker, i, n int) {
 	p.TouchRange(c.heap, int64(c.off+i)*8, int64(n)*8)
 }
 
 // TouchAll implements Column.
-func (c *FltCol) TouchAll(p *storage.Pager) { c.TouchRange(p, 0, len(c.V)) }
+func (c *FltCol) TouchAll(p *storage.Tracker) { c.TouchRange(p, 0, len(c.V)) }
 
 // ByteSize implements Column.
 func (c *FltCol) ByteSize() int64 { return int64(len(c.V)) * 8 }
@@ -216,15 +216,15 @@ func (c *ChrCol) Get(i int) Value { return C(c.V[i]) }
 func (c *ChrCol) Heap() storage.HeapID { return c.heap }
 
 // TouchAt implements Column.
-func (c *ChrCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(c.off+i)) }
+func (c *ChrCol) TouchAt(p *storage.Tracker, i int) { p.Touch(c.heap, int64(c.off+i)) }
 
 // TouchRange implements Column.
-func (c *ChrCol) TouchRange(p *storage.Pager, i, n int) {
+func (c *ChrCol) TouchRange(p *storage.Tracker, i, n int) {
 	p.TouchRange(c.heap, int64(c.off+i), int64(n))
 }
 
 // TouchAll implements Column.
-func (c *ChrCol) TouchAll(p *storage.Pager) { c.TouchRange(p, 0, len(c.V)) }
+func (c *ChrCol) TouchAll(p *storage.Tracker) { c.TouchRange(p, 0, len(c.V)) }
 
 // ByteSize implements Column.
 func (c *ChrCol) ByteSize() int64 { return int64(len(c.V)) }
@@ -253,15 +253,15 @@ func (c *BitCol) Get(i int) Value { return B(c.V[i]) }
 func (c *BitCol) Heap() storage.HeapID { return c.heap }
 
 // TouchAt implements Column.
-func (c *BitCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(c.off+i)) }
+func (c *BitCol) TouchAt(p *storage.Tracker, i int) { p.Touch(c.heap, int64(c.off+i)) }
 
 // TouchRange implements Column.
-func (c *BitCol) TouchRange(p *storage.Pager, i, n int) {
+func (c *BitCol) TouchRange(p *storage.Tracker, i, n int) {
 	p.TouchRange(c.heap, int64(c.off+i), int64(n))
 }
 
 // TouchAll implements Column.
-func (c *BitCol) TouchAll(p *storage.Pager) { c.TouchRange(p, 0, len(c.V)) }
+func (c *BitCol) TouchAll(p *storage.Tracker) { c.TouchRange(p, 0, len(c.V)) }
 
 // ByteSize implements Column.
 func (c *BitCol) ByteSize() int64 { return int64(len(c.V)) }
@@ -290,15 +290,15 @@ func (c *DateCol) Get(i int) Value { return D(c.V[i]) }
 func (c *DateCol) Heap() storage.HeapID { return c.heap }
 
 // TouchAt implements Column.
-func (c *DateCol) TouchAt(p *storage.Pager, i int) { p.Touch(c.heap, int64(c.off+i)*4) }
+func (c *DateCol) TouchAt(p *storage.Tracker, i int) { p.Touch(c.heap, int64(c.off+i)*4) }
 
 // TouchRange implements Column.
-func (c *DateCol) TouchRange(p *storage.Pager, i, n int) {
+func (c *DateCol) TouchRange(p *storage.Tracker, i, n int) {
 	p.TouchRange(c.heap, int64(c.off+i)*4, int64(n)*4)
 }
 
 // TouchAll implements Column.
-func (c *DateCol) TouchAll(p *storage.Pager) { c.TouchRange(p, 0, len(c.V)) }
+func (c *DateCol) TouchAll(p *storage.Tracker) { c.TouchRange(p, 0, len(c.V)) }
 
 // ByteSize implements Column.
 func (c *DateCol) ByteSize() int64 { return int64(len(c.V)) * 4 }
@@ -352,7 +352,7 @@ func (c *StrCol) Heap() storage.HeapID { return c.heap }
 
 // TouchAt implements Column; it touches both the offset entry and the
 // character bytes.
-func (c *StrCol) TouchAt(p *storage.Pager, i int) {
+func (c *StrCol) TouchAt(p *storage.Tracker, i int) {
 	p.Touch(c.heap, int64(c.off+i)*4)
 	lo, hi := int64(c.Off[i]), int64(c.Off[i+1])
 	if hi > lo {
@@ -362,7 +362,7 @@ func (c *StrCol) TouchAt(p *storage.Pager, i int) {
 
 // TouchRange implements Column; the character span is contiguous because
 // offsets ascend.
-func (c *StrCol) TouchRange(p *storage.Pager, i, n int) {
+func (c *StrCol) TouchRange(p *storage.Tracker, i, n int) {
 	p.TouchRange(c.heap, int64(c.off+i)*4, int64(n+1)*4)
 	lo, hi := int64(c.Off[i]), int64(c.Off[i+n])
 	if hi > lo {
@@ -372,7 +372,7 @@ func (c *StrCol) TouchRange(p *storage.Pager, i, n int) {
 
 // TouchAll implements Column; routing through TouchRange keeps a view's
 // accounting anchored at its heap offset and limited to its character span.
-func (c *StrCol) TouchAll(p *storage.Pager) { c.TouchRange(p, 0, c.Len()) }
+func (c *StrCol) TouchAll(p *storage.Tracker) { c.TouchRange(p, 0, c.Len()) }
 
 // ByteSize implements Column.
 func (c *StrCol) ByteSize() int64 { return int64(len(c.Off))*4 + int64(len(c.Chars)) }

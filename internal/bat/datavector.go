@@ -90,7 +90,7 @@ func (dv *Datavector) ByteSize() int64 {
 // Probe locates oid x in the extent, returning its position and whether it
 // exists. It is "probedlookup(EXTENT, X)" from the pseudo-code: O(1) for a
 // dense extent, binary search otherwise.
-func (dv *Datavector) Probe(p *storage.Pager, x OID) (int, bool) {
+func (dv *Datavector) Probe(p *storage.Tracker, x OID) (int, bool) {
 	if dv.Extent == nil {
 		i := int(x) - int(dv.Base)
 		if i < 0 || i >= dv.N {

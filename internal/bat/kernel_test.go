@@ -267,12 +267,12 @@ func TestIntColTouchStride(t *testing.T) {
 	const n = 4096 // 32 KB of int64s = 8 pages of 4 KB
 	c := NewIntCol(make([]int64, n))
 	c.Persist()
-	p := storage.NewPager(4096, 0)
+	p := storage.NewPager(4096, 0).NewTracker()
 	c.TouchAll(p)
 	if got := p.Faults(); got != 8 {
 		t.Fatalf("full scan faults = %d, want 8 (8-byte entries)", got)
 	}
-	p2 := storage.NewPager(4096, 0)
+	p2 := storage.NewPager(4096, 0).NewTracker()
 	c.TouchAt(p2, n-1) // last entry lives in the 8th page
 	if got := p2.Faults(); got != 1 {
 		t.Fatalf("TouchAt faults = %d, want 1", got)

@@ -266,7 +266,7 @@ func TestColumnTouchRangeSpan(t *testing.T) {
 	const n = 4096 // 32 KB of int64s = 8 pages of 4 KB
 	c := NewIntCol(make([]int64, n))
 	c.Persist()
-	p := storage.NewPager(4096, 0)
+	p := storage.NewPager(4096, 0).NewTracker()
 	c.TouchRange(p, 0, n)
 	if got := p.Faults(); got != 8 {
 		t.Fatalf("span faults = %d, want 8", got)
@@ -275,7 +275,7 @@ func TestColumnTouchRangeSpan(t *testing.T) {
 		t.Fatalf("span hits = %d, want 0 (each page touched once)", got)
 	}
 	// per-position touching of the same run costs one access per entry
-	p2 := storage.NewPager(4096, 0)
+	p2 := storage.NewPager(4096, 0).NewTracker()
 	for i := 0; i < n; i++ {
 		c.TouchAt(p2, i)
 	}
@@ -284,7 +284,7 @@ func TestColumnTouchRangeSpan(t *testing.T) {
 	}
 	// a view's touches stay anchored at the original heap offsets
 	v := SliceView(c, 2048, 1024)
-	p3 := storage.NewPager(4096, 0)
+	p3 := storage.NewPager(4096, 0).NewTracker()
 	v.TouchRange(p3, 0, 1024)
 	if got := p3.Faults(); got != 2 {
 		t.Fatalf("view span faults = %d, want 2 (entries 2048-3071 = pages 4-5)", got)

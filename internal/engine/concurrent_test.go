@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/tpcd"
+)
+
+// parityQueries is one query per session for the concurrent fault-parity
+// suite. Each query touches a disjoint set of heaps (its own class's
+// attribute BATs — the two Item queries read different attributes, and
+// attribute BATs never share pages), so per-query fault counts are
+// deterministic even when the sessions interleave arbitrarily over one
+// shared pool: a page's hit/fault outcome depends only on the touches of
+// the session that owns it.
+var parityQueries = []string{
+	`select[=(name, "EUROPE")](Region)`,
+	`select[=(name, "FRANCE")](Nation)`,
+	`select[=(size, 15)](Part)`,
+	`select[>(acctbal, 0.0)](Supplier)`,
+	`select[=(mktsegment, "BUILDING")](Customer)`,
+	`select[=(orderpriority, "1-URGENT")](Order)`,
+	`select[<=(shipdate, date("1998-09-02"))](Item)`,
+	`select[>(quantity, 40)](Item)`,
+}
+
+// TestConcurrentFaultParity is the PR's acceptance experiment: 8 sessions
+// over one shared cold capacity-0 pager, run under -race, must each report
+// per-query fault counts bit-identical to a single-session sequential
+// reference. This is exactly the observable PR 4 lost when the server
+// nulled the pager: with per-query attribution (each mil.Ctx counts its own
+// touches) the Figure 9/10 fault measure survives the serving regime.
+func TestConcurrentFaultParity(t *testing.T) {
+	gen := tpcd.Generate(0.002, 7)
+	const rounds = 3 // round 1 cold, later rounds warm (pure hits)
+
+	// Sequential reference: each session's query stream alone against a
+	// fresh env and a fresh cold unbounded pool.
+	want := make([][]uint64, len(parityQueries))
+	for i, q := range parityQueries {
+		env, _ := tpcd.Load(gen)
+		db := New(tpcd.Schema(), env)
+		db.Pager = storage.NewPager(4096, 0)
+		sess := db.NewSession()
+		want[i] = make([]uint64, rounds)
+		for r := 0; r < rounds; r++ {
+			res, err := sess.Query(q)
+			if err != nil {
+				t.Fatalf("reference session %d round %d: %v", i, r, err)
+			}
+			want[i][r] = res.Stats.Faults
+		}
+		if want[i][0] == 0 {
+			t.Fatalf("reference session %d faulted 0 pages cold — query touches nothing", i)
+		}
+		if want[i][rounds-1] != 0 {
+			t.Fatalf("reference session %d still faults %d warm", i, want[i][rounds-1])
+		}
+	}
+
+	// Concurrent run: all sessions share one env and ONE cold pool.
+	env, _ := tpcd.Load(gen)
+	db := New(tpcd.Schema(), env)
+	db.Pager = storage.NewPager(4096, 0)
+
+	got := make([][]uint64, len(parityQueries))
+	hits := make([]uint64, len(parityQueries))
+	var wg sync.WaitGroup
+	errs := make(chan error, len(parityQueries))
+	for i, q := range parityQueries {
+		got[i] = make([]uint64, rounds)
+		wg.Add(1)
+		go func(i int, q string) {
+			defer wg.Done()
+			sess := db.NewSession()
+			for r := 0; r < rounds; r++ {
+				res, err := sess.Query(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got[i][r] = res.Stats.Faults
+				hits[i] += res.Stats.Hits
+			}
+		}(i, q)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	var sum uint64
+	for i := range parityQueries {
+		for r := 0; r < rounds; r++ {
+			if got[i][r] != want[i][r] {
+				t.Errorf("session %d round %d: faults %d, sequential reference %d",
+					i, r, got[i][r], want[i][r])
+			}
+			sum += got[i][r]
+		}
+	}
+	// Attribution conservation: every pool fault and hit belongs to
+	// exactly one query — nothing double-counted, nothing dropped.
+	if pool := db.Pager.Faults(); pool != sum {
+		t.Errorf("pool faults %d != sum of per-query faults %d", pool, sum)
+	}
+	var sumHits uint64
+	for _, h := range hits {
+		sumHits += h
+	}
+	if pool := db.Pager.Hits(); pool != sumHits {
+		t.Errorf("pool hits %d != sum of per-query hits %d", pool, sumHits)
+	}
+}
+
+// TestSharedPagerMixedWorkloadConservation runs the full Figure-9 mix from
+// concurrent sessions over one shared bounded pool (run under -race). With
+// overlapping heaps and evictions, per-query counts are load-dependent —
+// but attribution must still conserve: pool aggregates equal the sums of
+// the per-query stats, and every query reports through its own tracker.
+func TestSharedPagerMixedWorkloadConservation(t *testing.T) {
+	gen := tpcd.Generate(0.002, 7)
+	env, _ := tpcd.Load(gen)
+	db := New(tpcd.Schema(), env)
+	db.Pager = storage.NewPager(4096, 256) // bounded: evictions under load
+	queries := tpcd.Queries(gen)
+
+	const sessions = 4
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var sumFaults uint64
+	errs := make(chan error, sessions)
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sess := db.NewSession()
+			var local uint64
+			for i := range queries {
+				res, err := sess.Query(queries[(i+s)%len(queries)].MOA)
+				if err != nil {
+					errs <- err
+					return
+				}
+				local += res.Stats.Faults
+			}
+			mu.Lock()
+			sumFaults += local
+			mu.Unlock()
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if pool := db.Pager.Faults(); pool != sumFaults {
+		t.Fatalf("pool faults %d != sum of per-query faults %d", pool, sumFaults)
+	}
+	if res := db.Pager.Resident(); res > 256 {
+		t.Fatalf("resident %d exceeds pool capacity 256", res)
+	}
+}

@@ -31,11 +31,11 @@ func AutoWorkers() int { return runtime.GOMAXPROCS(0) }
 // (see NewSession): queries never write the base env — each session
 // executes in a private scratch level layered over it — and the lazily
 // built accelerators (head hashes, datavector LOOKUP memos) publish
-// atomically with singleflight construction. The Pager is NOT safe to
-// share: its LRU pool is single-threaded, and NewSession inherits it so
-// that the sequential Figure 9/10 flows keep their fault accounting.
-// Callers running sessions concurrently must give each session its own
-// Pager or none (internal/server clears it; the hot-set regime).
+// atomically with singleflight construction. The Pager is shared too: its
+// pool is lock-striped, and every query attributes its own faults through
+// a private storage.Tracker, so concurrent sessions keep the per-query
+// Figure 9/10 fault observable (Stats.Faults) without interleaving into
+// each other's counts.
 type Database struct {
 	Schema *moa.Schema
 	Env    mil.Env
@@ -61,8 +61,9 @@ func New(schema *moa.Schema, env mil.Env) *Database {
 type Stats struct {
 	Elapsed     time.Duration
 	Faults      uint64
-	IntermBytes int64 // total size of all intermediate results
-	PeakBytes   int64 // maximum memory consumption during execution
+	Hits        uint64 // page hits attributed to this query (buffer efficacy)
+	IntermBytes int64  // total size of all intermediate results
+	PeakBytes   int64  // maximum memory consumption during execution
 }
 
 // Result is a fully executed query.
@@ -108,10 +109,11 @@ func (db *Database) Query(src string) (*Result, error) {
 // per-session execution model); open more sessions for more concurrency.
 type Session struct {
 	db *Database
-	// Pager, when non-nil, accounts this session's page faults. It must
-	// not be shared with a concurrently executing session (the LRU pool
-	// is not thread-safe); the default inherited from the Database is
-	// meant for single-session use.
+	// Pager, when non-nil, is the shared buffer pool this session's
+	// queries touch. Sharing one Pager across concurrently executing
+	// sessions is safe (the pool is lock-striped) and is the serving
+	// default: each query's Stats.Faults comes from a per-query tracker,
+	// not from the pool's aggregate counters.
 	Pager *storage.Pager
 	// Workers and MorselRows mirror the Database knobs per session.
 	Workers    int
@@ -144,10 +146,6 @@ func (s *Session) Execute(prep *rewrite.Result) (*Result, error) {
 	// Whatever stays live at the end (kept results) becomes garbage once
 	// the result set is materialized; return it to the shared gauge.
 	defer ctx.DrainGauge()
-	var faults0 uint64
-	if s.Pager != nil {
-		faults0 = s.Pager.Faults()
-	}
 	start := time.Now()
 
 	// Execute in a scratch level layered over the shared base env: base
@@ -165,10 +163,10 @@ func (s *Session) Execute(prep *rewrite.Result) (*Result, error) {
 	}
 	elapsed := time.Since(start)
 
-	var faults uint64
-	if s.Pager != nil {
-		faults = s.Pager.Faults() - faults0
-	}
+	// Per-query attribution: the ctx's private tracker counted exactly the
+	// touches this query made against the (possibly shared) pool. The old
+	// before/after delta on the pool's aggregate counter would interleave
+	// concurrent sessions' faults into each other's stats.
 	return &Result{
 		Set:    set,
 		Plan:   prep.Prog,
@@ -177,7 +175,8 @@ func (s *Session) Execute(prep *rewrite.Result) (*Result, error) {
 		Traces: traces,
 		Stats: Stats{
 			Elapsed:     elapsed,
-			Faults:      faults,
+			Faults:      ctx.PageFaults(),
+			Hits:        ctx.PageHits(),
 			IntermBytes: ctx.IntermBytes,
 			PeakBytes:   ctx.PeakBytes,
 		},

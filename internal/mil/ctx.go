@@ -50,6 +50,11 @@ func (g *MemGauge) Add(delta int64) {
 //
 // A nil *Ctx is valid and disables all accounting.
 type Ctx struct {
+	// Pager, when non-nil, is the shared paged-storage pool this query
+	// touches. The pool may be shared with any number of concurrent
+	// queries (it is lock-striped); this query's own fault/hit counts are
+	// attributed through a private storage.Tracker created on first touch
+	// (see PageFaults).
 	Pager *storage.Pager
 
 	// Workers enables shared-memory parallel iteration (Section 2) for the
@@ -82,6 +87,12 @@ type Ctx struct {
 	// lastAlgo names the variant the dynamic optimizer chose for the most
 	// recent operation (e.g. "merge-join", "datavector-semijoin").
 	lastAlgo string
+
+	// tracker attributes this query's touches of the shared Pager pool;
+	// created lazily by pager() on the interpreter goroutine (operators
+	// account their page touches before fanning work out to parallel
+	// workers, so the lazy init is single-threaded).
+	tracker *storage.Tracker
 }
 
 // LastAlgo reports the algorithm variant chosen by the most recent
@@ -99,11 +110,33 @@ func (c *Ctx) chose(algo string) {
 	}
 }
 
-func (c *Ctx) pager() *storage.Pager {
-	if c == nil {
+func (c *Ctx) pager() *storage.Tracker {
+	if c == nil || c.Pager == nil {
 		return nil
 	}
-	return c.Pager
+	if c.tracker == nil {
+		c.tracker = c.Pager.NewTracker()
+	}
+	return c.tracker
+}
+
+// PageFaults reports the page faults attributed to this query: touches of
+// the shared pool that found the page non-resident. Unlike differencing the
+// pool's aggregate counter around execution, this never includes a
+// concurrent query's faults.
+func (c *Ctx) PageFaults() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.tracker.Faults()
+}
+
+// PageHits reports the page hits attributed to this query.
+func (c *Ctx) PageHits() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.tracker.Hits()
 }
 
 // Account records the creation of an intermediate BAT, charging the bytes
@@ -155,7 +188,8 @@ func (c *Ctx) DrainGauge() {
 	c.LiveBytes = 0
 }
 
-// ResetStats zeroes the memory accounting for a fresh query.
+// ResetStats zeroes the memory and fault accounting for a fresh query. The
+// shared Pager pool (state and aggregate counters) is unaffected.
 func (c *Ctx) ResetStats() {
 	if c == nil {
 		return
@@ -164,4 +198,5 @@ func (c *Ctx) ResetStats() {
 	c.LiveBytes = 0
 	c.PeakBytes = 0
 	c.lastAlgo = ""
+	c.tracker = c.Pager.NewTracker()
 }

@@ -128,6 +128,10 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "moaserve_inflight %d\n", m.Inflight)
 	fmt.Fprintf(w, "moaserve_plan_cache_hits_total %d\n", m.PlanHits)
 	fmt.Fprintf(w, "moaserve_plan_cache_misses_total %d\n", m.PlanMisses)
+	fmt.Fprintf(w, "moaserve_plan_cache_evictions_total %d\n", m.PlanEvictions)
 	fmt.Fprintf(w, "moaserve_live_intermediate_bytes %d\n", m.LiveBytes)
 	fmt.Fprintf(w, "moaserve_accel_builds_total %d\n", bat.AccelBuilds())
+	fmt.Fprintf(w, "moaserve_pager_faults_total %d\n", m.PagerFaults)
+	fmt.Fprintf(w, "moaserve_pager_hits_total %d\n", m.PagerHits)
+	fmt.Fprintf(w, "moaserve_pager_resident_pages %d\n", m.PagerResident)
 }

@@ -14,25 +14,38 @@ import (
 // sessions issuing the same query pays for one prepare.
 //
 // Outcomes are cached including errors (a source that fails to parse fails
-// deterministically). Past max entries the whole cache is dropped — the
-// expected working set is a small fixed query mix, so the crude eviction
-// only matters under adversarial source churn, where dropping memos is the
-// cheap, correct response.
+// deterministically). Eviction is LRU over an intrusive recency list: at
+// capacity the least recently requested source is dropped, so a hot fixed
+// query mix stays resident under adversarial source churn (the old
+// full-flush dropped every hot plan — and the singleflight entries of
+// queries still being prepared — whenever one stranger arrived). Entries
+// with requesters currently inside get are skipped by the eviction scan:
+// evicting an in-flight entry would detach its publication point and make
+// the next requester re-prepare, duplicating work.
 type planCache struct {
 	prepare func(string) (*rewrite.Result, error)
 	max     int
 
 	mu    sync.Mutex
 	plans map[string]*planEntry
+	head  *planEntry // most recently requested
+	tail  *planEntry // least recently requested
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 // planEntry is one singleflight publication point: the entry lock is held
 // for the prepare, so concurrent requesters of the same source wait for the
-// one in flight instead of duplicating it.
+// one in flight instead of duplicating it. src and the list links are
+// guarded by the cache mutex; inflight counts requesters between lookup and
+// outcome pickup, and pins the entry against eviction.
 type planEntry struct {
+	src        string
+	prev, next *planEntry
+	inflight   int
+
 	mu   sync.Mutex
 	done bool
 	prep *rewrite.Result
@@ -49,13 +62,25 @@ func (c *planCache) get(src string) (*rewrite.Result, error) {
 	e := c.plans[src]
 	if e == nil {
 		if len(c.plans) >= c.max {
-			clear(c.plans)
+			c.evictLocked()
 		}
-		e = &planEntry{}
+		e = &planEntry{src: src}
 		c.plans[src] = e
+		c.pushFrontLocked(e)
+	} else {
+		c.moveToFrontLocked(e)
 	}
+	e.inflight++
 	c.mu.Unlock()
 
+	// The deferred unpin and unlock also run if prepare panics (the HTTP
+	// layer recovers per-request): the entry stays evictable and later
+	// requesters retry the prepare instead of deadlocking on e.mu.
+	defer func() {
+		c.mu.Lock()
+		e.inflight--
+		c.mu.Unlock()
+	}()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.done {
@@ -68,7 +93,66 @@ func (c *planCache) get(src string) (*rewrite.Result, error) {
 	return e.prep, e.err
 }
 
-// stats reports (hits, misses); misses count actual prepares.
-func (c *planCache) stats() (int64, int64) {
-	return c.hits.Load(), c.misses.Load()
+// evictLocked drops least recently requested entries that no requester is
+// currently using until the cache is under capacity; callers hold c.mu.
+// When every entry is in flight (more concurrent distinct sources than
+// capacity) nothing is evicted and the cache overflows temporarily —
+// correctness over the cap; the overflow drains on later insertions.
+func (c *planCache) evictLocked() {
+	for len(c.plans) >= c.max {
+		var victim *planEntry
+		for e := c.tail; e != nil; e = e.prev {
+			if e.inflight == 0 {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			return
+		}
+		c.unlinkLocked(victim)
+		delete(c.plans, victim.src)
+		c.evictions.Add(1)
+	}
+}
+
+func (c *planCache) pushFrontLocked(e *planEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *planCache) unlinkLocked(e *planEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if c.head == e {
+		c.head = e.next
+	}
+	if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *planCache) moveToFrontLocked(e *planEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlinkLocked(e)
+	c.pushFrontLocked(e)
+}
+
+// stats reports (hits, misses, evictions); misses count actual prepares.
+func (c *planCache) stats() (int64, int64, int64) {
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
 }

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/rewrite"
+)
+
+// countingPrepare returns a prepare func that records every actual prepare
+// (the thing the cache exists to avoid) and a way to read the counts.
+func countingPrepare() (func(string) (*rewrite.Result, error), func(string) int) {
+	var mu sync.Mutex
+	prepared := map[string]int{}
+	prep := func(src string) (*rewrite.Result, error) {
+		mu.Lock()
+		prepared[src]++
+		mu.Unlock()
+		return &rewrite.Result{}, nil
+	}
+	count := func(src string) int {
+		mu.Lock()
+		defer mu.Unlock()
+		return prepared[src]
+	}
+	return prep, count
+}
+
+// TestPlanCacheLRUEviction: at capacity the least recently requested plan
+// is evicted — not the whole cache. A hot plan survives arbitrary source
+// churn (the old full-flush dropped it on every stranger past capacity).
+func TestPlanCacheLRUEviction(t *testing.T) {
+	prep, count := countingPrepare()
+	c := newPlanCache(2, prep)
+
+	mustGet := func(src string) {
+		if _, err := c.get(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGet("hot")
+	mustGet("b")
+	mustGet("hot") // hot is MRU, b is LRU
+	for i := 0; i < 8; i++ {
+		mustGet(fmt.Sprintf("stranger-%d", i)) // each evicts the LRU
+		mustGet("hot")                         // hot stays resident
+	}
+	if got := count("hot"); got != 1 {
+		t.Fatalf("hot plan prepared %d times, want 1 (evicted by churn)", got)
+	}
+	mustGet("b") // b was evicted by the first stranger
+	if got := count("b"); got != 2 {
+		t.Fatalf("cold plan prepared %d times, want 2", got)
+	}
+	if _, _, evictions := c.stats(); evictions != 9 {
+		t.Fatalf("evictions = %d, want 9 (8 strangers + b)", evictions)
+	}
+	if len(c.plans) > 2 {
+		t.Fatalf("cache holds %d entries past capacity 2", len(c.plans))
+	}
+}
+
+// TestPlanCacheEvictionSkipsInflight: an entry whose prepare is still in
+// flight is pinned — evicting it would detach the singleflight publication
+// point and force the next requester to duplicate the prepare.
+func TestPlanCacheEvictionSkipsInflight(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var mu sync.Mutex
+	prepared := map[string]int{}
+	c := newPlanCache(1, func(src string) (*rewrite.Result, error) {
+		mu.Lock()
+		prepared[src]++
+		mu.Unlock()
+		if src == "slow" {
+			close(started)
+			<-block
+		}
+		return &rewrite.Result{}, nil
+	})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := c.get("slow"); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-started
+
+	// At capacity 1 with "slow" in flight: the newcomer must not evict it.
+	if _, err := c.get("other"); err != nil {
+		t.Fatal(err)
+	}
+	close(block)
+	<-done
+
+	// "slow" survived and is still a cache hit.
+	if _, err := c.get("slow"); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if prepared["slow"] != 1 {
+		t.Fatalf(`in-flight entry was evicted: "slow" prepared %d times, want 1`, prepared["slow"])
+	}
+}
+
+// TestPlanCacheConcurrentChurn stresses the LRU list under -race: many
+// goroutines over a source population larger than the cache.
+func TestPlanCacheConcurrentChurn(t *testing.T) {
+	prep, _ := countingPrepare()
+	c := newPlanCache(4, prep)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				src := fmt.Sprintf("q-%d", (i*7+g)%16)
+				if _, err := c.get(src); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(c.plans) > 4 {
+		t.Fatalf("cache holds %d entries past capacity 4 after churn settled", len(c.plans))
+	}
+	hits, misses, evictions := c.stats()
+	if hits+misses != 8*200 {
+		t.Fatalf("hits+misses = %d, want %d", hits+misses, 8*200)
+	}
+	if evictions == 0 {
+		t.Fatal("churn past capacity must evict")
+	}
+}

@@ -61,10 +61,12 @@ type Service struct {
 	inflight atomic.Int64
 }
 
-// New creates a service over db. The database's own Pager must not be set
-// when sessions run concurrently (the LRU pool is single-threaded); the
-// service runs its sessions without fault accounting — the paper's hot-set
-// regime.
+// New creates a service over db. When the database has a Pager, sessions
+// run with fault accounting on: the pool is lock-striped and shared by all
+// concurrent sessions (the role the OS page cache plays for Monet's
+// memory-mapped BATs), and each query's Stats.Faults is attributed through
+// its own per-query tracker. A database without a Pager serves in the
+// paper's hot-set regime, without the Figure 9/10 fault observable.
 func New(db *engine.Database, cfg Config) *Service {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
@@ -137,8 +139,7 @@ func (s *Service) Query(src string) (*engine.Result, error) {
 		s.errors.Add(1)
 		return nil, err
 	}
-	sess := s.db.NewSession()
-	sess.Pager = nil // shared pager is not thread-safe; hot-set regime
+	sess := s.db.NewSession() // inherits the shared lock-striped Pager
 	sess.Workers = s.cfg.Workers
 	sess.MorselRows = s.cfg.MorselRows
 	sess.Gauge = s.gauge
@@ -157,25 +158,37 @@ func (s *Service) Gauge() *mil.MemGauge { return s.gauge }
 
 // Metrics is a point-in-time snapshot of the service counters.
 type Metrics struct {
-	Queries    int64 // successfully completed queries
-	Errors     int64 // failed queries
-	Shed       int64 // admission-control refusals
-	Inflight   int64 // currently executing
-	PlanHits   int64 // plan-cache hits
-	PlanMisses int64 // plan-cache misses (actual prepares)
-	LiveBytes  int64 // current live intermediate bytes
+	Queries       int64  // successfully completed queries
+	Errors        int64  // failed queries
+	Shed          int64  // admission-control refusals
+	Inflight      int64  // currently executing
+	PlanHits      int64  // plan-cache hits
+	PlanMisses    int64  // plan-cache misses (actual prepares)
+	PlanEvictions int64  // plan-cache LRU evictions
+	LiveBytes     int64  // current live intermediate bytes
+	PagerFaults   uint64 // page faults across all sessions (0 without a pager)
+	PagerHits     uint64 // page hits across all sessions
+	PagerResident int64  // pages resident in the shared pool
 }
 
-// Snapshot reads the service counters.
+// Snapshot reads the service counters. The pager counters aggregate over
+// every session sharing the pool (scraping them mid-query is race-free:
+// they are atomics); per-query attribution lives in each result's
+// Stats.Faults.
 func (s *Service) Snapshot() Metrics {
-	hits, misses := s.plans.stats()
+	hits, misses, evictions := s.plans.stats()
+	p := s.db.Pager
 	return Metrics{
-		Queries:    s.queries.Load(),
-		Errors:     s.errors.Load(),
-		Shed:       s.shed.Load(),
-		Inflight:   s.inflight.Load(),
-		PlanHits:   hits,
-		PlanMisses: misses,
-		LiveBytes:  s.gauge.Live(),
+		Queries:       s.queries.Load(),
+		Errors:        s.errors.Load(),
+		Shed:          s.shed.Load(),
+		Inflight:      s.inflight.Load(),
+		PlanHits:      hits,
+		PlanMisses:    misses,
+		PlanEvictions: evictions,
+		LiveBytes:     s.gauge.Live(),
+		PagerFaults:   p.Faults(),
+		PagerHits:     p.Hits(),
+		PagerResident: int64(p.Resident()),
 	}
 }

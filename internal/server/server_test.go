@@ -13,6 +13,7 @@ import (
 	"repro/internal/bat"
 	"repro/internal/engine"
 	"repro/internal/moa"
+	"repro/internal/storage"
 	"repro/internal/tpcd"
 )
 
@@ -155,13 +156,13 @@ func TestPlanCacheSingleflight(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if _, misses := svc.plans.stats(); misses != 1 {
+	if _, misses, _ := svc.plans.stats(); misses != 1 {
 		t.Fatalf("stampede prepared %d times, want 1", misses)
 	}
 	if _, err := svc.Query(mix[1]); err != nil {
 		t.Fatal(err)
 	}
-	if hits, misses := svc.plans.stats(); misses != 2 || hits != g-1 {
+	if hits, misses, _ := svc.plans.stats(); misses != 2 || hits != g-1 {
 		t.Fatalf("hits=%d misses=%d, want hits=%d misses=2", hits, misses, g-1)
 	}
 	// Errors are cached outcomes too.
@@ -276,6 +277,87 @@ func TestHTTPEndpoints(t *testing.T) {
 		if !strings.Contains(string(body), metric) {
 			t.Fatalf("metrics missing %s:\n%s", metric, body)
 		}
+	}
+}
+
+// TestServiceKeepsPagerFaultAccounting: when the database has a (shared,
+// lock-striped) pager, the service no longer strips it from sessions — the
+// Figure 9/10 fault observable exists in the serving regime. Cold queries
+// report faults in Stats (and over HTTP), the pool aggregates are exposed
+// on /metrics, and per-query attribution conserves into the pool totals.
+func TestServiceKeepsPagerFaultAccounting(t *testing.T) {
+	gen := tpcd.Generate(0.002, 7)
+	env, _ := tpcd.Load(gen)
+	db := engine.New(tpcd.Schema(), env)
+	db.Pager = storage.NewPager(4096, 0)
+	svc := New(db, Config{MaxConcurrent: 4})
+	queries := tpcd.Queries(gen)
+
+	res, err := svc.Query(queries[0].MOA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Faults == 0 {
+		t.Fatal("cold query reported 0 faults: the service stripped the pager")
+	}
+	var total uint64 = res.Stats.Faults
+	const sessions = 4
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			var local uint64
+			for i := 0; i < 4; i++ {
+				r, err := svc.Query(queries[(i+s)%len(queries)].MOA)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				local += r.Stats.Faults
+			}
+			mu.Lock()
+			total += local
+			mu.Unlock()
+		}(s)
+	}
+	wg.Wait()
+
+	m := svc.Snapshot()
+	if m.PagerFaults != total {
+		t.Fatalf("pool faults %d != sum of per-query faults %d", m.PagerFaults, total)
+	}
+	if m.PagerResident == 0 {
+		t.Fatal("no pages resident after queries")
+	}
+
+	// The HTTP surface carries both views: per-query faults in the query
+	// response, pool aggregates in /metrics.
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/query?noresult=1", "text/plain", strings.NewReader(queries[1].MOA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, metric := range []string{"moaserve_pager_faults_total", "moaserve_pager_hits_total", "moaserve_pager_resident_pages"} {
+		if !strings.Contains(string(body), metric) {
+			t.Fatalf("metrics missing %s:\n%s", metric, body)
+		}
+	}
+	if strings.Contains(string(body), "moaserve_pager_faults_total 0\n") {
+		t.Fatalf("pager faults still zero after cold queries:\n%s", body)
 	}
 }
 

@@ -9,12 +9,24 @@
 // size pages and counts the faults that a cold or capacity-limited buffer
 // would incur.
 //
-// A nil *Pager is valid everywhere and disables accounting, which is the
-// "database hot-set fits in main memory" regime the paper assumes for its
-// main-memory algorithms.
+// The pool is lock-striped so that concurrent sessions of the query service
+// can share one Pager — the OS page cache they stand in for is likewise one
+// shared structure. Pages hash to stripes, each stripe guards its own table,
+// LRU list and fault/hit counters with its own mutex (so reading the
+// aggregates mid-query is race-free without a pool-global counter cache
+// line every touch would contend on). Per-query attribution — "how many faults did THIS query take",
+// the Figure 9/10 observable — is handled by Tracker, a per-query view that
+// forwards every touch to the shared pool and records the outcome locally.
+//
+// A nil *Pager (or *Tracker) is valid everywhere and disables accounting,
+// which is the "database hot-set fits in main memory" regime the paper
+// assumes for its main-memory algorithms.
 package storage
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // DefaultPageSize is the page size used throughout the paper's cost model
 // (B = 4096 in Section 5.2.2).
@@ -44,19 +56,59 @@ type pageNode struct {
 	prev, next *pageNode
 }
 
+// Stripe sizing. A bounded pool splits its capacity across stripes, turning
+// the global LRU into per-stripe LRUs (the standard sharded approximation);
+// to keep each stripe's LRU meaningful — and to keep small bounded pools
+// bit-identical to the pre-striping global LRU — the stripe count shrinks
+// until every stripe holds at least minStripePages pages. An unbounded pool
+// never evicts, so striping cannot change its fault counts and it always
+// uses maxStripes.
+const (
+	maxStripes     = 64 // power of two: stripe index is a hash mask
+	minStripePages = 32
+)
+
+// stripe is one lock-striped partition of the pool: a private page table,
+// LRU list and fault/hit counters under a private mutex — counting under
+// the already-held stripe lock avoids a pool-global counter cache line
+// that every touch would otherwise contend on. The trailing pad keeps
+// adjacent stripes off one cache line.
+type stripe struct {
+	mu       sync.Mutex
+	table    map[pageKey]*pageNode
+	head     *pageNode // most recently used
+	tail     *pageNode // least recently used
+	capacity int       // max resident pages in this stripe; <= 0 unbounded
+	faults   uint64
+	hits     uint64
+
+	_ [64]byte
+}
+
 // Pager is an LRU buffer pool of fixed-size pages with fault accounting.
-// It is not safe for concurrent use; the MIL interpreter is single-threaded
-// per session, mirroring Monet's per-query execution.
+// It is safe for concurrent use: concurrent sessions of the query service
+// share one Pager the way Monet's sessions share the OS page cache. Use
+// NewTracker for per-query fault attribution; the Pager's own counters
+// aggregate across all users.
 type Pager struct {
 	pageSize int64
-	capacity int // max resident pages; <= 0 means unbounded
+	capacity int    // max resident pages across all stripes; <= 0 unbounded
+	mask     uint64 // len(stripes) - 1
 
-	table map[pageKey]*pageNode
-	head  *pageNode // most recently used
-	tail  *pageNode // least recently used
+	stripes []stripe
+}
 
-	faults uint64
-	hits   uint64
+// stripeCount picks the stripe count for a pool capacity; see the sizing
+// comment above.
+func stripeCount(capacity int) int {
+	if capacity <= 0 {
+		return maxStripes
+	}
+	s := 1
+	for s*2 <= maxStripes && capacity/(s*2) >= minStripePages {
+		s *= 2
+	}
+	return s
 }
 
 // NewPager returns a Pager with the given page size in bytes and capacity in
@@ -67,12 +119,26 @@ func NewPager(pageSize int64, capacity int) *Pager {
 	if pageSize <= 0 {
 		pageSize = DefaultPageSize
 	}
-	return &Pager{
+	n := stripeCount(capacity)
+	p := &Pager{
 		pageSize: pageSize,
 		capacity: capacity,
-
-		table: make(map[pageKey]*pageNode),
+		mask:     uint64(n - 1),
+		stripes:  make([]stripe, n),
 	}
+	for i := range p.stripes {
+		s := &p.stripes[i]
+		s.table = make(map[pageKey]*pageNode)
+		if capacity > 0 {
+			// Distribute the capacity exactly: total resident never
+			// exceeds the configured bound.
+			s.capacity = capacity / n
+			if i < capacity%n {
+				s.capacity++
+			}
+		}
+	}
+	return p
 }
 
 // PageSize reports the page size in bytes.
@@ -81,6 +147,14 @@ func (p *Pager) PageSize() int64 {
 		return DefaultPageSize
 	}
 	return p.pageSize
+}
+
+// Stripes reports the number of lock stripes the pool was built with.
+func (p *Pager) Stripes() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.stripes)
 }
 
 // NewHeap allocates a fresh heap identifier (shared namespace with
@@ -92,29 +166,53 @@ func (p *Pager) NewHeap() HeapID {
 	return NextHeapID()
 }
 
-// Faults reports the number of page faults since the last ResetStats.
+// Faults reports the number of page faults since the last ResetStats,
+// aggregated over every session touching the pool. The counters live
+// per-stripe (updated under the stripe lock each touch already holds), so
+// reading them mid-query is race-free; like Resident, a read concurrent
+// with touches is a sum of per-stripe snapshots, not one instant.
 func (p *Pager) Faults() uint64 {
 	if p == nil {
 		return 0
 	}
-	return p.faults
+	var n uint64
+	for i := range p.stripes {
+		s := &p.stripes[i]
+		s.mu.Lock()
+		n += s.faults
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Hits reports the number of page hits since the last ResetStats.
+// Hits reports the number of page hits since the last ResetStats,
+// aggregated over every session touching the pool.
 func (p *Pager) Hits() uint64 {
 	if p == nil {
 		return 0
 	}
-	return p.hits
+	var n uint64
+	for i := range p.stripes {
+		s := &p.stripes[i]
+		s.mu.Lock()
+		n += s.hits
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// ResetStats zeroes the fault and hit counters without touching pool state.
+// ResetStats zeroes the aggregate fault and hit counters without touching
+// pool state. Trackers keep their own counters and are unaffected.
 func (p *Pager) ResetStats() {
 	if p == nil {
 		return
 	}
-	p.faults = 0
-	p.hits = 0
+	for i := range p.stripes {
+		s := &p.stripes[i]
+		s.mu.Lock()
+		s.faults, s.hits = 0, 0
+		s.mu.Unlock()
+	}
 }
 
 // DropAll empties the pool, simulating a cold buffer (e.g. between benchmark
@@ -123,8 +221,13 @@ func (p *Pager) DropAll() {
 	if p == nil {
 		return
 	}
-	p.table = make(map[pageKey]*pageNode)
-	p.head, p.tail = nil, nil
+	for i := range p.stripes {
+		s := &p.stripes[i]
+		s.mu.Lock()
+		s.table = make(map[pageKey]*pageNode)
+		s.head, s.tail = nil, nil
+		s.mu.Unlock()
+	}
 }
 
 // Resident reports the number of pages currently in the pool.
@@ -132,7 +235,14 @@ func (p *Pager) Resident() int {
 	if p == nil {
 		return 0
 	}
-	return len(p.table)
+	n := 0
+	for i := range p.stripes {
+		s := &p.stripes[i]
+		s.mu.Lock()
+		n += len(s.table)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Touch records an access to byte offset off in heap h. Exactly one page is
@@ -141,7 +251,7 @@ func (p *Pager) Touch(h HeapID, off int64) {
 	if p == nil || h == 0 {
 		return
 	}
-	p.touchPage(pageKey{h, off / p.pageSize})
+	p.touchKey(pageKey{h, off / p.pageSize})
 }
 
 // TouchRange records a sequential access to bytes [off, off+n) of heap h,
@@ -154,39 +264,58 @@ func (p *Pager) TouchRange(h HeapID, off, n int64) {
 	first := off / p.pageSize
 	last := (off + n - 1) / p.pageSize
 	for pg := first; pg <= last; pg++ {
-		p.touchPage(pageKey{h, pg})
+		p.touchKey(pageKey{h, pg})
 	}
 }
 
-func (p *Pager) touchPage(k pageKey) {
-	if n, ok := p.table[k]; ok {
-		p.hits++
-		p.moveToFront(n)
-		return
+// touchKey routes the page to its stripe and reports whether the touch
+// faulted (the page was not resident).
+func (p *Pager) touchKey(k pageKey) bool {
+	// splitmix-style mix of (heap, page): heaps are small sequential ints
+	// and page runs are sequential, so both need scrambling before masking.
+	x := uint64(k.heap)*0x9E3779B97F4A7C15 + uint64(k.page)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	s := &p.stripes[x&p.mask]
+
+	s.mu.Lock()
+	fault := s.touch(k)
+	s.mu.Unlock()
+	return fault
+}
+
+// touch is the stripe-local LRU update; callers hold s.mu.
+func (s *stripe) touch(k pageKey) bool {
+	if n, ok := s.table[k]; ok {
+		s.hits++
+		s.moveToFront(n)
+		return false
 	}
-	p.faults++
+	s.faults++
 	n := &pageNode{key: k}
-	p.table[k] = n
-	p.pushFront(n)
-	if p.capacity > 0 && len(p.table) > p.capacity {
-		p.evict()
+	s.table[k] = n
+	s.pushFront(n)
+	if s.capacity > 0 && len(s.table) > s.capacity {
+		s.evict()
 	}
+	return true
 }
 
-func (p *Pager) pushFront(n *pageNode) {
+func (s *stripe) pushFront(n *pageNode) {
 	n.prev = nil
-	n.next = p.head
-	if p.head != nil {
-		p.head.prev = n
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
 	}
-	p.head = n
-	if p.tail == nil {
-		p.tail = n
+	s.head = n
+	if s.tail == nil {
+		s.tail = n
 	}
 }
 
-func (p *Pager) moveToFront(n *pageNode) {
-	if p.head == n {
+func (s *stripe) moveToFront(n *pageNode) {
+	if s.head == n {
 		return
 	}
 	// unlink
@@ -196,23 +325,116 @@ func (p *Pager) moveToFront(n *pageNode) {
 	if n.next != nil {
 		n.next.prev = n.prev
 	}
-	if p.tail == n {
-		p.tail = n.prev
+	if s.tail == n {
+		s.tail = n.prev
 	}
-	p.pushFront(n)
+	s.pushFront(n)
 }
 
-func (p *Pager) evict() {
-	n := p.tail
+func (s *stripe) evict() {
+	n := s.tail
 	if n == nil {
 		return
 	}
 	if n.prev != nil {
 		n.prev.next = nil
 	}
-	p.tail = n.prev
-	if p.head == n {
-		p.head = nil
+	s.tail = n.prev
+	if s.head == n {
+		s.head = nil
 	}
-	delete(p.table, n.key)
+	delete(s.table, n.key)
+}
+
+// Tracker is one query's view of a shared Pager: every touch is forwarded
+// to the shared pool — whose state alone decides hit versus fault — and the
+// outcome is also recorded in the tracker's own counters. This is how the
+// per-query Figure 9/10 fault observable survives concurrency: N sessions
+// sharing one pool each read their own faults off their own tracker, instead
+// of differencing the pool's aggregate counter around execution (which
+// interleaves concurrent sessions' faults into each other's deltas).
+//
+// Every pool fault and hit is attributed to exactly one tracker, so summing
+// tracker counters over all queries reproduces the pool counters.
+//
+// A nil *Tracker is valid and disables accounting. The counters are atomics
+// so a tracker may be read (e.g. by a metrics scrape) while its query runs.
+type Tracker struct {
+	pool *Pager
+
+	faults atomic.Uint64
+	hits   atomic.Uint64
+}
+
+// NewTracker returns a fresh per-query tracker over the pool. A nil Pager
+// yields a nil Tracker.
+func (p *Pager) NewTracker() *Tracker {
+	if p == nil {
+		return nil
+	}
+	return &Tracker{pool: p}
+}
+
+// Pool exposes the shared Pager the tracker attributes into.
+func (t *Tracker) Pool() *Pager {
+	if t == nil {
+		return nil
+	}
+	return t.pool
+}
+
+// Faults reports the number of page faults attributed to this tracker.
+func (t *Tracker) Faults() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.faults.Load()
+}
+
+// Hits reports the number of page hits attributed to this tracker.
+func (t *Tracker) Hits() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.hits.Load()
+}
+
+// Touch records an access to byte offset off in heap h against the shared
+// pool, attributing the outcome to this tracker. Exactly one page is
+// touched. Accesses to transient storage (heap 0) are ignored.
+func (t *Tracker) Touch(h HeapID, off int64) {
+	if t == nil || h == 0 {
+		return
+	}
+	if t.pool.touchKey(pageKey{h, off / t.pool.pageSize}) {
+		t.faults.Add(1)
+	} else {
+		t.hits.Add(1)
+	}
+}
+
+// TouchRange records a sequential access to bytes [off, off+n) of heap h
+// against the shared pool, touching each page in the range once and
+// attributing the outcomes to this tracker. Accesses to transient storage
+// (heap 0) are ignored.
+func (t *Tracker) TouchRange(h HeapID, off, n int64) {
+	if t == nil || h == 0 || n <= 0 {
+		return
+	}
+	first := off / t.pool.pageSize
+	last := (off + n - 1) / t.pool.pageSize
+	var faults, hits uint64
+	for pg := first; pg <= last; pg++ {
+		if t.pool.touchKey(pageKey{h, pg}) {
+			faults++
+		} else {
+			hits++
+		}
+	}
+	if faults > 0 {
+		t.faults.Add(faults)
+	}
+	if hits > 0 {
+		t.hits.Add(hits)
+	}
 }

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -151,5 +152,251 @@ func TestBoundedPoolInvariants(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// ---- lock-striped pool + per-query tracker tests (concurrent fault
+// accounting PR) ----
+
+// TestStripeCountAdapts: unbounded pools take the full stripe fan-out;
+// bounded pools shrink the stripe count until every stripe holds at least
+// minStripePages, so small pools (every pre-striping test and experiment)
+// remain a single exact global LRU.
+func TestStripeCountAdapts(t *testing.T) {
+	cases := []struct{ capacity, stripes int }{
+		{0, maxStripes},
+		{-1, maxStripes},
+		{1, 1},
+		{2, 1},
+		{16, 1},
+		{63, 1},
+		{64, 2},
+		{512, 16},
+		{2048, 64},
+		{1 << 20, 64},
+	}
+	for _, c := range cases {
+		if got := NewPager(4096, c.capacity).Stripes(); got != c.stripes {
+			t.Errorf("capacity %d: stripes = %d, want %d", c.capacity, got, c.stripes)
+		}
+	}
+}
+
+// TestStripeLRUEvictionOrder drives one stripe directly: the stripe is the
+// LRU unit of the striped pool and must preserve the exact eviction order
+// the old global pool had.
+func TestStripeLRUEvictionOrder(t *testing.T) {
+	s := &stripe{table: make(map[pageKey]*pageNode), capacity: 2}
+	k := func(pg int64) pageKey { return pageKey{heap: 1, page: pg} }
+	if !s.touch(k(0)) || !s.touch(k(1)) {
+		t.Fatal("cold pages must fault")
+	}
+	if s.touch(k(0)) {
+		t.Fatal("resident page must hit")
+	}
+	// page 0 is MRU; inserting page 2 evicts page 1 (LRU).
+	if !s.touch(k(2)) {
+		t.Fatal("page 2 must fault")
+	}
+	if s.touch(k(0)) {
+		t.Fatal("page 0 must have survived the eviction")
+	}
+	if !s.touch(k(1)) {
+		t.Fatal("page 1 must have been evicted")
+	}
+	if len(s.table) != 2 {
+		t.Fatalf("stripe resident = %d, want 2", len(s.table))
+	}
+}
+
+// TestResidentAndDropAllAcrossStripes: pages spread over every stripe of an
+// unbounded pool; Resident sums them, DropAll empties them all, and a
+// re-scan faults afresh.
+func TestResidentAndDropAllAcrossStripes(t *testing.T) {
+	p := NewPager(4096, 0)
+	if p.Stripes() != maxStripes {
+		t.Fatalf("unbounded pool stripes = %d", p.Stripes())
+	}
+	const pages = 1024 // ~16 pages per stripe
+	h := p.NewHeap()
+	p.TouchRange(h, 0, pages*4096)
+	if got := p.Resident(); got != pages {
+		t.Fatalf("resident = %d, want %d", got, pages)
+	}
+	if p.Faults() != pages {
+		t.Fatalf("faults = %d, want %d", p.Faults(), pages)
+	}
+	p.DropAll()
+	if got := p.Resident(); got != 0 {
+		t.Fatalf("resident after DropAll = %d, want 0", got)
+	}
+	p.TouchRange(h, 0, pages*4096)
+	if p.Faults() != 2*pages {
+		t.Fatalf("faults after re-scan = %d, want %d", p.Faults(), 2*pages)
+	}
+}
+
+// TestBoundedStripedPool: a pool large enough to stripe still honours the
+// aggregate capacity bound, and per-stripe LRU keeps the most recently
+// touched pages resident.
+func TestBoundedStripedPool(t *testing.T) {
+	const capacity = 2048
+	p := NewPager(4096, capacity)
+	if p.Stripes() < 2 {
+		t.Fatalf("capacity %d should stripe, got %d stripes", capacity, p.Stripes())
+	}
+	h := p.NewHeap()
+	const pages = 5000
+	for pg := int64(0); pg < pages; pg++ {
+		p.Touch(h, pg*4096)
+	}
+	if got := p.Resident(); got > capacity {
+		t.Fatalf("resident = %d exceeds capacity %d", got, capacity)
+	}
+	// The page just touched is its stripe's MRU: always still resident.
+	f0 := p.Faults()
+	p.Touch(h, (pages-1)*4096)
+	if p.Faults() != f0 {
+		t.Fatal("MRU page must hit")
+	}
+}
+
+// TestTrackerAttribution: the pool decides hit vs fault, the tracker records
+// whose touch it was. A page faulted by one query is a hit for the next —
+// and the sum over trackers reproduces the pool counters exactly.
+func TestTrackerAttribution(t *testing.T) {
+	p := NewPager(4096, 0)
+	h := p.NewHeap()
+	t1, t2 := p.NewTracker(), p.NewTracker()
+
+	t1.Touch(h, 0) // cold: t1 faults
+	t2.Touch(h, 0) // resident now: t2 hits
+	t2.TouchRange(h, 4096, 2*4096)
+	t1.TouchRange(h, 4096, 2*4096)
+
+	if t1.Faults() != 1 || t1.Hits() != 2 {
+		t.Fatalf("t1 faults/hits = %d/%d, want 1/2", t1.Faults(), t1.Hits())
+	}
+	if t2.Faults() != 2 || t2.Hits() != 1 {
+		t.Fatalf("t2 faults/hits = %d/%d, want 2/1", t2.Faults(), t2.Hits())
+	}
+	if sum := t1.Faults() + t2.Faults(); sum != p.Faults() {
+		t.Fatalf("tracker faults sum %d != pool faults %d", sum, p.Faults())
+	}
+	if sum := t1.Hits() + t2.Hits(); sum != p.Hits() {
+		t.Fatalf("tracker hits sum %d != pool hits %d", sum, p.Hits())
+	}
+	// ResetStats clears the pool aggregate only; trackers keep their own.
+	p.ResetStats()
+	if p.Faults() != 0 || t1.Faults() != 1 {
+		t.Fatal("ResetStats must not touch tracker counters")
+	}
+	if t1.Pool() != p {
+		t.Fatal("tracker pool identity lost")
+	}
+}
+
+// TestNilTrackerIsSafe mirrors the nil-Pager contract for the per-query
+// view: a nil tracker disables accounting everywhere.
+func TestNilTrackerIsSafe(t *testing.T) {
+	var tr *Tracker
+	tr.Touch(1, 0)
+	tr.TouchRange(1, 0, 1<<20)
+	if tr.Faults() != 0 || tr.Hits() != 0 {
+		t.Fatal("nil tracker must report zeros")
+	}
+	if tr.Pool() != nil {
+		t.Fatal("nil tracker has no pool")
+	}
+	var p *Pager
+	if p.NewTracker() != nil {
+		t.Fatal("nil pager must yield a nil tracker")
+	}
+}
+
+// TestConcurrentDisjointTouches is the striped pool's race-and-determinism
+// check (run under -race): G goroutines touching disjoint heaps through
+// their own trackers must each observe exactly their own cold faults, and
+// the pool aggregates must equal the tracker sums.
+func TestConcurrentDisjointTouches(t *testing.T) {
+	p := NewPager(4096, 0)
+	const goroutines = 8
+	const pages = 512
+	heaps := make([]HeapID, goroutines)
+	for i := range heaps {
+		heaps[i] = p.NewHeap()
+	}
+	trackers := make([]*Tracker, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		trackers[g] = p.NewTracker()
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tr := trackers[g]
+			for round := 0; round < 2; round++ {
+				for pg := int64(0); pg < pages; pg++ {
+					tr.Touch(heaps[g], pg*4096)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var faults, hits uint64
+	for g, tr := range trackers {
+		if tr.Faults() != pages || tr.Hits() != pages {
+			t.Fatalf("goroutine %d faults/hits = %d/%d, want %d/%d",
+				g, tr.Faults(), tr.Hits(), pages, pages)
+		}
+		faults += tr.Faults()
+		hits += tr.Hits()
+	}
+	if p.Faults() != faults || p.Hits() != hits {
+		t.Fatalf("pool faults/hits = %d/%d, tracker sums %d/%d",
+			p.Faults(), p.Hits(), faults, hits)
+	}
+	if got := p.Resident(); got != goroutines*pages {
+		t.Fatalf("resident = %d, want %d", got, goroutines*pages)
+	}
+}
+
+// TestConcurrentSharedBoundedPool hammers one bounded striped pool from
+// many goroutines over the same heap (run under -race): no invariant about
+// who faults, only that the pool never exceeds capacity and attribution is
+// conserved.
+func TestConcurrentSharedBoundedPool(t *testing.T) {
+	const capacity = 2048
+	p := NewPager(4096, capacity)
+	h := p.NewHeap()
+	const goroutines = 8
+	trackers := make([]*Tracker, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		trackers[g] = p.NewTracker()
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tr := trackers[g]
+			for pg := int64(0); pg < 4096; pg++ {
+				tr.Touch(h, ((pg*7+int64(g)*13)%3000)*4096)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := p.Resident(); got > capacity {
+		t.Fatalf("resident = %d exceeds capacity %d", got, capacity)
+	}
+	var faults, hits uint64
+	for _, tr := range trackers {
+		faults += tr.Faults()
+		hits += tr.Hits()
+	}
+	if p.Faults() != faults || p.Hits() != hits {
+		t.Fatalf("pool faults/hits = %d/%d, tracker sums %d/%d",
+			p.Faults(), p.Hits(), faults, hits)
+	}
+	if faults+hits != goroutines*4096 {
+		t.Fatalf("accounted touches = %d, want %d", faults+hits, goroutines*4096)
 	}
 }

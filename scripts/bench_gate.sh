@@ -32,7 +32,7 @@ tmp_new=$(mktemp)
 trap 'rm -f "$tmp_json" "$tmp_old" "$tmp_new"' EXIT
 
 echo "bench-gate: running ablations (-benchtime=$BENCHTIME) against $base (threshold +$GATE_PCT%)"
-go test -json -run '^$' -bench 'BenchmarkAblation|BenchmarkServerThroughput' -benchtime="$BENCHTIME" . >"$tmp_json"
+go test -json -run '^$' -bench 'BenchmarkAblation|BenchmarkServerThroughput|BenchmarkPagerConcurrent' -benchtime="$BENCHTIME" . >"$tmp_json"
 
 ./scripts/bench_extract.sh "$base" >"$tmp_old"
 ./scripts/bench_extract.sh "$tmp_json" >"$tmp_new"
@@ -57,10 +57,10 @@ awk -F'\t' -v pct="$GATE_PCT" '
 		return name
 	}
 	NR == FNR {
-		if ($1 ~ /^Benchmark(Ablation|ServerThroughput)/) old[norm($1)] = nsop($0)
+		if ($1 ~ /^Benchmark(Ablation|ServerThroughput|PagerConcurrent)/) old[norm($1)] = nsop($0)
 		next
 	}
-	$1 ~ /^Benchmark(Ablation|ServerThroughput)/ {
+	$1 ~ /^Benchmark(Ablation|ServerThroughput|PagerConcurrent)/ {
 		name = norm($1)
 		v = nsop($0)
 		o = (name in old) ? old[name] : -1

@@ -1,9 +1,14 @@
 #!/bin/sh
-# End-to-end smoke of the concurrent query service: build moaserve, start it,
-# drive the closed-loop load generator at it over HTTP for a few seconds,
-# scrape /metrics, then require a clean SIGTERM drain. Fails when the load
-# run reports hard errors (or completes nothing) or the server does not shut
-# down cleanly. Knobs: ADDR, DURATION, CLIENTS, MIX.
+# End-to-end smoke of the concurrent query service: build moaserve, start it
+# (pager enabled — the default unbounded cold pool), drive the closed-loop
+# load generator at it over HTTP for a few seconds, scrape /metrics, then
+# require a clean SIGTERM drain. The whole cycle runs twice from cold:
+# moaserve_pager_faults_total must be nonzero (the Figure 9/10 fault
+# observable exists in the serving regime) and identical across the two
+# runs (per-page outcomes in an unbounded shared pool depend only on the
+# distinct pages the fixed query mix touches — not on session interleaving).
+# Fails when the load run reports hard errors (or completes nothing) or the
+# server does not shut down cleanly. Knobs: ADDR, DURATION, CLIENTS, MIX.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,29 +21,64 @@ MIX=${MIX:-1,6,8,13}
 bin=$(mktemp -t moaserve.XXXXXX)
 go build -o "$bin" ./cmd/moaserve
 
-"$bin" -addr "$ADDR" -sf 0.002 &
-pid=$!
-trap 'kill "$pid" 2>/dev/null || true; rm -f "$bin"' EXIT
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -f "$bin"
+}
+trap cleanup EXIT
 
-# Wait for readiness (the TPC-D load takes a moment).
-ready=0
-i=0
-while [ $i -lt 100 ]; do
-	if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
-		ready=1
-		break
-	fi
-	sleep 0.2
-	i=$((i + 1))
-done
-[ "$ready" = 1 ] || { echo "server-smoke: server never became ready" >&2; exit 1; }
+# run_once <label> <outfile>: start a cold server, load it, log the
+# /metrics scrape, and write the pager fault total to <outfile>. Runs in
+# the main shell (NOT a command substitution) so pid stays visible to the
+# cleanup trap when a step fails mid-run.
+run_once() {
+	label=$1
+	outfile=$2
+	"$bin" -addr "$ADDR" -sf 0.002 &
+	pid=$!
 
-"$bin" -loadgen -url "http://$ADDR" -sf 0.002 -clients "$CLIENTS" -duration "$DURATION" -mix "$MIX"
+	# Wait for readiness (the TPC-D load takes a moment).
+	ready=0
+	i=0
+	while [ $i -lt 100 ]; do
+		if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+			ready=1
+			break
+		fi
+		sleep 0.2
+		i=$((i + 1))
+	done
+	[ "$ready" = 1 ] || { echo "server-smoke: server never became ready ($label)" >&2; exit 1; }
 
-echo "server-smoke: /metrics after load:"
-curl -fsS "http://$ADDR/metrics"
+	"$bin" -loadgen -url "http://$ADDR" -sf 0.002 -clients "$CLIENTS" -duration "$DURATION" -mix "$MIX" >&2
 
-kill -TERM "$pid"
-wait "$pid"
-trap 'rm -f "$bin"' EXIT
-echo "server-smoke: clean shutdown"
+	echo "server-smoke: /metrics after load ($label):" >&2
+	metrics=$(curl -fsS "http://$ADDR/metrics")
+	echo "$metrics" >&2
+
+	kill -TERM "$pid"
+	wait "$pid"
+	pid=""
+	echo "server-smoke: clean shutdown ($label)" >&2
+
+	echo "$metrics" | awk '/^moaserve_pager_faults_total /{print $2}' >"$outfile"
+}
+
+faults_file=$(mktemp -t smoke-faults.XXXXXX)
+run_once cold-run-1 "$faults_file"
+f1=$(cat "$faults_file")
+run_once cold-run-2 "$faults_file"
+f2=$(cat "$faults_file")
+rm -f "$faults_file"
+
+[ -n "$f1" ] && [ -n "$f2" ] || { echo "server-smoke: pager fault metric missing" >&2; exit 1; }
+if [ "$f1" -eq 0 ]; then
+	echo "server-smoke: pager faults are zero — fault accounting is dead under the server" >&2
+	exit 1
+fi
+if [ "$f1" -ne "$f2" ]; then
+	echo "server-smoke: cold-run fault totals diverge: $f1 vs $f2" >&2
+	exit 1
+fi
+echo "server-smoke: pager faults stable across cold runs ($f1)"
