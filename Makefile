@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test test-race bench bench-ablation bench-smoke bench-snapshot bench-compare bench-gate server-smoke ci
+.PHONY: verify build vet test test-race chaos bench bench-ablation bench-smoke bench-snapshot bench-compare bench-gate server-smoke ci
 
 ## verify: the tier-1 gate — build, vet, the full test suite, and the race
 ## detector over the parallel kernels (partitioned builds, parallel probes,
@@ -21,6 +21,17 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+## chaos: the query-lifecycle chaos suite under the race detector, repeated
+## — concurrent sessions run the Figure-9 mix while injected storage faults,
+## latency, cancellations and deadlines fire over a bounded seed list
+## ({1,2,3} plus the no-injector cancellation run); survivors must be
+## bit-identical to the sequential reference and fault/hit/gauge accounting
+## must balance exactly at quiesce. Already part of `make test`/`test-race`
+## once; this target reruns it with fresh schedules for flake hunting.
+chaos:
+	$(GO) test ./internal/server -race -count=2 \
+		-run 'TestChaosQueryLifecycle|TestCancellationCleanliness|TestCancelMidBuildRebuildsOnce'
 
 ## bench: the full benchmark sweep with allocation accounting.
 bench:
@@ -65,5 +76,5 @@ server-smoke:
 ## bench-gate stays advisory here too (the workflow runs it with
 ## continue-on-error): a red gate on a different host class is a prompt
 ## to re-measure, not a failure.
-ci: verify bench-smoke server-smoke
+ci: verify chaos bench-smoke server-smoke
 	-./scripts/bench_gate.sh

@@ -14,6 +14,7 @@
 package flatalg
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -722,7 +723,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 			svc := server.New(serverBenchDB, server.Config{
 				Workers: 1, MaxConcurrent: sessions, MemBudgetBytes: 1 << 30})
 			closedLoopBench(b, sessions, serverBenchMix, func(src string) error {
-				_, err := svc.Query(src)
+				_, err := svc.Query(context.Background(), src)
 				return err
 			})
 		})
@@ -733,13 +734,13 @@ func BenchmarkServerThroughput(b *testing.B) {
 		svc := server.New(serverBenchDB, server.Config{
 			Workers: 1, MaxConcurrent: 4, MemBudgetBytes: 1 << 30})
 		closedLoopBench(b, 4, light, func(src string) error {
-			_, err := svc.Query(src)
+			_, err := svc.Query(context.Background(), src)
 			return err
 		})
 	})
 	b.Run("overhead/noplancache", func(b *testing.B) {
 		closedLoopBench(b, 4, light, func(src string) error {
-			_, err := serverBenchDB.NewSession().Query(src)
+			_, err := serverBenchDB.NewSession().Query(context.Background(), src)
 			return err
 		})
 	})
@@ -751,7 +752,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 		closedLoopBench(b, 4, light, func(string) error {
-			_, err := serverBenchDB.NewSession().Execute(prep)
+			_, err := serverBenchDB.NewSession().Execute(context.Background(), prep)
 			return err
 		})
 	})

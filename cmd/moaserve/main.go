@@ -48,6 +48,11 @@ func main() {
 	maxplans := flag.Int("maxplans", 0, "prepared-plan cache capacity (0 = default)")
 	pages := flag.Int("pages", 0, "shared buffer pool capacity in pages for fault accounting (0 = unbounded cold pool, <0 = disable the pager: hot-set regime)")
 	pagesize := flag.Int64("pagesize", 0, "buffer pool page size in bytes (0 = 4096, the paper's B)")
+	queryTimeout := flag.Duration("query-timeout", 0, "server default per-query deadline (0 = none; ?timeout= can tighten it per request)")
+	thrashShed := flag.Float64("thrash-shed", 0, "shed queries while the windowed pager fault ratio meets this value (0 = disabled, e.g. 0.9)")
+	faultEvery := flag.Uint64("fault-every", 0, "fault injection: panic on every Nth eligible pager touch (0 = off; chaos/testing only)")
+	faultDelayEvery := flag.Uint64("fault-delay-every", 0, "fault injection: delay every Nth eligible pager touch (0 = off)")
+	faultDelay := flag.Duration("fault-delay", time.Millisecond, "fault injection: length of an injected pager delay")
 
 	loadgen := flag.Bool("loadgen", false, "run the closed-loop load generator instead of serving")
 	url := flag.String("url", "", "loadgen: target base URL (empty = drive the service in process)")
@@ -60,12 +65,15 @@ func main() {
 	// database load.
 	gen := tpcd.Generate(*sf, *seed)
 	cfg := serviceConfig(*workers, *morsel, *maxconc, *membudget, *maxplans)
+	cfg.QueryTimeout = *queryTimeout
+	cfg.ThrashShedRatio = *thrashShed
+	faults := storage.FaultPlan{FailEvery: *faultEvery, DelayEvery: *faultDelayEvery, Delay: *faultDelay}
 
 	if *loadgen {
-		os.Exit(runLoadgen(gen, *url, *clients, *duration, queryMix(gen, *mix), cfg, *pages, *pagesize))
+		os.Exit(runLoadgen(gen, *url, *clients, *duration, queryMix(gen, *mix), cfg, *pages, *pagesize, faults))
 	}
 
-	svc := newService(gen, cfg, *pages, *pagesize)
+	svc := newService(gen, cfg, *pages, *pagesize, faults)
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
 	done := make(chan error, 1)
@@ -106,12 +114,16 @@ func serviceConfig(workers, morsel, maxconc int, membudgetMB int64, maxplans int
 // newService loads the database and attaches the shared lock-striped buffer
 // pool (unless pages < 0 disables fault accounting): all sessions touch one
 // pool, the stand-in for the OS page cache over Monet's memory-mapped BATs,
-// and each query reports its own faults through per-query attribution.
-func newService(gen *tpcd.DB, cfg server.Config, pages int, pagesize int64) *server.Service {
+// and each query reports its own faults through per-query attribution. A
+// non-empty fault plan arms the pager's chaos injector (-fault-every etc.).
+func newService(gen *tpcd.DB, cfg server.Config, pages int, pagesize int64, faults storage.FaultPlan) *server.Service {
 	env, _ := tpcd.Load(gen)
 	db := engine.New(tpcd.Schema(), env)
 	if pages >= 0 {
 		db.Pager = storage.NewPager(pagesize, pages)
+		if faults.FailEvery > 0 || faults.DelayEvery > 0 {
+			db.Pager.SetFaultInjector(storage.NewFaultInjector(faults))
+		}
 	}
 	return server.New(db, cfg)
 }
@@ -148,13 +160,13 @@ func queryMix(gen *tpcd.DB, mix string) []string {
 	return out
 }
 
-func runLoadgen(gen *tpcd.DB, url string, clients int, duration time.Duration, queries []string, cfg server.Config, pages int, pagesize int64) int {
+func runLoadgen(gen *tpcd.DB, url string, clients int, duration time.Duration, queries []string, cfg server.Config, pages int, pagesize int64, faults storage.FaultPlan) int {
 	var do func(string) error
 	if url != "" {
 		do = server.HTTPQueryFunc(url, &http.Client{Timeout: 30 * time.Second})
 	} else {
-		svc := newService(gen, cfg, pages, pagesize)
-		do = func(src string) error { _, err := svc.Query(src); return err }
+		svc := newService(gen, cfg, pages, pagesize, faults)
+		do = func(src string) error { _, err := svc.Query(context.Background(), src); return err }
 	}
 	rep := server.RunLoad(server.LoadConfig{Clients: clients, Duration: duration, Queries: queries}, do)
 	fmt.Println(rep)

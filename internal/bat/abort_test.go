@@ -1,0 +1,136 @@
+package bat
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// recoverValue runs f and returns the value it panicked with (nil if none).
+func recoverValue(f func()) (r any) {
+	defer func() { r = recover() }()
+	f()
+	return nil
+}
+
+// TestMorselDoStopAborts: once the stop hook fires, dispatch stops claiming
+// within a bounded number of units and raises the ErrAborted sentinel — it
+// must never complete the remaining units and let a partial result look
+// finished.
+func TestMorselDoStopAborts(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 1000
+		var ran atomic.Int64
+		var stopped atomic.Bool
+		stop := func() bool { return stopped.Load() }
+		r := recoverValue(func() {
+			MorselDoStop(workers, n, stop, func(_, unit int) {
+				if ran.Add(1) == 5 {
+					stopped.Store(true)
+				}
+			})
+		})
+		if r != ErrAborted {
+			t.Fatalf("workers=%d: dispatch panicked with %v, want ErrAborted", workers, r)
+		}
+		// Each of the w workers may have been mid-unit when the signal
+		// fired; no worker claims another unit afterwards.
+		if got := ran.Load(); got >= n || got > 5+int64(workers) {
+			t.Fatalf("workers=%d: %d units ran after stop at unit 5", workers, got)
+		}
+	}
+}
+
+// TestMorselDoStopNoStop: a nil stop hook is the uncancellable fast path —
+// every unit runs and nothing panics.
+func TestMorselDoStopNoStop(t *testing.T) {
+	var ran atomic.Int64
+	MorselDoStop(4, 100, nil, func(_, unit int) { ran.Add(1) })
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d units, want 100", ran.Load())
+	}
+}
+
+// TestMorselDoWorkerPanicContained: a panic on a worker goroutine must not
+// kill the process (an unrecovered goroutine panic is fatal for every
+// session in a server); it re-raises on the dispatcher as *WorkerPanic with
+// the original value and the worker's stack, and the remaining workers stop
+// claiming.
+func TestMorselDoWorkerPanicContained(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		r := recoverValue(func() {
+			MorselDoStop(workers, 1000, nil, func(_, unit int) {
+				if ran.Add(1) == 3 {
+					panic("kernel invariant violated")
+				}
+			})
+		})
+		if workers == 1 {
+			// Inline path: the panic surfaces raw on the caller.
+			if r != "kernel invariant violated" {
+				t.Fatalf("inline dispatch panicked with %v", r)
+			}
+			continue
+		}
+		wp, ok := r.(*WorkerPanic)
+		if !ok {
+			t.Fatalf("dispatch panicked with %T %v, want *WorkerPanic", r, r)
+		}
+		if wp.Value != "kernel invariant violated" || len(wp.Stack) == 0 {
+			t.Fatalf("WorkerPanic lost value or stack: %+v", wp)
+		}
+		if ran.Load() >= 1000 {
+			t.Fatal("workers kept claiming units after a worker panic")
+		}
+	}
+}
+
+// TestSchedDispatchStop: both dispatch modes (morsel-claimed and static
+// striping) honor the stop hook with the same ErrAborted contract, so
+// cancellation semantics do not depend on the scheduling ablation knob.
+func TestSchedDispatchStop(t *testing.T) {
+	for _, static := range []bool{false, true} {
+		var stopped atomic.Bool
+		var ran atomic.Int64
+		s := Sched{Workers: 4, Static: static, Stop: func() bool { return stopped.Load() }}
+		r := recoverValue(func() {
+			s.Dispatch(1000, func(_, unit int) {
+				if ran.Add(1) == 4 {
+					stopped.Store(true)
+				}
+			})
+		})
+		if r != ErrAborted {
+			t.Fatalf("static=%v: dispatch panicked with %v, want ErrAborted", static, r)
+		}
+		if ran.Load() >= 1000 {
+			t.Fatalf("static=%v: dispatch completed all units despite stop", static)
+		}
+	}
+}
+
+// TestAbortedBuildNeverPublishes: an accelerator build that panics (aborted
+// by cancellation, or an injected storage fault) must leave the slot
+// unpublished and retryable — publishing a partial index would corrupt
+// every later query. The retry builds from scratch, exactly once.
+func TestAbortedBuildNeverPublishes(t *testing.T) {
+	var slot accelSlot
+	r := recoverValue(func() {
+		slot.getOrBuild(func() *HashIndex { panic(ErrAborted) })
+	})
+	if r != ErrAborted {
+		t.Fatalf("build panic did not propagate: %v", r)
+	}
+	if slot.load() != nil {
+		t.Fatal("aborted build published a partial index")
+	}
+	before := AccelBuilds()
+	col := NewIntCol([]int64{1, 2, 3, 2})
+	idx := slot.getOrBuild(func() *HashIndex { return BuildHashIndex(col) })
+	if idx == nil || slot.load() != idx {
+		t.Fatal("retry after aborted build did not publish")
+	}
+	if d := AccelBuilds() - before; d != 1 {
+		t.Fatalf("retry performed %d builds, want 1 (aborted builds are uncounted)", d)
+	}
+}

@@ -2,6 +2,7 @@ package bat
 
 import (
 	"math/bits"
+	"runtime/debug"
 	"sync"
 )
 
@@ -19,7 +20,11 @@ import (
 // to the sequential build. Because partitions are disjoint, the per-partition
 // step parallelizes with no synchronization beyond a final join.
 
-// parallelDo runs fn(0..k-1) on k goroutines (inline when k <= 1).
+// parallelDo runs fn(0..k-1) on k goroutines (inline when k <= 1). A panic
+// on any spawned goroutine is recovered there and re-raised on the caller as
+// a *WorkerPanic after every goroutine finished: an unrecovered goroutine
+// panic would kill the whole process, which a multi-session server cannot
+// afford for a single query's fault.
 func parallelDo(k int, fn func(w int)) {
 	if k <= 1 {
 		if k == 1 {
@@ -27,15 +32,29 @@ func parallelDo(k int, fn func(w int)) {
 		}
 		return
 	}
+	var panicMu sync.Mutex
+	var firstPanic *WorkerPanic
 	var wg sync.WaitGroup
 	for w := 0; w < k; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if firstPanic == nil {
+						firstPanic = &WorkerPanic{Value: r, Stack: debug.Stack()}
+					}
+					panicMu.Unlock()
+				}
+			}()
 			fn(w)
 		}(w)
 	}
 	wg.Wait()
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
 }
 
 // SplitRange cuts [0, n) into at most k contiguous pieces. It is the one

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -46,7 +47,7 @@ func TestConcurrentFaultParity(t *testing.T) {
 		sess := db.NewSession()
 		want[i] = make([]uint64, rounds)
 		for r := 0; r < rounds; r++ {
-			res, err := sess.Query(q)
+			res, err := sess.Query(context.Background(), q)
 			if err != nil {
 				t.Fatalf("reference session %d round %d: %v", i, r, err)
 			}
@@ -76,7 +77,7 @@ func TestConcurrentFaultParity(t *testing.T) {
 			defer wg.Done()
 			sess := db.NewSession()
 			for r := 0; r < rounds; r++ {
-				res, err := sess.Query(q)
+				res, err := sess.Query(context.Background(), q)
 				if err != nil {
 					errs <- err
 					return
@@ -140,7 +141,7 @@ func TestSharedPagerMixedWorkloadConservation(t *testing.T) {
 			sess := db.NewSession()
 			var local uint64
 			for i := range queries {
-				res, err := sess.Query(queries[(i+s)%len(queries)].MOA)
+				res, err := sess.Query(context.Background(), queries[(i+s)%len(queries)].MOA)
 				if err != nil {
 					errs <- err
 					return

@@ -6,8 +6,11 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/mil"
@@ -93,9 +96,10 @@ func (db *Database) Prepare(src string) (*rewrite.Result, error) {
 	return res, nil
 }
 
-// Query executes a MOA query end to end on a fresh single-use session.
+// Query executes a MOA query end to end on a fresh single-use session,
+// without a cancellation lifecycle (batch tools, examples, benchmarks).
 func (db *Database) Query(src string) (*Result, error) {
-	return db.NewSession().Query(src)
+	return db.NewSession().Query(context.Background(), src)
 }
 
 // Session is one client's sequential query stream over a shared Database —
@@ -129,37 +133,83 @@ func (db *Database) NewSession() *Session {
 	return &Session{db: db, Pager: db.Pager, Workers: db.Workers, MorselRows: db.MorselRows}
 }
 
-// Query prepares and executes a MOA query on this session.
-func (s *Session) Query(src string) (*Result, error) {
+// Query prepares and executes a MOA query on this session. qctx is the
+// query's lifecycle: cancellation or deadline expiry stops execution within
+// one morsel and surfaces as *CanceledError. context.Background() disables
+// the lifecycle entirely (no per-morsel polling).
+func (s *Session) Query(qctx context.Context, src string) (*Result, error) {
 	prep, err := s.db.Prepare(src)
 	if err != nil {
 		return nil, err
 	}
-	return s.Execute(prep)
+	return s.Execute(qctx, prep)
 }
 
-// Execute runs a prepared query. The preparation is immutable and may be
-// shared: many sessions can Execute the same *rewrite.Result concurrently
-// (the server's plan cache relies on this).
-func (s *Session) Execute(prep *rewrite.Result) (*Result, error) {
+// Execute runs a prepared query under qctx's lifecycle. The preparation is
+// immutable and may be shared: many sessions can Execute the same
+// *rewrite.Result concurrently (the server's plan cache relies on this).
+//
+// Failure modes are typed: a cancelled or expired qctx yields
+// *CanceledError, a contained panic yields *InternalError (both carry the
+// Stats accumulated up to the failure), and a user-program fault surfaces
+// with a wrapped *mil.UserError. On every path — success, cancel, panic —
+// the deferred DrainGauge folds the query's live intermediate bytes back to
+// the shared gauge, so admission control never leaks budget to dead queries.
+func (s *Session) Execute(qctx context.Context, prep *rewrite.Result) (res *Result, err error) {
 	ctx := &mil.Ctx{Pager: s.Pager, Workers: s.Workers, MorselRows: s.MorselRows, Gauge: s.Gauge}
+	// Only a cancellable context arms the interpreter's stop hooks:
+	// Background/TODO have a nil Done channel, and the uncancellable fast
+	// path stays free of even the amortized per-morsel poll.
+	if qctx != nil && qctx.Done() != nil {
+		ctx.Context = qctx
+	}
 	// Whatever stays live at the end (kept results) becomes garbage once
-	// the result set is materialized; return it to the shared gauge.
+	// the result set is materialized; return it to the shared gauge. Runs
+	// on every exit path, including the panic recovery below.
 	defer ctx.DrainGauge()
 	start := time.Now()
+	statsAt := func() Stats {
+		return Stats{
+			Elapsed:     time.Since(start),
+			Faults:      ctx.PageFaults(),
+			Hits:        ctx.PageHits(),
+			IntermBytes: ctx.IntermBytes,
+			PeakBytes:   ctx.PeakBytes,
+		}
+	}
+	// Outermost containment: the interpreter already recovers per-statement
+	// panics (mil.PanicError), but materialization and the engine's own
+	// bookkeeping run outside that boundary. Nothing may unwind into the
+	// caller's serving loop.
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &InternalError{
+				Err:   fmt.Errorf("panic outside statement boundary: %v", r),
+				Stack: debug.Stack(),
+				Stats: statsAt(),
+			}
+		}
+	}()
 
 	// Execute in a scratch level layered over the shared base env: base
 	// BATs resolve through the shared map, every binding lands in the
 	// session-private level — no O(|database|) env copy per query, and
 	// concurrent or repeated queries cannot pollute the database env.
 	scope := mil.NewScope(s.db.Env, len(prep.Prog.Stmts))
-	traces, err := mil.RunScope(ctx, prep.Prog, scope)
-	if err != nil {
-		return nil, fmt.Errorf("execute: %w", err)
+	traces, rerr := mil.RunScope(ctx, prep.Prog, scope)
+	if rerr != nil {
+		var pe *mil.PanicError
+		if errors.As(rerr, &pe) {
+			return nil, &InternalError{Err: rerr, Stack: pe.Stack, Stats: statsAt()}
+		}
+		if errors.Is(rerr, context.Canceled) || errors.Is(rerr, context.DeadlineExceeded) {
+			return nil, &CanceledError{Err: rerr, Stats: statsAt()}
+		}
+		return nil, fmt.Errorf("execute: %w", rerr)
 	}
-	set, err := moa.Materialize(scope, prep.Struct)
-	if err != nil {
-		return nil, fmt.Errorf("materialize: %w", err)
+	set, merr := moa.Materialize(scope, prep.Struct)
+	if merr != nil {
+		return nil, fmt.Errorf("materialize: %w", merr)
 	}
 	elapsed := time.Since(start)
 

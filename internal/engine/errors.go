@@ -1,0 +1,41 @@
+package engine
+
+import (
+	"fmt"
+)
+
+// Typed query-lifecycle errors. Both carry the Stats accumulated up to the
+// point of failure: a cancelled or crashed query still made page touches and
+// memory charges that the conservation invariants (Σ per-query trackers =
+// pool counters, gauge drains to zero) must account for, so the chaos suite
+// asserts over failed queries' Stats exactly as it does over survivors'.
+
+// CanceledError reports a query stopped by its context — client disconnect
+// (context.Canceled) or deadline expiry (context.DeadlineExceeded). The
+// query unwound cleanly: intermediates were drained back to the gauge, the
+// per-query tracker holds its fault attribution, and any accelerator build
+// it was leading was abandoned without publishing (retryable by the next
+// query). Unwrap exposes the context error, so
+// errors.Is(err, context.DeadlineExceeded) distinguishes timeout from
+// disconnect.
+type CanceledError struct {
+	Err   error // wraps context.Canceled or context.DeadlineExceeded
+	Stats Stats // accounting up to the abort point
+}
+
+func (e *CanceledError) Error() string { return fmt.Sprintf("query canceled: %v", e.Err) }
+func (e *CanceledError) Unwrap() error { return e.Err }
+
+// InternalError reports a panic during execution, contained at the
+// engine boundary instead of unwinding the process out from under every
+// concurrent session. Err is usually a *mil.PanicError carrying the op
+// trace (statement index, rendered MIL, panic value); Stack is the stack at
+// the panic site. The server quarantines the cached plan that produced it.
+type InternalError struct {
+	Err   error
+	Stack []byte
+	Stats Stats // accounting up to the panic
+}
+
+func (e *InternalError) Error() string { return fmt.Sprintf("internal error: %v", e.Err) }
+func (e *InternalError) Unwrap() error { return e.Err }

@@ -10,6 +10,7 @@
 package mil
 
 import (
+	"context"
 	"sync/atomic"
 
 	"repro/internal/bat"
@@ -74,6 +75,17 @@ type Ctx struct {
 	// process-wide live-bytes feed of the server's admission control.
 	Gauge *MemGauge
 
+	// Context, when non-nil, is the query's lifecycle: when it is cancelled
+	// (client disconnect) or its deadline expires, the interpreter stops at
+	// the next operator boundary and every parallel dispatch stops within
+	// one morsel (see Cancelled). A nil Context never cancels.
+	Context context.Context
+
+	// canceled caches an observed cancellation so the amortized check is a
+	// single atomic load once the signal has fired (several goroutines —
+	// morsel workers via the Sched.Stop hook — may consult it).
+	canceled atomic.Bool
+
 	// IntermBytes accumulates the owned size of every intermediate BAT
 	// created ("total MB" column in Fig. 9). Zero-copy views are counted
 	// at their owned (shared-backing-excluded) size, so view-heavy plans
@@ -93,6 +105,51 @@ type Ctx struct {
 	// account their page touches before fanning work out to parallel
 	// workers, so the lazy init is single-threaded).
 	tracker *storage.Tracker
+}
+
+// Cancelled performs the cheap amortized cancellation check: one atomic
+// load when the signal has already been observed, otherwise a non-blocking
+// poll of Context.Done(). The interpreter calls it at every operator
+// boundary and morsel dispatch consults it (through the stop hook) once
+// per claimed unit, so a cancelled query stops within one morsel (~32k
+// rows) of the signal without any per-row cost.
+func (c *Ctx) Cancelled() bool {
+	if c == nil {
+		return false
+	}
+	if c.canceled.Load() {
+		return true
+	}
+	cx := c.Context
+	if cx == nil {
+		return false
+	}
+	select {
+	case <-cx.Done():
+		c.canceled.Store(true)
+		return true
+	default:
+		return false
+	}
+}
+
+// CtxErr reports why the query was cancelled (context.Canceled or
+// context.DeadlineExceeded), or nil when it was not.
+func (c *Ctx) CtxErr() error {
+	if c == nil || c.Context == nil {
+		return nil
+	}
+	return c.Context.Err()
+}
+
+// stop returns the cancellation hook for parallel dispatch, or nil when the
+// query has no lifecycle — the nil keeps the uncancellable fast path free
+// of even the amortized check.
+func (c *Ctx) stop() func() bool {
+	if c == nil || c.Context == nil {
+		return nil
+	}
+	return c.Cancelled
 }
 
 // LastAlgo reports the algorithm variant chosen by the most recent

@@ -70,6 +70,7 @@ func (c *Ctx) sched(n int) bat.Sched {
 	return bat.Sched{
 		Workers: workersFor(c, n),
 		Static:  c != nil && c.MorselRows < 0,
+		Stop:    c.stop(),
 	}
 }
 
@@ -117,7 +118,7 @@ func parallelCollect(c *Ctx, n int, fn func(lo, hi int) []int) []int {
 		return fn(0, n)
 	}
 	parts := make([][]int, len(rs))
-	bat.MorselDo(k, len(rs), func(_, mi int) {
+	bat.MorselDoStop(k, len(rs), c.stop(), func(_, mi int) {
 		parts[mi] = fn(rs[mi][0], rs[mi][1])
 	})
 	total := 0
@@ -158,7 +159,7 @@ func parallelCollect32(c *Ctx, n, capHint int, fn func(lo, hi int, out []int32) 
 		return fn(0, n, make([]int32, 0, capHint))
 	}
 	parts := make([][]int32, len(rs))
-	bat.MorselDo(k, len(rs), func(_, mi int) {
+	bat.MorselDoStop(k, len(rs), c.stop(), func(_, mi int) {
 		lo, hi := rs[mi][0], rs[mi][1]
 		parts[mi] = fn(lo, hi, make([]int32, 0, scratchHint(capHint, lo, hi, n)))
 	})
@@ -191,7 +192,7 @@ func parallelPairs(c *Ctx, n, capHint int, fn func(lo, hi int, lp, rp []int32) (
 	}
 	lparts := make([][]int32, len(rs))
 	rparts := make([][]int32, len(rs))
-	bat.MorselDo(k, len(rs), func(_, mi int) {
+	bat.MorselDoStop(k, len(rs), c.stop(), func(_, mi int) {
 		lo, hi := rs[mi][0], rs[mi][1]
 		hint := scratchHint(capHint, lo, hi, n)
 		lparts[mi], rparts[mi] = fn(lo, hi,
@@ -223,7 +224,7 @@ func parallelFill(c *Ctx, n int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
-	bat.MorselDo(k, len(rs), func(_, mi int) {
+	bat.MorselDoStop(k, len(rs), c.stop(), func(_, mi int) {
 		fn(rs[mi][0], rs[mi][1])
 	})
 }

@@ -2,6 +2,7 @@ package mil
 
 import (
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -226,12 +227,19 @@ func RunScope(ctx *Ctx, p *Program, scope *Scope) ([]StmtTrace, error) {
 
 	traces := make([]StmtTrace, 0, len(p.Stmts))
 	for i, s := range p.Stmts {
+		// Operator-boundary cancellation check: between statements, one
+		// amortized poll. Mid-statement, parallel dispatch polls per morsel
+		// through the Sched.Stop hook, so a cancelled query stops within
+		// one morsel either way.
+		if ctx.Cancelled() {
+			return traces, fmt.Errorf("stmt %d (%s): %w", i, s, ctx.CtxErr())
+		}
 		var faults0 uint64
 		if ctx != nil && ctx.Pager != nil {
 			faults0 = ctx.Pager.Faults()
 		}
 		start := time.Now()
-		out, err := execStmt(ctx, s, scope)
+		out, err := execStmtSafe(ctx, s, scope, i)
 		if err != nil {
 			return traces, fmt.Errorf("stmt %d (%s): %w", i, s, err)
 		}
@@ -289,6 +297,54 @@ func argBAT(scope *Scope, a StmtArg) (*bat.BAT, error) {
 		return nil, fmt.Errorf("undefined variable %q", a.Var)
 	}
 	return b, nil
+}
+
+// execStmtSafe runs one statement inside the interpreter's recovery
+// boundary. A panic anywhere below — an invariant check in the kernel, an
+// injected storage fault, a bug in an operator, whether on this goroutine
+// or forwarded from a parallel worker (bat.WorkerPanic) — is contained here
+// and converted into a *PanicError carrying the op trace, instead of
+// unwinding the process out from under every concurrent session. The
+// cancellation sentinel bat.ErrAborted, raised by morsel dispatch when the
+// query's stop hook fired, converts back into the context's own error.
+//
+// Shared state stays consistent across the unwind by construction: the
+// accelerator singleflight slots unlock by defer and never publish a
+// partial build, the pager records touches under per-page stripe locks with
+// deferred tracker attribution, and gauge fold-back happens at the session
+// boundary (DrainGauge) which runs on every exit path.
+func execStmtSafe(ctx *Ctx, s Stmt, scope *Scope, i int) (out *bat.BAT, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		var stack []byte
+		// Unwrap panics forwarded from parallel workers (possibly nested
+		// when a worker's own dispatch forwarded first).
+		for {
+			if wp, ok := r.(*bat.WorkerPanic); ok {
+				r, stack = wp.Value, wp.Stack
+				continue
+			}
+			break
+		}
+		if r == bat.ErrAborted && ctx.Cancelled() {
+			out, err = nil, ctx.CtxErr()
+			return
+		}
+		if stack == nil {
+			stack = debug.Stack()
+		}
+		out, err = nil, &PanicError{Index: i, Stmt: s.String(), Value: r, Stack: stack}
+	}()
+	if h := execHook.Load(); h != nil {
+		(*h)(i, s.Op)
+	}
+	if err := validateStmt(&s); err != nil {
+		return nil, err
+	}
+	return execStmt(ctx, s, scope)
 }
 
 func execStmt(ctx *Ctx, s Stmt, scope *Scope) (*bat.BAT, error) {

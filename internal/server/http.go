@@ -1,15 +1,25 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/bat"
+	"repro/internal/engine"
 	"repro/internal/moa"
 )
+
+// statusClientClosedRequest is the nginx-convention status for a query
+// stopped because the client went away: no standard code fits (the response
+// usually cannot be delivered anyway, but the code keeps logs and tests
+// honest about why the query died).
+const statusClientClosedRequest = 499
 
 // QueryResponse is the JSON body of a successful /query call.
 type QueryResponse struct {
@@ -22,9 +32,13 @@ type QueryResponse struct {
 	Trace       []string `json:"trace,omitempty"`
 }
 
-// ErrorResponse is the JSON body of a failed /query call.
+// ErrorResponse is the JSON body of a failed /query call. Kind classifies
+// the failure: "bad_request" (malformed request or program), "overloaded"
+// (admission shed — retry after backoff), "timeout" (deadline expired),
+// "canceled" (client went away), "internal" (contained server-side defect).
 type ErrorResponse struct {
 	Error      string `json:"error"`
+	Kind       string `json:"kind,omitempty"`
 	Overloaded bool   `json:"overloaded,omitempty"`
 }
 
@@ -32,8 +46,13 @@ type ErrorResponse struct {
 //
 //	POST /query        MOA source in the body (or ?q=), result as JSON;
 //	                   ?noresult=1 suppresses element rendering,
-//	                   ?trace=1 adds the Fig. 10-style statement trace;
-//	                   503 + Retry-After when admission control sheds.
+//	                   ?trace=1 adds the Fig. 10-style statement trace,
+//	                   ?timeout=DUR caps this query's wall clock (Go
+//	                   duration; tightens but never loosens the server's
+//	                   -query-timeout default);
+//	                   503 + Retry-After when admission control sheds,
+//	                   504 on deadline expiry, 499 on client disconnect,
+//	                   500 on a contained internal error.
 //	GET  /metrics      service counters, text format (one "name value" line
 //	                   each, Prometheus-scrapable).
 //	GET  /healthz      liveness probe.
@@ -53,29 +72,53 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if src == "" {
 		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err, false)
+			writeError(w, http.StatusBadRequest, err, "bad_request")
 			return
 		}
 		src = string(body)
 	}
 	if src == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("empty query: pass MOA source as the request body or ?q="), false)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty query: pass MOA source as the request body or ?q="), "bad_request")
 		return
 	}
 
-	res, err := s.Query(src)
+	// The request context carries the client's lifecycle (disconnect =
+	// cancellation); ?timeout= layers a per-request deadline on top. The
+	// server-wide default deadline (Config.QueryTimeout) is applied inside
+	// Query, so ?timeout= can only tighten it, never escape it.
+	ctx := r.Context()
+	if ts := r.URL.Query().Get("timeout"); ts != "" {
+		d, err := time.ParseDuration(ts)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad timeout %q: want a positive Go duration (e.g. 250ms)", ts), "bad_request")
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	res, err := s.Query(ctx, src)
 	if err != nil {
+		var oe *OverloadedError
+		var ce *engine.CanceledError
 		var ee *ExecError
 		switch {
-		case IsOverloaded(err):
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, err, true)
+		case errors.As(err, &oe):
+			w.Header().Set("Retry-After", retryAfterSeconds(oe))
+			writeError(w, http.StatusServiceUnavailable, err, "overloaded")
+		case errors.As(err, &ce):
+			if errors.Is(err, context.DeadlineExceeded) {
+				writeError(w, http.StatusGatewayTimeout, err, "timeout")
+			} else {
+				writeError(w, statusClientClosedRequest, err, "canceled")
+			}
 		case errors.As(err, &ee):
-			// Past preparation: a server-side execution defect, not a
-			// malformed request.
-			writeError(w, http.StatusInternalServerError, err, false)
+			// Past preparation: a server-side execution defect (including
+			// contained panics), not a malformed request.
+			writeError(w, http.StatusInternalServerError, err, "internal")
 		default:
-			writeError(w, http.StatusBadRequest, err, false)
+			writeError(w, http.StatusBadRequest, err, "bad_request")
 		}
 		return
 	}
@@ -113,10 +156,24 @@ func boolParam(r *http.Request, name string) bool {
 	return true
 }
 
-func writeError(w http.ResponseWriter, status int, err error, overloaded bool) {
+func writeError(w http.ResponseWriter, status int, err error, kind string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error(), Overloaded: overloaded})
+	json.NewEncoder(w).Encode(ErrorResponse{
+		Error:      err.Error(),
+		Kind:       kind,
+		Overloaded: kind == "overloaded",
+	})
+}
+
+// retryAfterSeconds renders an OverloadedError's suggested backoff as a
+// Retry-After header value (whole seconds, minimum 1).
+func retryAfterSeconds(oe *OverloadedError) string {
+	secs := int(oe.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -125,6 +182,9 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "moaserve_queries_total %d\n", m.Queries)
 	fmt.Fprintf(w, "moaserve_query_errors_total %d\n", m.Errors)
 	fmt.Fprintf(w, "moaserve_shed_total %d\n", m.Shed)
+	fmt.Fprintf(w, "moaserve_canceled_total %d\n", m.Canceled)
+	fmt.Fprintf(w, "moaserve_timeouts_total %d\n", m.Timeouts)
+	fmt.Fprintf(w, "moaserve_panics_total %d\n", m.Panics)
 	fmt.Fprintf(w, "moaserve_inflight %d\n", m.Inflight)
 	fmt.Fprintf(w, "moaserve_plan_cache_hits_total %d\n", m.PlanHits)
 	fmt.Fprintf(w, "moaserve_plan_cache_misses_total %d\n", m.PlanMisses)
@@ -134,4 +194,5 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "moaserve_pager_faults_total %d\n", m.PagerFaults)
 	fmt.Fprintf(w, "moaserve_pager_hits_total %d\n", m.PagerHits)
 	fmt.Fprintf(w, "moaserve_pager_resident_pages %d\n", m.PagerResident)
+	fmt.Fprintf(w, "moaserve_pager_thrash_ratio %.4f\n", m.ThrashRatio)
 }

@@ -1,0 +1,593 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bat"
+	"repro/internal/engine"
+	"repro/internal/mil"
+	"repro/internal/moa"
+	"repro/internal/storage"
+	"repro/internal/tpcd"
+)
+
+// pagerService is testService plus a shared lock-striped buffer pool, the
+// configuration the lifecycle and chaos suites run under.
+func pagerService(t *testing.T, cfg Config, pages int) (*Service, []string) {
+	t.Helper()
+	gen := tpcd.Generate(0.002, 7)
+	env, _ := tpcd.Load(gen)
+	db := engine.New(tpcd.Schema(), env)
+	db.Pager = storage.NewPager(4096, pages)
+	var mix []string
+	for _, q := range tpcd.Queries(gen) {
+		mix = append(mix, q.MOA)
+	}
+	return New(db, cfg), mix
+}
+
+// referenceResults runs the mix sequentially on a private database and
+// renders each result — the bit-identical baseline every survivor of a
+// chaotic run must match.
+func referenceResults(t *testing.T) []string {
+	t.Helper()
+	gen := tpcd.Generate(0.002, 7)
+	env, _ := tpcd.Load(gen)
+	db := engine.New(tpcd.Schema(), env)
+	queries := tpcd.Queries(gen)
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		res, err := db.Query(q.MOA)
+		if err != nil {
+			t.Fatalf("sequential Q%d: %v", q.Num, err)
+		}
+		want[i] = moa.RenderVal(res.Set)
+	}
+	return want
+}
+
+// lifecycleStats extracts the per-query fault/hit attribution from a query
+// outcome: success Stats, or the Stats carried by the typed cancel/internal
+// errors — a failed query's touches still count toward conservation.
+func lifecycleStats(res *engine.Result, err error) (faults, hits uint64, counted bool) {
+	if err == nil {
+		return res.Stats.Faults, res.Stats.Hits, true
+	}
+	var ce *engine.CanceledError
+	if errors.As(err, &ce) {
+		return ce.Stats.Faults, ce.Stats.Hits, true
+	}
+	var ie *engine.InternalError
+	if errors.As(err, &ie) {
+		return ie.Stats.Faults, ie.Stats.Hits, true
+	}
+	return 0, 0, false
+}
+
+// TestQueryTimeout: a server-default deadline (Config.QueryTimeout) stops a
+// slow query within the deadline's reach, surfaces the typed cancel error
+// wrapping context.DeadlineExceeded, counts it as a timeout (not an error),
+// and leaks nothing; with the slowness removed the same service serves the
+// same query normally.
+func TestQueryTimeout(t *testing.T) {
+	// Wide margins so the test holds under -race slowdown: the hooked run
+	// needs >10 statements to pass the deadline, the clean run finishes in
+	// a small fraction of it.
+	svc, mix := pagerService(t, Config{MaxConcurrent: 4, QueryTimeout: time.Second}, 0)
+	mil.SetExecHook(func(i int, op string) { time.Sleep(100 * time.Millisecond) })
+	defer mil.SetExecHook(nil)
+
+	_, err := svc.Query(context.Background(), mix[0])
+	var ce *engine.CanceledError
+	if !errors.As(err, &ce) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want *engine.CanceledError wrapping DeadlineExceeded", err)
+	}
+	m := svc.Snapshot()
+	if m.Timeouts != 1 || m.Canceled != 0 || m.Errors != 0 {
+		t.Fatalf("counters after timeout: timeouts=%d canceled=%d errors=%d, want 1/0/0", m.Timeouts, m.Canceled, m.Errors)
+	}
+	if live := svc.Gauge().Live(); live != 0 {
+		t.Fatalf("timed-out query leaked %d gauge bytes", live)
+	}
+
+	mil.SetExecHook(nil)
+	if _, err := svc.Query(context.Background(), mix[0]); err != nil {
+		t.Fatalf("same query after timeout failed: %v", err)
+	}
+}
+
+// TestQueryCancelWhileQueued: a context that dies while the query waits for
+// an execution slot leaves without wedging the slot pool.
+func TestQueryCancelWhileQueued(t *testing.T) {
+	svc, mix := pagerService(t, Config{MaxConcurrent: 1}, 0)
+
+	// Occupy the only slot.
+	release := make(chan struct{})
+	occupied := make(chan struct{})
+	mil.SetExecHook(func(i int, op string) {
+		if i == 0 {
+			close(occupied)
+			<-release
+		}
+	})
+	defer mil.SetExecHook(nil)
+	done := make(chan error, 1)
+	go func() {
+		_, err := svc.Query(context.Background(), mix[0])
+		done <- err
+	}()
+	<-occupied
+	mil.SetExecHook(nil) // only the occupier sleeps
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := svc.Query(ctx, mix[1])
+	var ce *engine.CanceledError
+	if !errors.As(err, &ce) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued cancel: got %v, want *engine.CanceledError wrapping Canceled", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("occupying query failed: %v", err)
+	}
+	// The slot came back: another query runs.
+	if _, err := svc.Query(context.Background(), mix[1]); err != nil {
+		t.Fatalf("slot pool wedged after queued cancel: %v", err)
+	}
+	if m := svc.Snapshot(); m.Canceled != 1 {
+		t.Fatalf("canceled counter = %d, want 1", m.Canceled)
+	}
+}
+
+// TestPanicContainmentAndQuarantine: an injected panic mid-execution (the
+// stand-in for a kernel invariant failure) fails only that query — typed
+// internal error with op trace, panic counter, quarantined cached plan —
+// and the service keeps serving the same source by re-preparing it.
+func TestPanicContainmentAndQuarantine(t *testing.T) {
+	svc, mix := testService(t, Config{MaxConcurrent: 4})
+	q := mix[0]
+	if _, err := svc.Query(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	_, misses0, _ := svc.plans.stats()
+
+	var armed atomic.Bool
+	armed.Store(true)
+	mil.SetExecHook(func(i int, op string) {
+		if armed.CompareAndSwap(true, false) {
+			panic("injected kernel fault")
+		}
+	})
+	defer mil.SetExecHook(nil)
+
+	_, err := svc.Query(context.Background(), q)
+	var ee *ExecError
+	var ie *engine.InternalError
+	var pe *mil.PanicError
+	if !errors.As(err, &ee) || !errors.As(err, &ie) || !errors.As(err, &pe) {
+		t.Fatalf("got %v, want ExecError > InternalError > PanicError", err)
+	}
+	if pe.Value != "injected kernel fault" || len(ie.Stack) == 0 {
+		t.Fatalf("panic trace lost: %+v", pe)
+	}
+	m := svc.Snapshot()
+	if m.Panics != 1 || m.Errors != 1 {
+		t.Fatalf("panics=%d errors=%d, want 1/1", m.Panics, m.Errors)
+	}
+	if live := svc.Gauge().Live(); live != 0 {
+		t.Fatalf("panicked query leaked %d gauge bytes", live)
+	}
+
+	// The plan was quarantined: serving the same source again re-prepares
+	// (one more miss) and succeeds.
+	if _, err := svc.Query(context.Background(), q); err != nil {
+		t.Fatalf("query after contained panic failed: %v", err)
+	}
+	if _, misses1, _ := svc.plans.stats(); misses1 != misses0+1 {
+		t.Fatalf("plan misses %d → %d: quarantine did not evict the plan", misses0, misses1)
+	}
+}
+
+// TestCancelMidBuildRebuildsOnce: cancelling a query as it enters its first
+// join — the point where a shared accelerator build dispatches, consults
+// the stop hook, and aborts unpublished — must not poison or double-build
+// the slot: across the aborted run and the successful retry, every
+// accelerator is built exactly once (abort+retry builds == one clean cold
+// run's builds), and a third run builds only the per-query intermediates.
+func TestCancelMidBuildRebuildsOnce(t *testing.T) {
+	found := false
+	for qi := 0; qi < 15 && !found; qi++ {
+		// Clean cold reference: total builds of one cold run, then the
+		// per-pass (intermediate-only) builds of a warm run.
+		ref, mixRef := testService(t, Config{Workers: 2, MaxConcurrent: 2})
+		q := mixRef[qi]
+		before := bat.AccelBuilds()
+		if _, err := ref.Query(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+		buildsCold := bat.AccelBuilds() - before
+		before = bat.AccelBuilds()
+		if _, err := ref.Query(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+		buildsWarm := bat.AccelBuilds() - before
+		if buildsCold == buildsWarm {
+			continue // no shared accelerator in this query's cold run
+		}
+
+		// Test service: cancel when the first join statement starts.
+		svc, mix := testService(t, Config{Workers: 2, MaxConcurrent: 2})
+		ctx, cancel := context.WithCancel(context.Background())
+		var armed atomic.Bool
+		armed.Store(true)
+		mil.SetExecHook(func(i int, op string) {
+			if (op == mil.OpJoin || op == mil.OpSemijoin || op == mil.OpJoinMulti) &&
+				armed.CompareAndSwap(true, false) {
+				cancel()
+			}
+		})
+		before = bat.AccelBuilds()
+		_, err := svc.Query(ctx, mix[qi])
+		mil.SetExecHook(nil)
+		delta1 := bat.AccelBuilds() - before
+		var ce *engine.CanceledError
+		if !errors.As(err, &ce) {
+			t.Fatalf("Q index %d: cancelled run got %v, want CanceledError", qi, err)
+		}
+
+		before = bat.AccelBuilds()
+		if _, err := svc.Query(context.Background(), mix[qi]); err != nil {
+			t.Fatalf("Q index %d: retry after cancel failed: %v", qi, err)
+		}
+		delta2 := bat.AccelBuilds() - before
+		if delta1+delta2 != buildsCold {
+			t.Fatalf("Q index %d: abort+retry built %d+%d accelerators, clean cold run builds %d: aborted build was double-built or lost",
+				qi, delta1, delta2, buildsCold)
+		}
+		before = bat.AccelBuilds()
+		if _, err := svc.Query(context.Background(), mix[qi]); err != nil {
+			t.Fatal(err)
+		}
+		if delta3 := bat.AccelBuilds() - before; delta3 != buildsWarm {
+			t.Fatalf("Q index %d: post-retry run built %d, warm runs build %d", qi, delta3, buildsWarm)
+		}
+		found = true
+	}
+	if !found {
+		t.Fatal("no mix query exercised a cancellable shared accelerator build")
+	}
+	mil.SetExecHook(nil)
+}
+
+// chaosRun drives sessions over the mix while cancellations, deadlines and
+// (optionally) injected storage faults fire, then asserts the survivors are
+// bit-identical to the sequential reference and the shared state balances
+// exactly: zero live gauge bytes and Σ per-query faults/hits — successes
+// AND failures — equal to the pool's counters.
+func chaosRun(t *testing.T, seed int64, plan storage.FaultPlan, want []string) {
+	t.Helper()
+	svc, mix := pagerService(t, Config{Workers: 2, MaxConcurrent: 8}, 0)
+	var inj *storage.FaultInjector
+	if plan.FailEvery > 0 || plan.DelayEvery > 0 {
+		inj = storage.NewFaultInjector(plan)
+		svc.db.Pager.SetFaultInjector(inj)
+	}
+
+	const sessions = 8
+	type tally struct {
+		faults, hits                     uint64
+		ok, canceled, timedOut, internal int64
+		unexpected                       []string
+	}
+	tallies := make([]tally, sessions)
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed*1000 + int64(s)))
+			tl := &tallies[s]
+			for i := range mix {
+				qi := (i + s) % len(mix)
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				switch rng.Intn(3) {
+				case 1: // tight deadline: may expire mid-operator
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(200+rng.Intn(3000))*time.Microsecond)
+				case 2: // asynchronous disconnect
+					ctx, cancel = context.WithCancel(ctx)
+					timer := time.AfterFunc(time.Duration(100+rng.Intn(2000))*time.Microsecond, cancel)
+					defer timer.Stop()
+				}
+				res, err := svc.Query(ctx, mix[qi])
+				f, h, counted := lifecycleStats(res, err)
+				if !counted {
+					tl.unexpected = append(tl.unexpected, fmt.Sprintf("Q%d: %v", qi, err))
+					cancel()
+					continue
+				}
+				tl.faults += f
+				tl.hits += h
+				switch {
+				case err == nil:
+					tl.ok++
+					if got := moa.RenderVal(res.Set); got != want[qi] {
+						tl.unexpected = append(tl.unexpected, fmt.Sprintf("Q%d diverged from sequential reference", qi))
+					}
+				case errors.Is(err, context.DeadlineExceeded):
+					tl.timedOut++
+				case errors.Is(err, context.Canceled):
+					tl.canceled++
+				default:
+					tl.internal++ // contained injected fault
+				}
+				cancel()
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	var faults, hits uint64
+	var ok, disrupted, internal int64
+	for s := range tallies {
+		tl := &tallies[s]
+		for _, msg := range tl.unexpected {
+			t.Errorf("session %d: %s", s, msg)
+		}
+		faults += tl.faults
+		hits += tl.hits
+		ok += tl.ok
+		disrupted += tl.canceled + tl.timedOut
+		internal += tl.internal
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	if ok == 0 {
+		t.Fatal("chaos run had no survivors: nothing verified")
+	}
+
+	// Quiesce invariants: no leaked intermediate bytes, exact fault/hit
+	// conservation across successes and failures alike.
+	if live := svc.Gauge().Live(); live != 0 {
+		t.Fatalf("gauge holds %d live bytes at quiesce (ok=%d disrupted=%d internal=%d)", live, ok, disrupted, internal)
+	}
+	p := svc.db.Pager
+	if p.Faults() != faults || p.Hits() != hits {
+		t.Fatalf("conservation broken: pool %d/%d faults/hits, per-query sums %d/%d (ok=%d disrupted=%d internal=%d)",
+			p.Faults(), p.Hits(), faults, hits, ok, disrupted, internal)
+	}
+	if inj != nil {
+		if injected, _ := inj.Injected(); injected == 0 && disrupted == 0 {
+			t.Fatal("chaos plan injected nothing and nothing was disrupted: the run exercised no failure path")
+		}
+		svc.db.Pager.SetFaultInjector(nil)
+	}
+
+	// The server keeps serving: a clean full pass after the storm, on the
+	// same service, still matches the sequential reference.
+	for qi, q := range mix {
+		res, err := svc.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("post-chaos Q%d failed: %v", qi, err)
+		}
+		if got := moa.RenderVal(res.Set); got != want[qi] {
+			t.Fatalf("post-chaos Q%d diverged from sequential reference", qi)
+		}
+	}
+	if live := svc.Gauge().Live(); live != 0 {
+		t.Fatalf("gauge holds %d bytes after post-chaos pass", live)
+	}
+}
+
+// TestCancellationCleanliness: eight sessions run the Figure-9 mix while
+// randomized cancellations and deadlines land at arbitrary points —
+// including mid-singleflight-build — with no fault injection. Every
+// disrupted query unwinds cleanly.
+func TestCancellationCleanliness(t *testing.T) {
+	want := referenceResults(t)
+	chaosRun(t, 11, storage.FaultPlan{}, want)
+}
+
+// TestChaosQueryLifecycle: the full chaos suite over a bounded seed list —
+// cancellations, deadlines, injected storage faults (simulated SIGBUS) and
+// injected latency, all at once, under -race via the CI matrix.
+func TestChaosQueryLifecycle(t *testing.T) {
+	want := referenceResults(t)
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			chaosRun(t, seed, storage.FaultPlan{
+				FailEvery:  20011,
+				DelayEvery: 997,
+				Delay:      100 * time.Microsecond,
+			}, want)
+		})
+	}
+}
+
+// TestThrashShedAdmission: with a pool far smaller than the working set,
+// the windowed fault ratio crosses the configured threshold and admission
+// sheds with the typed pager-thrash refusal; once a quiet window passes
+// (shed queries touch nothing), admission reopens.
+func TestThrashShedAdmission(t *testing.T) {
+	// Probe the working ratio first: on a pool this small, what fraction of
+	// this query's touches fault? The shed threshold goes just under it so
+	// the test exercises the mechanism, not a magic constant.
+	probe, probeMix := pagerService(t, Config{MaxConcurrent: 2}, 16)
+	q := probeMix[0]
+	pres, err := probe.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.Stats.Faults < thrashMinFaults {
+		t.Skipf("query faulted only %d pages; cannot drive the meter", pres.Stats.Faults)
+	}
+	probeRatio := float64(pres.Stats.Faults) / float64(pres.Stats.Faults+pres.Stats.Hits)
+	threshold := probeRatio / 2
+
+	svc, mix := pagerService(t, Config{MaxConcurrent: 2, ThrashShedRatio: threshold}, 16)
+	q = mix[0]
+
+	// First query initializes the meter at admission, then thrashes the
+	// 16-page pool.
+	if _, err := svc.Query(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+
+	time.Sleep(thrashWindow + 50*time.Millisecond)
+	_, err = svc.Query(context.Background(), q)
+	var oe *OverloadedError
+	if !errors.As(err, &oe) || oe.Reason != "pager-thrash" {
+		t.Fatalf("got %v, want pager-thrash OverloadedError", err)
+	}
+	if oe.ThrashRatio < threshold || oe.RetryAfter <= 0 {
+		t.Fatalf("refusal carries ratio %.2f (threshold %.2f) retry-after %v", oe.ThrashRatio, threshold, oe.RetryAfter)
+	}
+	m := svc.Snapshot()
+	if m.Shed == 0 || m.ThrashRatio < threshold {
+		t.Fatalf("metrics after thrash shed: shed=%d ratio=%.2f", m.Shed, m.ThrashRatio)
+	}
+
+	// A quiet window drains the meter: shed queries never touch the pool,
+	// so the next sample sees zero faults and admission reopens.
+	time.Sleep(thrashWindow + 50*time.Millisecond)
+	if _, err := svc.Query(context.Background(), q); err != nil {
+		t.Fatalf("admission did not reopen after quiet window: %v", err)
+	}
+}
+
+// TestHTTPLifecycle: the HTTP surface of the failure model — ?timeout=
+// parsing, 504 with kind "timeout", 500 with kind "internal" on a contained
+// panic (server keeps serving), and the new lifecycle metrics.
+func TestHTTPLifecycle(t *testing.T) {
+	svc, mix := pagerService(t, Config{MaxConcurrent: 4}, 0)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	post := func(path string) (int, ErrorResponse) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "text/plain", strings.NewReader(mix[0]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var er ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&er)
+		return resp.StatusCode, er
+	}
+
+	// Malformed timeout → 400 bad_request.
+	if code, er := post("/query?timeout=banana"); code != http.StatusBadRequest || er.Kind != "bad_request" {
+		t.Fatalf("bad timeout: %d %+v", code, er)
+	}
+
+	// Deadline expiry → 504 timeout. The hook slows every statement.
+	mil.SetExecHook(func(i int, op string) { time.Sleep(4 * time.Millisecond) })
+	if code, er := post("/query?timeout=10ms&noresult=1"); code != http.StatusGatewayTimeout || er.Kind != "timeout" {
+		t.Fatalf("timeout: %d %+v", code, er)
+	}
+	mil.SetExecHook(nil)
+
+	// Contained panic → 500 internal; the server keeps serving afterwards.
+	var armed atomic.Bool
+	armed.Store(true)
+	mil.SetExecHook(func(i int, op string) {
+		if armed.CompareAndSwap(true, false) {
+			panic(&storage.InjectedFault{N: 1})
+		}
+	})
+	if code, er := post("/query?noresult=1"); code != http.StatusInternalServerError || er.Kind != "internal" {
+		t.Fatalf("contained panic: %d %+v", code, er)
+	}
+	mil.SetExecHook(nil)
+	if code, _ := post("/query?noresult=1"); code != http.StatusOK {
+		t.Fatalf("server stopped serving after contained panic: %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := func() ([]byte, error) {
+		defer resp.Body.Close()
+		b := new(strings.Builder)
+		_, e := copyBody(b, resp.Body)
+		return []byte(b.String()), e
+	}()
+	for _, metric := range []string{"moaserve_canceled_total", "moaserve_timeouts_total 1", "moaserve_panics_total 1", "moaserve_pager_thrash_ratio"} {
+		if !strings.Contains(string(body), metric) {
+			t.Fatalf("metrics missing %q:\n%s", metric, body)
+		}
+	}
+}
+
+func copyBody(dst *strings.Builder, src interface{ Read([]byte) (int, error) }) (int64, error) {
+	buf := make([]byte, 4096)
+	var n int64
+	for {
+		k, err := src.Read(buf)
+		dst.Write(buf[:k])
+		n += int64(k)
+		if err != nil {
+			return n, nil
+		}
+	}
+}
+
+// TestLoadgenRetryBackoff: the closed-loop client honors Retry-After with
+// jittered exponential backoff (retries the same query, counts retries) and
+// classifies deadline/cancel outcomes apart from hard errors.
+func TestLoadgenRetryBackoff(t *testing.T) {
+	var calls atomic.Int64
+	do := func(src string) error {
+		// Two refusals, then success.
+		if calls.Add(1)%3 != 0 {
+			return &OverloadedError{Reason: "memory", RetryAfter: 4 * time.Millisecond}
+		}
+		return nil
+	}
+	rep := RunLoad(LoadConfig{
+		Clients: 2, Duration: 150 * time.Millisecond,
+		Queries: []string{"a", "b"}, ShedBackoff: time.Millisecond, Seed: 42,
+	}, do)
+	if rep.Errors != 0 || rep.Queries == 0 {
+		t.Fatalf("backoff run: %v", rep)
+	}
+	if rep.Shed == 0 || rep.Retries == 0 || rep.Retries > rep.Shed {
+		t.Fatalf("shed=%d retries=%d: refusals must be retried", rep.Shed, rep.Retries)
+	}
+	// Retry-After honored: every retry waited >= ~2ms (4ms × 0.5 jitter
+	// floor), so the per-client success rate is bounded by the waits.
+	maxPossible := int64(rep.Elapsed/(2*2*time.Millisecond))*int64(rep.Clients) + int64(rep.Clients)
+	if rep.Queries > maxPossible {
+		t.Fatalf("%d successes in %v with mandatory backoffs: Retry-After ignored", rep.Queries, rep.Elapsed)
+	}
+
+	// Lifecycle outcomes are classified, not lumped into errors.
+	seq := atomic.Int64{}
+	do2 := func(src string) error {
+		switch seq.Add(1) % 3 {
+		case 1:
+			return fmt.Errorf("t: %w", context.DeadlineExceeded)
+		case 2:
+			return fmt.Errorf("c: %w", context.Canceled)
+		}
+		return nil
+	}
+	rep2 := RunLoad(LoadConfig{Clients: 1, Duration: 50 * time.Millisecond, Queries: []string{"a"}}, do2)
+	if rep2.Timeouts == 0 || rep2.Canceled == 0 || rep2.Errors != 0 {
+		t.Fatalf("classification: %v", rep2)
+	}
+}

@@ -1,10 +1,14 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -14,9 +18,12 @@ import (
 // query only after the previous one returned — the standard model for
 // measuring a service's sustainable QPS (offered load adapts to service
 // rate, so the system is never driven into an unbounded queue). Overload
-// refusals are counted separately from errors and retried after a short
-// backoff, which is exactly the client behavior the admission controller's
-// Retry-After contract asks for.
+// refusals retry the same query with jittered exponential backoff, honoring
+// the server's Retry-After suggestion when it is longer — exactly the
+// client behavior the admission controller's 503 contract asks for (and the
+// jitter prevents the shed cohort from re-arriving in lockstep). Timeouts
+// and cancellations are clean lifecycle outcomes, counted apart from hard
+// errors.
 
 // LoadConfig tunes one load-generation run.
 type LoadConfig struct {
@@ -26,8 +33,16 @@ type LoadConfig struct {
 	Duration time.Duration
 	// Queries is the mix; client i starts at offset i and round-robins.
 	Queries []string
-	// ShedBackoff is the pause after an overload refusal (default 2ms).
+	// ShedBackoff is the base pause after an overload refusal (default
+	// 2ms); consecutive refusals of the same query double it.
 	ShedBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (default 250ms). A server
+	// Retry-After longer than the cap is honored anyway — the server knows
+	// something the client doesn't.
+	MaxBackoff time.Duration
+	// Seed seeds the per-client backoff jitter; 0 picks a fixed default so
+	// unseeded runs are reproducible.
+	Seed int64
 }
 
 // LoadReport summarizes a load-generation run.
@@ -36,14 +51,18 @@ type LoadReport struct {
 	Elapsed       time.Duration
 	Queries       int64 // completed successfully
 	Errors        int64 // hard failures
-	Shed          int64 // overload refusals (retried)
+	Shed          int64 // overload refusals
+	Retries       int64 // re-issues after a refusal (== shed unless the run ended first)
+	Timeouts      int64 // queries stopped by deadline expiry
+	Canceled      int64 // queries stopped by cancellation
 	QPS           float64
 	P50, P95, P99 time.Duration
 }
 
 func (r *LoadReport) String() string {
-	return fmt.Sprintf("clients=%d elapsed=%v queries=%d errors=%d shed=%d qps=%.1f p50=%v p95=%v p99=%v",
+	return fmt.Sprintf("clients=%d elapsed=%v queries=%d errors=%d shed=%d retries=%d timeouts=%d canceled=%d qps=%.1f p50=%v p95=%v p99=%v",
 		r.Clients, r.Elapsed.Round(time.Millisecond), r.Queries, r.Errors, r.Shed,
+		r.Retries, r.Timeouts, r.Canceled,
 		r.QPS, r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond))
 }
 
@@ -57,14 +76,22 @@ func RunLoad(cfg LoadConfig, do func(src string) error) *LoadReport {
 	if cfg.ShedBackoff <= 0 {
 		cfg.ShedBackoff = 2 * time.Millisecond
 	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 250 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
 	if len(cfg.Queries) == 0 {
 		return &LoadReport{Clients: cfg.Clients}
 	}
 
 	type clientStats struct {
-		lat          []time.Duration
-		queries      int64
-		errors, shed int64
+		lat                []time.Duration
+		queries            int64
+		errors, shed       int64
+		retries            int64
+		timeouts, canceled int64
 	}
 	stats := make([]clientStats, cfg.Clients)
 	deadline := time.Now().Add(cfg.Duration)
@@ -76,19 +103,50 @@ func RunLoad(cfg LoadConfig, do func(src string) error) *LoadReport {
 		go func(c int) {
 			defer wg.Done()
 			st := &stats[c]
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)))
+		run:
 			for i := c; time.Now().Before(deadline); i++ {
 				src := cfg.Queries[i%len(cfg.Queries)]
-				t0 := time.Now()
-				err := do(src)
-				switch {
-				case err == nil:
-					st.lat = append(st.lat, time.Since(t0))
-					st.queries++
-				case IsOverloaded(err):
-					st.shed++
-					time.Sleep(cfg.ShedBackoff)
-				default:
-					st.errors++
+				backoff := cfg.ShedBackoff
+			attempt:
+				for {
+					t0 := time.Now()
+					err := do(src)
+					switch {
+					case err == nil:
+						st.lat = append(st.lat, time.Since(t0))
+						st.queries++
+					case IsOverloaded(err):
+						st.shed++
+						wait := backoff
+						var oe *OverloadedError
+						if errors.As(err, &oe) && oe.RetryAfter > wait {
+							wait = oe.RetryAfter
+						}
+						// Jitter in [0.5, 1.5) of the nominal wait.
+						wait = time.Duration(float64(wait) * (0.5 + rng.Float64()))
+						if backoff *= 2; backoff > cfg.MaxBackoff {
+							backoff = cfg.MaxBackoff
+						}
+						// If the backoff cannot complete before the run ends,
+						// stop issuing entirely — skipping the wait and firing
+						// the next query would turn the run's closing moments
+						// into an un-backed-off hot spin against a server that
+						// just asked for breathing room.
+						if !time.Now().Add(wait).Before(deadline) {
+							break run
+						}
+						time.Sleep(wait)
+						st.retries++
+						continue attempt // same query, not the next one
+					case errors.Is(err, context.DeadlineExceeded):
+						st.timeouts++
+					case errors.Is(err, context.Canceled):
+						st.canceled++
+					default:
+						st.errors++
+					}
+					break
 				}
 			}
 		}(c)
@@ -102,6 +160,9 @@ func RunLoad(cfg LoadConfig, do func(src string) error) *LoadReport {
 		rep.Queries += stats[i].queries
 		rep.Errors += stats[i].errors
 		rep.Shed += stats[i].shed
+		rep.Retries += stats[i].retries
+		rep.Timeouts += stats[i].timeouts
+		rep.Canceled += stats[i].canceled
 		all = append(all, stats[i].lat...)
 	}
 	if elapsed > 0 {
@@ -124,8 +185,10 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 
 // HTTPQueryFunc returns a query executor that POSTs MOA source to a running
 // moaserve instance's /query endpoint — the load generator's remote mode.
-// A 503 maps back to an OverloadedError so closed-loop clients back off the
-// same way they do in process.
+// Status codes map back onto the typed lifecycle outcomes the in-process
+// path produces: 503 → OverloadedError (with the server's Retry-After),
+// 504 → context.DeadlineExceeded, 499 → context.Canceled, so closed-loop
+// clients behave identically in both modes.
 func HTTPQueryFunc(baseURL string, client *http.Client) func(src string) error {
 	if client == nil {
 		client = http.DefaultClient
@@ -138,11 +201,19 @@ func HTTPQueryFunc(baseURL string, client *http.Client) func(src string) error {
 		}
 		defer resp.Body.Close()
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-		switch {
-		case resp.StatusCode == http.StatusOK:
+		switch resp.StatusCode {
+		case http.StatusOK:
 			return nil
-		case resp.StatusCode == http.StatusServiceUnavailable:
-			return &OverloadedError{}
+		case http.StatusServiceUnavailable:
+			oe := &OverloadedError{}
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				oe.RetryAfter = time.Duration(secs) * time.Second
+			}
+			return oe
+		case http.StatusGatewayTimeout:
+			return fmt.Errorf("query timed out: %s: %w", strings.TrimSpace(string(body)), context.DeadlineExceeded)
+		case statusClientClosedRequest:
+			return fmt.Errorf("query canceled: %s: %w", strings.TrimSpace(string(body)), context.Canceled)
 		default:
 			return fmt.Errorf("query failed: %s: %s", resp.Status, strings.TrimSpace(string(body)))
 		}

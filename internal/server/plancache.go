@@ -93,6 +93,24 @@ func (c *planCache) get(src string) (*rewrite.Result, error) {
 	return e.prep, e.err
 }
 
+// invalidate quarantines src's cached preparation: the next request for the
+// same source re-prepares from scratch. Called when an execution of this
+// plan panicked — if the defect lives in the cached preparation (a poisoned
+// entry, a translator bug fixed by re-running it), eviction stops it from
+// recurring out of the cache forever. Unlike evictLocked, in-flight
+// requesters do NOT pin the entry here: they keep their pointer and finish
+// safely on the detached entry (its lock and outcome are self-contained);
+// correctness of quarantine beats deduplicating one prepare.
+func (c *planCache) invalidate(src string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.plans[src]; e != nil {
+		c.unlinkLocked(e)
+		delete(c.plans, src)
+		c.evictions.Add(1)
+	}
+}
+
 // evictLocked drops least recently requested entries that no requester is
 // currently using until the cache is under capacity; callers hold c.mu.
 // When every entry is in flight (more concurrent distinct sources than

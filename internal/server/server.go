@@ -18,10 +18,14 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/mil"
@@ -45,19 +49,84 @@ type Config struct {
 	MemBudgetBytes int64
 	// MaxPlans caps the prepared-plan cache (0 = 256 entries).
 	MaxPlans int
+	// QueryTimeout, when > 0, bounds every query's wall clock as a context
+	// deadline, unless the caller's own context expires sooner. An expired
+	// query stops within one morsel and surfaces as *engine.CanceledError
+	// wrapping context.DeadlineExceeded (HTTP 504).
+	QueryTimeout time.Duration
+	// ThrashShedRatio, when > 0, arms fault-aware admission: while the
+	// shared pager's windowed fault share faults/(faults+hits) is at or
+	// above this ratio, new queries are shed with a typed OverloadedError
+	// (HTTP 503 + Retry-After). A thrashing pool — working set larger than
+	// the buffer pool, every query faulting most of its touches back in —
+	// wastes the whole fleet's time; shedding lets the resident set
+	// stabilize. A cold pool right after start also samples fault-heavy:
+	// shedding then is accepted behavior (clients retry after the warmup
+	// window). 0 disables.
+	ThrashShedRatio float64
+}
+
+// Thrash-meter tuning: the ratio is resampled from the pool's cumulative
+// counters at most once per window, and a window with fewer than
+// thrashMinFaults faults reads as 0 (an idle or tiny sample is not thrash).
+const (
+	thrashWindow    = 250 * time.Millisecond
+	thrashMinFaults = 64
+)
+
+// thrashMeter derives a windowed fault ratio from the shared pool's
+// cumulative fault/hit counters: ratio = Δfaults/(Δfaults+Δhits) over the
+// last completed sampling window. Readers get the last published value from
+// an atomic; one admission check per window pays for the resample.
+type thrashMeter struct {
+	mu         sync.Mutex
+	lastSample time.Time
+	lastFaults uint64
+	lastHits   uint64
+	ratioBits  atomic.Uint64 // math.Float64bits of the published ratio
+}
+
+// ratio reports the last published windowed fault ratio.
+func (t *thrashMeter) ratio() float64 { return math.Float64frombits(t.ratioBits.Load()) }
+
+// observe feeds the pool's cumulative counters; when a full window has
+// elapsed it publishes the new ratio. Returns the current published value.
+func (t *thrashMeter) observe(faults, hits uint64) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	if t.lastSample.IsZero() {
+		t.lastSample, t.lastFaults, t.lastHits = now, faults, hits
+		return t.ratio()
+	}
+	if now.Sub(t.lastSample) < thrashWindow {
+		return t.ratio()
+	}
+	df, dh := faults-t.lastFaults, hits-t.lastHits
+	t.lastSample, t.lastFaults, t.lastHits = now, faults, hits
+	r := 0.0
+	if df >= thrashMinFaults {
+		r = float64(df) / float64(df+dh)
+	}
+	t.ratioBits.Store(math.Float64bits(r))
+	return r
 }
 
 // Service is a concurrent query service over one shared database.
 type Service struct {
-	db    *engine.Database
-	cfg   Config
-	gauge *mil.MemGauge
-	plans *planCache
-	slots chan struct{}
+	db     *engine.Database
+	cfg    Config
+	gauge  *mil.MemGauge
+	plans  *planCache
+	slots  chan struct{}
+	thrash thrashMeter
 
 	queries  atomic.Int64 // completed successfully
 	errors   atomic.Int64 // failed (parse/check/translate/execute)
 	shed     atomic.Int64 // refused by admission control
+	canceled atomic.Int64 // stopped by client disconnect
+	timeouts atomic.Int64 // stopped by deadline expiry
+	panics   atomic.Int64 // contained panics (plan quarantined)
 	inflight atomic.Int64
 }
 
@@ -85,14 +154,21 @@ func New(db *engine.Database, cfg Config) *Service {
 }
 
 // OverloadedError is the admission controller's typed refusal: the service
-// is at its memory budget and sheds the query instead of risking OOM.
-// Clients should back off and retry.
+// sheds the query instead of risking OOM (memory budget) or compounding a
+// thrashing buffer pool. Clients should back off and retry; RetryAfter,
+// when set, is the server's suggested wait.
 type OverloadedError struct {
-	Live   int64 // live intermediate bytes at refusal
-	Budget int64 // configured budget
+	Reason      string        // "memory" or "pager-thrash"
+	Live        int64         // live intermediate bytes at refusal (memory)
+	Budget      int64         // configured budget (memory)
+	ThrashRatio float64       // windowed fault ratio at refusal (pager-thrash)
+	RetryAfter  time.Duration // suggested client backoff (0 = client's choice)
 }
 
 func (e *OverloadedError) Error() string {
+	if e.Reason == "pager-thrash" {
+		return fmt.Sprintf("server overloaded: pager thrashing (windowed fault ratio %.2f)", e.ThrashRatio)
+	}
 	return fmt.Sprintf("server overloaded: %d live intermediate bytes >= %d budget", e.Live, e.Budget)
 }
 
@@ -114,11 +190,32 @@ func (e *ExecError) Error() string { return e.Err.Error() }
 func (e *ExecError) Unwrap() error { return e.Err }
 
 // Query admits, prepares (through the plan cache) and executes one MOA
-// query on a fresh session over the shared database.
-func (s *Service) Query(src string) (*engine.Result, error) {
+// query on a fresh session over the shared database, under ctx's lifecycle:
+// cancellation or deadline expiry — the caller's or the server default
+// (Config.QueryTimeout) — stops the query within one morsel and surfaces as
+// *engine.CanceledError. A contained panic surfaces as an ExecError
+// wrapping *engine.InternalError, and the cached plan that produced it is
+// quarantined (evicted) so a plan-correlated defect cannot keep recurring
+// from the cache. nil ctx means no lifecycle.
+func (s *Service) Query(ctx context.Context, src string) (*engine.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d := s.cfg.QueryTimeout; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
 	// A bounded slot pool: a burst beyond MaxConcurrent queues here
-	// instead of oversubscribing the CPU with competing morsel workers.
-	s.slots <- struct{}{}
+	// instead of oversubscribing the CPU with competing morsel workers. A
+	// caller whose context dies while queued leaves without ever holding a
+	// slot — queued cancellations cannot wedge the pool.
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		return nil, s.refuseCtx(ctx.Err())
+	}
 	defer func() { <-s.slots }()
 
 	// Admission: gate query start on the global memory budget. The gauge
@@ -127,7 +224,17 @@ func (s *Service) Query(src string) (*engine.Result, error) {
 	if b := s.cfg.MemBudgetBytes; b > 0 {
 		if live := s.gauge.Live(); live >= b {
 			s.shed.Add(1)
-			return nil, &OverloadedError{Live: live, Budget: b}
+			return nil, &OverloadedError{Reason: "memory", Live: live, Budget: b, RetryAfter: time.Second}
+		}
+	}
+
+	// Admission: shed while the shared pager thrashes. The windowed fault
+	// ratio is resampled at most once per thrashWindow by whichever query
+	// arrives first; everyone else reads the published value.
+	if r := s.cfg.ThrashShedRatio; r > 0 && s.db.Pager != nil {
+		if ratio := s.thrash.observe(s.db.Pager.Faults(), s.db.Pager.Hits()); ratio >= r {
+			s.shed.Add(1)
+			return nil, &OverloadedError{Reason: "pager-thrash", ThrashRatio: ratio, RetryAfter: time.Second}
 		}
 	}
 
@@ -143,13 +250,53 @@ func (s *Service) Query(src string) (*engine.Result, error) {
 	sess.Workers = s.cfg.Workers
 	sess.MorselRows = s.cfg.MorselRows
 	sess.Gauge = s.gauge
-	res, err := sess.Execute(prep)
+	res, err := sess.Execute(ctx, prep)
 	if err != nil {
+		var ce *engine.CanceledError
+		var ie *engine.InternalError
+		var ue *mil.UserError
+		switch {
+		case errors.As(err, &ce):
+			// Clean unwind, not a server defect: count by cause, pass the
+			// typed error through untouched (HTTP 499/504).
+			s.countCtx(ce.Err)
+			return nil, err
+		case errors.As(err, &ie):
+			// Contained panic. Quarantine the cached plan: if the defect
+			// correlates with this plan (a translator bug, a poisoned
+			// cache entry), the next request re-prepares from source
+			// instead of replaying the bad preparation forever.
+			s.panics.Add(1)
+			s.errors.Add(1)
+			s.plans.invalidate(src)
+			return nil, &ExecError{Err: err}
+		case errors.As(err, &ue):
+			// The program asked for something the algebra cannot do: the
+			// caller's fault, not the server's (HTTP 400, not 500).
+			s.errors.Add(1)
+			return nil, err
+		}
 		s.errors.Add(1)
 		return nil, &ExecError{Err: err}
 	}
 	s.queries.Add(1)
 	return res, nil
+}
+
+// refuseCtx types a context death observed before execution started (while
+// queued for a slot) as the same *engine.CanceledError execution produces,
+// so callers see one cancellation shape regardless of where the signal won.
+func (s *Service) refuseCtx(cause error) error {
+	s.countCtx(cause)
+	return &engine.CanceledError{Err: fmt.Errorf("queued for execution slot: %w", cause)}
+}
+
+func (s *Service) countCtx(cause error) {
+	if errors.Is(cause, context.DeadlineExceeded) {
+		s.timeouts.Add(1)
+	} else {
+		s.canceled.Add(1)
+	}
 }
 
 // Gauge exposes the service's live-intermediate gauge (metrics, tests,
@@ -158,17 +305,21 @@ func (s *Service) Gauge() *mil.MemGauge { return s.gauge }
 
 // Metrics is a point-in-time snapshot of the service counters.
 type Metrics struct {
-	Queries       int64  // successfully completed queries
-	Errors        int64  // failed queries
-	Shed          int64  // admission-control refusals
-	Inflight      int64  // currently executing
-	PlanHits      int64  // plan-cache hits
-	PlanMisses    int64  // plan-cache misses (actual prepares)
-	PlanEvictions int64  // plan-cache LRU evictions
-	LiveBytes     int64  // current live intermediate bytes
-	PagerFaults   uint64 // page faults across all sessions (0 without a pager)
-	PagerHits     uint64 // page hits across all sessions
-	PagerResident int64  // pages resident in the shared pool
+	Queries       int64   // successfully completed queries
+	Errors        int64   // failed queries
+	Shed          int64   // admission-control refusals
+	Canceled      int64   // queries stopped by client disconnect
+	Timeouts      int64   // queries stopped by deadline expiry
+	Panics        int64   // contained panics (each quarantined its plan)
+	Inflight      int64   // currently executing
+	PlanHits      int64   // plan-cache hits
+	PlanMisses    int64   // plan-cache misses (actual prepares)
+	PlanEvictions int64   // plan-cache LRU evictions
+	LiveBytes     int64   // current live intermediate bytes
+	PagerFaults   uint64  // page faults across all sessions (0 without a pager)
+	PagerHits     uint64  // page hits across all sessions
+	PagerResident int64   // pages resident in the shared pool
+	ThrashRatio   float64 // last published windowed pager fault ratio
 }
 
 // Snapshot reads the service counters. The pager counters aggregate over
@@ -182,6 +333,9 @@ func (s *Service) Snapshot() Metrics {
 		Queries:       s.queries.Load(),
 		Errors:        s.errors.Load(),
 		Shed:          s.shed.Load(),
+		Canceled:      s.canceled.Load(),
+		Timeouts:      s.timeouts.Load(),
+		Panics:        s.panics.Load(),
 		Inflight:      s.inflight.Load(),
 		PlanHits:      hits,
 		PlanMisses:    misses,
@@ -190,5 +344,6 @@ func (s *Service) Snapshot() Metrics {
 		PagerFaults:   p.Faults(),
 		PagerHits:     p.Hits(),
 		PagerResident: int64(p.Resident()),
+		ThrashRatio:   s.thrash.ratio(),
 	}
 }

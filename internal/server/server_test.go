@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -68,7 +69,7 @@ func TestConcurrentSessionsBitIdentical(t *testing.T) {
 				// instant different queries are in flight.
 				for i := range mix {
 					qi := (i + s) % len(mix)
-					res, err := svc.Query(mix[qi])
+					res, err := svc.Query(context.Background(), mix[qi])
 					if err != nil {
 						errs <- err
 						return
@@ -101,7 +102,7 @@ func TestSingleflightAcceleratorBuilds(t *testing.T) {
 	svc, mix := testService(t, Config{Workers: 2, MaxConcurrent: 8})
 	pass := func() {
 		for _, q := range mix {
-			if _, err := svc.Query(q); err != nil {
+			if _, err := svc.Query(context.Background(), q); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -150,7 +151,7 @@ func TestPlanCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := svc.Query(mix[0]); err != nil {
+			if _, err := svc.Query(context.Background(), mix[0]); err != nil {
 				t.Error(err)
 			}
 		}()
@@ -159,17 +160,17 @@ func TestPlanCacheSingleflight(t *testing.T) {
 	if _, misses, _ := svc.plans.stats(); misses != 1 {
 		t.Fatalf("stampede prepared %d times, want 1", misses)
 	}
-	if _, err := svc.Query(mix[1]); err != nil {
+	if _, err := svc.Query(context.Background(), mix[1]); err != nil {
 		t.Fatal(err)
 	}
 	if hits, misses, _ := svc.plans.stats(); misses != 2 || hits != g-1 {
 		t.Fatalf("hits=%d misses=%d, want hits=%d misses=2", hits, misses, g-1)
 	}
 	// Errors are cached outcomes too.
-	if _, err := svc.Query("select[=("); err == nil {
+	if _, err := svc.Query(context.Background(), "select[=("); err == nil {
 		t.Fatal("bad source must fail")
 	}
-	if _, err := svc.Query("select[=("); err == nil {
+	if _, err := svc.Query(context.Background(), "select[=("); err == nil {
 		t.Fatal("cached bad source must still fail")
 	}
 }
@@ -179,7 +180,7 @@ func TestPlanCacheSingleflight(t *testing.T) {
 func TestAdmissionControlSheds(t *testing.T) {
 	svc, mix := testService(t, Config{MemBudgetBytes: 1 << 20, MaxConcurrent: 2})
 	svc.Gauge().Add(1 << 20) // external reservation pins the gauge at budget
-	_, err := svc.Query(mix[0])
+	_, err := svc.Query(context.Background(), mix[0])
 	if !IsOverloaded(err) {
 		t.Fatalf("expected overload refusal, got %v", err)
 	}
@@ -191,7 +192,7 @@ func TestAdmissionControlSheds(t *testing.T) {
 		t.Fatalf("shed counter = %d, want 1", m.Shed)
 	}
 	svc.Gauge().Add(-(1 << 20))
-	if _, err := svc.Query(mix[0]); err != nil {
+	if _, err := svc.Query(context.Background(), mix[0]); err != nil {
 		t.Fatalf("query under budget failed: %v", err)
 	}
 	// All intermediate memory returns to the gauge after the query.
@@ -228,7 +229,7 @@ func TestHTTPEndpoints(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	direct, err := svc.Query(mix[0])
+	direct, err := svc.Query(context.Background(), mix[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +294,7 @@ func TestServiceKeepsPagerFaultAccounting(t *testing.T) {
 	svc := New(db, Config{MaxConcurrent: 4})
 	queries := tpcd.Queries(gen)
 
-	res, err := svc.Query(queries[0].MOA)
+	res, err := svc.Query(context.Background(), queries[0].MOA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +311,7 @@ func TestServiceKeepsPagerFaultAccounting(t *testing.T) {
 			defer wg.Done()
 			var local uint64
 			for i := 0; i < 4; i++ {
-				r, err := svc.Query(queries[(i+s)%len(queries)].MOA)
+				r, err := svc.Query(context.Background(), queries[(i+s)%len(queries)].MOA)
 				if err != nil {
 					t.Error(err)
 					return
@@ -366,7 +367,7 @@ func TestServiceKeepsPagerFaultAccounting(t *testing.T) {
 func TestRunLoadClosedLoop(t *testing.T) {
 	svc, mix := testService(t, Config{MaxConcurrent: 4})
 	rep := RunLoad(LoadConfig{Clients: 3, Duration: 300 * time.Millisecond, Queries: mix[:4]},
-		func(src string) error { _, err := svc.Query(src); return err })
+		func(src string) error { _, err := svc.Query(context.Background(), src); return err })
 	if rep.Errors != 0 {
 		t.Fatalf("load run errored %d times", rep.Errors)
 	}

@@ -95,7 +95,21 @@ type Pager struct {
 	capacity int    // max resident pages across all stripes; <= 0 unbounded
 	mask     uint64 // len(stripes) - 1
 
+	// injector, when non-nil, applies a fault-injection plan to every
+	// persistent touch (chaos harness; see fault.go). Checked before the
+	// stripe lock so an injected panic never wedges the pool.
+	injector atomic.Pointer[FaultInjector]
+
 	stripes []stripe
+}
+
+// SetFaultInjector attaches (or, with nil, removes) a fault injector. Safe
+// to call while other sessions touch the pool.
+func (p *Pager) SetFaultInjector(f *FaultInjector) {
+	if p == nil {
+		return
+	}
+	p.injector.Store(f)
 }
 
 // stripeCount picks the stripe count for a pool capacity; see the sizing
@@ -271,6 +285,9 @@ func (p *Pager) TouchRange(h HeapID, off, n int64) {
 // touchKey routes the page to its stripe and reports whether the touch
 // faulted (the page was not resident).
 func (p *Pager) touchKey(k pageKey) bool {
+	if inj := p.injector.Load(); inj != nil {
+		inj.visit(k) // may sleep or panic; no locks held, nothing recorded yet
+	}
 	// splitmix-style mix of (heap, page): heaps are small sequential ints
 	// and page runs are sequential, so both need scrambling before masking.
 	x := uint64(k.heap)*0x9E3779B97F4A7C15 + uint64(k.page)
@@ -417,6 +434,11 @@ func (t *Tracker) Touch(h HeapID, off int64) {
 // against the shared pool, touching each page in the range once and
 // attributing the outcomes to this tracker. Accesses to transient storage
 // (heap 0) are ignored.
+//
+// Attribution is deferred so it also runs when an injected fault panics
+// mid-range: the pages touched before the panic were already recorded in
+// the pool, and losing their tracker counts would break the Σ(trackers) =
+// pool conservation invariant the chaos suite asserts.
 func (t *Tracker) TouchRange(h HeapID, off, n int64) {
 	if t == nil || h == 0 || n <= 0 {
 		return
@@ -424,17 +446,19 @@ func (t *Tracker) TouchRange(h HeapID, off, n int64) {
 	first := off / t.pool.pageSize
 	last := (off + n - 1) / t.pool.pageSize
 	var faults, hits uint64
+	defer func() {
+		if faults > 0 {
+			t.faults.Add(faults)
+		}
+		if hits > 0 {
+			t.hits.Add(hits)
+		}
+	}()
 	for pg := first; pg <= last; pg++ {
 		if t.pool.touchKey(pageKey{h, pg}) {
 			faults++
 		} else {
 			hits++
 		}
-	}
-	if faults > 0 {
-		t.faults.Add(faults)
-	}
-	if hits > 0 {
-		t.hits.Add(hits)
 	}
 }

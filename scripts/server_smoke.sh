@@ -8,7 +8,11 @@
 # runs (per-page outcomes in an unbounded shared pool depend only on the
 # distinct pages the fixed query mix touches — not on session interleaving).
 # Fails when the load run reports hard errors (or completes nothing) or the
-# server does not shut down cleanly. Knobs: ADDR, DURATION, CLIENTS, MIX.
+# server does not shut down cleanly. A third run exercises the failure
+# model: -query-timeout and -fault-every armed, asserting 400/504/500 over
+# HTTP, panic containment (the server answers after a contained fault), the
+# lifecycle counters on /metrics, and a clean drain afterwards.
+# Knobs: ADDR, DURATION, CLIENTS, MIX.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -65,6 +69,89 @@ run_once() {
 	echo "$metrics" | awk '/^moaserve_pager_faults_total /{print $2}' >"$outfile"
 }
 
+# run_lifecycle: the failure-model scenario. Start a server with a default
+# query deadline and storage fault injection armed, then require over plain
+# HTTP: (1) a malformed ?timeout= is a 400, (2) an unmeetable ?timeout= is a
+# 504, (3) injected faults eventually surface as a contained 500 after which
+# the server still answers 200 (panic containment, not process death),
+# (4) /metrics reports the timeout and panic counters, (5) SIGTERM drains
+# cleanly even after all of the above.
+run_lifecycle() {
+	# Cadences are calibrated to the ~40k pool touches one query makes at
+	# this scale: -fault-delay-every widens every query's execution window
+	# to ~20ms so the ?timeout= deadline below reliably expires mid-query
+	# (Go timer delivery is ~1ms; a 2ms deadline inside a 2ms query is a
+	# coin flip), and -fault-every injects a fault roughly every tenth
+	# query so both the 500 path and the keeps-serving path are reachable.
+	"$bin" -addr "$ADDR" -sf 0.002 -query-timeout 30s -fault-every 400000 -fault-delay-every 2000 -fault-delay 1ms &
+	pid=$!
+
+	ready=0
+	i=0
+	while [ $i -lt 100 ]; do
+		if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+			ready=1
+			break
+		fi
+		sleep 0.2
+		i=$((i + 1))
+	done
+	[ "$ready" = 1 ] || { echo "server-smoke: server never became ready (lifecycle)" >&2; exit 1; }
+
+	# Q6: a single-table scan-and-aggregate — compact enough to embed, heavy
+	# enough to touch a few hundred pool pages per execution.
+	q='sum(project[*(extendedprice, discount)](
+  select[>=(shipdate, date("1994-01-01")), <(shipdate, date("1995-01-01")),
+         >=(discount, 0.05), <=(discount, 0.07), <(quantity, 24)](Item)))'
+
+	code=$(curl -s -o /dev/null -w '%{http_code}' -X POST --data "$q" "http://$ADDR/query?timeout=banana")
+	[ "$code" = 400 ] || { echo "server-smoke: malformed timeout gave $code, want 400" >&2; exit 1; }
+
+	code=$(curl -s -o /dev/null -w '%{http_code}' -X POST --data "$q" "http://$ADDR/query?timeout=2ms")
+	[ "$code" = 504 ] || { echo "server-smoke: unmeetable timeout gave $code, want 504" >&2; exit 1; }
+
+	# Injected storage faults (every 4000th page touch) must surface as a
+	# contained 500 within a bounded number of queries.
+	saw500=0
+	i=0
+	while [ $i -lt 200 ]; do
+		code=$(curl -s -o /dev/null -w '%{http_code}' -X POST --data "$q" "http://$ADDR/query?noresult=1")
+		if [ "$code" = 500 ]; then
+			saw500=1
+			break
+		fi
+		[ "$code" = 200 ] || { echo "server-smoke: unexpected status $code under fault injection" >&2; exit 1; }
+		i=$((i + 1))
+	done
+	[ "$saw500" = 1 ] || { echo "server-smoke: no injected fault surfaced in 200 queries" >&2; exit 1; }
+
+	curl -fsS "http://$ADDR/healthz" >/dev/null || { echo "server-smoke: server dead after contained fault" >&2; exit 1; }
+	# The injector stays armed, so a retry may eat another fault; the server
+	# keeps serving if some attempt soon succeeds.
+	served=0
+	i=0
+	while [ $i -lt 10 ]; do
+		code=$(curl -s -o /dev/null -w '%{http_code}' -X POST --data "$q" "http://$ADDR/query?noresult=1")
+		if [ "$code" = 200 ]; then
+			served=1
+			break
+		fi
+		i=$((i + 1))
+	done
+	[ "$served" = 1 ] || { echo "server-smoke: server stopped serving after contained fault" >&2; exit 1; }
+
+	metrics=$(curl -fsS "http://$ADDR/metrics")
+	timeouts=$(echo "$metrics" | awk '/^moaserve_timeouts_total /{print $2}')
+	panics=$(echo "$metrics" | awk '/^moaserve_panics_total /{print $2}')
+	[ -n "$timeouts" ] && [ "$timeouts" -ge 1 ] || { echo "server-smoke: timeout counter missing or zero" >&2; exit 1; }
+	[ -n "$panics" ] && [ "$panics" -ge 1 ] || { echo "server-smoke: panic counter missing or zero" >&2; exit 1; }
+
+	kill -TERM "$pid"
+	wait "$pid"
+	pid=""
+	echo "server-smoke: lifecycle scenario ok (timeouts=$timeouts panics=$panics)" >&2
+}
+
 faults_file=$(mktemp -t smoke-faults.XXXXXX)
 run_once cold-run-1 "$faults_file"
 f1=$(cat "$faults_file")
@@ -82,3 +169,5 @@ if [ "$f1" -ne "$f2" ]; then
 	exit 1
 fi
 echo "server-smoke: pager faults stable across cold runs ($f1)"
+
+run_lifecycle
