@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test test-race chaos bench bench-ablation bench-smoke bench-snapshot bench-compare bench-gate server-smoke ci
+.PHONY: verify build vet test test-race chaos crash bench bench-ablation bench-smoke bench-snapshot bench-compare bench-gate server-smoke ci
 
 ## verify: the tier-1 gate — build, vet, the full test suite, and the race
 ## detector over the parallel kernels (partitioned builds, parallel probes,
@@ -32,6 +32,17 @@ test-race:
 chaos:
 	$(GO) test ./internal/server -race -count=2 \
 		-run 'TestChaosQueryLifecycle|TestCancellationCleanliness|TestCancelMidBuildRebuildsOnce'
+
+## crash: the durability crash-injection suite under the race detector —
+## kill the process (simulated via in-test panic at six injection points:
+## around the WAL fsync, the epoch swap, and the snapshot rename) and
+## require recovery to land bit-identically on the pre- or post-ingest
+## epoch, never a blend, with eight concurrent readers pinned across the
+## kill at the swap point. CRASH_SEEDS=<s1>,<s2>,... overrides the default
+## deterministic {1,2} seed list; CI runs this with fresh seeds per build.
+crash:
+	$(GO) test ./internal/epoch -race -count=1 \
+		-run 'TestCrashMatrix|TestTornTail|TestConcurrentReadersAcrossCrash'
 
 ## bench: the full benchmark sweep with allocation accounting.
 bench:
@@ -76,5 +87,5 @@ server-smoke:
 ## bench-gate stays advisory here too (the workflow runs it with
 ## continue-on-error): a red gate on a different host class is a prompt
 ## to re-measure, not a failure.
-ci: verify chaos bench-smoke server-smoke
+ci: verify chaos crash bench-smoke server-smoke
 	-./scripts/bench_gate.sh

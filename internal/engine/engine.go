@@ -13,6 +13,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"repro/internal/epoch"
 	"repro/internal/mil"
 	"repro/internal/moa"
 	"repro/internal/rewrite"
@@ -42,6 +43,13 @@ func AutoWorkers() int { return runtime.GOMAXPROCS(0) }
 type Database struct {
 	Schema *moa.Schema
 	Env    mil.Env
+	// Epochs, when non-nil, makes the database writable behind epoch-based
+	// copy-on-write publication: each Execute pins the chain's current
+	// epoch for the query's lifetime and resolves base BATs through that
+	// epoch's env instead of Env (which then only serves as the fallback
+	// for epoch-less use). In-flight queries keep their snapshot while
+	// ingests swap new epochs in — snapshot isolation, lock-free reads.
+	Epochs *epoch.Manager
 	// Pager, when non-nil, simulates paged storage and accounts page
 	// faults (the substitute for Monet's memory-mapped files).
 	Pager *storage.Pager
@@ -67,6 +75,7 @@ type Stats struct {
 	Hits        uint64 // page hits attributed to this query (buffer efficacy)
 	IntermBytes int64  // total size of all intermediate results
 	PeakBytes   int64  // maximum memory consumption during execution
+	Epoch       uint64 // epoch the query executed against (0 without epochs)
 }
 
 // Result is a fully executed query.
@@ -157,6 +166,20 @@ func (s *Session) Query(qctx context.Context, src string) (*Result, error) {
 // the shared gauge, so admission control never leaks budget to dead queries.
 func (s *Session) Execute(qctx context.Context, prep *rewrite.Result) (res *Result, err error) {
 	ctx := &mil.Ctx{Pager: s.Pager, Workers: s.Workers, MorselRows: s.MorselRows, Gauge: s.Gauge}
+	// Pin the current epoch for the whole query: base BATs resolve through
+	// the pinned env, so an ingest publishing a new epoch mid-query cannot
+	// change what this query sees (snapshot isolation). The deferred Release
+	// runs on every exit path — success, user error, cancellation, panic —
+	// which is what keeps retired epochs from leaking pins (and therefore
+	// gauge bytes) when queries die.
+	base := s.db.Env
+	var epochID uint64
+	if m := s.db.Epochs; m != nil {
+		ep := m.Acquire()
+		base = ep.Env
+		epochID = ep.ID
+		defer ep.Release()
+	}
 	// Only a cancellable context arms the interpreter's stop hooks:
 	// Background/TODO have a nil Done channel, and the uncancellable fast
 	// path stays free of even the amortized per-morsel poll.
@@ -175,6 +198,7 @@ func (s *Session) Execute(qctx context.Context, prep *rewrite.Result) (res *Resu
 			Hits:        ctx.PageHits(),
 			IntermBytes: ctx.IntermBytes,
 			PeakBytes:   ctx.PeakBytes,
+			Epoch:       epochID,
 		}
 	}
 	// Outermost containment: the interpreter already recovers per-statement
@@ -195,7 +219,7 @@ func (s *Session) Execute(qctx context.Context, prep *rewrite.Result) (res *Resu
 	// BATs resolve through the shared map, every binding lands in the
 	// session-private level — no O(|database|) env copy per query, and
 	// concurrent or repeated queries cannot pollute the database env.
-	scope := mil.NewScope(s.db.Env, len(prep.Prog.Stmts))
+	scope := mil.NewScope(base, len(prep.Prog.Stmts))
 	traces, rerr := mil.RunScope(ctx, prep.Prog, scope)
 	if rerr != nil {
 		var pe *mil.PanicError
@@ -229,6 +253,7 @@ func (s *Session) Execute(qctx context.Context, prep *rewrite.Result) (res *Resu
 			Hits:        ctx.PageHits(),
 			IntermBytes: ctx.IntermBytes,
 			PeakBytes:   ctx.PeakBytes,
+			Epoch:       epochID,
 		},
 	}, nil
 }

@@ -1,0 +1,177 @@
+package epoch
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/mil"
+)
+
+// envN builds a tiny distinct env so tests can tell epochs apart.
+func envN(n int) mil.Env {
+	b := bat.New(fmt.Sprintf("e%d", n), bat.NewVoid(0, 1), bat.NewIntCol([]int64{int64(n)}), 0)
+	return mil.Env{"marker": b}
+}
+
+func envMarker(t *testing.T, env mil.Env) int64 {
+	t.Helper()
+	b := env["marker"]
+	if b == nil {
+		t.Fatal("env has no marker BAT")
+	}
+	return b.TailValue(0).I
+}
+
+func TestPinHoldsSnapshotAcrossPublish(t *testing.T) {
+	m := NewManager(envN(0))
+	if m.CurrentID() != 0 {
+		t.Fatalf("genesis id = %d, want 0", m.CurrentID())
+	}
+
+	pinned := m.Acquire()
+	next := m.Publish(envN(1), 100)
+	if next.ID != 1 || m.CurrentID() != 1 {
+		t.Fatalf("after publish: next.ID=%d current=%d, want 1,1", next.ID, m.CurrentID())
+	}
+	// The pinned reader still sees epoch 0's env, bit-for-bit.
+	if got := envMarker(t, pinned.Env); got != 0 {
+		t.Fatalf("pinned env marker = %d, want 0 (snapshot isolation)", got)
+	}
+	// A fresh reader sees the new epoch immediately.
+	fresh := m.Acquire()
+	if fresh.ID != 1 {
+		t.Fatalf("fresh acquire pinned epoch %d, want 1", fresh.ID)
+	}
+	if got := envMarker(t, fresh.Env); got != 1 {
+		t.Fatalf("fresh env marker = %d, want 1", got)
+	}
+	// Retired epoch 0 stays alive while pinned.
+	if a := m.Alive(); a != 2 {
+		t.Fatalf("alive = %d with one retired pin outstanding, want 2", a)
+	}
+	pinned.Release()
+	fresh.Release()
+	if a, p := m.Alive(), m.Pins(); a != 1 || p != 0 {
+		t.Fatalf("at quiesce alive=%d pins=%d, want 1,0", a, p)
+	}
+}
+
+func TestGaugeDebitedOnceAtLastRelease(t *testing.T) {
+	m := NewManager(envN(0))
+	var g mil.MemGauge
+	m.SetGauge(&g)
+
+	e1 := m.Publish(envN(1), 1000)
+	if g.Live() != 1000 {
+		t.Fatalf("gauge after publish = %d, want 1000", g.Live())
+	}
+	// Pin e1 twice, retire it, and check its bytes leave only at the
+	// last unpin — never earlier, never twice.
+	p1 := m.Acquire()
+	p2 := m.Acquire()
+	if p1 != e1 || p2 != e1 {
+		t.Fatalf("acquired %d/%d, want current epoch 1", p1.ID, p2.ID)
+	}
+	m.Publish(envN(2), 500)
+	if g.Live() != 1500 {
+		t.Fatalf("gauge with retired-but-pinned epoch = %d, want 1500", g.Live())
+	}
+	p1.Release()
+	if g.Live() != 1500 {
+		t.Fatalf("gauge after first of two releases = %d, want 1500", g.Live())
+	}
+	p2.Release()
+	if g.Live() != 500 {
+		t.Fatalf("gauge after last release = %d, want 500 (current epoch only)", g.Live())
+	}
+	if a, p := m.Alive(), m.Pins(); a != 1 || p != 0 {
+		t.Fatalf("at quiesce alive=%d pins=%d, want 1,0", a, p)
+	}
+}
+
+func TestUnpinnedRetireFreesImmediately(t *testing.T) {
+	m := NewManager(envN(0))
+	var g mil.MemGauge
+	m.SetGauge(&g)
+	m.Publish(envN(1), 700)
+	m.Publish(envN(2), 300) // retires epoch 1 with no pins
+	if g.Live() != 300 {
+		t.Fatalf("gauge = %d, want 300 (epoch 1 freed on retire)", g.Live())
+	}
+	if m.Alive() != 1 {
+		t.Fatalf("alive = %d, want 1", m.Alive())
+	}
+}
+
+// TestConcurrentAcquireDuringPublish races many reader goroutines against a
+// publisher and verifies the conservation laws at quiesce: pins 0, alive 1,
+// gauge exactly the current epoch's owned bytes, and every pinned epoch's
+// env was internally consistent (the marker matches the pinned id).
+func TestConcurrentAcquireDuringPublish(t *testing.T) {
+	m := NewManager(envN(0))
+	var g mil.MemGauge
+	m.SetGauge(&g)
+
+	const (
+		readers   = 8
+		acquires  = 2000
+		publishes = 200
+		owned     = 10
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < acquires; i++ {
+				e := m.Acquire()
+				if got := envMarker(t, e.Env); got != int64(e.ID) {
+					select {
+					case errs <- fmt.Errorf("pinned epoch %d has env marker %d", e.ID, got):
+					default:
+					}
+				}
+				e.Release()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= publishes; i++ {
+			m.Publish(envN(i), owned)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if p := m.Pins(); p != 0 {
+		t.Errorf("pins at quiesce = %d, want 0", p)
+	}
+	if a := m.Alive(); a != 1 {
+		t.Errorf("alive at quiesce = %d, want 1", a)
+	}
+	if g.Live() != owned {
+		t.Errorf("gauge at quiesce = %d, want %d (current epoch only)", g.Live(), owned)
+	}
+	if m.CurrentID() != publishes {
+		t.Errorf("current id = %d, want %d", m.CurrentID(), publishes)
+	}
+}
+
+func TestNewManagerAtResumesChain(t *testing.T) {
+	m := NewManagerAt(17, envN(17))
+	if m.CurrentID() != 17 {
+		t.Fatalf("resumed id = %d, want 17", m.CurrentID())
+	}
+	e := m.Publish(envN(18), 0)
+	if e.ID != 18 {
+		t.Fatalf("next id = %d, want 18", e.ID)
+	}
+}

@@ -1,0 +1,224 @@
+package epoch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshots checkpoint the chain so recovery does not replay the whole
+// ingest history forever. A snapshot holds the compacted batch history —
+// every WAL payload up to its epoch, in order. The genesis env is
+// deterministic from the store meta (the tpcd store derives it from scale
+// factor + seed), so genesis-plus-payload-replay reconstructs the epoch's
+// env bit-identically without serializing columns.
+//
+// Durability protocol: write snap-<epoch>.tmp, fsync it, atomically rename
+// to snap-<epoch>.snap, fsync the directory. A crash mid-write leaves a
+// .tmp that recovery ignores; a crash after rename leaves a fully valid
+// snapshot. Recovery scans snapshots newest-first and takes the first one
+// whose checksums all verify, so even a corrupted newest snapshot degrades
+// to the previous one plus a longer WAL replay — never a failure to start.
+//
+// Layout:
+//
+//	file  := magic "MOASNAP1" | metaLen uint32 | meta | epoch uint64 |
+//	         count uint32 | batch* | endMagic uint32
+//	batch := epoch uint64 | payloadLen uint32 |
+//	         crc32c(epoch ‖ payloadLen ‖ payload) uint32 | payload
+
+const (
+	snapFileMagic = "MOASNAP1"
+	snapEndMagic  = uint32(0x50414e53) // "SNAP"
+	snapSuffix    = ".snap"
+)
+
+// snapshot is a decoded, checksum-verified snapshot file.
+type snapshot struct {
+	Epoch   uint64
+	Batches []walRecord // ingest payloads 1..Epoch in order
+}
+
+func snapName(epoch uint64) string { return fmt.Sprintf("snap-%016d%s", epoch, snapSuffix) }
+
+// writeSnapshot persists the batch history as snap-<epoch>.snap with the
+// temp/fsync/rename/dir-fsync discipline. hooks fires the mid-snapshot
+// crash points.
+func writeSnapshot(dir string, meta []byte, epoch uint64, batches []walRecord, hooks *Hooks) error {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, snapFileMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(meta)))
+	buf = append(buf, meta...)
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(batches)))
+	for _, b := range batches {
+		buf = binary.LittleEndian.AppendUint64(buf, b.Epoch)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.Payload)))
+		buf = binary.LittleEndian.AppendUint32(buf, recCRC(b.Epoch, b.Payload))
+		buf = append(buf, b.Payload...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, snapEndMagic)
+
+	final := filepath.Join(dir, snapName(epoch))
+	tmpPath := final + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	tmp.Close()
+	hooks.at("snapshot:before-rename")
+	if err := os.Rename(tmpPath, final); err != nil {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	hooks.at("snapshot:after-rename")
+	return nil
+}
+
+// readSnapshot decodes and fully verifies one snapshot file. Any framing or
+// checksum defect is an error — the caller falls back to an older snapshot.
+func readSnapshot(path string, meta []byte) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	off := 0
+	need := func(n int) error {
+		if len(data)-off < n {
+			return fmt.Errorf("snapshot %s: truncated at offset %d", path, off)
+		}
+		return nil
+	}
+	if err := need(len(snapFileMagic) + 4); err != nil {
+		return nil, err
+	}
+	if string(data[:len(snapFileMagic)]) != snapFileMagic {
+		return nil, fmt.Errorf("snapshot %s: bad magic", path)
+	}
+	off = len(snapFileMagic)
+	metaLen := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	if err := need(metaLen); err != nil {
+		return nil, err
+	}
+	if string(data[off:off+metaLen]) != string(meta) {
+		return nil, fmt.Errorf("snapshot %s: meta mismatch", path)
+	}
+	off += metaLen
+	if err := need(8 + 4); err != nil {
+		return nil, err
+	}
+	snapEpoch := binary.LittleEndian.Uint64(data[off:])
+	off += 8
+	count := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+
+	s := &snapshot{Epoch: snapEpoch, Batches: make([]walRecord, 0, count)}
+	for i := 0; i < count; i++ {
+		if err := need(8 + 4 + 4); err != nil {
+			return nil, err
+		}
+		ep := binary.LittleEndian.Uint64(data[off:])
+		plen := int(binary.LittleEndian.Uint32(data[off+8:]))
+		sum := binary.LittleEndian.Uint32(data[off+12:])
+		off += 16
+		if err := need(plen); err != nil {
+			return nil, err
+		}
+		payload := data[off : off+plen]
+		if recCRC(ep, payload) != sum {
+			return nil, fmt.Errorf("snapshot %s: batch %d checksum mismatch", path, i)
+		}
+		s.Batches = append(s.Batches, walRecord{Epoch: ep, Payload: append([]byte(nil), payload...)})
+		off += plen
+	}
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(data[off:]) != snapEndMagic {
+		return nil, fmt.Errorf("snapshot %s: bad end marker", path)
+	}
+	if len(s.Batches) > 0 && s.Batches[len(s.Batches)-1].Epoch != snapEpoch {
+		return nil, fmt.Errorf("snapshot %s: last batch epoch %d != snapshot epoch %d",
+			path, s.Batches[len(s.Batches)-1].Epoch, snapEpoch)
+	}
+	return s, nil
+}
+
+// latestSnapshot finds the newest fully-valid snapshot in dir, skipping
+// .tmp leftovers and falling back past corrupt files. Returns nil (no
+// error) when none exists — recovery then replays the WAL from genesis.
+func latestSnapshot(dir string, meta []byte) (*snapshot, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type cand struct {
+		epoch uint64
+		name  string
+	}
+	var cands []cand
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		numStr := strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), snapSuffix)
+		n, err := strconv.ParseUint(numStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		cands = append(cands, cand{epoch: n, name: name})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].epoch > cands[j].epoch })
+	for _, c := range cands {
+		s, err := readSnapshot(filepath.Join(dir, c.name), meta)
+		if err != nil {
+			continue // corrupt or foreign snapshot: try the next-oldest
+		}
+		return s, nil
+	}
+	return nil, nil
+}
+
+// pruneSnapshots removes snapshots older than keepEpoch and stray .tmp
+// files. Best-effort: removal failures are ignored (an extra old snapshot
+// is harmless).
+func pruneSnapshots(dir string, keepEpoch uint64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		numStr := strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), snapSuffix)
+		n, err := strconv.ParseUint(numStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		if n < keepEpoch {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}

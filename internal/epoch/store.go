@@ -1,0 +1,262 @@
+package epoch
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mil"
+)
+
+// Hooks is the crash-injection surface: Fire is called at named points in
+// the durability protocol and may panic to simulate a process kill at that
+// exact instant. Production passes nil. The points, in protocol order:
+//
+//	wal:append:before-sync   record written, not yet durable
+//	wal:append:after-sync    record durable, epoch not yet applied
+//	publish:before-swap      env built, old epoch still current
+//	publish:after-swap       new epoch visible to readers
+//	snapshot:before-rename   snapshot temp written+synced, not yet live
+//	snapshot:after-rename    snapshot live, WAL not yet rotated
+type Hooks struct {
+	Fire func(point string)
+}
+
+func (h *Hooks) at(point string) {
+	if h != nil && h.Fire != nil {
+		h.Fire(point)
+	}
+}
+
+// Options configures Open. The store is generic over the payload format:
+// Validate and Apply belong to the caller (internal/tpcd supplies the
+// refresh-batch codec), so this package never imports the data model.
+type Options struct {
+	// Dir is the durable data directory (WAL + snapshots). Empty means
+	// in-memory only: epochs and publication work, nothing survives a
+	// restart.
+	Dir string
+	// Meta is an opaque identity blob (the tpcd store encodes scale factor
+	// and generator seed). WAL and snapshot files record it and Open
+	// refuses durable state whose meta differs — replaying a log against
+	// the wrong genesis would silently fabricate data.
+	Meta []byte
+	// Genesis is the deterministic epoch-0 environment. Recovery rebuilds
+	// every later epoch by replaying ingest payloads on top of it.
+	Genesis mil.Env
+	// Validate rejects a malformed payload. It runs BEFORE the WAL append:
+	// a payload that cannot apply must never become durable, or recovery
+	// would deterministically re-fail on it at every restart.
+	Validate func(payload []byte) error
+	// Apply merges one payload into base and returns the next epoch's env
+	// plus the byte size of the columns the new env does not share with
+	// base. Called for live ingests and for recovery replay; it must be
+	// deterministic (same base + payload → bit-identical env).
+	Apply func(base mil.Env, payload []byte) (mil.Env, int64, error)
+	// SnapshotEvery checkpoints after every N successful ingests and
+	// rotates the WAL. 0 disables checkpointing (the WAL holds the full
+	// history).
+	SnapshotEvery int
+	// Hooks optionally injects crash points; nil in production.
+	Hooks *Hooks
+}
+
+// Store is the durable single-writer front of an epoch chain: Ingest runs
+// validate → WAL append+fsync → apply → publish, so an epoch becomes
+// visible to readers only after the record that recreates it is on disk.
+// Readers never take the writer lock — they pin epochs via Manager.
+type Store struct {
+	mgr  *Manager
+	opts Options
+
+	writer  sync.Mutex
+	wal     *wal        // nil when Dir == ""
+	history []walRecord // every applied payload since genesis, in order
+
+	walBytes   atomic.Int64
+	recoveries atomic.Int64
+	ingests    atomic.Int64
+	failed     atomic.Bool
+}
+
+// ErrStoreFailed marks a store poisoned by an apply failure after the WAL
+// append: the record is durable, so recovery would re-apply it — the
+// in-memory chain and the log have diverged and only a restart (which
+// replays the log) reconciles them.
+var ErrStoreFailed = errors.New("epoch store failed: WAL and applied state diverged, restart to recover")
+
+// ErrRejected marks a payload that failed validation — the caller's fault,
+// refused before anything became durable.
+var ErrRejected = errors.New("ingest rejected")
+
+// Open builds the epoch chain from opts. With a Dir, it recovers: load the
+// newest valid snapshot, replay the WAL tail onto it (truncating torn
+// records), and resume at the last published epoch. Without one, it starts
+// an in-memory chain at genesis.
+func Open(opts Options) (*Store, error) {
+	s := &Store{opts: opts}
+	if opts.Dir == "" {
+		s.mgr = NewManager(opts.Genesis)
+		return s, nil
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	snap, err := latestSnapshot(opts.Dir, opts.Meta)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		w    *wal
+		recs []walRecord
+	)
+	_, statErr := os.Stat(walPath(opts.Dir))
+	hadState := statErr == nil || snap != nil
+	if statErr == nil {
+		w, recs, err = openWAL(opts.Dir, opts.Meta)
+	} else if errors.Is(statErr, os.ErrNotExist) {
+		w, err = createWAL(opts.Dir, opts.Meta)
+	} else {
+		err = statErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	w.hooks = opts.Hooks
+	s.wal = w
+	s.walBytes.Store(w.size)
+
+	// Assemble the batch history: snapshot batches, then WAL records past
+	// the snapshot epoch. Records the snapshot already covers (a crash
+	// between checkpoint and rotation leaves them behind) are skipped.
+	var last uint64
+	if snap != nil {
+		s.history = snap.Batches
+		last = snap.Epoch
+	}
+	for _, r := range recs {
+		if r.Epoch <= last {
+			continue
+		}
+		if r.Epoch != last+1 {
+			w.close()
+			return nil, fmt.Errorf("epoch store %s: recovery gap — have epoch %d, next record is %d",
+				opts.Dir, last, r.Epoch)
+		}
+		s.history = append(s.history, r)
+		last = r.Epoch
+	}
+
+	// Replay onto genesis. Owned sizes are irrelevant here: the recovered
+	// epoch is the new base, accounted like any base env (gauge untouched).
+	env := opts.Genesis
+	for _, r := range s.history {
+		next, _, err := opts.Apply(env, r.Payload)
+		if err != nil {
+			w.close()
+			return nil, fmt.Errorf("epoch store %s: replay of epoch %d failed: %w", opts.Dir, r.Epoch, err)
+		}
+		env = next
+	}
+	s.mgr = NewManagerAt(last, env)
+	if hadState {
+		s.recoveries.Store(1)
+	}
+	// Prune up to the snapshot actually recovered from — NOT up to the
+	// replayed epoch: the WAL only holds records past that snapshot, so
+	// deleting it would leave the directory unable to bridge genesis to the
+	// WAL's first record on the next open.
+	var snapEpoch uint64
+	if snap != nil {
+		snapEpoch = snap.Epoch
+	}
+	pruneSnapshots(opts.Dir, snapEpoch)
+	return s, nil
+}
+
+// Manager exposes the epoch chain for readers (pinning) and metrics.
+func (s *Store) Manager() *Manager { return s.mgr }
+
+// Ingest applies one payload as the next epoch. The protocol order is the
+// durability contract: validate (reject before anything is durable), WAL
+// append + fsync (the epoch is now recoverable), apply (build the new env
+// off to the side), publish (one atomic swap — the only instant readers
+// notice), checkpoint if due. Single writer; concurrent calls serialize.
+func (s *Store) Ingest(payload []byte) (*Epoch, error) {
+	s.writer.Lock()
+	defer s.writer.Unlock()
+	if s.failed.Load() {
+		return nil, ErrStoreFailed
+	}
+	if s.opts.Validate != nil {
+		if err := s.opts.Validate(payload); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrRejected, err)
+		}
+	}
+	next := s.mgr.CurrentID() + 1
+	if s.wal != nil {
+		n, err := s.wal.append(next, payload)
+		if err != nil {
+			return nil, fmt.Errorf("wal append: %w", err)
+		}
+		s.walBytes.Add(n)
+	}
+	env, owned, err := s.opts.Apply(s.mgr.Current().Env, payload)
+	if err != nil {
+		if s.wal != nil {
+			// The record is durable but was never applied; the log now says
+			// more than memory does. Poison the store — restart recovery
+			// replays the record (Apply is deterministic, so this path means
+			// a non-deterministic failure such as OOM, not bad data).
+			s.failed.Store(true)
+			return nil, fmt.Errorf("apply after WAL append: %w (%w)", err, ErrStoreFailed)
+		}
+		return nil, fmt.Errorf("apply: %w", err)
+	}
+	s.opts.Hooks.at("publish:before-swap")
+	ep := s.mgr.Publish(env, owned)
+	s.opts.Hooks.at("publish:after-swap")
+	s.history = append(s.history, walRecord{Epoch: next, Payload: append([]byte(nil), payload...)})
+	s.ingests.Add(1)
+
+	// Checkpoint cadence keys off the global epoch id, not the per-process
+	// ingest count, so restarts don't drift the schedule.
+	if s.wal != nil && s.opts.SnapshotEvery > 0 && ep.ID%uint64(s.opts.SnapshotEvery) == 0 {
+		// Checkpoint is best-effort: the ingest is already durable in the
+		// WAL, so a failed snapshot costs replay time, not data.
+		if err := writeSnapshot(s.opts.Dir, s.opts.Meta, ep.ID, s.history, s.opts.Hooks); err == nil {
+			if err := s.wal.rotate(s.opts.Dir, s.opts.Meta); err == nil {
+				s.walBytes.Store(s.wal.size)
+			}
+			pruneSnapshots(s.opts.Dir, ep.ID)
+		}
+	}
+	return ep, nil
+}
+
+// WALBytes reports total bytes in the current WAL segment (header
+// included); rotation resets it.
+func (s *Store) WALBytes() int64 { return s.walBytes.Load() }
+
+// Recoveries reports whether this Open recovered from existing durable
+// state (1) or initialized fresh (0).
+func (s *Store) Recoveries() int64 { return s.recoveries.Load() }
+
+// Ingests reports successful ingests since Open.
+func (s *Store) Ingests() int64 { return s.ingests.Load() }
+
+// Close releases the WAL file handle. Outstanding epochs and pins are
+// unaffected — Close is about file descriptors, not the chain.
+func (s *Store) Close() error {
+	s.writer.Lock()
+	defer s.writer.Unlock()
+	if s.wal != nil {
+		err := s.wal.close()
+		s.wal = nil
+		return err
+	}
+	return nil
+}

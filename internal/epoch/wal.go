@@ -1,0 +1,253 @@
+package epoch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Write-ahead log: one append-only segment file. Every ingest becomes one
+// record, written and fsynced before the epoch it creates is published, so
+// a published epoch is always recoverable. The record framing carries a
+// per-record CRC over both header fields and payload; recovery replays
+// records in order and, at the first torn or corrupt record, truncates the
+// segment there instead of failing — an interrupted append (torn page,
+// lost unsynced tail) costs exactly the unpublished suffix, never the log.
+//
+// Layout:
+//
+//	file   := fileHeader record*
+//	header := magic "MOAWAL1\n" | metaLen uint32 | meta
+//	record := recMagic uint32 | epoch uint64 | payloadLen uint32 |
+//	          crc32c(epoch ‖ payloadLen ‖ payload) uint32 | payload
+//
+// meta is an opaque caller blob (the tpcd store encodes scale factor and
+// generator seed); Open refuses a WAL whose meta does not match the
+// caller's, so a data directory cannot silently be replayed against the
+// wrong genesis.
+
+const (
+	walFileMagic = "MOAWAL1\n"
+	walRecMagic  = uint32(0x4d42554e) // "MBUN"
+	walRecHdrLen = 4 + 8 + 4 + 4
+	walName      = "wal.log"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// walRecord is one replayed WAL record.
+type walRecord struct {
+	Epoch   uint64
+	Payload []byte
+}
+
+// wal is an open write-ahead log segment.
+type wal struct {
+	f     *os.File
+	path  string
+	size  int64 // current file size (all records fully written)
+	hooks *Hooks
+}
+
+func walPath(dir string) string { return filepath.Join(dir, walName) }
+
+// createWAL writes a fresh empty segment (header only) and fsyncs it and
+// its directory.
+func createWAL(dir string, meta []byte) (*wal, error) {
+	path := walPath(dir)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, 0, len(walFileMagic)+4+len(meta))
+	hdr = append(hdr, walFileMagic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(meta)))
+	hdr = append(hdr, meta...)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{f: f, path: path, size: int64(len(hdr))}, nil
+}
+
+// openWAL opens an existing segment, verifies the header and meta, replays
+// every valid record, and truncates a torn or corrupt tail in place. It
+// returns the replayed records in append order.
+func openWAL(dir string, meta []byte) (*wal, []walRecord, error) {
+	path := walPath(dir)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	hdrLen, err := checkWALHeader(data, meta)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal %s: %w", path, err)
+	}
+
+	recs, good := replayWAL(data[hdrLen:])
+	goodSize := int64(hdrLen) + good
+	if goodSize < int64(len(data)) {
+		// Torn or corrupt tail: drop it. The lost suffix was never
+		// acknowledged as published (publish happens only after fsync
+		// returns), so truncation restores exactly the last durable state.
+		if err := f.Truncate(goodSize); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(goodSize, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &wal{f: f, path: path, size: goodSize}, recs, nil
+}
+
+func checkWALHeader(data, meta []byte) (int, error) {
+	if len(data) < len(walFileMagic)+4 {
+		return 0, fmt.Errorf("truncated header (%d bytes)", len(data))
+	}
+	if string(data[:len(walFileMagic)]) != walFileMagic {
+		return 0, fmt.Errorf("bad magic")
+	}
+	metaLen := int(binary.LittleEndian.Uint32(data[len(walFileMagic):]))
+	hdrLen := len(walFileMagic) + 4 + metaLen
+	if len(data) < hdrLen {
+		return 0, fmt.Errorf("truncated meta (%d of %d bytes)", len(data)-len(walFileMagic)-4, metaLen)
+	}
+	if got := data[len(walFileMagic)+4 : hdrLen]; string(got) != string(meta) {
+		return 0, fmt.Errorf("meta mismatch: log %q, store %q — refusing to replay against the wrong genesis", got, meta)
+	}
+	return hdrLen, nil
+}
+
+// replayWAL walks the record region and returns every valid record plus the
+// byte length of the valid prefix. Scanning stops at the first record that
+// is short, has a bad magic, or fails its CRC — everything after a corrupt
+// record is unreachable (framing is sequential), which is exactly the
+// truncate-the-tail contract.
+func replayWAL(data []byte) ([]walRecord, int64) {
+	var recs []walRecord
+	off := 0
+	for {
+		if len(data)-off < walRecHdrLen {
+			return recs, int64(off)
+		}
+		hdr := data[off : off+walRecHdrLen]
+		if binary.LittleEndian.Uint32(hdr[0:4]) != walRecMagic {
+			return recs, int64(off)
+		}
+		epoch := binary.LittleEndian.Uint64(hdr[4:12])
+		plen := int(binary.LittleEndian.Uint32(hdr[12:16]))
+		sum := binary.LittleEndian.Uint32(hdr[16:20])
+		if len(data)-off-walRecHdrLen < plen {
+			return recs, int64(off) // torn payload
+		}
+		payload := data[off+walRecHdrLen : off+walRecHdrLen+plen]
+		if recCRC(epoch, payload) != sum {
+			return recs, int64(off)
+		}
+		recs = append(recs, walRecord{Epoch: epoch, Payload: append([]byte(nil), payload...)})
+		off += walRecHdrLen + plen
+	}
+}
+
+func recCRC(epoch uint64, payload []byte) uint32 {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], epoch)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	crc := crc32.Update(0, castagnoli, hdr[:])
+	return crc32.Update(crc, castagnoli, payload)
+}
+
+// append writes one record and fsyncs. Only after Sync returns may the
+// caller publish the epoch the record creates: the fsync barrier is what
+// makes "published implies recoverable" true.
+func (w *wal) append(epoch uint64, payload []byte) (int64, error) {
+	rec := make([]byte, 0, walRecHdrLen+len(payload))
+	rec = binary.LittleEndian.AppendUint32(rec, walRecMagic)
+	rec = binary.LittleEndian.AppendUint64(rec, epoch)
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = binary.LittleEndian.AppendUint32(rec, recCRC(epoch, payload))
+	rec = append(rec, payload...)
+	if _, err := w.f.Write(rec); err != nil {
+		return 0, err
+	}
+	w.hooks.at("wal:append:before-sync")
+	if err := w.f.Sync(); err != nil {
+		return 0, err
+	}
+	w.hooks.at("wal:append:after-sync")
+	w.size += int64(len(rec))
+	return int64(len(rec)), nil
+}
+
+// rotate replaces the segment with a fresh empty one (write temp → fsync →
+// atomic rename → dir fsync). Called after a snapshot checkpointed every
+// record the segment holds; a crash anywhere in the sequence leaves either
+// the old segment (records ≤ snapshot epoch are skipped on replay) or the
+// new empty one — never a half-truncated log.
+func (w *wal) rotate(dir string, meta []byte) error {
+	tmpPath := walPath(dir) + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, 0, len(walFileMagic)+4+len(meta))
+	hdr = append(hdr, walFileMagic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(meta)))
+	hdr = append(hdr, meta...)
+	if _, err := tmp.Write(hdr); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := os.Rename(tmpPath, w.path); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		tmp.Close()
+		return err
+	}
+	w.f.Close()
+	w.f = tmp
+	w.size = int64(len(hdr))
+	return nil
+}
+
+func (w *wal) close() error { return w.f.Close() }
+
+// syncDir fsyncs a directory so renames and creations within it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

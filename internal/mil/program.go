@@ -196,6 +196,13 @@ func Run(ctx *Ctx, p *Program, env Env) ([]StmtTrace, error) {
 // It performs simple liveness analysis: a non-kept intermediate is released
 // (for the Fig. 9 memory accounting) after its last use. Only Vars bindings
 // are ever released, so the shared base env is structurally protected.
+// MaterializeRetainRows bounds materialize-on-retain: kept results at or
+// under this many rows are unshared from their operands' backing before
+// they outlive the query plan. The threshold is a row count, not a byte
+// size, because a string view's ByteSize includes the whole shared
+// character heap — exactly the over-count materialization exists to fix.
+var MaterializeRetainRows = 4096
+
 func RunScope(ctx *Ctx, p *Program, scope *Scope) ([]StmtTrace, error) {
 	keep := make(map[string]bool, len(p.Keep))
 	for _, k := range p.Keep {
@@ -249,6 +256,15 @@ func RunScope(ctx *Ctx, p *Program, scope *Scope) ([]StmtTrace, error) {
 			faults = ctx.Pager.Faults() - faults0
 		}
 		if s.Op != OpMirror { // mirror is free: no materialization
+			// Materialize-on-retain: a kept result that is a small view
+			// would pin its operand's whole backing array — and, under
+			// epochs, the retired epoch the operand belongs to — for as long
+			// as the caller retains it. Copy it into compact storage of its
+			// own before accounting; large views stay views, since copying
+			// them would cost more memory than the sharing pins.
+			if keep[s.Dst] && out.Shared() && out.Len() <= MaterializeRetainRows {
+				out = out.Unshare()
+			}
 			ctx.Account(out)
 			accounted[out] = true
 		}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/bat"
 	"repro/internal/engine"
+	"repro/internal/epoch"
 	"repro/internal/moa"
 )
 
@@ -59,6 +60,7 @@ type ErrorResponse struct {
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -146,6 +148,53 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(resp)
 }
 
+// IngestResponse is the JSON body of a successful /ingest call.
+type IngestResponse struct {
+	Epoch    uint64 `json:"epoch"`     // the epoch this ingest published
+	WALBytes int64  `json:"wal_bytes"` // WAL segment size after the append
+}
+
+// handleIngest publishes one refresh batch as a new epoch. The body is
+// either a concrete refresh batch or (when the service has a PrepareIngest
+// translator) a generator directive like {"generate":100,"seed":42}. The
+// batch is durable — WAL-appended and fsynced — before the 200 is written:
+// an acknowledged ingest survives any crash.
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("ingest requires POST"), "bad_request")
+		return
+	}
+	payload, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err, "bad_request")
+		return
+	}
+	if s.PrepareIngest != nil {
+		if payload, err = s.PrepareIngest(payload); err != nil {
+			writeError(w, http.StatusBadRequest, err, "bad_request")
+			return
+		}
+	}
+	id, err := s.Ingest(payload)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrReadOnly):
+			writeError(w, http.StatusNotImplemented, err, "read_only")
+		case errors.Is(err, epoch.ErrStoreFailed):
+			// The WAL and the applied state diverged; only a restart (which
+			// replays the log) reconciles them. Refuse writes until then.
+			writeError(w, http.StatusServiceUnavailable, err, "store_failed")
+		case errors.Is(err, epoch.ErrRejected):
+			writeError(w, http.StatusBadRequest, err, "bad_request")
+		default:
+			writeError(w, http.StatusInternalServerError, err, "internal")
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(IngestResponse{Epoch: id, WALBytes: s.Snapshot().WALBytes})
+}
+
 // boolParam reads a flag-style query parameter: set and not one of the
 // explicit "off" spellings ("0", "false", "no") means on.
 func boolParam(r *http.Request, name string) bool {
@@ -189,10 +238,18 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "moaserve_plan_cache_hits_total %d\n", m.PlanHits)
 	fmt.Fprintf(w, "moaserve_plan_cache_misses_total %d\n", m.PlanMisses)
 	fmt.Fprintf(w, "moaserve_plan_cache_evictions_total %d\n", m.PlanEvictions)
+	fmt.Fprintf(w, "moaserve_plan_cache_evictions_total{reason=\"lru\"} %d\n", m.PlanEvictLRU)
+	fmt.Fprintf(w, "moaserve_plan_cache_evictions_total{reason=\"quarantine\"} %d\n", m.PlanEvictQuarantine)
+	fmt.Fprintf(w, "moaserve_plan_cache_evictions_total{reason=\"epoch\"} %d\n", m.PlanEvictEpoch)
 	fmt.Fprintf(w, "moaserve_live_intermediate_bytes %d\n", m.LiveBytes)
 	fmt.Fprintf(w, "moaserve_accel_builds_total %d\n", bat.AccelBuilds())
 	fmt.Fprintf(w, "moaserve_pager_faults_total %d\n", m.PagerFaults)
 	fmt.Fprintf(w, "moaserve_pager_hits_total %d\n", m.PagerHits)
 	fmt.Fprintf(w, "moaserve_pager_resident_pages %d\n", m.PagerResident)
 	fmt.Fprintf(w, "moaserve_pager_thrash_ratio %.4f\n", m.ThrashRatio)
+	fmt.Fprintf(w, "moaserve_ingests_total %d\n", m.Ingests)
+	fmt.Fprintf(w, "moaserve_epoch_current %d\n", m.EpochCurrent)
+	fmt.Fprintf(w, "moaserve_epoch_pinned %d\n", m.EpochsPinned)
+	fmt.Fprintf(w, "moaserve_wal_bytes_total %d\n", m.WALBytes)
+	fmt.Fprintf(w, "moaserve_recoveries_total %d\n", m.Recoveries)
 }

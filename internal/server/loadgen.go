@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -43,6 +44,14 @@ type LoadConfig struct {
 	// Seed seeds the per-client backoff jitter; 0 picks a fixed default so
 	// unseeded runs are reproducible.
 	Seed int64
+	// WriteMix is the fraction of operations issued as ingests instead of
+	// queries (0 = pure reads). Requires Ingest; each client draws per
+	// operation from its seeded rng, so the mix is reproducible.
+	WriteMix float64
+	// Ingest issues one ingest and reports the epoch it published. Overload
+	// refusals get the same jittered backoff-and-retry treatment as
+	// queries.
+	Ingest func() (uint64, error)
 }
 
 // LoadReport summarizes a load-generation run.
@@ -55,15 +64,21 @@ type LoadReport struct {
 	Retries       int64 // re-issues after a refusal (== shed unless the run ended first)
 	Timeouts      int64 // queries stopped by deadline expiry
 	Canceled      int64 // queries stopped by cancellation
+	Ingests       int64 // ingests published (each one is an epoch swap)
+	LastEpoch     uint64 // highest epoch id observed across all clients
 	QPS           float64
-	P50, P95, P99 time.Duration
+	P50, P95, P99 time.Duration // read latencies only; ingests excluded
 }
 
 func (r *LoadReport) String() string {
-	return fmt.Sprintf("clients=%d elapsed=%v queries=%d errors=%d shed=%d retries=%d timeouts=%d canceled=%d qps=%.1f p50=%v p95=%v p99=%v",
+	s := fmt.Sprintf("clients=%d elapsed=%v queries=%d errors=%d shed=%d retries=%d timeouts=%d canceled=%d qps=%.1f p50=%v p95=%v p99=%v",
 		r.Clients, r.Elapsed.Round(time.Millisecond), r.Queries, r.Errors, r.Shed,
 		r.Retries, r.Timeouts, r.Canceled,
 		r.QPS, r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+	if r.Ingests > 0 {
+		s += fmt.Sprintf(" ingests=%d epoch=%d", r.Ingests, r.LastEpoch)
+	}
+	return s
 }
 
 // RunLoad drives the closed loop against do — any query executor: the
@@ -92,6 +107,8 @@ func RunLoad(cfg LoadConfig, do func(src string) error) *LoadReport {
 		errors, shed       int64
 		retries            int64
 		timeouts, canceled int64
+		ingests            int64
+		lastEpoch          uint64
 	}
 	stats := make([]clientStats, cfg.Clients)
 	deadline := time.Now().Add(cfg.Duration)
@@ -107,12 +124,27 @@ func RunLoad(cfg LoadConfig, do func(src string) error) *LoadReport {
 		run:
 			for i := c; time.Now().Before(deadline); i++ {
 				src := cfg.Queries[i%len(cfg.Queries)]
+				// Mixed read/write mode: a WriteMix draw turns this
+				// iteration into an ingest. The retry/backoff contract is
+				// identical — an overloaded server sheds writes too.
+				write := cfg.Ingest != nil && cfg.WriteMix > 0 && rng.Float64() < cfg.WriteMix
 				backoff := cfg.ShedBackoff
 			attempt:
 				for {
 					t0 := time.Now()
-					err := do(src)
+					var err error
+					var epochID uint64
+					if write {
+						epochID, err = cfg.Ingest()
+					} else {
+						err = do(src)
+					}
 					switch {
+					case err == nil && write:
+						st.ingests++
+						if epochID > st.lastEpoch {
+							st.lastEpoch = epochID
+						}
 					case err == nil:
 						st.lat = append(st.lat, time.Since(t0))
 						st.queries++
@@ -163,6 +195,10 @@ func RunLoad(cfg LoadConfig, do func(src string) error) *LoadReport {
 		rep.Retries += stats[i].retries
 		rep.Timeouts += stats[i].timeouts
 		rep.Canceled += stats[i].canceled
+		rep.Ingests += stats[i].ingests
+		if stats[i].lastEpoch > rep.LastEpoch {
+			rep.LastEpoch = stats[i].lastEpoch
+		}
 		all = append(all, stats[i].lat...)
 	}
 	if elapsed > 0 {
@@ -175,6 +211,34 @@ func RunLoad(cfg LoadConfig, do func(src string) error) *LoadReport {
 		rep.P99 = percentile(all, 0.99)
 	}
 	return rep
+}
+
+// HTTPIngestFunc returns an ingest executor that POSTs body() to a running
+// moaserve instance's /ingest endpoint — the load generator's remote write
+// mode. body is called per ingest so each one can carry a distinct batch
+// (e.g. a fresh generator seed); the returned epoch id comes from the
+// server's response.
+func HTTPIngestFunc(baseURL string, client *http.Client, body func() []byte) func() (uint64, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := strings.TrimRight(baseURL, "/") + "/ingest"
+	return func() (uint64, error) {
+		resp, err := client.Post(url, "application/json", strings.NewReader(string(body())))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("ingest failed: %s: %s", resp.Status, strings.TrimSpace(string(raw)))
+		}
+		var ir IngestResponse
+		if err := json.Unmarshal(raw, &ir); err != nil {
+			return 0, fmt.Errorf("ingest response: %w", err)
+		}
+		return ir.Epoch, nil
+	}
 }
 
 // percentile reads the p-quantile from an ascending latency slice.

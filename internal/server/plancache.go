@@ -25,15 +25,24 @@ import (
 type planCache struct {
 	prepare func(string) (*rewrite.Result, error)
 	max     int
+	// epochOf, when set, keys cached preparations by the epoch chain's
+	// current id: an entry prepared under an earlier epoch is re-prepared on
+	// its next request instead of served stale. Today preparation reads only
+	// the immutable schema, so this is cheap insurance; the moment prepare
+	// starts consulting env-derived facts (cardinalities, properties), the
+	// epoch key is what keeps a swap from serving plans bound to dead BATs.
+	epochOf func() uint64
 
 	mu    sync.Mutex
 	plans map[string]*planEntry
 	head  *planEntry // most recently requested
 	tail  *planEntry // least recently requested
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	evictions atomic.Int64
+	hits            atomic.Int64
+	misses          atomic.Int64
+	evictLRU        atomic.Int64
+	evictQuarantine atomic.Int64
+	evictEpoch      atomic.Int64
 }
 
 // planEntry is one singleflight publication point: the entry lock is held
@@ -46,10 +55,11 @@ type planEntry struct {
 	prev, next *planEntry
 	inflight   int
 
-	mu   sync.Mutex
-	done bool
-	prep *rewrite.Result
-	err  error
+	mu    sync.Mutex
+	done  bool
+	epoch uint64 // chain epoch the outcome was prepared under
+	prep  *rewrite.Result
+	err   error
 }
 
 func newPlanCache(max int, prepare func(string) (*rewrite.Result, error)) *planCache {
@@ -81,12 +91,24 @@ func (c *planCache) get(src string) (*rewrite.Result, error) {
 		e.inflight--
 		c.mu.Unlock()
 	}()
+	var cur uint64
+	if c.epochOf != nil {
+		cur = c.epochOf()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.done && c.epochOf != nil && e.epoch != cur {
+		// Epoch invalidation: the chain moved since this outcome was
+		// prepared. Re-prepare in place (the entry keeps its cache slot and
+		// recency position); counted as an eviction with its own reason.
+		e.done = false
+		c.evictEpoch.Add(1)
+	}
 	if !e.done {
 		c.misses.Add(1)
 		e.prep, e.err = c.prepare(src)
 		e.done = true
+		e.epoch = cur
 	} else {
 		c.hits.Add(1)
 	}
@@ -107,7 +129,7 @@ func (c *planCache) invalidate(src string) {
 	if e := c.plans[src]; e != nil {
 		c.unlinkLocked(e)
 		delete(c.plans, src)
-		c.evictions.Add(1)
+		c.evictQuarantine.Add(1)
 	}
 }
 
@@ -130,7 +152,7 @@ func (c *planCache) evictLocked() {
 		}
 		c.unlinkLocked(victim)
 		delete(c.plans, victim.src)
-		c.evictions.Add(1)
+		c.evictLRU.Add(1)
 	}
 }
 
@@ -170,7 +192,15 @@ func (c *planCache) moveToFrontLocked(e *planEntry) {
 	c.pushFrontLocked(e)
 }
 
-// stats reports (hits, misses, evictions); misses count actual prepares.
+// stats reports (hits, misses, evictions); misses count actual prepares and
+// evictions totals every reason (LRU + quarantine + epoch invalidation).
 func (c *planCache) stats() (int64, int64, int64) {
-	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+	lru, q, ep := c.evictionReasons()
+	return c.hits.Load(), c.misses.Load(), lru + q + ep
+}
+
+// evictionReasons splits the eviction counter by cause: capacity (lru),
+// contained-panic quarantine, and epoch invalidation.
+func (c *planCache) evictionReasons() (lru, quarantine, epoch int64) {
+	return c.evictLRU.Load(), c.evictQuarantine.Load(), c.evictEpoch.Load()
 }

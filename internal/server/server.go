@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/epoch"
 	"repro/internal/mil"
 )
 
@@ -120,6 +121,15 @@ type Service struct {
 	plans  *planCache
 	slots  chan struct{}
 	thrash thrashMeter
+	// store, when attached, is the durable single-writer ingest path; nil
+	// serves the pre-PR-7 read-only regime.
+	store *epoch.Store
+	// PrepareIngest, when set, rewrites an incoming ingest body into the
+	// store's payload format before validation — moaserve installs a
+	// translator that expands {"generate":N,"seed":S} directives into
+	// concrete refresh batches, so clients (and the load generator) don't
+	// have to ship full batch JSON over the wire. nil passes bodies through.
+	PrepareIngest func([]byte) ([]byte, error)
 
 	queries  atomic.Int64 // completed successfully
 	errors   atomic.Int64 // failed (parse/check/translate/execute)
@@ -127,6 +137,7 @@ type Service struct {
 	canceled atomic.Int64 // stopped by client disconnect
 	timeouts atomic.Int64 // stopped by deadline expiry
 	panics   atomic.Int64 // contained panics (plan quarantined)
+	ingests  atomic.Int64 // successful ingest publications
 	inflight atomic.Int64
 }
 
@@ -151,6 +162,40 @@ func New(db *engine.Database, cfg Config) *Service {
 	}
 	s.plans = newPlanCache(cfg.MaxPlans, db.Prepare)
 	return s
+}
+
+// AttachStore makes the service writable: queries pin epochs from the
+// store's chain (Database.Epochs), Ingest publishes new ones, retired
+// epochs' owned bytes flow through the service gauge (so admission control
+// sees version memory alongside intermediates), and the plan cache becomes
+// epoch-keyed. Call before serving; the ingest path itself is already
+// single-writer.
+func (s *Service) AttachStore(st *epoch.Store) {
+	s.store = st
+	s.db.Epochs = st.Manager()
+	st.Manager().SetGauge(s.gauge)
+	s.plans.epochOf = st.Manager().CurrentID
+}
+
+// ErrReadOnly is returned by Ingest when no store is attached.
+var ErrReadOnly = errors.New("service is read-only: no epoch store attached")
+
+// Ingest publishes one refresh batch as a new epoch: validated, WAL-logged
+// and fsynced, applied copy-on-write, then swapped in atomically —
+// in-flight queries keep their pinned snapshot, later queries see the new
+// epoch. Returns the published epoch id. A validation failure is the
+// caller's fault (the HTTP layer maps it to 400); anything else is a
+// server-side defect.
+func (s *Service) Ingest(payload []byte) (uint64, error) {
+	if s.store == nil {
+		return 0, ErrReadOnly
+	}
+	ep, err := s.store.Ingest(payload)
+	if err != nil {
+		return 0, err
+	}
+	s.ingests.Add(1)
+	return ep.ID, nil
 }
 
 // OverloadedError is the admission controller's typed refusal: the service
@@ -305,21 +350,29 @@ func (s *Service) Gauge() *mil.MemGauge { return s.gauge }
 
 // Metrics is a point-in-time snapshot of the service counters.
 type Metrics struct {
-	Queries       int64   // successfully completed queries
-	Errors        int64   // failed queries
-	Shed          int64   // admission-control refusals
-	Canceled      int64   // queries stopped by client disconnect
-	Timeouts      int64   // queries stopped by deadline expiry
-	Panics        int64   // contained panics (each quarantined its plan)
-	Inflight      int64   // currently executing
-	PlanHits      int64   // plan-cache hits
-	PlanMisses    int64   // plan-cache misses (actual prepares)
-	PlanEvictions int64   // plan-cache LRU evictions
-	LiveBytes     int64   // current live intermediate bytes
-	PagerFaults   uint64  // page faults across all sessions (0 without a pager)
-	PagerHits     uint64  // page hits across all sessions
-	PagerResident int64   // pages resident in the shared pool
-	ThrashRatio   float64 // last published windowed pager fault ratio
+	Queries             int64   // successfully completed queries
+	Errors              int64   // failed queries
+	Shed                int64   // admission-control refusals
+	Canceled            int64   // queries stopped by client disconnect
+	Timeouts            int64   // queries stopped by deadline expiry
+	Panics              int64   // contained panics (each quarantined its plan)
+	Inflight            int64   // currently executing
+	PlanHits            int64   // plan-cache hits
+	PlanMisses          int64   // plan-cache misses (actual prepares)
+	PlanEvictions       int64   // plan-cache evictions, all reasons
+	PlanEvictLRU        int64   // …evicted for capacity
+	PlanEvictQuarantine int64   // …quarantined after a contained panic
+	PlanEvictEpoch      int64   // …invalidated by an epoch swap
+	LiveBytes           int64   // current live intermediate bytes
+	PagerFaults         uint64  // page faults across all sessions (0 without a pager)
+	PagerHits           uint64  // page hits across all sessions
+	PagerResident       int64   // pages resident in the shared pool
+	ThrashRatio         float64 // last published windowed pager fault ratio
+	Ingests             int64   // successful ingest publications
+	EpochCurrent        uint64  // current epoch id (0 when read-only)
+	EpochsPinned        int64   // epochs alive: current + retired-but-pinned
+	WALBytes            int64   // bytes in the current WAL segment
+	Recoveries          int64   // 1 if this process recovered durable state at start
 }
 
 // Snapshot reads the service counters. The pager counters aggregate over
@@ -328,22 +381,34 @@ type Metrics struct {
 // Stats.Faults.
 func (s *Service) Snapshot() Metrics {
 	hits, misses, evictions := s.plans.stats()
+	lru, quarantine, epochEv := s.plans.evictionReasons()
 	p := s.db.Pager
-	return Metrics{
-		Queries:       s.queries.Load(),
-		Errors:        s.errors.Load(),
-		Shed:          s.shed.Load(),
-		Canceled:      s.canceled.Load(),
-		Timeouts:      s.timeouts.Load(),
-		Panics:        s.panics.Load(),
-		Inflight:      s.inflight.Load(),
-		PlanHits:      hits,
-		PlanMisses:    misses,
-		PlanEvictions: evictions,
-		LiveBytes:     s.gauge.Live(),
-		PagerFaults:   p.Faults(),
-		PagerHits:     p.Hits(),
-		PagerResident: int64(p.Resident()),
-		ThrashRatio:   s.thrash.ratio(),
+	m := Metrics{
+		Queries:             s.queries.Load(),
+		Errors:              s.errors.Load(),
+		Shed:                s.shed.Load(),
+		Canceled:            s.canceled.Load(),
+		Timeouts:            s.timeouts.Load(),
+		Panics:              s.panics.Load(),
+		Inflight:            s.inflight.Load(),
+		PlanHits:            hits,
+		PlanMisses:          misses,
+		PlanEvictions:       evictions,
+		PlanEvictLRU:        lru,
+		PlanEvictQuarantine: quarantine,
+		PlanEvictEpoch:      epochEv,
+		LiveBytes:           s.gauge.Live(),
+		PagerFaults:         p.Faults(),
+		PagerHits:           p.Hits(),
+		PagerResident:       int64(p.Resident()),
+		ThrashRatio:         s.thrash.ratio(),
 	}
+	if st := s.store; st != nil {
+		m.Ingests = s.ingests.Load()
+		m.EpochCurrent = st.Manager().CurrentID()
+		m.EpochsPinned = st.Manager().Alive()
+		m.WALBytes = st.WALBytes()
+		m.Recoveries = st.Recoveries()
+	}
+	return m
 }

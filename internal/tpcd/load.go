@@ -108,52 +108,25 @@ func Load(db *DB) (mil.Env, *LoadStats) {
 	attr("Customer_nation", oidCol(len(db.Customers), func(i int) bat.OID { return bat.OID(db.Customers[i].Nation) }))
 	attr("Customer_mktsegment", strCol(len(db.Customers), func(i int) string { return db.Customers[i].Mktsegment }))
 	{
-		var owners, members []bat.OID
-		for c := range db.Customers {
-			for _, o := range db.Customers[c].Orders {
-				owners = append(owners, bat.OID(c))
-				members = append(members, bat.OID(o))
-			}
-		}
+		owners, members := customerOrdersIndex(db)
 		setIndex("Customer_orders", owners, members)
 	}
 
-	// Order
+	// Order / Item: builders shared with the refresh-stream apply path
+	// (refresh.go), which rebuilds exactly these entries for each new epoch.
 	extent("Order", len(db.Orders))
-	attr("Order_cust", oidCol(len(db.Orders), func(i int) bat.OID { return bat.OID(db.Orders[i].Cust) }))
-	attr("Order_status", chrCol(len(db.Orders), func(i int) byte { return db.Orders[i].Status }))
-	attr("Order_totalprice", fltCol(len(db.Orders), func(i int) float64 { return db.Orders[i].Totalprice }))
-	attr("Order_orderdate", dateCol(len(db.Orders), func(i int) int32 { return db.Orders[i].Orderdate }))
-	attr("Order_orderpriority", strCol(len(db.Orders), func(i int) string { return db.Orders[i].Orderpriority }))
-	attr("Order_clerk", strCol(len(db.Orders), func(i int) string { return db.Orders[i].Clerk }))
-	attr("Order_shippriority", strCol(len(db.Orders), func(i int) string { return db.Orders[i].Shippriority }))
+	for _, nc := range orderColumns(db) {
+		attr(nc.name, nc.col)
+	}
 	{
-		var owners, members []bat.OID
-		for o := range db.Orders {
-			for _, it := range db.Orders[o].Items {
-				owners = append(owners, bat.OID(o))
-				members = append(members, bat.OID(it))
-			}
-		}
+		owners, members := orderItemIndex(db)
 		setIndex("Order_item", owners, members)
 	}
 
-	// Item
 	extent("Item", len(db.Items))
-	attr("Item_part", oidCol(len(db.Items), func(i int) bat.OID { return bat.OID(db.Items[i].Part) }))
-	attr("Item_supplier", oidCol(len(db.Items), func(i int) bat.OID { return bat.OID(db.Items[i].Supplier) }))
-	attr("Item_order", oidCol(len(db.Items), func(i int) bat.OID { return bat.OID(db.Items[i].Order) }))
-	attr("Item_quantity", intCol(len(db.Items), func(i int) int64 { return db.Items[i].Quantity }))
-	attr("Item_returnflag", chrCol(len(db.Items), func(i int) byte { return db.Items[i].Returnflag }))
-	attr("Item_linestatus", chrCol(len(db.Items), func(i int) byte { return db.Items[i].Linestatus }))
-	attr("Item_extendedprice", fltCol(len(db.Items), func(i int) float64 { return db.Items[i].Extendedprice }))
-	attr("Item_discount", fltCol(len(db.Items), func(i int) float64 { return db.Items[i].Discount }))
-	attr("Item_tax", fltCol(len(db.Items), func(i int) float64 { return db.Items[i].Tax }))
-	attr("Item_shipdate", dateCol(len(db.Items), func(i int) int32 { return db.Items[i].Shipdate }))
-	attr("Item_commitdate", dateCol(len(db.Items), func(i int) int32 { return db.Items[i].Commitdate }))
-	attr("Item_receiptdate", dateCol(len(db.Items), func(i int) int32 { return db.Items[i].Receiptdate }))
-	attr("Item_shipmode", strCol(len(db.Items), func(i int) string { return db.Items[i].Shipmode }))
-	attr("Item_shipinstruct", strCol(len(db.Items), func(i int) string { return db.Items[i].Shipinstruct }))
+	for _, nc := range itemColumns(db) {
+		attr(nc.name, nc.col)
+	}
 
 	stats.BuildTime = time.Since(start)
 
@@ -170,6 +143,75 @@ func Load(db *DB) (mil.Env, *LoadStats) {
 	}
 	stats.AccelTime = time.Since(start)
 	return env, stats
+}
+
+// namedCol is one attribute BAT's name and tail column, before extent and
+// datavector attachment.
+type namedCol struct {
+	name string
+	col  bat.Column
+}
+
+// orderColumns builds the Order attribute columns from the current object
+// state. Load uses it for the bulk load; ApplyRefresh re-invokes it after
+// appending refresh orders so the next epoch's columns are rebuilt by the
+// identical code path (determinism is what makes WAL replay bit-faithful).
+func orderColumns(db *DB) []namedCol {
+	n := len(db.Orders)
+	return []namedCol{
+		{"Order_cust", oidCol(n, func(i int) bat.OID { return bat.OID(db.Orders[i].Cust) })},
+		{"Order_status", chrCol(n, func(i int) byte { return db.Orders[i].Status })},
+		{"Order_totalprice", fltCol(n, func(i int) float64 { return db.Orders[i].Totalprice })},
+		{"Order_orderdate", dateCol(n, func(i int) int32 { return db.Orders[i].Orderdate })},
+		{"Order_orderpriority", strCol(n, func(i int) string { return db.Orders[i].Orderpriority })},
+		{"Order_clerk", strCol(n, func(i int) string { return db.Orders[i].Clerk })},
+		{"Order_shippriority", strCol(n, func(i int) string { return db.Orders[i].Shippriority })},
+	}
+}
+
+// itemColumns builds the Item attribute columns; see orderColumns.
+func itemColumns(db *DB) []namedCol {
+	n := len(db.Items)
+	return []namedCol{
+		{"Item_part", oidCol(n, func(i int) bat.OID { return bat.OID(db.Items[i].Part) })},
+		{"Item_supplier", oidCol(n, func(i int) bat.OID { return bat.OID(db.Items[i].Supplier) })},
+		{"Item_order", oidCol(n, func(i int) bat.OID { return bat.OID(db.Items[i].Order) })},
+		{"Item_quantity", intCol(n, func(i int) int64 { return db.Items[i].Quantity })},
+		{"Item_returnflag", chrCol(n, func(i int) byte { return db.Items[i].Returnflag })},
+		{"Item_linestatus", chrCol(n, func(i int) byte { return db.Items[i].Linestatus })},
+		{"Item_extendedprice", fltCol(n, func(i int) float64 { return db.Items[i].Extendedprice })},
+		{"Item_discount", fltCol(n, func(i int) float64 { return db.Items[i].Discount })},
+		{"Item_tax", fltCol(n, func(i int) float64 { return db.Items[i].Tax })},
+		{"Item_shipdate", dateCol(n, func(i int) int32 { return db.Items[i].Shipdate })},
+		{"Item_commitdate", dateCol(n, func(i int) int32 { return db.Items[i].Commitdate })},
+		{"Item_receiptdate", dateCol(n, func(i int) int32 { return db.Items[i].Receiptdate })},
+		{"Item_shipmode", strCol(n, func(i int) string { return db.Items[i].Shipmode })},
+		{"Item_shipinstruct", strCol(n, func(i int) string { return db.Items[i].Shipinstruct })},
+	}
+}
+
+// customerOrdersIndex derives the Customer_orders set index [customer,
+// order]. Walking customers in class order keeps the head ordered, which
+// the HOrdered property on the index BAT asserts.
+func customerOrdersIndex(db *DB) (owners, members []bat.OID) {
+	for c := range db.Customers {
+		for _, o := range db.Customers[c].Orders {
+			owners = append(owners, bat.OID(c))
+			members = append(members, bat.OID(o))
+		}
+	}
+	return owners, members
+}
+
+// orderItemIndex derives the Order_item set index [order, item].
+func orderItemIndex(db *DB) (owners, members []bat.OID) {
+	for o := range db.Orders {
+		for _, it := range db.Orders[o].Items {
+			owners = append(owners, bat.OID(o))
+			members = append(members, bat.OID(it))
+		}
+	}
+	return owners, members
 }
 
 func strCol(n int, f func(int) string) bat.Column {

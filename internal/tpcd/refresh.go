@@ -1,0 +1,308 @@
+package tpcd
+
+import (
+	"encoding/json"
+	"fmt"
+	"maps"
+	"math/rand"
+
+	"repro/internal/bat"
+	"repro/internal/epoch"
+	"repro/internal/mil"
+)
+
+// TPC-D refresh stream (RF1-style): batches of new orders with their line
+// items, referencing the existing customer/part/supplier population. A
+// batch is the unit of ingest — it is serialized as the WAL payload,
+// validated against the immutable reference data, and applied by appending
+// to the object database and rebuilding the affected BATs (Order and Item
+// extents and attributes, the Order_item and Customer_orders set indexes)
+// for the next epoch. Every other env entry is shared pointer-wise with the
+// previous epoch, so warm accelerators on unchanged columns survive swaps.
+
+// RefreshItem is one new line item in a refresh order. Derived fields
+// (return flag, line status) are carried explicitly so a batch is
+// self-contained: apply never re-derives, which keeps replay bit-faithful
+// even if derivation rules evolve.
+type RefreshItem struct {
+	Part          int32   `json:"part"`
+	Supplier      int32   `json:"supplier"`
+	Quantity      int64   `json:"quantity"`
+	Returnflag    byte    `json:"returnflag"`
+	Linestatus    byte    `json:"linestatus"`
+	Extendedprice float64 `json:"extendedprice"`
+	Discount      float64 `json:"discount"`
+	Tax           float64 `json:"tax"`
+	Shipdate      int32   `json:"shipdate"`
+	Commitdate    int32   `json:"commitdate"`
+	Receiptdate   int32   `json:"receiptdate"`
+	Shipmode      string  `json:"shipmode"`
+	Shipinstruct  string  `json:"shipinstruct"`
+}
+
+// RefreshOrder is one new order in a refresh batch.
+type RefreshOrder struct {
+	Cust          int32         `json:"cust"`
+	Status        byte          `json:"status"`
+	Totalprice    float64       `json:"totalprice"`
+	Orderdate     int32         `json:"orderdate"`
+	Orderpriority string        `json:"orderpriority"`
+	Clerk         string        `json:"clerk"`
+	Shippriority  string        `json:"shippriority"`
+	Items         []RefreshItem `json:"items"`
+}
+
+// RefreshBatch is one ingest payload.
+type RefreshBatch struct {
+	Orders []RefreshOrder `json:"orders"`
+}
+
+// EncodeRefresh serializes a batch as a WAL payload.
+func EncodeRefresh(b *RefreshBatch) ([]byte, error) { return json.Marshal(b) }
+
+// DecodeRefresh parses a WAL payload back into a batch.
+func DecodeRefresh(p []byte) (*RefreshBatch, error) {
+	var b RefreshBatch
+	if err := json.Unmarshal(p, &b); err != nil {
+		return nil, fmt.Errorf("refresh batch: %w", err)
+	}
+	return &b, nil
+}
+
+// GenRefresh generates a deterministic refresh batch of n new orders
+// against db's reference population, with the same value distributions and
+// derivation rules as the bulk generator. It reads only fields that are
+// immutable after Generate (population sizes, part prices, part→supplier
+// candidates), so it is safe to call while another goroutine applies a
+// batch.
+func GenRefresh(db *DB, seed int64, n int) *RefreshBatch {
+	rng := rand.New(rand.NewSource(seed))
+	nCustomers := len(db.Customers)
+	nParts := len(db.Parts)
+	nClerks := scaled(clerksPerSF, db.SF)
+	dateRange := int(endDate.I - startDate.I)
+
+	b := &RefreshBatch{Orders: make([]RefreshOrder, 0, n)}
+	for o := 0; o < n; o++ {
+		odate := int32(startDate.I) + int32(rng.Intn(dateRange-151))
+		ord := RefreshOrder{
+			Cust:          int32(rng.Intn(nCustomers)),
+			Orderdate:     odate,
+			Orderpriority: pick(rng, priorities),
+			Clerk:         fmt.Sprintf("Clerk#%09d", 1+rng.Intn(nClerks)),
+			Shippriority:  "0",
+		}
+		nItems := 1 + rng.Intn(7)
+		var total float64
+		allF := true
+		anyF := false
+		for k := 0; k < nItems; k++ {
+			p := int32(rng.Intn(nParts))
+			sups := db.partSuppliers[p]
+			s := sups[rng.Intn(len(sups))]
+			qty := int64(1 + rng.Intn(50))
+			price := db.Parts[p].RetailPrice * float64(qty) / 10
+			ship := odate + int32(1+rng.Intn(121))
+			it := RefreshItem{
+				Part: p, Supplier: s,
+				Quantity:      qty,
+				Extendedprice: price,
+				Discount:      float64(rng.Intn(11)) / 100,
+				Tax:           float64(rng.Intn(9)) / 100,
+				Shipdate:      ship,
+				Commitdate:    odate + int32(30+rng.Intn(61)),
+				Receiptdate:   ship + int32(1+rng.Intn(30)),
+				Shipmode:      pick(rng, shipmodes),
+				Shipinstruct:  pick(rng, instructs),
+			}
+			if int64(it.Receiptdate) <= currentDate.I {
+				if rng.Intn(2) == 0 {
+					it.Returnflag = 'R'
+				} else {
+					it.Returnflag = 'A'
+				}
+			} else {
+				it.Returnflag = 'N'
+			}
+			if int64(ship) > currentDate.I {
+				it.Linestatus = 'O'
+				allF = false
+			} else {
+				it.Linestatus = 'F'
+				anyF = true
+			}
+			total += price * (1 - it.Discount) * (1 + it.Tax)
+			ord.Items = append(ord.Items, it)
+		}
+		switch {
+		case allF && anyF:
+			ord.Status = 'F'
+		case !anyF:
+			ord.Status = 'O'
+		default:
+			ord.Status = 'P'
+		}
+		ord.Totalprice = total
+		b.Orders = append(b.Orders, ord)
+	}
+	return b
+}
+
+// ValidateRefresh checks a batch against db's immutable reference data:
+// every order references an existing customer, every item an existing
+// (supplier, part) pair from PartSupp (the TPC-D consistency rule Q9
+// depends on), and quantities are positive. Validation runs before the WAL
+// append — a batch that cannot apply must never become durable.
+func ValidateRefresh(db *DB, b *RefreshBatch) error {
+	if len(b.Orders) == 0 {
+		return fmt.Errorf("empty batch")
+	}
+	for oi, o := range b.Orders {
+		if o.Cust < 0 || int(o.Cust) >= len(db.Customers) {
+			return fmt.Errorf("order %d: customer %d out of range [0,%d)", oi, o.Cust, len(db.Customers))
+		}
+		if len(o.Items) == 0 {
+			return fmt.Errorf("order %d: no items", oi)
+		}
+		for ii, it := range o.Items {
+			if it.Part < 0 || int(it.Part) >= len(db.Parts) {
+				return fmt.Errorf("order %d item %d: part %d out of range [0,%d)", oi, ii, it.Part, len(db.Parts))
+			}
+			if it.Supplier < 0 || int(it.Supplier) >= len(db.Suppliers) {
+				return fmt.Errorf("order %d item %d: supplier %d out of range [0,%d)", oi, ii, it.Supplier, len(db.Suppliers))
+			}
+			if _, ok := db.supplyIndex[[2]int32{it.Supplier, it.Part}]; !ok {
+				return fmt.Errorf("order %d item %d: supplier %d does not supply part %d", oi, ii, it.Supplier, it.Part)
+			}
+			if it.Quantity <= 0 {
+				return fmt.Errorf("order %d item %d: quantity %d must be positive", oi, ii, it.Quantity)
+			}
+		}
+	}
+	return nil
+}
+
+// ApplyRefresh appends a validated batch to the object database and builds
+// the next epoch's env: the Order and Item extents, every Order_* and
+// Item_* attribute BAT (fresh datavectors included), and the Order_item and
+// Customer_orders set indexes are rebuilt; everything else is shared with
+// base pointer-wise, so unchanged BATs keep their identity (and their warm
+// accelerators) across the swap. Returns the new env and the byte size of
+// the rebuilt BATs — the epoch's owned bytes. Single-writer: the epoch
+// store serializes calls, and db must only ever be mutated here.
+func ApplyRefresh(db *DB, base mil.Env, b *RefreshBatch) (mil.Env, int64, error) {
+	for _, ro := range b.Orders {
+		ord := Order{
+			Cust:          ro.Cust,
+			Status:        ro.Status,
+			Totalprice:    ro.Totalprice,
+			Orderdate:     ro.Orderdate,
+			Orderpriority: ro.Orderpriority,
+			Clerk:         ro.Clerk,
+			Shippriority:  ro.Shippriority,
+		}
+		oid := int32(len(db.Orders))
+		for _, ri := range ro.Items {
+			ord.Items = append(ord.Items, int32(len(db.Items)))
+			db.Items = append(db.Items, Item{
+				Part: ri.Part, Supplier: ri.Supplier, Order: oid,
+				Quantity:      ri.Quantity,
+				Returnflag:    ri.Returnflag,
+				Linestatus:    ri.Linestatus,
+				Extendedprice: ri.Extendedprice,
+				Discount:      ri.Discount,
+				Tax:           ri.Tax,
+				Shipdate:      ri.Shipdate,
+				Commitdate:    ri.Commitdate,
+				Receiptdate:   ri.Receiptdate,
+				Shipmode:      ri.Shipmode,
+				Shipinstruct:  ri.Shipinstruct,
+			})
+		}
+		db.Customers[ro.Cust].Orders = append(db.Customers[ro.Cust].Orders, oid)
+		db.Orders = append(db.Orders, ord)
+	}
+
+	env := maps.Clone(base)
+	var owned int64
+	attr := func(name string, col bat.Column) {
+		withDV := bat.AttachDatavector(bat.New(name, bat.NewVoid(0, col.Len()), col, 0))
+		withDV.Persist()
+		env[name] = withDV
+		owned += withDV.ByteSize() + withDV.Datavector().ByteSize()
+	}
+	setIndex := func(name string, owners, members []bat.OID) {
+		ix := bat.New(name, bat.NewOIDCol(owners), bat.NewOIDCol(members), bat.HOrdered)
+		ix.Persist()
+		env[name] = ix
+		owned += ix.ByteSize()
+	}
+
+	env["Order"] = bat.New("Order", bat.NewVoid(0, len(db.Orders)), bat.NewVoid(0, len(db.Orders)), 0)
+	for _, nc := range orderColumns(db) {
+		attr(nc.name, nc.col)
+	}
+	owners, members := orderItemIndex(db)
+	setIndex("Order_item", owners, members)
+
+	env["Item"] = bat.New("Item", bat.NewVoid(0, len(db.Items)), bat.NewVoid(0, len(db.Items)), 0)
+	for _, nc := range itemColumns(db) {
+		attr(nc.name, nc.col)
+	}
+	co, cm := customerOrdersIndex(db)
+	setIndex("Customer_orders", co, cm)
+
+	return env, owned, nil
+}
+
+// DurableConfig configures OpenStore.
+type DurableConfig struct {
+	// Dir is the WAL + snapshot directory; empty runs in-memory.
+	Dir string
+	// SF and Seed identify the deterministic genesis database. They are
+	// recorded as the store meta, so a data directory can never be replayed
+	// against a different genesis.
+	SF   float64
+	Seed int64
+	// SnapshotEvery checkpoints after every N ingests (0: never).
+	SnapshotEvery int
+	// Hooks optionally injects crash points (tests only).
+	Hooks *epoch.Hooks
+}
+
+// OpenStore generates the genesis database, bulk-loads it, and opens the
+// durable epoch store over it: recovery replays any WAL/snapshot state in
+// Dir on top of the regenerated genesis, mutating db forward in lockstep,
+// so the returned db and the current epoch's env always agree. The returned
+// DB is the writer-side object state — GenRefresh reads it; only the
+// store's Apply path mutates it.
+func OpenStore(cfg DurableConfig) (*epoch.Store, *DB, error) {
+	db := Generate(cfg.SF, cfg.Seed)
+	env, _ := Load(db)
+	meta := fmt.Sprintf("tpcd sf=%g seed=%d", cfg.SF, cfg.Seed)
+	st, err := epoch.Open(epoch.Options{
+		Dir:     cfg.Dir,
+		Meta:    []byte(meta),
+		Genesis: env,
+		Validate: func(p []byte) error {
+			b, err := DecodeRefresh(p)
+			if err != nil {
+				return err
+			}
+			return ValidateRefresh(db, b)
+		},
+		Apply: func(base mil.Env, p []byte) (mil.Env, int64, error) {
+			b, err := DecodeRefresh(p)
+			if err != nil {
+				return nil, 0, err
+			}
+			return ApplyRefresh(db, base, b)
+		},
+		SnapshotEvery: cfg.SnapshotEvery,
+		Hooks:         cfg.Hooks,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, db, nil
+}

@@ -11,7 +11,10 @@
 # server does not shut down cleanly. A third run exercises the failure
 # model: -query-timeout and -fault-every armed, asserting 400/504/500 over
 # HTTP, panic containment (the server answers after a contained fault), the
-# lifecycle counters on /metrics, and a clean drain afterwards.
+# lifecycle counters on /metrics, and a clean drain afterwards. A fourth
+# run exercises durability: HTTP ingest into a durable data directory,
+# immediate visibility, SIGKILL (no drain), restart on the same directory,
+# and recovery of the acknowledged ingest with the recovery counters set.
 # Knobs: ADDR, DURATION, CLIENTS, MIX.
 set -eu
 
@@ -31,6 +34,77 @@ cleanup() {
 	rm -f "$bin"
 }
 trap cleanup EXIT
+
+# wait_ready <label>: poll /healthz until the server answers (the TPC-D
+# load — and on restart, WAL recovery — takes a moment).
+wait_ready() {
+	ready=0
+	i=0
+	while [ $i -lt 100 ]; do
+		if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+			ready=1
+			break
+		fi
+		sleep 0.2
+		i=$((i + 1))
+	done
+	[ "$ready" = 1 ] || { echo "server-smoke: server never became ready ($1)" >&2; exit 1; }
+}
+
+# count_orders: run count(Order) over HTTP and print the scalar.
+count_orders() {
+	curl -fsS -X POST --data 'count(Order)' "http://$ADDR/query" |
+		sed -n 's/.*"elems":\["\([0-9]*\)"\].*/\1/p'
+}
+
+# run_durability: the writes-and-recovery scenario. Start a server with a
+# durable data directory, publish one refresh batch over HTTP (the epoch
+# swap must be visible to queries immediately), SIGKILL the process — no
+# drain, no cleanup, the crash the WAL exists for — restart on the same
+# directory, and require: the ingested rows are still there (bit-recovered
+# from genesis + WAL replay), /metrics reports the recovery, and the
+# restarted server still drains cleanly.
+run_durability() {
+	datadir=$(mktemp -d -t moa-data.XXXXXX)
+
+	"$bin" -addr "$ADDR" -sf 0.002 -data "$datadir" &
+	pid=$!
+	wait_ready durability-cold
+
+	c0=$(count_orders)
+	[ "$c0" = 3000 ] || { echo "server-smoke: genesis count(Order) = '$c0', want 3000" >&2; exit 1; }
+
+	resp=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+		--data '{"generate":20,"seed":99}' "http://$ADDR/ingest")
+	echo "$resp" | grep -q '"epoch":1' || { echo "server-smoke: ingest response '$resp' lacks epoch 1" >&2; exit 1; }
+
+	c1=$(count_orders)
+	[ "$c1" = 3020 ] || { echo "server-smoke: post-ingest count(Order) = '$c1', want 3020" >&2; exit 1; }
+
+	kill -9 "$pid"
+	wait "$pid" 2>/dev/null || true
+	pid=""
+	echo "server-smoke: SIGKILL delivered after acknowledged ingest" >&2
+
+	"$bin" -addr "$ADDR" -sf 0.002 -data "$datadir" &
+	pid=$!
+	wait_ready durability-recovered
+
+	c2=$(count_orders)
+	[ "$c2" = 3020 ] || { echo "server-smoke: recovered count(Order) = '$c2', want 3020" >&2; exit 1; }
+
+	metrics=$(curl -fsS "http://$ADDR/metrics")
+	recoveries=$(echo "$metrics" | awk '/^moaserve_recoveries_total /{print $2}')
+	epoch=$(echo "$metrics" | awk '/^moaserve_epoch_current /{print $2}')
+	[ "$recoveries" = 1 ] || { echo "server-smoke: recoveries_total = '$recoveries', want 1" >&2; exit 1; }
+	[ "$epoch" = 1 ] || { echo "server-smoke: epoch_current = '$epoch' after recovery, want 1" >&2; exit 1; }
+
+	kill -TERM "$pid"
+	wait "$pid"
+	pid=""
+	rm -rf "$datadir"
+	echo "server-smoke: durability scenario ok (ingest survived SIGKILL, recoveries=$recoveries)" >&2
+}
 
 # run_once <label> <outfile>: start a cold server, load it, log the
 # /metrics scrape, and write the pager fault total to <outfile>. Runs in
@@ -171,3 +245,4 @@ fi
 echo "server-smoke: pager faults stable across cold runs ($f1)"
 
 run_lifecycle
+run_durability
