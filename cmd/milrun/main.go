@@ -27,6 +27,7 @@ func main() {
 	sf := flag.Float64("sf", 0.005, "TPC-D scale factor")
 	seed := flag.Int64("seed", 42, "generator seed")
 	maxRows := flag.Int("rows", 10, "max BUNs to print per result BAT")
+	pipeline := flag.Int("pipeline", 0, "fusable-chain execution: >=0 = vectorized pipeline, <0 = full materialization")
 	flag.Parse()
 
 	var src string
@@ -54,7 +55,7 @@ func main() {
 
 	gen := tpcd.Generate(*sf, *seed)
 	env, _ := tpcd.Load(gen)
-	ctx := &mil.Ctx{Pager: storage.NewPager(4096, 0)}
+	ctx := mil.NewCtx(nil, mil.Options{Pager: storage.NewPager(4096, 0), Pipeline: *pipeline})
 
 	traces, err := mil.Run(ctx, prog, env)
 	if err != nil {

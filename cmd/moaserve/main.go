@@ -59,6 +59,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed")
 	workers := flag.Int("workers", 1, "per-query parallel iteration degree (1 = concurrency from sessions alone)")
 	morsel := flag.Int("morsel", 0, "morsel scheduling: rows per probe morsel (0 = skew-aware default, <0 = static)")
+	pipeline := flag.Int("pipeline", 0, "fusable-chain execution: >=0 = vectorized pipeline (default), <0 = full materialization (parity reference)")
+	vectorRows := flag.Int("vector-rows", 0, "pipeline vector length in rows (0 = default)")
 	maxconc := flag.Int("maxconc", 0, "max concurrently executing queries (0 = GOMAXPROCS)")
 	membudget := flag.Int64("membudget-mb", 256, "admission control: live intermediate budget in MB (0 = unlimited)")
 	maxplans := flag.Int("maxplans", 0, "prepared-plan cache capacity (0 = default)")
@@ -86,6 +88,8 @@ func main() {
 	flag.Parse()
 
 	cfg := serviceConfig(*workers, *morsel, *maxconc, *membudget, *maxplans)
+	cfg.Pipeline = *pipeline
+	cfg.VectorRows = *vectorRows
 	cfg.QueryTimeout = *queryTimeout
 	cfg.ThrashShedRatio = *thrashShed
 	faults := storage.FaultPlan{FailEvery: *faultEvery, DelayEvery: *faultDelayEvery, Delay: *faultDelay}

@@ -27,6 +27,8 @@ func main() {
 	only := flag.Int("q", 0, "run a single query (1-15)")
 	workers := flag.Int("workers", engine.AutoWorkers(), "parallel iteration degree for bulk operators (1 = sequential)")
 	morsel := flag.Int("morsel", 0, "morsel scheduling: rows per probe morsel (0 = skew-aware default, <0 = static per-worker striping)")
+	pipeline := flag.Int("pipeline", 0, "fusable-chain execution: >=0 = vectorized pipeline (default), <0 = full materialization (parity reference)")
+	vectorRows := flag.Int("vector-rows", 0, "pipeline vector length in rows (0 = ~L1-sized default)")
 	flag.Parse()
 
 	fmt.Printf("generating TPC-D at SF=%g (seed %d)...\n", *sf, *seed)
@@ -47,6 +49,8 @@ func main() {
 	db.Pager = storage.NewPager(4096, *pool)
 	db.Workers = *workers
 	db.MorselRows = *morsel
+	db.Pipeline = *pipeline
+	db.VectorRows = *vectorRows
 
 	store := relational.Load(gen)
 	store.Pager = storage.NewPager(4096, *pool)

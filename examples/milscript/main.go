@@ -39,7 +39,7 @@ LOSS     := {sum}(losses)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctx := &mil.Ctx{Pager: storage.NewPager(4096, 0)}
+	ctx := mil.NewCtx(nil, mil.Options{Pager: storage.NewPager(4096, 0)})
 	traces, err := mil.Run(ctx, prog, env)
 	if err != nil {
 		log.Fatal(err)

@@ -195,19 +195,91 @@ func buildHashIndexRadix(col Column, partitions int, s Sched) *HashIndex {
 	rep, _ := NewKeyRepP(col, workers)
 	sc := scatterByHash(rep.Rep, p, h.mask, log2(sz)-log2(p), workers)
 	nb := sz >> log2(p) // buckets per partition
+	// Hot-partition splitting: a skewed key distribution (the extreme being
+	// all-one-key) can scatter most rows into one partition, and a whole
+	// partition is one morsel — the build would serialize on one worker. A
+	// partition holding more than ~2/workers of the rows is counting-sorted
+	// by all workers instead: per-subrange histograms combine into exact
+	// per-subrange write cursors, so the scatter stays in row order and the
+	// result is bit-identical to the sequential build.
+	hotMin := n + 1
+	if workers > 1 {
+		hotMin = 2 * n / workers
+	}
+	var hot []int
+	isHot := make(map[int]bool)
+	for pi := 0; pi < p; pi++ {
+		if int(sc.off[pi+1]-sc.off[pi]) > hotMin {
+			hot = append(hot, pi)
+			isHot[pi] = true
+		}
+	}
 	// Whole partitions are the build's morsels: each counting-sorts into a
 	// disjoint bucket span, so claim order cannot affect the result, and a
 	// worker stuck on a skew-heavy partition never strands the rest.
 	counts := make([][]int32, s.workersOver(p))
 	s.Dispatch(p, func(wi, pi int) {
+		if isHot[pi] {
+			return // sub-split below, all workers on it
+		}
 		if counts[wi] == nil {
 			counts[wi] = make([]int32, nb)
 		}
 		h.buildPartition(sc, pi, int32(pi*nb), counts[wi])
 		clear(counts[wi])
 	})
+	for _, pi := range hot {
+		h.buildPartitionSplit(sc, pi, int32(pi*nb), nb, workers, s)
+	}
 	h.bucketOff[sz] = int32(n)
 	return h
+}
+
+// buildPartitionSplit counting-sorts one oversized partition with every
+// worker cooperating: the partition's row range is cut into per-worker
+// subranges, each histogrammed in parallel; a sequential combine derives
+// bucket offsets and per-subrange write cursors (subrange s' of bucket b
+// writes after all earlier subranges' rows of b); then each subrange
+// scatters through its own cursors. Every bucket's entries end up in
+// globally ascending row order — the invariant buildPartition maintains —
+// so the split build is bit-identical to the unsplit one.
+func (h *HashIndex) buildPartitionSplit(sc scattered, pi int, bLo int32, nb, workers int, s Sched) {
+	lo, hi := sc.off[pi], sc.off[pi+1]
+	rows := int(hi - lo)
+	bounds := splitRange(rows, workers)
+	w := len(bounds)
+	reps := sc.reps
+	counts := make([][]int32, w)
+	s.Dispatch(w, func(_, si int) {
+		c := make([]int32, nb)
+		for k := lo + int32(bounds[si][0]); k < lo+int32(bounds[si][1]); k++ {
+			c[int32(fibHash(reps[k])&h.mask)-bLo]++
+		}
+		counts[si] = c
+	})
+	cur := lo
+	for j := 0; j < nb; j++ {
+		h.bucketOff[bLo+int32(j)] = cur
+		for si := 0; si < w; si++ {
+			c := counts[si][j]
+			counts[si][j] = cur // becomes subrange si's write cursor for bucket j
+			cur += c
+		}
+	}
+	s.Dispatch(w, func(_, si int) {
+		cursors := counts[si]
+		for k := lo + int32(bounds[si][0]); k < lo+int32(bounds[si][1]); k++ {
+			x := reps[k]
+			b := int32(fibHash(x)&h.mask) - bLo
+			c := cursors[b]
+			row := int32(k)
+			if sc.rows != nil {
+				row = sc.rows[k]
+			}
+			h.ents[c] = hashEnt{rep: x, pos: row}
+			cursors[b] = c + 1
+		}
+	})
 }
 
 // buildClusteredFixed is the unpartitioned counting sort for fixed-width

@@ -140,6 +140,55 @@ func fillKeyReps(c Column, rep []uint64, lo, hi int) {
 	}
 }
 
+// RowRep returns a per-row key-rep accessor over c — the vector-granular
+// counterpart of NewKeyRep: rep(i) equals NewKeyRep(c).Rep[i] bit for bit,
+// without materializing the O(n) vector. eq settles rep collisions and is
+// nil when rep equality is conclusive; ok is false for column
+// implementations without a key representation (none in this package).
+func RowRep(c Column) (rep func(i int32) uint64, eq KeyEq, ok bool) {
+	exact, ok := repExactness(c)
+	if !ok {
+		return nil, nil, false
+	}
+	if !exact {
+		// KeyEqual on inexact kinds reads the column directly; no Rep
+		// vector is needed.
+		eq = KeyRep{Exact: false, col: c}
+	}
+	switch cc := c.(type) {
+	case *VoidCol:
+		rep = func(i int32) uint64 { return uint64(cc.Seq) + uint64(i) }
+	case *OIDCol:
+		rep = func(i int32) uint64 { return uint64(cc.V[i]) }
+	case *IntCol:
+		rep = func(i int32) uint64 { return uint64(cc.V[i]) }
+	case *DateCol:
+		rep = func(i int32) uint64 { return uint64(cc.V[i]) }
+	case *ChrCol:
+		rep = func(i int32) uint64 { return uint64(cc.V[i]) }
+	case *BitCol:
+		rep = func(i int32) uint64 {
+			if cc.V[i] {
+				return 1
+			}
+			return 0
+		}
+	case *FltCol:
+		rep = func(i int32) uint64 {
+			v := cc.V[i]
+			if v == 0 {
+				v = 0 // -0 and +0 are one key
+			}
+			return math.Float64bits(v)
+		}
+	case *StrCol:
+		rep = func(i int32) uint64 { return hashString(cc.At(int(i))) }
+	default:
+		return nil, nil, false
+	}
+	return rep, eq, true
+}
+
 // KeyEqual implements KeyEq on a single column under map-key semantics.
 func (k KeyRep) KeyEqual(a, b int32) bool {
 	if k.Exact {

@@ -116,6 +116,62 @@ func TestHashIndexDenseDetection(t *testing.T) {
 	}
 }
 
+// TestBuildPartitionSplitBitIdentical: adversarially skewed keys route most
+// rows into one radix partition, which the build counting-sorts with every
+// worker cooperating (buildPartitionSplit). That cooperative path must
+// reproduce the sequential build bit for bit — identical bucketOff
+// boundaries and identical (rep, pos) entries in the same slots — not
+// merely equivalent Lookup answers. all-one-key concentrates every row in
+// one partition, so the sub-split is guaranteed to engage for workers >= 3;
+// half-hot and zipf mix hot and ordinary partitions so both build paths run
+// against the same index.
+func TestBuildPartitionSplitBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	const n = 4096
+	one := make([]int64, n)
+	half := make([]int64, n)
+	zipf := make([]int64, n)
+	zg := rand.NewZipf(rng, 1.3, 1, 64)
+	for i := 0; i < n; i++ {
+		one[i] = 42
+		if i%2 == 0 {
+			half[i] = 42
+		} else {
+			half[i] = rng.Int63()
+		}
+		zipf[i] = int64(zg.Uint64())
+	}
+	shapes := []struct {
+		name string
+		keys []int64
+	}{{"all-one-key", one}, {"half-hot", half}, {"zipf", zipf}}
+
+	for _, sh := range shapes {
+		col := NewIntCol(sh.keys)
+		seq := buildHashIndexRadix(col, 1, Sched{Workers: 1})
+		for _, parts := range []int{4, 8} {
+			for _, sched := range []Sched{{Workers: 3}, {Workers: 8}, {Workers: 8, Static: true}} {
+				idx := buildHashIndexRadix(col, parts, sched)
+				label := fmt.Sprintf("%s/p=%d/w=%d/static=%v", sh.name, parts, sched.Workers, sched.Static)
+				if len(idx.bucketOff) != len(seq.bucketOff) || len(idx.ents) != len(seq.ents) {
+					t.Fatalf("%s: layout sizes (%d,%d) != sequential (%d,%d)", label,
+						len(idx.bucketOff), len(idx.ents), len(seq.bucketOff), len(seq.ents))
+				}
+				for j := range seq.bucketOff {
+					if idx.bucketOff[j] != seq.bucketOff[j] {
+						t.Fatalf("%s: bucketOff[%d] = %d, want %d", label, j, idx.bucketOff[j], seq.bucketOff[j])
+					}
+				}
+				for j := range seq.ents {
+					if idx.ents[j] != seq.ents[j] {
+						t.Fatalf("%s: ents[%d] = %+v, want %+v", label, j, idx.ents[j], seq.ents[j])
+					}
+				}
+			}
+		}
+	}
+}
+
 // refGroupSlots is the sequential Grouper reference.
 func refGroupSlots(rep []uint64, eq KeyEq) (slots, first []int32) {
 	g := NewGrouper(len(rep))

@@ -60,6 +60,12 @@ type Database struct {
 	// operators: 0 = skew-aware default, > 0 = explicit probe morsel rows,
 	// < 0 = static per-worker striping. Bit-identical in every setting.
 	MorselRows int
+	// Pipeline selects the execution strategy for fusable statement chains:
+	// >= 0 (default) streams selection vectors, < 0 forces full
+	// materialization (the parity reference). Bit-identical either way.
+	Pipeline int
+	// VectorRows tunes the pipeline vector length; 0 picks the default.
+	VectorRows int
 }
 
 // New creates a database over an existing BAT environment.
@@ -128,9 +134,12 @@ type Session struct {
 	// default: each query's Stats.Faults comes from a per-query tracker,
 	// not from the pool's aggregate counters.
 	Pager *storage.Pager
-	// Workers and MorselRows mirror the Database knobs per session.
+	// Workers, MorselRows, Pipeline and VectorRows mirror the Database
+	// knobs per session.
 	Workers    int
 	MorselRows int
+	Pipeline   int
+	VectorRows int
 	// Gauge, when non-nil, feeds this session's intermediate-memory
 	// accounting into a process-wide gauge (admission control).
 	Gauge *mil.MemGauge
@@ -139,7 +148,10 @@ type Session struct {
 // NewSession opens a session over the database, inheriting its Pager,
 // Workers and MorselRows defaults.
 func (db *Database) NewSession() *Session {
-	return &Session{db: db, Pager: db.Pager, Workers: db.Workers, MorselRows: db.MorselRows}
+	return &Session{
+		db: db, Pager: db.Pager, Workers: db.Workers, MorselRows: db.MorselRows,
+		Pipeline: db.Pipeline, VectorRows: db.VectorRows,
+	}
 }
 
 // Query prepares and executes a MOA query on this session. qctx is the
@@ -165,7 +177,17 @@ func (s *Session) Query(qctx context.Context, src string) (*Result, error) {
 // the deferred DrainGauge folds the query's live intermediate bytes back to
 // the shared gauge, so admission control never leaks budget to dead queries.
 func (s *Session) Execute(qctx context.Context, prep *rewrite.Result) (res *Result, err error) {
-	ctx := &mil.Ctx{Pager: s.Pager, Workers: s.Workers, MorselRows: s.MorselRows, Gauge: s.Gauge}
+	// qctx binds the query lifecycle at construction: NewCtx retains only a
+	// cancellable context, so Background/TODO (nil Done channel) keep the
+	// uncancellable fast path free of even the amortized per-morsel poll.
+	ctx := mil.NewCtx(qctx, mil.Options{
+		Pager:      s.Pager,
+		Workers:    s.Workers,
+		MorselRows: s.MorselRows,
+		Pipeline:   s.Pipeline,
+		VectorRows: s.VectorRows,
+		Gauge:      s.Gauge,
+	})
 	// Pin the current epoch for the whole query: base BATs resolve through
 	// the pinned env, so an ingest publishing a new epoch mid-query cannot
 	// change what this query sees (snapshot isolation). The deferred Release
@@ -179,12 +201,6 @@ func (s *Session) Execute(qctx context.Context, prep *rewrite.Result) (res *Resu
 		base = ep.Env
 		epochID = ep.ID
 		defer ep.Release()
-	}
-	// Only a cancellable context arms the interpreter's stop hooks:
-	// Background/TODO have a nil Done channel, and the uncancellable fast
-	// path stays free of even the amortized per-morsel poll.
-	if qctx != nil && qctx.Done() != nil {
-		ctx.Context = qctx
 	}
 	// Whatever stays live at the end (kept results) becomes garbage once
 	// the result set is materialized; return it to the shared gauge. Runs
@@ -219,8 +235,7 @@ func (s *Session) Execute(qctx context.Context, prep *rewrite.Result) (res *Resu
 	// BATs resolve through the shared map, every binding lands in the
 	// session-private level — no O(|database|) env copy per query, and
 	// concurrent or repeated queries cannot pollute the database env.
-	scope := mil.NewScope(base, len(prep.Prog.Stmts))
-	traces, rerr := mil.RunScope(ctx, prep.Prog, scope)
+	scope, traces, rerr := mil.Exec(ctx, prep.Prog, base)
 	if rerr != nil {
 		var pe *mil.PanicError
 		if errors.As(rerr, &pe) {

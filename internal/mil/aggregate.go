@@ -342,43 +342,119 @@ func aggrAssembleTyped(fn string, b *bat.BAT, first []int32, a *aggPart) *bat.BA
 		head = bat.Gather32(b.H, first)
 	}
 
-	var tail bat.Column
-	if a.boxed != nil {
-		kind := aggResultKind(fn, b.T.Kind())
-		vals := make([]bat.Value, G)
-		for i := range vals {
-			vals[i] = a.boxed[i].result(fn, b.T.Kind())
-		}
-		tail = bat.FromValues(kind, vals)
-	} else {
-		switch fn {
-		case "count":
-			tail = bat.NewIntCol(a.count)
-		case "sum":
-			if b.T.Kind() == bat.KInt {
-				tail = bat.NewIntCol(a.sumI)
-			} else {
-				tail = bat.NewFltCol(a.sumFOrZero(G))
-			}
-		case "avg":
-			sum := a.sumFOrZero(G)
-			vals := make([]float64, G)
-			for i := range vals {
-				vals[i] = sum[i] / float64(a.count[i])
-			}
-			tail = bat.NewFltCol(vals)
-		case "min", "max":
-			tail = a.minmaxCol(fn, b.T.Kind())
-		default:
-			panic(fmt.Sprintf("mil: unknown aggregate %q", fn))
-		}
-	}
-
-	out := bat.New("{"+fn+"}", head, tail, bat.HKey)
+	out := bat.New("{"+fn+"}", head, a.assembleTail(fn, b.T.Kind(), G), bat.HKey)
 	if b.Props.Has(bat.HOrdered) {
 		out.Props |= bat.HOrdered
 	}
 	return out
+}
+
+// assembleTail builds the result tail column from accumulated slots; tailKind
+// is the kind of the aggregated (tail) column. Shared by the materializing
+// assembly and the pipeline's aggregate terminal.
+func (a *aggPart) assembleTail(fn string, tailKind bat.Kind, G int) bat.Column {
+	if a.boxed != nil {
+		kind := aggResultKind(fn, tailKind)
+		vals := make([]bat.Value, G)
+		for i := range vals {
+			vals[i] = a.boxed[i].result(fn, tailKind)
+		}
+		return bat.FromValues(kind, vals)
+	}
+	switch fn {
+	case "count":
+		return bat.NewIntCol(a.count)
+	case "sum":
+		if tailKind == bat.KInt {
+			return bat.NewIntCol(a.sumI)
+		}
+		return bat.NewFltCol(a.sumFOrZero(G))
+	case "avg":
+		sum := a.sumFOrZero(G)
+		vals := make([]float64, G)
+		for i := range vals {
+			vals[i] = sum[i] / float64(a.count[i])
+		}
+		return bat.NewFltCol(vals)
+	case "min", "max":
+		return a.minmaxCol(fn, tailKind)
+	}
+	panic(fmt.Sprintf("mil: unknown aggregate %q", fn))
+}
+
+// scanRows is scan over explicit row lists: row k of the stream reads tail
+// value t[trows[k]] and resolves its group through slot(hrows[k]). The
+// accumulation bodies are the same as scan's, so a streamed scan over
+// (hrows, trows) folds bit-identically to a materialized scan over the
+// gathered intermediate.
+func (a *aggPart) scanRows(t bat.Column, hrows, trows []int32, slot func(hr int32) (int32, bool)) {
+	switch tc := t.(type) {
+	case *bat.IntCol:
+		for k := range hrows {
+			s, fresh := slot(hrows[k])
+			v := tc.V[trows[k]]
+			if fresh {
+				a.count = append(a.count, 0)
+				a.sumI = append(a.sumI, 0)
+				a.sumF = append(a.sumF, 0)
+				a.minI = append(a.minI, v)
+				a.maxI = append(a.maxI, v)
+			}
+			a.count[s]++
+			a.sumI[s] += v
+			a.sumF[s] += float64(v)
+			if v < a.minI[s] {
+				a.minI[s] = v
+			}
+			if v > a.maxI[s] {
+				a.maxI[s] = v
+			}
+		}
+	case *bat.FltCol:
+		for k := range hrows {
+			s, fresh := slot(hrows[k])
+			v := tc.V[trows[k]]
+			if fresh {
+				a.count = append(a.count, 0)
+				a.sumF = append(a.sumF, 0)
+				a.minF = append(a.minF, v)
+				a.maxF = append(a.maxF, v)
+			}
+			a.count[s]++
+			a.sumF[s] += v
+			if v < a.minF[s] {
+				a.minF[s] = v
+			}
+			if v > a.maxF[s] {
+				a.maxF[s] = v
+			}
+		}
+	case *bat.DateCol:
+		for k := range hrows {
+			s, fresh := slot(hrows[k])
+			v := int64(tc.V[trows[k]])
+			if fresh {
+				a.count = append(a.count, 0)
+				a.minI = append(a.minI, v)
+				a.maxI = append(a.maxI, v)
+			}
+			a.count[s]++
+			if v < a.minI[s] {
+				a.minI[s] = v
+			}
+			if v > a.maxI[s] {
+				a.maxI[s] = v
+			}
+		}
+	default:
+		for k := range hrows {
+			s, fresh := slot(hrows[k])
+			if fresh {
+				a.boxed = append(a.boxed, aggAcc{})
+			}
+			a.boxed[s].add(t.Get(int(trows[k])))
+		}
+	}
 }
 
 // sumFOrZero returns the float sums, or zeros for kinds that accumulate

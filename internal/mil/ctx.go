@@ -71,6 +71,18 @@ type Ctx struct {
 	// for ablations and parity runs). Every setting is bit-identical.
 	MorselRows int
 
+	// Pipeline selects the execution strategy for fusable statement chains
+	// (select → semijoin/diff/join → aggregate): 0 (the default) and > 0
+	// stream cache-resident vectors with selection vectors through the
+	// chain, materializing only the chain's final result; < 0 forces full
+	// materialization of every statement — the parity reference the
+	// pipeline is tested against. Every setting is bit-identical.
+	Pipeline int
+
+	// VectorRows tunes the pipeline's vector length in rows; 0 picks
+	// bat.DefaultVectorRows (~L1-sized windows).
+	VectorRows int
+
 	// Gauge, when non-nil, receives every Account/Release delta: the
 	// process-wide live-bytes feed of the server's admission control.
 	Gauge *MemGauge
@@ -105,6 +117,67 @@ type Ctx struct {
 	// account their page touches before fanning work out to parallel
 	// workers, so the lazy init is single-threaded).
 	tracker *storage.Tracker
+}
+
+// Options collects every Ctx tuning knob in one place. The zero value is a
+// fully usable default (sequential, no paging simulation, no accounting,
+// pipeline on). Constructing contexts through NewCtx replaces scattering
+// field assignments across engine, server and cmd callers; the Ctx fields
+// themselves stay exported for tests and ablations that tweak one knob
+// mid-flight.
+type Options struct {
+	// Pager is the shared paged-storage pool the query's touches hit; nil
+	// disables the paging simulation. See Ctx.Pager.
+	Pager *storage.Pager
+	// Workers enables parallel iteration when > 1. See Ctx.Workers.
+	Workers int
+	// MorselRows tunes morsel-driven scheduling (0 auto, > 0 explicit,
+	// < 0 static striping). See Ctx.MorselRows.
+	MorselRows int
+	// Pipeline selects vectorized (>= 0) or fully materialized (< 0)
+	// execution of fusable chains. See Ctx.Pipeline.
+	Pipeline int
+	// VectorRows tunes the pipeline vector length (0 picks the default).
+	// See Ctx.VectorRows.
+	VectorRows int
+	// Gauge, when non-nil, receives live-intermediate-bytes deltas. See
+	// Ctx.Gauge.
+	Gauge *MemGauge
+}
+
+// NewCtx returns a query context configured by o and bound to the lifecycle
+// of cx: cancellation or deadline expiry stops the interpreter at the next
+// operator boundary and parallel dispatch within one morsel. A cx that can
+// never fire (context.Background()) is not retained, keeping the
+// uncancellable fast path free of even the amortized check; passing nil cx
+// means the query has no lifecycle.
+func NewCtx(cx context.Context, o Options) *Ctx {
+	c := &Ctx{
+		Pager:      o.Pager,
+		Workers:    o.Workers,
+		MorselRows: o.MorselRows,
+		Pipeline:   o.Pipeline,
+		VectorRows: o.VectorRows,
+		Gauge:      o.Gauge,
+	}
+	if cx != nil && cx.Done() != nil {
+		c.Context = cx
+	}
+	return c
+}
+
+// pipelineOn reports whether fusable chains run vectorized. A nil Ctx runs
+// the default strategy.
+func (c *Ctx) pipelineOn() bool {
+	return c == nil || c.Pipeline >= 0
+}
+
+// vectorRows reports the pipeline vector length to use.
+func (c *Ctx) vectorRows() int {
+	if c == nil || c.VectorRows <= 0 {
+		return bat.DefaultVectorRows
+	}
+	return c.VectorRows
 }
 
 // Cancelled performs the cheap amortized cancellation check: one atomic

@@ -129,31 +129,42 @@ func joinCap(l, r *bat.BAT, idx *bat.HashIndex) int {
 	return n
 }
 
-// syncJoin recognizes the case where l's tail and r's head correspond
-// position by position (e.g. join(class.mirror, values) when the grouping
-// and the value set stem from the same candidate): the join degenerates to
-// pairing l's head with r's tail, zero-copy. The O(n) verification scan is
-// attempted only for equal-length oid columns and bails out at the first
-// mismatch.
-func syncJoin(ctx *Ctx, l, r *bat.BAT) (*bat.BAT, bool) {
+// syncJoinMatch reports whether join(l, r) degenerates to positional
+// pairing: equal-length duplicate-free oid join columns that correspond
+// position by position. The O(n) verification scan bails at the first
+// mismatch. Shared by syncJoin and the pipeline planner (a join head that
+// would sync must not fuse — streaming would replace the zero-copy pairing
+// with a hash build over r).
+func syncJoinMatch(l, r *bat.BAT) bool {
 	if l.Len() != r.Len() || l.Len() == 0 {
-		return nil, false
+		return false
 	}
 	// Positional pairing is the complete join only if the join column is
 	// duplicate-free; with duplicates every cross match must be produced.
 	if !l.Props.Has(bat.TKey) && !r.Props.Has(bat.HKey) {
-		return nil, false
+		return false
 	}
 	lt, ok1 := oidGetter(l.T)
 	rh, ok2 := oidGetter(r.H)
 	if !ok1 || !ok2 {
-		return nil, false
+		return false
 	}
 	n := l.Len()
 	for i := 0; i < n; i++ {
 		if lt(i) != rh(i) {
-			return nil, false
+			return false
 		}
+	}
+	return true
+}
+
+// syncJoin recognizes the case where l's tail and r's head correspond
+// position by position (e.g. join(class.mirror, values) when the grouping
+// and the value set stem from the same candidate): the join degenerates to
+// pairing l's head with r's tail, zero-copy.
+func syncJoin(ctx *Ctx, l, r *bat.BAT) (*bat.BAT, bool) {
+	if !syncJoinMatch(l, r) {
+		return nil, false
 	}
 	ctx.chose("sync-join")
 	p := ctx.pager()

@@ -177,21 +177,40 @@ func (t StmtTrace) String() string {
 		float64(t.Elapsed.Microseconds())/1000.0, t.Faults, t.Rows, t.Algo, t.Text)
 }
 
+// Exec is the single execution entry point: it runs the program in a fresh
+// two-level scope whose base bindings resolve through env (shared,
+// read-only — a plain Env, the engine's epoch env, anything implementing
+// EnvReader) and returns the scope holding the surviving result bindings
+// alongside the per-statement traces. The scope is returned even on error,
+// carrying whatever bindings existed when execution stopped.
+func Exec(ctx *Ctx, p *Program, env EnvReader) (*Scope, []StmtTrace, error) {
+	scope := NewScope(env, len(p.Stmts))
+	traces, err := runScope(ctx, p, scope)
+	return scope, traces, err
+}
+
 // Run executes the program against env, materializing every statement's
 // result under its Dst name. Names already bound in env are treated as base
 // data: never released or accounted. It is a compatibility wrapper over
-// RunScope — execution happens in a private Vars level and the surviving
+// Exec — execution happens in a private Vars level and the surviving
 // bindings are merged back into env.
 func Run(ctx *Ctx, p *Program, env Env) ([]StmtTrace, error) {
-	scope := NewScope(env, len(p.Stmts))
-	traces, err := RunScope(ctx, p, scope)
+	scope, traces, err := Exec(ctx, p, env)
 	for k, v := range scope.Vars {
 		env[k] = v
 	}
 	return traces, err
 }
 
-// RunScope executes the program inside a two-level scope: base BATs resolve
+// RunScope executes the program inside a caller-provided scope.
+//
+// Deprecated: use Exec, which owns scope construction; RunScope remains for
+// callers that pre-bind Vars before execution.
+func RunScope(ctx *Ctx, p *Program, scope *Scope) ([]StmtTrace, error) {
+	return runScope(ctx, p, scope)
+}
+
+// runScope executes the program inside a two-level scope: base BATs resolve
 // through scope.Base (shared, read-only), every result lands in scope.Vars.
 // It performs simple liveness analysis: a non-kept intermediate is released
 // (for the Fig. 9 memory accounting) after its last use. Only Vars bindings
@@ -203,7 +222,7 @@ func Run(ctx *Ctx, p *Program, env Env) ([]StmtTrace, error) {
 // character heap — exactly the over-count materialization exists to fix.
 var MaterializeRetainRows = 4096
 
-func RunScope(ctx *Ctx, p *Program, scope *Scope) ([]StmtTrace, error) {
+func runScope(ctx *Ctx, p *Program, scope *Scope) ([]StmtTrace, error) {
 	keep := make(map[string]bool, len(p.Keep))
 	for _, k := range p.Keep {
 		keep[k] = true
@@ -232,14 +251,36 @@ func RunScope(ctx *Ctx, p *Program, scope *Scope) ([]StmtTrace, error) {
 	// accounted, BAT), and a BAT bound under two names is released once.
 	accounted := make(map[*bat.BAT]bool)
 
+	// With the pipeline enabled, fusable statement chains execute
+	// vector-at-a-time as one unit; everything else (and every chain the
+	// planner or plan builder rejects) takes the materializing path below.
+	var chains map[int]pchain
+	if ctx.pipelineOn() {
+		chains = planPipeline(p, keep)
+	}
+
 	traces := make([]StmtTrace, 0, len(p.Stmts))
-	for i, s := range p.Stmts {
+	for i := 0; i < len(p.Stmts); i++ {
+		s := p.Stmts[i]
 		// Operator-boundary cancellation check: between statements, one
 		// amortized poll. Mid-statement, parallel dispatch polls per morsel
 		// through the Sched.Stop hook, so a cancelled query stops within
 		// one morsel either way.
 		if ctx.Cancelled() {
 			return traces, fmt.Errorf("stmt %d (%s): %w", i, s, ctx.CtxErr())
+		}
+		if ch, ok := chains[i]; ok {
+			done, ctraces, cerr := execChain(ctx, p, ch, scope, keep, lastUse, accounted)
+			if done {
+				traces = append(traces, ctraces...)
+				if cerr != nil {
+					return traces, cerr
+				}
+				i = ch.terminal
+				continue
+			}
+			// Not fused (plan builder bailed): fall through and run stmt i
+			// materialized; later chain statements execute normally too.
 		}
 		var faults0 uint64
 		if ctx != nil && ctx.Pager != nil {

@@ -133,6 +133,11 @@ func TestRunLivenessReleasesIntermediates(t *testing.T) {
 
 func TestRunDatavectorReuseVisibleInTrace(t *testing.T) {
 	env := buildQ13Env()
+	// Runs with the pipeline on (the default): a semijoin head whose
+	// stream operand carries a datavector must NOT fuse — the materialized
+	// datavector variant is driven by the small right operand, and fusing
+	// would replace it with a full scan. The algo assertions below double
+	// as that no-pessimization guard.
 	ctx := &Ctx{Pager: storage.NewPager(64, 0)} // tiny pages to force faults
 	traces, err := Run(ctx, q13Program(), env)
 	if err != nil {

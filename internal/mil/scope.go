@@ -25,13 +25,13 @@ func (e Env) Lookup(name string) (*bat.BAT, bool) {
 // costs O(1) instead of O(|database|), and concurrent sessions cannot
 // pollute each other: every write lands in the session-private Vars level.
 type Scope struct {
-	Base Env // shared, read-only; never released or re-accounted
-	Vars Env // per-query bindings; shadow Base on name collision
+	Base EnvReader // shared, read-only; never released or re-accounted
+	Vars Env       // per-query bindings; shadow Base on name collision
 }
 
 // NewScope returns a scope over the shared base env with a Vars level
 // pre-sized for hint bindings.
-func NewScope(base Env, hint int) *Scope {
+func NewScope(base EnvReader, hint int) *Scope {
 	return &Scope{Base: base, Vars: make(Env, hint)}
 }
 
@@ -40,6 +40,8 @@ func (s *Scope) Lookup(name string) (*bat.BAT, bool) {
 	if b, ok := s.Vars[name]; ok {
 		return b, true
 	}
-	b, ok := s.Base[name]
-	return b, ok
+	if s.Base == nil {
+		return nil, false
+	}
+	return s.Base.Lookup(name)
 }

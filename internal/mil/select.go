@@ -294,8 +294,10 @@ func strBounds(lo, hi *bat.Value) (*string, *string, bool) {
 	return loS, hiS, true
 }
 
-func selectBinSearch(ctx *Ctx, b *bat.BAT, lo, hi *bat.Value, loIncl, hiIncl bool) *bat.BAT {
-	ctx.chose("binsearch-select")
+// binSearchRun locates the qualifying run [start, end) of a range select on
+// a tail-ordered BAT. Shared by the materializing select and the pipeline
+// source, so both cut the bit-identical window.
+func binSearchRun(b *bat.BAT, lo, hi *bat.Value, loIncl, hiIncl bool) (int, int) {
 	n := b.Len()
 	start := 0
 	if lo != nil {
@@ -320,6 +322,59 @@ func selectBinSearch(ctx *Ctx, b *bat.BAT, lo, hi *bat.Value, loIncl, hiIncl boo
 	if end < start {
 		end = start
 	}
+	return start, end
+}
+
+// tailPred compiles the range predicate of a scan select over b's tail into
+// a per-row closure — the same typed fast paths selectScan dispatches on,
+// with the same boxed fallbacks, so pred(i) holds exactly when selectScan
+// would keep row i. The pipeline evaluates it per vector.
+func tailPred(b *bat.BAT, lo, hi *bat.Value, loIncl, hiIncl bool) func(int32) bool {
+	switch t := b.T.(type) {
+	case *bat.IntCol:
+		if loI, hiI, ok := intBounds(lo, hi, loIncl, hiIncl); ok {
+			return func(i int32) bool { v := t.V[i]; return v >= loI && v <= hiI }
+		}
+	case *bat.OIDCol:
+		if loO, hiO, ok := oidBounds(lo, hi, loIncl, hiIncl); ok {
+			return func(i int32) bool { v := int64(t.V[i]); return v >= loO && v <= hiO }
+		}
+	case *bat.StrCol:
+		if loS, hiS, ok := strBounds(lo, hi); ok {
+			return func(i int32) bool {
+				v := t.At(int(i))
+				if loS != nil && (v < *loS || (v == *loS && !loIncl)) {
+					return false
+				}
+				if hiS != nil && (v > *hiS || (v == *hiS && !hiIncl)) {
+					return false
+				}
+				return true
+			}
+		}
+	case *bat.FltCol:
+		return func(i int32) bool { return inRange(bat.F(t.V[i]), lo, hi, loIncl, hiIncl) }
+	case *bat.ChrCol:
+		return func(i int32) bool { return inRange(bat.C(t.V[i]), lo, hi, loIncl, hiIncl) }
+	case *bat.DateCol:
+		return func(i int32) bool { return inRange(bat.D(t.V[i]), lo, hi, loIncl, hiIncl) }
+	}
+	tc := b.T
+	return func(i int32) bool { return inRange(tc.Get(int(i)), lo, hi, loIncl, hiIncl) }
+}
+
+// bitPred compiles SelectBit's predicate into a per-row closure.
+func bitPred(b *bat.BAT) func(int32) bool {
+	if t, ok := b.T.(*bat.BitCol); ok {
+		return func(i int32) bool { return t.V[i] }
+	}
+	tc := b.T
+	return func(i int32) bool { return tc.Get(int(i)).Bool() }
+}
+
+func selectBinSearch(ctx *Ctx, b *bat.BAT, lo, hi *bat.Value, loIncl, hiIncl bool) *bat.BAT {
+	ctx.chose("binsearch-select")
+	start, end := binSearchRun(b, lo, hi, loIncl, hiIncl)
 	// The qualifying positions are exactly [start, end): gather the run as
 	// zero-copy views without materializing a position vector at all.
 	out := gatherRun(ctx, b.Name+".sel", b, start, end-start)

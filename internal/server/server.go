@@ -41,6 +41,11 @@ type Config struct {
 	Workers int
 	// MorselRows is the morsel scheduling knob (see mil.Ctx.MorselRows).
 	MorselRows int
+	// Pipeline selects vectorized (>= 0, the default) or fully materialized
+	// (< 0) execution of fusable statement chains (see mil.Ctx.Pipeline).
+	Pipeline int
+	// VectorRows tunes the pipeline vector length (see mil.Ctx.VectorRows).
+	VectorRows int
 	// MaxConcurrent caps simultaneously executing queries; excess callers
 	// queue. 0 picks GOMAXPROCS.
 	MaxConcurrent int
@@ -294,6 +299,8 @@ func (s *Service) Query(ctx context.Context, src string) (*engine.Result, error)
 	sess := s.db.NewSession() // inherits the shared lock-striped Pager
 	sess.Workers = s.cfg.Workers
 	sess.MorselRows = s.cfg.MorselRows
+	sess.Pipeline = s.cfg.Pipeline
+	sess.VectorRows = s.cfg.VectorRows
 	sess.Gauge = s.gauge
 	res, err := sess.Execute(ctx, prep)
 	if err != nil {
