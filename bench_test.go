@@ -16,6 +16,7 @@ package flatalg
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/rand"
 	"sort"
 	"sync"
@@ -843,6 +844,57 @@ func BenchmarkServerThroughput(b *testing.B) {
 				return err
 			}
 			_, err := moa.Materialize(scratch, prep.Struct)
+			return err
+		})
+	})
+}
+
+// BenchmarkAblationProfile: the cost of the observability layer on the
+// hot path (PR 9 acceptance). Same closed loop as overhead/service — the
+// lightest query, 4 sessions, full service stack:
+//
+// off: profiling disabled — the serving default. The always-on residue
+// (phase timestamps, histogram observes, per-statement tracker snapshots)
+// must stay within noise of the pre-PR service (≤2%, checked against the
+// committed BENCH trajectory).
+//
+// on: ?profile=1 on every request — per-statement dispatch recording,
+// profile assembly and the statement table included. This is the price a
+// caller opts into, reported for contrast, not gated.
+//
+// slowlog: profiling armed process-wide by -slow-query with a threshold no
+// query reaches: every query pays profile collection + assembly, none pays
+// the JSONL write — the worst case of the always-armed configuration.
+func BenchmarkAblationProfile(b *testing.B) {
+	serverBenchSetup(b)
+	light := []string{serverBenchMix[7]} // Q8, as in overhead/service
+	mkSvc := func(cfg server.Config) *server.Service {
+		cfg.Workers = 1
+		cfg.MaxConcurrent = 4
+		cfg.MemBudgetBytes = 1 << 30
+		return server.New(serverBenchDB, cfg)
+	}
+	b.Run("off", func(b *testing.B) {
+		svc := mkSvc(server.Config{})
+		closedLoopBench(b, 4, light, func(src string) error {
+			_, err := svc.Query(context.Background(), src)
+			return err
+		})
+	})
+	b.Run("on", func(b *testing.B) {
+		svc := mkSvc(server.Config{})
+		closedLoopBench(b, 4, light, func(src string) error {
+			_, prof, err := svc.QueryProfiled(context.Background(), src, server.QueryOpts{Profile: true})
+			if err == nil && prof == nil {
+				return fmt.Errorf("no profile")
+			}
+			return err
+		})
+	})
+	b.Run("slowlog", func(b *testing.B) {
+		svc := mkSvc(server.Config{SlowQuery: time.Hour, SlowQueryLog: io.Discard})
+		closedLoopBench(b, 4, light, func(src string) error {
+			_, err := svc.Query(context.Background(), src)
 			return err
 		})
 	})

@@ -5,10 +5,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/moa"
@@ -22,6 +24,7 @@ func main() {
 	q := flag.Int("q", 0, "run the built-in TPC-D query 1-15 instead of reading stdin")
 	plan := flag.Bool("plan", false, "print the translated MIL program and structure function")
 	trace := flag.Bool("trace", false, "print the Fig. 10-style execution trace")
+	profile := flag.Bool("profile", false, "print the full per-statement profile (trace + output bytes, accelerator builds, dispatch stats)")
 	noResult := flag.Bool("noresult", false, "suppress result printing")
 	workers := flag.Int("workers", engine.AutoWorkers(), "parallel iteration degree for bulk operators (1 = sequential)")
 	morsel := flag.Int("morsel", 0, "morsel scheduling: rows per probe morsel (0 = skew-aware default, <0 = static per-worker striping)")
@@ -73,15 +76,27 @@ func main() {
 		fmt.Println()
 	}
 
-	res, err := db.Query(src)
+	sess := db.NewSession()
+	sess.Profile = *profile
+	res, err := sess.Query(context.Background(), src)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if *trace {
+	if *trace || *profile {
 		fmt.Println("-- execution trace (elapsed / faults / rows / variant / statement):")
 		for _, tr := range res.Traces {
 			fmt.Println(tr)
+			if *profile {
+				extra := fmt.Sprintf("    out=%dB", tr.OutBytes)
+				if tr.AccelBuilds > 0 {
+					extra += fmt.Sprintf(" builds=%d (%v)", tr.AccelBuilds, time.Duration(tr.AccelBuildNs))
+				}
+				if tr.Workers > 0 {
+					extra += fmt.Sprintf(" workers=%d morsels=%d maxshare=%.2f", tr.Workers, tr.Morsels, tr.MaxShare)
+				}
+				fmt.Println(extra)
+			}
 		}
 		fmt.Println()
 	}

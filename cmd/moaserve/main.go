@@ -9,7 +9,10 @@
 //	moaserve -addr :8080 -sf 0.005 -membudget-mb 256
 //
 // endpoints: POST /query (MOA source in the body, ?q=, ?trace=1,
-// ?noresult=1), GET /metrics, GET /healthz. SIGINT/SIGTERM drain in-flight
+// ?noresult=1, ?profile=1 for the structured per-statement profile),
+// GET /metrics (counters + latency histograms), GET /healthz, and
+// /debug/pprof/ with -pprof. -slow-query DUR emits a JSONL profile to
+// stderr for every query at or above DUR. SIGINT/SIGTERM drain in-flight
 // queries and exit cleanly.
 //
 // Load-generator mode (-loadgen) drives a closed loop of clients against a
@@ -71,6 +74,8 @@ func main() {
 	faultEvery := flag.Uint64("fault-every", 0, "fault injection: panic on every Nth eligible pager touch (0 = off; chaos/testing only)")
 	faultDelayEvery := flag.Uint64("fault-delay-every", 0, "fault injection: delay every Nth eligible pager touch (0 = off)")
 	faultDelay := flag.Duration("fault-delay", time.Millisecond, "fault injection: length of an injected pager delay")
+	slowQuery := flag.Duration("slow-query", 0, "emit a JSONL profile to stderr for every query at or above this wall clock (0 = off)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (serve mode)")
 
 	dataDir := flag.String("data", "", "durable data directory for WAL + snapshots (empty = epochs in memory only, nothing survives restart)")
 	snapEvery := flag.Int("snapshot-every", 8, "checkpoint a snapshot and rotate the WAL every N ingests (0 = never)")
@@ -92,6 +97,8 @@ func main() {
 	cfg.VectorRows = *vectorRows
 	cfg.QueryTimeout = *queryTimeout
 	cfg.ThrashShedRatio = *thrashShed
+	cfg.SlowQuery = *slowQuery
+	cfg.Pprof = *pprofOn
 	faults := storage.FaultPlan{FailEvery: *faultEvery, DelayEvery: *faultDelayEvery, Delay: *faultDelay}
 	open := openConfig{sf: *sf, seed: *seed, dataDir: *dataDir, snapEvery: *snapEvery,
 		pages: *pages, pagesize: *pagesize, faults: faults}

@@ -116,7 +116,7 @@ func TestSchedDispatchStop(t *testing.T) {
 func TestAbortedBuildNeverPublishes(t *testing.T) {
 	var slot accelSlot
 	r := recoverValue(func() {
-		slot.getOrBuild(func() *HashIndex { panic(ErrAborted) })
+		slot.getOrBuild(func() *HashIndex { panic(ErrAborted) }, nil)
 	})
 	if r != ErrAborted {
 		t.Fatalf("build panic did not propagate: %v", r)
@@ -126,7 +126,7 @@ func TestAbortedBuildNeverPublishes(t *testing.T) {
 	}
 	before := AccelBuilds()
 	col := NewIntCol([]int64{1, 2, 3, 2})
-	idx := slot.getOrBuild(func() *HashIndex { return BuildHashIndex(col) })
+	idx := slot.getOrBuild(func() *HashIndex { return BuildHashIndex(col) }, nil)
 	if idx == nil || slot.load() != idx {
 		t.Fatal("retry after aborted build did not publish")
 	}

@@ -3,6 +3,7 @@ package bat
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Concurrent sessions share one set of base BATs, and Monet-style dynamic
@@ -24,8 +25,11 @@ func (s *accelSlot) load() *HashIndex { return s.idx.Load() }
 
 // getOrBuild returns the published accelerator, constructing and publishing
 // it under the slot lock when absent. Every caller observes the same fully
-// built index; build runs at most once per publication.
-func (s *accelSlot) getOrBuild(build func() *HashIndex) *HashIndex {
+// built index; build runs at most once per publication. onBuild, when
+// non-nil, observes the build's wall time — only the caller that actually
+// performed the construction is notified (losers of the singleflight race
+// pay wait time, not build time).
+func (s *accelSlot) getOrBuild(build func() *HashIndex, onBuild func(time.Duration)) *HashIndex {
 	if h := s.idx.Load(); h != nil {
 		return h
 	}
@@ -34,8 +38,15 @@ func (s *accelSlot) getOrBuild(build func() *HashIndex) *HashIndex {
 	if h := s.idx.Load(); h != nil {
 		return h
 	}
+	var t0 time.Time
+	if onBuild != nil {
+		t0 = time.Now()
+	}
 	h := build()
 	accelBuilds.Add(1)
+	if onBuild != nil {
+		onBuild(time.Since(t0))
+	}
 	s.idx.Store(h)
 	return h
 }

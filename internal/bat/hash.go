@@ -824,7 +824,7 @@ func (b *BAT) TailHashP(workers int) *HashIndex {
 // TailHashSched is TailHash under an explicit work schedule for the first
 // construction; the cached accelerator is identical for every schedule.
 func (b *BAT) TailHashSched(s Sched) *HashIndex {
-	return b.hashT.getOrBuild(func() *HashIndex { return BuildHashIndexSched(b.T, 0, s) })
+	return b.hashT.getOrBuild(func() *HashIndex { return BuildHashIndexSched(b.T, 0, s) }, s.OnBuild)
 }
 
 // HeadHash returns (building and caching on first use) the hash accelerator
@@ -840,7 +840,7 @@ func (b *BAT) HeadHashP(workers int) *HashIndex {
 // HeadHashSched is HeadHash under an explicit work schedule for the first
 // construction; the cached accelerator is identical for every schedule.
 func (b *BAT) HeadHashSched(s Sched) *HashIndex {
-	return b.hashH.getOrBuild(func() *HashIndex { return BuildHashIndexSched(b.H, 0, s) })
+	return b.hashH.getOrBuild(func() *HashIndex { return BuildHashIndexSched(b.H, 0, s) }, s.OnBuild)
 }
 
 // HasTailHash reports whether a tail hash accelerator is already present.

@@ -6,6 +6,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Morsel-driven work scheduling. PR 2's partitioned builds striped their
@@ -165,11 +166,15 @@ func runUnits(n int, stop func() bool, fn func(worker, unit int)) {
 // either way. Stop, when non-nil, is the owning query's cancellation check:
 // dispatch consults it once per unit and aborts (panic ErrAborted) instead
 // of completing — a cancelled query's accelerator build stops within one
-// partition and is never published half-built.
+// partition and is never published half-built. OnBuild, when non-nil,
+// observes every accelerator construction this schedule wins (the
+// singleflight slots invoke it once per actual build, with the build's wall
+// time), attributing build cost to the query whose probe triggered it.
 type Sched struct {
 	Workers int
 	Static  bool
 	Stop    func() bool
+	OnBuild func(time.Duration)
 }
 
 // Dispatch runs fn(worker, unit) for every unit in [0, n) under the

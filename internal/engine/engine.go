@@ -82,6 +82,13 @@ type Stats struct {
 	IntermBytes int64  // total size of all intermediate results
 	PeakBytes   int64  // maximum memory consumption during execution
 	Epoch       uint64 // epoch the query executed against (0 without epochs)
+	// AccelBuilds counts the accelerator constructions this query triggered
+	// (and won under singleflight) and AccelBuildNs the wall time spent
+	// inside them — the build cost an unlucky first query pays on behalf of
+	// everyone who probes the accelerator after it. Summed from the
+	// statement traces; zero on error paths that produced no traces.
+	AccelBuilds  int
+	AccelBuildNs int64
 }
 
 // Result is a fully executed query.
@@ -143,6 +150,10 @@ type Session struct {
 	// Gauge, when non-nil, feeds this session's intermediate-memory
 	// accounting into a process-wide gauge (admission control).
 	Gauge *mil.MemGauge
+	// Profile enables per-statement dispatch profiling (workers engaged,
+	// morsels claimed, max worker share in the traces). Everything else in
+	// a trace is always-on; see mil.Ctx.Profile.
+	Profile bool
 }
 
 // NewSession opens a session over the database, inheriting its Pager,
@@ -187,6 +198,7 @@ func (s *Session) Execute(qctx context.Context, prep *rewrite.Result) (res *Resu
 		Pipeline:   s.Pipeline,
 		VectorRows: s.VectorRows,
 		Gauge:      s.Gauge,
+		Profile:    s.Profile,
 	})
 	// Pin the current epoch for the whole query: base BATs resolve through
 	// the pinned env, so an ingest publishing a new epoch mid-query cannot
@@ -256,19 +268,24 @@ func (s *Session) Execute(qctx context.Context, prep *rewrite.Result) (res *Resu
 	// touches this query made against the (possibly shared) pool. The old
 	// before/after delta on the pool's aggregate counter would interleave
 	// concurrent sessions' faults into each other's stats.
+	st := Stats{
+		Elapsed:     elapsed,
+		Faults:      ctx.PageFaults(),
+		Hits:        ctx.PageHits(),
+		IntermBytes: ctx.IntermBytes,
+		PeakBytes:   ctx.PeakBytes,
+		Epoch:       epochID,
+	}
+	for i := range traces {
+		st.AccelBuilds += traces[i].AccelBuilds
+		st.AccelBuildNs += traces[i].AccelBuildNs
+	}
 	return &Result{
 		Set:    set,
 		Plan:   prep.Prog,
 		Struct: prep.Struct,
 		Type:   prep.Type,
 		Traces: traces,
-		Stats: Stats{
-			Elapsed:     elapsed,
-			Faults:      ctx.PageFaults(),
-			Hits:        ctx.PageHits(),
-			IntermBytes: ctx.IntermBytes,
-			PeakBytes:   ctx.PeakBytes,
-			Epoch:       epochID,
-		},
+		Stats:  st,
 	}, nil
 }

@@ -97,6 +97,14 @@ func TestPipelineReducesIntermediates(t *testing.T) {
 	env, _ := tpcd.Load(gen)
 	db := New(tpcd.Schema(), env)
 
+	// The pipeline's position scratch (two ping-pong selection buffers of
+	// VectorRows positions per in-flight morsel) must be charged to the
+	// live/peak accounting: with a vector length big enough that the scratch
+	// dominates every result allocation, any query that fuses a chain must
+	// report a peak at least as large as the scratch it held.
+	const bigVec = 1 << 20
+	const bigScratch = int64(2 * 4 * bigVec) // sequential: one in-flight morsel
+
 	var better int
 	for _, q := range tpcd.Queries(gen) {
 		mat := db.NewSession()
@@ -119,6 +127,16 @@ func TestPipelineReducesIntermediates(t *testing.T) {
 		}
 		if rp.Stats.IntermBytes < rm.Stats.IntermBytes {
 			better++
+			big := db.NewSession()
+			big.VectorRows = bigVec
+			rb, err := big.Query(context.Background(), q.MOA)
+			if err != nil {
+				t.Fatalf("Q%d/bigvec: %v", q.Num, err)
+			}
+			if rb.Stats.PeakBytes < bigScratch {
+				t.Errorf("Q%d: fused chain's peak %d bytes misses the %d-byte position scratch",
+					q.Num, rb.Stats.PeakBytes, bigScratch)
+			}
 		}
 	}
 	if better == 0 {

@@ -12,6 +12,7 @@ package mil
 import (
 	"context"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bat"
 	"repro/internal/storage"
@@ -87,6 +88,14 @@ type Ctx struct {
 	// process-wide live-bytes feed of the server's admission control.
 	Gauge *MemGauge
 
+	// Profile enables the per-statement dispatch profiling that is not free:
+	// parallel dispatches allocate per-worker share counters so traces can
+	// carry workers engaged / morsels claimed / max worker share (the
+	// runtime skew signal). Everything else in a trace — wall time, tracker
+	// fault/hit deltas, output bytes, accelerator builds — is cheap enough
+	// to stay always-on.
+	Profile bool
+
 	// Context, when non-nil, is the query's lifecycle: when it is cancelled
 	// (client disconnect) or its deadline expires, the interpreter stops at
 	// the next operator boundary and every parallel dispatch stops within
@@ -111,6 +120,18 @@ type Ctx struct {
 	// lastAlgo names the variant the dynamic optimizer chose for the most
 	// recent operation (e.g. "merge-join", "datavector-semijoin").
 	lastAlgo string
+
+	// Statement-scoped profile accumulators, drained into the statement's
+	// trace by FillStmtProf at each statement boundary. All writes happen on
+	// the interpreter goroutine: accelerator builds run under the
+	// singleflight slot lock on the goroutine that triggered them, and
+	// dispatch recorders fold their per-worker counters back after
+	// MorselDoStop returns — so plain fields suffice.
+	profBuilds  int
+	profBuildNs int64
+	profWorkers int
+	profMorsels int
+	profShare   float64
 
 	// tracker attributes this query's touches of the shared Pager pool;
 	// created lazily by pager() on the interpreter goroutine (operators
@@ -143,6 +164,8 @@ type Options struct {
 	// Gauge, when non-nil, receives live-intermediate-bytes deltas. See
 	// Ctx.Gauge.
 	Gauge *MemGauge
+	// Profile enables per-statement dispatch profiling. See Ctx.Profile.
+	Profile bool
 }
 
 // NewCtx returns a query context configured by o and bound to the lifecycle
@@ -159,6 +182,7 @@ func NewCtx(cx context.Context, o Options) *Ctx {
 		Pipeline:   o.Pipeline,
 		VectorRows: o.VectorRows,
 		Gauge:      o.Gauge,
+		Profile:    o.Profile,
 	}
 	if cx != nil && cx.Done() != nil {
 		c.Context = cx
@@ -329,4 +353,132 @@ func (c *Ctx) ResetStats() {
 	c.PeakBytes = 0
 	c.lastAlgo = ""
 	c.tracker = c.Pager.NewTracker()
+	c.profBuilds, c.profBuildNs = 0, 0
+	c.profWorkers, c.profMorsels, c.profShare = 0, 0, 0
+}
+
+// AccountScratch charges transient working memory that no BAT owns — the
+// pipeline's position scratch — to the live/peak accounting and the
+// admission gauge for the duration of its use. Scratch is working set, not
+// a created intermediate, so IntermBytes (the Fig. 9 "total MB" column) is
+// unaffected. Pair with ReleaseScratch.
+func (c *Ctx) AccountScratch(sz int64) {
+	if c == nil || sz <= 0 {
+		return
+	}
+	c.LiveBytes += sz
+	if c.LiveBytes > c.PeakBytes {
+		c.PeakBytes = c.LiveBytes
+	}
+	c.Gauge.Add(sz)
+}
+
+// ReleaseScratch returns scratch charged by AccountScratch.
+func (c *Ctx) ReleaseScratch(sz int64) {
+	if c == nil || sz <= 0 {
+		return
+	}
+	c.LiveBytes -= sz
+	if c.LiveBytes < 0 {
+		c.LiveBytes = 0
+	}
+	c.Gauge.Add(-sz)
+}
+
+// noteBuild records one accelerator construction this query triggered (and
+// won — singleflight losers wait but do not build). Build events are rare
+// (once per accelerator per epoch), so this is always-on.
+func (c *Ctx) noteBuild(d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.profBuilds++
+	c.profBuildNs += int64(d)
+}
+
+// buildHook returns the accelerator-build observer to thread through
+// bat.Sched, or nil for a nil Ctx.
+func (c *Ctx) buildHook() func(time.Duration) {
+	if c == nil {
+		return nil
+	}
+	return c.noteBuild
+}
+
+// dispatchRec collects one parallel dispatch's per-worker load when
+// profiling is enabled; a nil recorder (profiling off, the fast path) makes
+// every method a no-op. Workers increment plain counters — safe because a
+// worker id never runs two units concurrently (the MorselDo contract) and
+// each worker touches only its own slots.
+type dispatchRec struct {
+	rows    []int64
+	morsels []int64
+}
+
+// dispatchRec returns a recorder for a k-worker dispatch, or nil when
+// profiling is off.
+func (c *Ctx) dispatchRec(k int) *dispatchRec {
+	if c == nil || !c.Profile {
+		return nil
+	}
+	return &dispatchRec{rows: make([]int64, k), morsels: make([]int64, k)}
+}
+
+// claim records that worker w processed one morsel of the given row count.
+func (r *dispatchRec) claim(w, rows int) {
+	if r == nil {
+		return
+	}
+	r.rows[w] += int64(rows)
+	r.morsels[w]++
+}
+
+// done folds the dispatch's counters into the statement-scoped accumulators
+// on the dispatching goroutine: workers engaged is the max across the
+// statement's dispatches, morsels accumulate, and the share is the largest
+// fraction of one dispatch's rows claimed by a single worker (1/k is
+// perfect balance, 1.0 is total skew).
+func (r *dispatchRec) done(c *Ctx) {
+	if r == nil {
+		return
+	}
+	var total, maxRows, morsels int64
+	engaged := 0
+	for w := range r.rows {
+		total += r.rows[w]
+		morsels += r.morsels[w]
+		if r.morsels[w] > 0 {
+			engaged++
+		}
+		if r.rows[w] > maxRows {
+			maxRows = r.rows[w]
+		}
+	}
+	if engaged > c.profWorkers {
+		c.profWorkers = engaged
+	}
+	c.profMorsels += int(morsels)
+	if total > 0 {
+		if sh := float64(maxRows) / float64(total); sh > c.profShare {
+			c.profShare = sh
+		}
+	}
+}
+
+// FillStmtProf drains the statement-scoped profile accumulators into tr and
+// resets them for the next statement. The interpreter calls it at every
+// statement boundary whether or not profiling is enabled — build accounting
+// is always-on, and the reset (a handful of plain stores) keeps one
+// statement's events from bleeding into the next.
+func (c *Ctx) FillStmtProf(tr *StmtTrace) {
+	if c == nil {
+		return
+	}
+	tr.AccelBuilds = c.profBuilds
+	tr.AccelBuildNs = c.profBuildNs
+	tr.Workers = c.profWorkers
+	tr.Morsels = c.profMorsels
+	tr.MaxShare = c.profShare
+	c.profBuilds, c.profBuildNs = 0, 0
+	c.profWorkers, c.profMorsels, c.profShare = 0, 0, 0
 }

@@ -71,6 +71,7 @@ func (c *Ctx) sched(n int) bat.Sched {
 		Workers: workersFor(c, n),
 		Static:  c != nil && c.MorselRows < 0,
 		Stop:    c.stop(),
+		OnBuild: c.buildHook(),
 	}
 }
 
@@ -118,9 +119,12 @@ func parallelCollect(c *Ctx, n int, fn func(lo, hi int) []int) []int {
 		return fn(0, n)
 	}
 	parts := make([][]int, len(rs))
-	bat.MorselDoStop(k, len(rs), c.stop(), func(_, mi int) {
+	rec := c.dispatchRec(k)
+	bat.MorselDoStop(k, len(rs), c.stop(), func(w, mi int) {
 		parts[mi] = fn(rs[mi][0], rs[mi][1])
+		rec.claim(w, rs[mi][1]-rs[mi][0])
 	})
+	rec.done(c)
 	total := 0
 	for _, p := range parts {
 		total += len(p)
@@ -159,10 +163,13 @@ func parallelCollect32(c *Ctx, n, capHint int, fn func(lo, hi int, out []int32) 
 		return fn(0, n, make([]int32, 0, capHint))
 	}
 	parts := make([][]int32, len(rs))
-	bat.MorselDoStop(k, len(rs), c.stop(), func(_, mi int) {
+	rec := c.dispatchRec(k)
+	bat.MorselDoStop(k, len(rs), c.stop(), func(w, mi int) {
 		lo, hi := rs[mi][0], rs[mi][1]
 		parts[mi] = fn(lo, hi, make([]int32, 0, scratchHint(capHint, lo, hi, n)))
+		rec.claim(w, hi-lo)
 	})
+	rec.done(c)
 	total := 0
 	for _, p := range parts {
 		total += len(p)
@@ -192,12 +199,15 @@ func parallelPairs(c *Ctx, n, capHint int, fn func(lo, hi int, lp, rp []int32) (
 	}
 	lparts := make([][]int32, len(rs))
 	rparts := make([][]int32, len(rs))
-	bat.MorselDoStop(k, len(rs), c.stop(), func(_, mi int) {
+	rec := c.dispatchRec(k)
+	bat.MorselDoStop(k, len(rs), c.stop(), func(w, mi int) {
 		lo, hi := rs[mi][0], rs[mi][1]
 		hint := scratchHint(capHint, lo, hi, n)
 		lparts[mi], rparts[mi] = fn(lo, hi,
 			make([]int32, 0, hint), make([]int32, 0, hint))
+		rec.claim(w, hi-lo)
 	})
+	rec.done(c)
 	total := 0
 	for _, p := range lparts {
 		total += len(p)
@@ -224,7 +234,10 @@ func parallelFill(c *Ctx, n int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
-	bat.MorselDoStop(k, len(rs), c.stop(), func(_, mi int) {
+	rec := c.dispatchRec(k)
+	bat.MorselDoStop(k, len(rs), c.stop(), func(w, mi int) {
 		fn(rs[mi][0], rs[mi][1])
+		rec.claim(w, rs[mi][1]-rs[mi][0])
 	})
+	rec.done(c)
 }

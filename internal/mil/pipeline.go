@@ -667,6 +667,15 @@ func (pl *pplan) run(ctx *Ctx) (*bat.BAT, error) {
 		domain = b.Len()
 	}
 
+	// Position-scratch accounting: every morsel's runRange allocates two
+	// ping-pong selection buffers of vr positions, and up to the dispatch's
+	// worker count of morsels are in flight at once — working set the
+	// admission gauge (and the peak-bytes profile) must see, since a wide
+	// chain under many workers holds it for the whole streaming phase.
+	scratch := int64(workersFor(ctx, domain)) * 2 * int64(vr) * 4
+	ctx.AccountScratch(scratch)
+	defer ctx.ReleaseScratch(scratch)
+
 	collectPos := func() []int32 {
 		return parallelCollect32(ctx, domain, domain,
 			func(lo, hi int, out []int32) []int32 {
@@ -847,10 +856,10 @@ func (pl *pplan) scalarTerminal(ctx *Ctx, trows []int32) (*bat.BAT, error) {
 // chain statement's own index, exactly as statement-at-a-time execution
 // would have. done=false means the chain was not fused and nothing happened.
 func execChain(ctx *Ctx, p *Program, ch pchain, scope *Scope, keep map[string]bool, lastUse map[string]int, accounted map[*bat.BAT]bool) (bool, []StmtTrace, error) {
-	var faults0 uint64
-	if ctx != nil && ctx.Pager != nil {
-		faults0 = ctx.Pager.Faults()
-	}
+	// Tracker-delta snapshot across the whole chain, like runScope's
+	// per-statement snapshot: this query's own attribution, never a
+	// concurrent query's.
+	faults0, hits0 := ctx.PageFaults(), ctx.PageHits()
 	start := time.Now()
 	out, rows, errIdx, fused, err := execChainSafe(ctx, p, ch, scope)
 	if !fused {
@@ -860,10 +869,7 @@ func execChain(ctx *Ctx, p *Program, ch pchain, scope *Scope, keep map[string]bo
 		return true, nil, fmt.Errorf("stmt %d (%s): %w", errIdx, p.Stmts[errIdx], err)
 	}
 	elapsed := time.Since(start)
-	var faults uint64
-	if ctx != nil && ctx.Pager != nil {
-		faults = ctx.Pager.Faults() - faults0
-	}
+	faults, hits := ctx.PageFaults()-faults0, ctx.PageHits()-hits0
 	term := p.Stmts[ch.terminal]
 	if keep[term.Dst] && out.Shared() && out.Len() <= MaterializeRetainRows {
 		out = out.Unshare()
@@ -881,8 +887,15 @@ func execChain(ctx *Ctx, p *Program, ch pchain, scope *Scope, keep map[string]bo
 			Rows: int(rows[k-ch.head]), Algo: "pipeline",
 		}
 		if k == ch.terminal {
+			// The chain executes as one unit, so its whole resource profile
+			// — time, fault/hit deltas, result bytes, builds, dispatch — is
+			// carried by the terminal trace; the fused statements report
+			// only their stream row counts.
 			tr.Elapsed = elapsed
 			tr.Faults = faults
+			tr.Hits = hits
+			tr.OutBytes = out.OwnedByteSize()
+			ctx.FillStmtProf(&tr)
 		}
 		traces = append(traces, tr)
 	}

@@ -162,14 +162,37 @@ type Env map[string]*bat.BAT
 
 // StmtTrace records the execution of one statement, matching the columns of
 // the paper's Fig. 10 ("elapsed ms / faults / MIL statement") plus the
-// algorithm variant the dynamic optimizer chose.
+// algorithm variant the dynamic optimizer chose and the statement's
+// resource profile. Faults and Hits are this query's own tracker deltas
+// across the statement (never a concurrent query's — the PR 5 attribution
+// discipline at statement granularity), so per-statement deltas sum exactly
+// to the query totals. The dispatch fields (Workers, Morsels, MaxShare) are
+// only populated when Ctx.Profile is set; everything else is always-on.
 type StmtTrace struct {
 	Index   int
 	Text    string
 	Elapsed time.Duration
 	Faults  uint64
+	Hits    uint64
 	Rows    int
 	Algo    string
+
+	// OutBytes is the accounted owned size of the statement's result (zero
+	// for mirrors and other zero-copy results).
+	OutBytes int64
+	// AccelBuilds counts accelerator constructions this statement triggered
+	// (hash-index slots, datavector lookup memos) and AccelBuildNs the wall
+	// time spent inside those builds.
+	AccelBuilds  int
+	AccelBuildNs int64
+	// Workers is the largest number of workers engaged by any parallel
+	// dispatch of this statement, Morsels the total morsels claimed, and
+	// MaxShare the largest fraction of one dispatch's rows processed by a
+	// single worker (1/Workers is perfect balance; the runtime skew
+	// signal). Zero when the statement ran sequentially or Profile is off.
+	Workers  int
+	Morsels  int
+	MaxShare float64
 }
 
 func (t StmtTrace) String() string {
@@ -282,19 +305,21 @@ func runScope(ctx *Ctx, p *Program, scope *Scope) ([]StmtTrace, error) {
 			// Not fused (plan builder bailed): fall through and run stmt i
 			// materialized; later chain statements execute normally too.
 		}
-		var faults0 uint64
-		if ctx != nil && ctx.Pager != nil {
-			faults0 = ctx.Pager.Faults()
-		}
+		// Statement-boundary tracker snapshot: deltas of this query's own
+		// fault/hit attribution, not the shared pool's aggregate — a
+		// concurrent query's faults can never leak into this statement's
+		// trace, and per-statement deltas sum exactly to the query totals.
+		faults0, hits0 := ctx.PageFaults(), ctx.PageHits()
 		start := time.Now()
 		out, err := execStmtSafe(ctx, s, scope, i)
 		if err != nil {
 			return traces, fmt.Errorf("stmt %d (%s): %w", i, s, err)
 		}
 		elapsed := time.Since(start)
-		var faults uint64
-		if ctx != nil && ctx.Pager != nil {
-			faults = ctx.Pager.Faults() - faults0
+		tr := StmtTrace{
+			Index: i, Text: s.String(), Elapsed: elapsed,
+			Faults: ctx.PageFaults() - faults0, Hits: ctx.PageHits() - hits0,
+			Rows: out.Len(), Algo: ctx.LastAlgo(),
 		}
 		if s.Op != OpMirror { // mirror is free: no materialization
 			// Materialize-on-retain: a kept result that is a small view
@@ -308,12 +333,11 @@ func runScope(ctx *Ctx, p *Program, scope *Scope) ([]StmtTrace, error) {
 			}
 			ctx.Account(out)
 			accounted[out] = true
+			tr.OutBytes = out.OwnedByteSize()
 		}
 		scope.Vars[s.Dst] = out
-		traces = append(traces, StmtTrace{
-			Index: i, Text: s.String(), Elapsed: elapsed,
-			Faults: faults, Rows: out.Len(), Algo: ctx.LastAlgo(),
-		})
+		ctx.FillStmtProf(&tr)
+		traces = append(traces, tr)
 		if ctx != nil {
 			ctx.lastAlgo = ""
 		}

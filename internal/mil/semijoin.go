@@ -1,6 +1,8 @@
 package mil
 
 import (
+	"time"
+
 	"repro/internal/bat"
 )
 
@@ -61,6 +63,11 @@ func datavectorSemijoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
 	p := ctx.pager()
 
 	lookup := dv.LookupOrBuild(r, func() []int32 {
+		// The closure runs only when this query wins the singleflight memo
+		// build, so self-timing here attributes the construction (and only
+		// the construction) to the triggering statement's trace.
+		t0 := time.Now()
+		defer func() { ctx.noteBuild(time.Since(t0)) }()
 		lookup := make([]int32, 0, r.Len())
 		rh := r.H
 		rh.TouchAll(p)

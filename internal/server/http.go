@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -24,6 +26,7 @@ const statusClientClosedRequest = 499
 
 // QueryResponse is the JSON body of a successful /query call.
 type QueryResponse struct {
+	RequestID   string   `json:"request_id,omitempty"`
 	Count       int      `json:"count"`
 	Elems       []string `json:"elems,omitempty"`
 	ElapsedUS   int64    `json:"elapsed_us"`
@@ -31,6 +34,7 @@ type QueryResponse struct {
 	IntermBytes int64    `json:"interm_bytes"`
 	PeakBytes   int64    `json:"peak_bytes"`
 	Trace       []string `json:"trace,omitempty"`
+	Profile     *Profile `json:"profile,omitempty"`
 }
 
 // ErrorResponse is the JSON body of a failed /query call. Kind classifies
@@ -38,6 +42,7 @@ type QueryResponse struct {
 // (admission shed — retry after backoff), "timeout" (deadline expired),
 // "canceled" (client went away), "internal" (contained server-side defect).
 type ErrorResponse struct {
+	RequestID  string `json:"request_id,omitempty"`
 	Error      string `json:"error"`
 	Kind       string `json:"kind,omitempty"`
 	Overloaded bool   `json:"overloaded,omitempty"`
@@ -55,8 +60,12 @@ type ErrorResponse struct {
 //	                   504 on deadline expiry, 499 on client disconnect,
 //	                   500 on a contained internal error.
 //	GET  /metrics      service counters, text format (one "name value" line
-//	                   each, Prometheus-scrapable).
+//	                   each, Prometheus-scrapable) plus the latency/wait
+//	                   histograms and Go runtime stats.
 //	GET  /healthz      liveness probe.
+//
+// With Config.Pprof set, the standard net/http/pprof endpoints are mounted
+// under /debug/pprof/.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
@@ -66,21 +75,42 @@ func (s *Service) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
 	})
+	if s.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
+// requestID resolves this request's id — the client's X-Request-Id if it
+// sent one, a fresh server-generated id otherwise — and echoes it on the
+// response header so the caller can correlate the response (and any
+// slow-query record) with its request.
+func requestID(w http.ResponseWriter, r *http.Request) string {
+	rid := r.Header.Get("X-Request-Id")
+	if rid == "" {
+		rid = newRequestID()
+	}
+	w.Header().Set("X-Request-Id", rid)
+	return rid
+}
+
 func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(w, r)
 	src := r.URL.Query().Get("q")
 	if src == "" {
 		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err, "bad_request")
+			writeError(w, http.StatusBadRequest, err, "bad_request", rid)
 			return
 		}
 		src = string(body)
 	}
 	if src == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("empty query: pass MOA source as the request body or ?q="), "bad_request")
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty query: pass MOA source as the request body or ?q="), "bad_request", rid)
 		return
 	}
 
@@ -92,7 +122,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if ts := r.URL.Query().Get("timeout"); ts != "" {
 		d, err := time.ParseDuration(ts)
 		if err != nil || d <= 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad timeout %q: want a positive Go duration (e.g. 250ms)", ts), "bad_request")
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad timeout %q: want a positive Go duration (e.g. 250ms)", ts), "bad_request", rid)
 			return
 		}
 		var cancel context.CancelFunc
@@ -100,7 +130,10 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	res, err := s.Query(ctx, src)
+	res, prof, err := s.QueryProfiled(ctx, src, QueryOpts{
+		Profile:   boolParam(r, "profile"),
+		RequestID: rid,
+	})
 	if err != nil {
 		var oe *OverloadedError
 		var ce *engine.CanceledError
@@ -108,29 +141,31 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.As(err, &oe):
 			w.Header().Set("Retry-After", retryAfterSeconds(oe))
-			writeError(w, http.StatusServiceUnavailable, err, "overloaded")
+			writeError(w, http.StatusServiceUnavailable, err, "overloaded", rid)
 		case errors.As(err, &ce):
 			if errors.Is(err, context.DeadlineExceeded) {
-				writeError(w, http.StatusGatewayTimeout, err, "timeout")
+				writeError(w, http.StatusGatewayTimeout, err, "timeout", rid)
 			} else {
-				writeError(w, statusClientClosedRequest, err, "canceled")
+				writeError(w, statusClientClosedRequest, err, "canceled", rid)
 			}
 		case errors.As(err, &ee):
 			// Past preparation: a server-side execution defect (including
 			// contained panics), not a malformed request.
-			writeError(w, http.StatusInternalServerError, err, "internal")
+			writeError(w, http.StatusInternalServerError, err, "internal", rid)
 		default:
-			writeError(w, http.StatusBadRequest, err, "bad_request")
+			writeError(w, http.StatusBadRequest, err, "bad_request", rid)
 		}
 		return
 	}
 
 	resp := QueryResponse{
+		RequestID:   rid,
 		Count:       len(res.Set.Elems),
 		ElapsedUS:   res.Stats.Elapsed.Microseconds(),
 		Faults:      res.Stats.Faults,
 		IntermBytes: res.Stats.IntermBytes,
 		PeakBytes:   res.Stats.PeakBytes,
+		Profile:     prof,
 	}
 	if !boolParam(r, "noresult") {
 		resp.Elems = make([]string, len(res.Set.Elems))
@@ -160,18 +195,19 @@ type IngestResponse struct {
 // batch is durable — WAL-appended and fsynced — before the 200 is written:
 // an acknowledged ingest survives any crash.
 func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(w, r)
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("ingest requires POST"), "bad_request")
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("ingest requires POST"), "bad_request", rid)
 		return
 	}
 	payload, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err, "bad_request")
+		writeError(w, http.StatusBadRequest, err, "bad_request", rid)
 		return
 	}
 	if s.PrepareIngest != nil {
 		if payload, err = s.PrepareIngest(payload); err != nil {
-			writeError(w, http.StatusBadRequest, err, "bad_request")
+			writeError(w, http.StatusBadRequest, err, "bad_request", rid)
 			return
 		}
 	}
@@ -179,15 +215,15 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrReadOnly):
-			writeError(w, http.StatusNotImplemented, err, "read_only")
+			writeError(w, http.StatusNotImplemented, err, "read_only", rid)
 		case errors.Is(err, epoch.ErrStoreFailed):
 			// The WAL and the applied state diverged; only a restart (which
 			// replays the log) reconciles them. Refuse writes until then.
-			writeError(w, http.StatusServiceUnavailable, err, "store_failed")
+			writeError(w, http.StatusServiceUnavailable, err, "store_failed", rid)
 		case errors.Is(err, epoch.ErrRejected):
-			writeError(w, http.StatusBadRequest, err, "bad_request")
+			writeError(w, http.StatusBadRequest, err, "bad_request", rid)
 		default:
-			writeError(w, http.StatusInternalServerError, err, "internal")
+			writeError(w, http.StatusInternalServerError, err, "internal", rid)
 		}
 		return
 	}
@@ -205,10 +241,11 @@ func boolParam(r *http.Request, name string) bool {
 	return true
 }
 
-func writeError(w http.ResponseWriter, status int, err error, kind string) {
+func writeError(w http.ResponseWriter, status int, err error, kind, rid string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(ErrorResponse{
+		RequestID:  rid,
 		Error:      err.Error(),
 		Kind:       kind,
 		Overloaded: kind == "overloaded",
@@ -252,4 +289,23 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "moaserve_epoch_pinned %d\n", m.EpochsPinned)
 	fmt.Fprintf(w, "moaserve_wal_bytes_total %d\n", m.WALBytes)
 	fmt.Fprintf(w, "moaserve_recoveries_total %d\n", m.Recoveries)
+	fmt.Fprintf(w, "moaserve_accel_build_seconds_total %.9f\n",
+		float64(s.accelBuildNs.Load())/1e9)
+
+	// Latency histograms, Prometheus exposition format. The latency
+	// histogram's _count equals moaserve_queries_total on a quiescent
+	// service (both are bumped per successful query).
+	s.histLatency.Snapshot().WriteProm(w, "moaserve_query_seconds")
+	s.histSlot.Snapshot().WriteProm(w, "moaserve_slot_wait_seconds")
+	s.histAdmit.Snapshot().WriteProm(w, "moaserve_admission_wait_seconds")
+
+	// Go runtime health: scheduler and heap, the first things to look at
+	// when service latency moves without a query-mix change.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "moaserve_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "moaserve_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintf(w, "moaserve_heap_sys_bytes %d\n", ms.HeapSys)
+	fmt.Fprintf(w, "moaserve_gc_cycles_total %d\n", ms.NumGC)
+	fmt.Fprintf(w, "moaserve_gc_pause_seconds_total %.9f\n", float64(ms.PauseTotalNs)/1e9)
 }

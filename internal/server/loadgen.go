@@ -8,11 +8,12 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // The closed-loop load generator: each client is a session issuing its next
@@ -64,17 +65,24 @@ type LoadReport struct {
 	Retries       int64 // re-issues after a refusal (== shed unless the run ended first)
 	Timeouts      int64 // queries stopped by deadline expiry
 	Canceled      int64 // queries stopped by cancellation
-	Ingests       int64 // ingests published (each one is an epoch swap)
-	LastEpoch     uint64 // highest epoch id observed across all clients
-	QPS           float64
-	P50, P95, P99 time.Duration // read latencies only; ingests excluded
+	Ingests   int64  // ingests published (each one is an epoch swap)
+	LastEpoch uint64 // highest epoch id observed across all clients
+	QPS       float64
+	// Read-latency distribution (ingests excluded), merged over all clients
+	// from the same log₂ histogram code the server exposes on /metrics. The
+	// percentiles are octave upper bounds (at most 2× the sample value);
+	// Mean is exact.
+	Hist          obs.HistSnapshot
+	Mean          time.Duration
+	P50, P95, P99 time.Duration
 }
 
 func (r *LoadReport) String() string {
-	s := fmt.Sprintf("clients=%d elapsed=%v queries=%d errors=%d shed=%d retries=%d timeouts=%d canceled=%d qps=%.1f p50=%v p95=%v p99=%v",
+	s := fmt.Sprintf("clients=%d elapsed=%v queries=%d errors=%d shed=%d retries=%d timeouts=%d canceled=%d qps=%.1f mean=%v p50=%v p95=%v p99=%v",
 		r.Clients, r.Elapsed.Round(time.Millisecond), r.Queries, r.Errors, r.Shed,
 		r.Retries, r.Timeouts, r.Canceled,
-		r.QPS, r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+		r.QPS, r.Mean.Round(time.Microsecond),
+		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond))
 	if r.Ingests > 0 {
 		s += fmt.Sprintf(" ingests=%d epoch=%d", r.Ingests, r.LastEpoch)
 	}
@@ -102,7 +110,7 @@ func RunLoad(cfg LoadConfig, do func(src string) error) *LoadReport {
 	}
 
 	type clientStats struct {
-		lat                []time.Duration
+		hist               obs.Hist
 		queries            int64
 		errors, shed       int64
 		retries            int64
@@ -146,7 +154,7 @@ func RunLoad(cfg LoadConfig, do func(src string) error) *LoadReport {
 							st.lastEpoch = epochID
 						}
 					case err == nil:
-						st.lat = append(st.lat, time.Since(t0))
+						st.hist.Observe(time.Since(t0))
 						st.queries++
 					case IsOverloaded(err):
 						st.shed++
@@ -187,7 +195,11 @@ func RunLoad(cfg LoadConfig, do func(src string) error) *LoadReport {
 	elapsed := time.Since(start)
 
 	rep := &LoadReport{Clients: cfg.Clients, Elapsed: elapsed}
-	var all []time.Duration
+	// Merge the per-client histograms into one run-wide distribution — the
+	// same bucketing the server exposes on /metrics, so client-side and
+	// server-side percentiles are directly comparable (both are octave
+	// upper bounds).
+	var all obs.HistSnapshot
 	for i := range stats {
 		rep.Queries += stats[i].queries
 		rep.Errors += stats[i].errors
@@ -199,17 +211,16 @@ func RunLoad(cfg LoadConfig, do func(src string) error) *LoadReport {
 		if stats[i].lastEpoch > rep.LastEpoch {
 			rep.LastEpoch = stats[i].lastEpoch
 		}
-		all = append(all, stats[i].lat...)
+		all.Merge(stats[i].hist.Snapshot())
 	}
 	if elapsed > 0 {
 		rep.QPS = float64(rep.Queries) / elapsed.Seconds()
 	}
-	if len(all) > 0 {
-		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-		rep.P50 = percentile(all, 0.50)
-		rep.P95 = percentile(all, 0.95)
-		rep.P99 = percentile(all, 0.99)
-	}
+	rep.Hist = all
+	rep.Mean = all.Mean()
+	rep.P50 = all.Quantile(0.50)
+	rep.P95 = all.Quantile(0.95)
+	rep.P99 = all.Quantile(0.99)
 	return rep
 }
 
@@ -239,12 +250,6 @@ func HTTPIngestFunc(baseURL string, client *http.Client, body func() []byte) fun
 		}
 		return ir.Epoch, nil
 	}
-}
-
-// percentile reads the p-quantile from an ascending latency slice.
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	i := int(p * float64(len(sorted)-1))
-	return sorted[i]
 }
 
 // HTTPQueryFunc returns a query executor that POSTs MOA source to a running

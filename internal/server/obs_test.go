@@ -1,0 +1,329 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/tpcd"
+)
+
+// TestHistogramConservation is the PR's service-level accounting experiment:
+// after an 8-session concurrent run over the Figure-9 mix, the latency
+// histogram must have observed exactly the queries the service counted —
+// Σ buckets == _count == moaserve_queries_total, no observation lost or
+// double-counted under contention. Run under -race this also sweeps the
+// lock-free histogram for data races.
+func TestHistogramConservation(t *testing.T) {
+	svc, mix := testService(t, Config{Workers: 2, MaxConcurrent: 8})
+	const sessions = 8
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := range mix {
+				if _, err := svc.Query(context.Background(), mix[(i+s)%len(mix)]); err != nil {
+					t.Errorf("session %d: %v", s, err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	queries := svc.queries.Load()
+	if want := int64(sessions * len(mix)); queries != want {
+		t.Fatalf("queries counter %d, want %d", queries, want)
+	}
+	snap := svc.histLatency.Snapshot()
+	var sum uint64
+	for _, b := range snap.Buckets {
+		sum += b
+	}
+	if sum != snap.Count {
+		t.Errorf("latency histogram buckets sum %d != count %d", sum, snap.Count)
+	}
+	if snap.Count != uint64(queries) {
+		t.Errorf("latency histogram count %d != queries counter %d", snap.Count, queries)
+	}
+	// The wait histograms observe every admitted attempt: at least every
+	// successful query passed both phases.
+	if c := svc.histSlot.Snapshot().Count; c < uint64(queries) {
+		t.Errorf("slot-wait histogram count %d < queries %d", c, queries)
+	}
+	if c := svc.histAdmit.Snapshot().Count; c < uint64(queries) {
+		t.Errorf("admission-wait histogram count %d < queries %d", c, queries)
+	}
+
+	// The same conservation must hold through the /metrics exposition.
+	rec := httptest.NewRecorder()
+	svc.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	for _, series := range []string{
+		"moaserve_query_seconds_bucket{le=\"+Inf\"} ",
+		"moaserve_query_seconds_count ",
+		"moaserve_slot_wait_seconds_count ",
+		"moaserve_admission_wait_seconds_count ",
+		"moaserve_goroutines ",
+		"moaserve_heap_alloc_bytes ",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics missing %q", series)
+		}
+	}
+	if !strings.Contains(body, "moaserve_query_seconds_count "+itoa(queries)+"\n") {
+		t.Errorf("/metrics moaserve_query_seconds_count != %d:\n%s", queries, grepLines(body, "query_seconds_count"))
+	}
+}
+
+func itoa(n int64) string {
+	var b []byte
+	if n == 0 {
+		return "0"
+	}
+	for ; n > 0; n /= 10 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+	}
+	return string(b)
+}
+
+func grepLines(s, substr string) string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// testServicePaged builds a service whose database runs behind a shared
+// buffer pool, so per-statement fault attribution has something to count.
+func testServicePaged(t *testing.T, cfg Config) (*Service, []string) {
+	t.Helper()
+	gen := tpcd.Generate(0.002, 7)
+	env, _ := tpcd.Load(gen)
+	db := engine.New(tpcd.Schema(), env)
+	db.Pager = storage.NewPager(4096, 0)
+	var mix []string
+	for _, q := range tpcd.Queries(gen) {
+		mix = append(mix, q.MOA)
+	}
+	return New(db, cfg), mix
+}
+
+// TestStatementDeltasConserve pins the profiler's central claim: the
+// per-statement fault and hit deltas (tracker snapshots at statement
+// boundaries) sum bit-exactly to the query's own totals — nothing a query
+// touched escapes its statement attribution. Checked in both execution
+// regimes (vectorized pipeline and full materialization) and with the
+// profile on and off (the deltas are always-on observables).
+func TestStatementDeltasConserve(t *testing.T) {
+	for _, mode := range []struct {
+		name     string
+		pipeline int
+	}{
+		{"pipeline", 0},
+		{"materialized", -1},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			svc, mix := testServicePaged(t, Config{MaxConcurrent: 4, Pipeline: mode.pipeline})
+			for round := 0; round < 2; round++ {
+				for qi, src := range mix {
+					res, prof, err := svc.QueryProfiled(context.Background(), src, QueryOpts{Profile: true})
+					if err != nil {
+						t.Fatalf("Q%d: %v", qi, err)
+					}
+					if prof == nil {
+						t.Fatalf("Q%d: no profile returned", qi)
+					}
+					var faults, hits uint64
+					var outBytes int64
+					for _, st := range prof.Statements {
+						faults += st.Faults
+						hits += st.Hits
+						outBytes += st.OutBytes
+					}
+					if faults != res.Stats.Faults {
+						t.Errorf("Q%d round %d: statement faults sum %d != query total %d",
+							qi, round, faults, res.Stats.Faults)
+					}
+					if hits != res.Stats.Hits {
+						t.Errorf("Q%d round %d: statement hits sum %d != query total %d",
+							qi, round, hits, res.Stats.Hits)
+					}
+					if outBytes <= 0 {
+						t.Errorf("Q%d round %d: no accounted output bytes in any statement", qi, round)
+					}
+					var builds int
+					var buildNs int64
+					for _, st := range prof.Statements {
+						builds += st.AccelBuilds
+						buildNs += st.AccelBuildNs
+					}
+					if builds != prof.AccelBuilds || buildNs != prof.AccelBuildNs {
+						t.Errorf("Q%d round %d: statement builds %d/%dns != profile totals %d/%dns",
+							qi, round, builds, buildNs, prof.AccelBuilds, prof.AccelBuildNs)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestProfileShape exercises the profile across the two execution regimes:
+// both must carry a complete phase breakdown and statement table, the
+// pipeline's fused chains reporting through their terminal statement. The
+// second identical request must read as a plan-cache hit.
+func TestProfileShape(t *testing.T) {
+	svc, mix := testServicePaged(t, Config{MaxConcurrent: 2})
+	src := mix[2] // Q3: selects, joins, accelerator builds — a rich trace
+	for i, wantHit := range []bool{false, true} {
+		res, prof, err := svc.QueryProfiled(context.Background(), src, QueryOpts{Profile: true, RequestID: "req-x"})
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if prof.RequestID != "req-x" {
+			t.Errorf("query %d: request id %q not echoed", i, prof.RequestID)
+		}
+		if prof.PlanCacheHit != wantHit {
+			t.Errorf("query %d: plan_cache_hit=%v, want %v", i, prof.PlanCacheHit, wantHit)
+		}
+		if prof.TotalNs <= 0 || prof.ExecNs <= 0 {
+			t.Errorf("query %d: degenerate phase breakdown %+v", i, prof)
+		}
+		if prof.ExecNs > prof.TotalNs {
+			t.Errorf("query %d: exec %dns exceeds total %dns", i, prof.ExecNs, prof.TotalNs)
+		}
+		if len(prof.Statements) == 0 || len(prof.Statements) != len(res.Traces) {
+			t.Errorf("query %d: %d profile statements, %d traces", i, len(prof.Statements), len(res.Traces))
+		}
+		if prof.PeakBytes != res.Stats.PeakBytes || prof.IntermBytes != res.Stats.IntermBytes {
+			t.Errorf("query %d: profile bytes diverge from stats", i)
+		}
+	}
+
+	// Profile off: no profile, and no dispatch stats accumulate.
+	res, prof, err := svc.QueryProfiled(context.Background(), src, QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof != nil {
+		t.Error("profile returned without opts.Profile")
+	}
+	for _, tr := range res.Traces {
+		if tr.Workers != 0 || tr.Morsels != 0 {
+			t.Errorf("dispatch stats recorded with profiling off: %+v", tr)
+		}
+	}
+}
+
+// TestProfileHTTP round-trips ?profile=1 through the HTTP front end: the
+// JSON response must embed the profile, echo the request id in body and
+// header, and keep the statement table intact.
+func TestProfileHTTP(t *testing.T) {
+	svc, mix := testServicePaged(t, Config{MaxConcurrent: 2})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/query?profile=1&noresult=1", strings.NewReader(mix[2]))
+	req.Header.Set("X-Request-Id", "cafe-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "cafe-1" {
+		t.Errorf("X-Request-Id header %q, want cafe-1", got)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.RequestID != "cafe-1" {
+		t.Errorf("request_id %q, want cafe-1", qr.RequestID)
+	}
+	if qr.Profile == nil {
+		t.Fatal("no profile in ?profile=1 response")
+	}
+	if len(qr.Profile.Statements) == 0 {
+		t.Error("profile has no statements")
+	}
+	var faults uint64
+	for _, st := range qr.Profile.Statements {
+		faults += st.Faults
+	}
+	if faults != qr.Faults {
+		t.Errorf("profile statement faults %d != response faults %d", faults, qr.Faults)
+	}
+
+	// Without ?profile= the response must not carry one, but still echoes a
+	// server-generated request id.
+	resp2, err := http.Post(ts.URL+"/query?noresult=1", "text/plain", strings.NewReader(mix[2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var qr2 QueryResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&qr2); err != nil {
+		t.Fatal(err)
+	}
+	if qr2.Profile != nil {
+		t.Error("profile present without ?profile=1")
+	}
+	if qr2.RequestID == "" || resp2.Header.Get("X-Request-Id") == "" {
+		t.Error("no server-generated request id")
+	}
+}
+
+// TestSlowQueryLog arms the slow-query log with a zero-distance threshold:
+// every query must emit exactly one parseable JSONL profile record carrying
+// the request id, even though the client never asked for a profile.
+func TestSlowQueryLog(t *testing.T) {
+	var buf bytes.Buffer
+	gen := tpcd.Generate(0.002, 7)
+	env, _ := tpcd.Load(gen)
+	db := engine.New(tpcd.Schema(), env)
+	db.Pager = storage.NewPager(4096, 0)
+	svc := New(db, Config{MaxConcurrent: 2, SlowQuery: time.Nanosecond, SlowQueryLog: &buf})
+
+	queries := tpcd.Queries(gen)
+	const n = 3
+	for i := 0; i < n; i++ {
+		if _, prof, err := svc.QueryProfiled(context.Background(), queries[i].MOA, QueryOpts{RequestID: "slow-req"}); err != nil {
+			t.Fatal(err)
+		} else if prof != nil {
+			t.Error("profile returned to a caller that did not ask")
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != n {
+		t.Fatalf("%d slow-query records, want %d:\n%s", len(lines), n, buf.String())
+	}
+	for i, line := range lines {
+		var p Profile
+		if err := json.Unmarshal([]byte(line), &p); err != nil {
+			t.Fatalf("record %d not valid JSON: %v\n%s", i, err, line)
+		}
+		if p.RequestID != "slow-req" {
+			t.Errorf("record %d: request id %q", i, p.RequestID)
+		}
+		if p.Query == "" || len(p.Statements) == 0 || p.TotalNs <= 0 {
+			t.Errorf("record %d: incomplete profile: %s", i, line)
+		}
+	}
+}

@@ -68,6 +68,14 @@ func newPlanCache(max int, prepare func(string) (*rewrite.Result, error)) *planC
 
 // get returns the prepared plan for src, preparing it (once) when absent.
 func (c *planCache) get(src string) (*rewrite.Result, error) {
+	prep, _, err := c.lookup(src)
+	return prep, err
+}
+
+// lookup is get plus a per-call hit report: hit is true when the cached
+// outcome was served as-is (the per-call twin of the aggregate hit counter;
+// an epoch re-prepare reads as a miss).
+func (c *planCache) lookup(src string) (prep *rewrite.Result, hit bool, err error) {
 	c.mu.Lock()
 	e := c.plans[src]
 	if e == nil {
@@ -111,8 +119,9 @@ func (c *planCache) get(src string) (*rewrite.Result, error) {
 		e.epoch = cur
 	} else {
 		c.hits.Add(1)
+		hit = true
 	}
-	return e.prep, e.err
+	return e.prep, hit, e.err
 }
 
 // invalidate quarantines src's cached preparation: the next request for the

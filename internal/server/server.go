@@ -21,7 +21,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -30,6 +32,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/epoch"
 	"repro/internal/mil"
+	"repro/internal/obs"
 )
 
 // Config tunes a Service.
@@ -70,6 +73,18 @@ type Config struct {
 	// shedding then is accepted behavior (clients retry after the warmup
 	// window). 0 disables.
 	ThrashShedRatio float64
+	// SlowQuery, when > 0, arms the slow-query log: every query runs with
+	// per-statement profiling enabled (the opt-in dispatch-stat cost), and
+	// any successful query at or above this wall-clock threshold emits its
+	// full Profile as one JSONL record to SlowQueryLog. 0 disables.
+	SlowQuery time.Duration
+	// SlowQueryLog is the slow-query sink; nil with SlowQuery armed falls
+	// back to os.Stderr.
+	SlowQueryLog io.Writer
+	// Pprof exposes net/http/pprof under /debug/pprof/ on the service
+	// handler. Off by default: the profiler endpoints cost nothing until
+	// scraped but should not be reachable on an open port unasked.
+	Pprof bool
 }
 
 // Thrash-meter tuning: the ratio is resampled from the pool's cumulative
@@ -144,6 +159,21 @@ type Service struct {
 	panics   atomic.Int64 // contained panics (plan quarantined)
 	ingests  atomic.Int64 // successful ingest publications
 	inflight atomic.Int64
+
+	// Service latency histograms (lock-free log₂ buckets, /metrics). The
+	// latency histogram observes exactly the queries counted in `queries`,
+	// so its _count conserves against moaserve_queries_total; the wait
+	// histograms observe every request that passed the respective phase.
+	histLatency obs.Hist
+	histSlot    obs.Hist
+	histAdmit   obs.Hist
+
+	// accelBuildNs accumulates the build wall time attributed to completed
+	// queries (the count companion is the kernel-global bat.AccelBuilds).
+	accelBuildNs atomic.Int64
+
+	slowLog io.Writer
+	slowMu  sync.Mutex
 }
 
 // New creates a service over db. When the database has a Pager, sessions
@@ -164,6 +194,12 @@ func New(db *engine.Database, cfg Config) *Service {
 		cfg:   cfg,
 		gauge: &mil.MemGauge{},
 		slots: make(chan struct{}, cfg.MaxConcurrent),
+	}
+	if cfg.SlowQuery > 0 {
+		s.slowLog = cfg.SlowQueryLog
+		if s.slowLog == nil {
+			s.slowLog = os.Stderr
+		}
 	}
 	s.plans = newPlanCache(cfg.MaxPlans, db.Prepare)
 	return s
@@ -239,6 +275,16 @@ func (e *ExecError) Error() string { return e.Err.Error() }
 // Unwrap exposes the underlying execution error.
 func (e *ExecError) Unwrap() error { return e.Err }
 
+// QueryOpts selects the per-request observability extras of QueryProfiled.
+type QueryOpts struct {
+	// Profile enables per-statement dispatch profiling for this query and
+	// asks for an assembled *Profile in the return.
+	Profile bool
+	// RequestID, when set, is echoed into the assembled profile and the
+	// slow-query record (the HTTP layer passes the request's id).
+	RequestID string
+}
+
 // Query admits, prepares (through the plan cache) and executes one MOA
 // query on a fresh session over the shared database, under ctx's lifecycle:
 // cancellation or deadline expiry — the caller's or the server default
@@ -248,6 +294,16 @@ func (e *ExecError) Unwrap() error { return e.Err }
 // quarantined (evicted) so a plan-correlated defect cannot keep recurring
 // from the cache. nil ctx means no lifecycle.
 func (s *Service) Query(ctx context.Context, src string) (*engine.Result, error) {
+	res, _, err := s.QueryProfiled(ctx, src, QueryOpts{})
+	return res, err
+}
+
+// QueryProfiled is Query plus the observability path: every query's phase
+// wall times feed the service histograms (always-on, a handful of
+// time.Now() calls), and a structured Profile is assembled when the caller
+// asks (opts.Profile) or the slow-query log is armed. The returned Profile
+// is nil otherwise, and on every error path.
+func (s *Service) QueryProfiled(ctx context.Context, src string, opts QueryOpts) (*engine.Result, *Profile, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -256,6 +312,8 @@ func (s *Service) Query(ctx context.Context, src string) (*engine.Result, error)
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
+	var ph phases
+	ph.start = time.Now()
 
 	// A bounded slot pool: a burst beyond MaxConcurrent queues here
 	// instead of oversubscribing the CPU with competing morsel workers. A
@@ -264,17 +322,20 @@ func (s *Service) Query(ctx context.Context, src string) (*engine.Result, error)
 	select {
 	case s.slots <- struct{}{}:
 	case <-ctx.Done():
-		return nil, s.refuseCtx(ctx.Err())
+		return nil, nil, s.refuseCtx(ctx.Err())
 	}
 	defer func() { <-s.slots }()
+	ph.slotWait = time.Since(ph.start)
+	s.histSlot.Observe(ph.slotWait)
 
 	// Admission: gate query start on the global memory budget. The gauge
 	// is fed by every running query's Account/Release deltas, so shedding
 	// reacts to actual intermediate pressure, not a static session count.
+	admit0 := time.Now()
 	if b := s.cfg.MemBudgetBytes; b > 0 {
 		if live := s.gauge.Live(); live >= b {
 			s.shed.Add(1)
-			return nil, &OverloadedError{Reason: "memory", Live: live, Budget: b, RetryAfter: time.Second}
+			return nil, nil, &OverloadedError{Reason: "memory", Live: live, Budget: b, RetryAfter: time.Second}
 		}
 	}
 
@@ -284,17 +345,21 @@ func (s *Service) Query(ctx context.Context, src string) (*engine.Result, error)
 	if r := s.cfg.ThrashShedRatio; r > 0 && s.db.Pager != nil {
 		if ratio := s.thrash.observe(s.db.Pager.Faults(), s.db.Pager.Hits()); ratio >= r {
 			s.shed.Add(1)
-			return nil, &OverloadedError{Reason: "pager-thrash", ThrashRatio: ratio, RetryAfter: time.Second}
+			return nil, nil, &OverloadedError{Reason: "pager-thrash", ThrashRatio: ratio, RetryAfter: time.Second}
 		}
 	}
+	ph.admitWait = time.Since(admit0)
+	s.histAdmit.Observe(ph.admitWait)
 
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 
-	prep, err := s.plans.get(src)
+	plan0 := time.Now()
+	prep, hit, err := s.plans.lookup(src)
+	ph.planWait, ph.planHit = time.Since(plan0), hit
 	if err != nil {
 		s.errors.Add(1)
-		return nil, err
+		return nil, nil, err
 	}
 	sess := s.db.NewSession() // inherits the shared lock-striped Pager
 	sess.Workers = s.cfg.Workers
@@ -302,7 +367,11 @@ func (s *Service) Query(ctx context.Context, src string) (*engine.Result, error)
 	sess.Pipeline = s.cfg.Pipeline
 	sess.VectorRows = s.cfg.VectorRows
 	sess.Gauge = s.gauge
+	wantProfile := opts.Profile || s.cfg.SlowQuery > 0
+	sess.Profile = wantProfile
+	exec0 := time.Now()
 	res, err := sess.Execute(ctx, prep)
+	ph.execWait = time.Since(exec0)
 	if err != nil {
 		var ce *engine.CanceledError
 		var ie *engine.InternalError
@@ -312,7 +381,7 @@ func (s *Service) Query(ctx context.Context, src string) (*engine.Result, error)
 			// Clean unwind, not a server defect: count by cause, pass the
 			// typed error through untouched (HTTP 499/504).
 			s.countCtx(ce.Err)
-			return nil, err
+			return nil, nil, err
 		case errors.As(err, &ie):
 			// Contained panic. Quarantine the cached plan: if the defect
 			// correlates with this plan (a translator bug, a poisoned
@@ -321,18 +390,35 @@ func (s *Service) Query(ctx context.Context, src string) (*engine.Result, error)
 			s.panics.Add(1)
 			s.errors.Add(1)
 			s.plans.invalidate(src)
-			return nil, &ExecError{Err: err}
+			return nil, nil, &ExecError{Err: err}
 		case errors.As(err, &ue):
 			// The program asked for something the algebra cannot do: the
 			// caller's fault, not the server's (HTTP 400, not 500).
 			s.errors.Add(1)
-			return nil, err
+			return nil, nil, err
 		}
 		s.errors.Add(1)
-		return nil, &ExecError{Err: err}
+		return nil, nil, &ExecError{Err: err}
 	}
 	s.queries.Add(1)
-	return res, nil
+	// The latency histogram observes exactly the successful queries, right
+	// where they are counted: Σ buckets == moaserve_queries_total holds at
+	// every scrape (both adds happen-before the response; a scrape between
+	// them can read count ahead by in-flight completions, never behind).
+	total := time.Since(ph.start)
+	s.histLatency.Observe(total)
+	s.accelBuildNs.Add(res.Stats.AccelBuildNs)
+	var prof *Profile
+	if wantProfile {
+		prof = ph.assemble(opts.RequestID, src, res)
+		if d := s.cfg.SlowQuery; d > 0 && total >= d {
+			s.logSlowQuery(prof)
+		}
+		if !opts.Profile {
+			prof = nil
+		}
+	}
+	return res, prof, nil
 }
 
 // refuseCtx types a context death observed before execution started (while

@@ -135,6 +135,27 @@ run_once() {
 	metrics=$(curl -fsS "http://$ADDR/metrics")
 	echo "$metrics" >&2
 
+	# Observability: the latency histogram must be present and conserve —
+	# its +Inf cumulative bucket and _count both equal queries_total (every
+	# counted query was observed exactly once, none invented).
+	qtotal=$(echo "$metrics" | awk '/^moaserve_queries_total /{print $2}')
+	hcount=$(echo "$metrics" | awk '/^moaserve_query_seconds_count /{print $2}')
+	hinf=$(echo "$metrics" | awk -F'} ' '/^moaserve_query_seconds_bucket\{le="\+Inf"\}/{print $2}')
+	[ -n "$qtotal" ] && [ "$qtotal" -gt 0 ] || { echo "server-smoke: no completed queries ($label)" >&2; exit 1; }
+	[ "$hcount" = "$qtotal" ] || { echo "server-smoke: query_seconds_count=$hcount != queries_total=$qtotal ($label)" >&2; exit 1; }
+	[ "$hinf" = "$qtotal" ] || { echo "server-smoke: query_seconds +Inf bucket=$hinf != queries_total=$qtotal ($label)" >&2; exit 1; }
+	echo "$metrics" | grep -q '^moaserve_slot_wait_seconds_count ' || { echo "server-smoke: slot-wait histogram missing ($label)" >&2; exit 1; }
+	echo "$metrics" | grep -q '^moaserve_goroutines ' || { echo "server-smoke: runtime stats missing ($label)" >&2; exit 1; }
+
+	# Profile round-trip: ?profile=1 must return the structured profile with
+	# a statement table and echo the request id we sent.
+	prof=$(curl -fsS -X POST -H 'X-Request-Id: smoke-42' --data 'count(Order)' \
+		"http://$ADDR/query?profile=1&noresult=1")
+	echo "$prof" | grep -q '"profile":{' || { echo "server-smoke: no profile in ?profile=1 response ($label): $prof" >&2; exit 1; }
+	echo "$prof" | grep -q '"statements":\[{' || { echo "server-smoke: profile lacks statements ($label): $prof" >&2; exit 1; }
+	echo "$prof" | grep -q '"request_id":"smoke-42"' || { echo "server-smoke: request id not echoed ($label): $prof" >&2; exit 1; }
+	echo "server-smoke: histogram conserves (count=$hcount) and ?profile=1 round-trips ($label)" >&2
+
 	kill -TERM "$pid"
 	wait "$pid"
 	pid=""
