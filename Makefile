@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test test-race chaos crash bench bench-ablation bench-smoke bench-snapshot bench-compare bench-gate server-smoke ci
+.PHONY: verify build vet test test-race chaos crash bench bench-ablation bench-smoke bench-snapshot bench-compare bench-gate server-smoke outofcore-smoke ci
 
 ## verify: the tier-1 gate — build, vet, the full test suite, and the race
 ## detector over the parallel kernels (partitioned builds, parallel probes,
@@ -83,9 +83,17 @@ bench-gate:
 server-smoke:
 	./scripts/server_smoke.sh
 
+## outofcore-smoke: end-to-end proof of the out-of-core storage path —
+## bulk load into an mmap-backed data directory, serve from the mapped
+## heaps (real residency metrics nonzero), SIGKILL, restart by mapping the
+## checkpoint, and require bit-identical answers; the portable -map-fallback
+## path must agree on the same directory (the CI out-of-core job).
+outofcore-smoke:
+	./scripts/outofcore_smoke.sh
+
 ## ci: everything the CI workflow runs, reproducible without pushing.
 ## bench-gate stays advisory here too (the workflow runs it with
 ## continue-on-error): a red gate on a different host class is a prompt
 ## to re-measure, not a failure.
-ci: verify chaos crash bench-smoke server-smoke
+ci: verify chaos crash bench-smoke server-smoke outofcore-smoke
 	-./scripts/bench_gate.sh

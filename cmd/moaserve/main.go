@@ -78,7 +78,10 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (serve mode)")
 
 	dataDir := flag.String("data", "", "durable data directory for WAL + snapshots (empty = epochs in memory only, nothing survives restart)")
+	flag.StringVar(dataDir, "datadir", "", "alias for -data")
 	snapEvery := flag.Int("snapshot-every", 8, "checkpoint a snapshot and rotate the WAL every N ingests (0 = never)")
+	storageMode := flag.String("storage", tpcd.StorageSim, "column storage engine: sim = anonymous memory with simulated paging, mmap = serve base columns from mmap'd heap-file checkpoints in -data (requires -data)")
+	mapFallback := flag.Bool("map-fallback", false, "mmap storage: read heap files into anonymous memory instead of mapping (portable fallback, also selected automatically where mmap is unsupported)")
 
 	loadgen := flag.Bool("loadgen", false, "run the closed-loop load generator instead of serving")
 	url := flag.String("url", "", "loadgen/ingest: target base URL (empty = drive the service in process)")
@@ -101,7 +104,8 @@ func main() {
 	cfg.Pprof = *pprofOn
 	faults := storage.FaultPlan{FailEvery: *faultEvery, DelayEvery: *faultDelayEvery, Delay: *faultDelay}
 	open := openConfig{sf: *sf, seed: *seed, dataDir: *dataDir, snapEvery: *snapEvery,
-		pages: *pages, pagesize: *pagesize, faults: faults}
+		pages: *pages, pagesize: *pagesize, faults: faults,
+		storage: *storageMode, mapFallback: *mapFallback}
 
 	if *refresh {
 		os.Exit(runRefresh(*url, open, *refreshBatches, *refreshOrders))
@@ -115,8 +119,8 @@ func main() {
 
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "moaserve: serving sf=%g on %s (workers=%d maxconc=%d membudget=%dMB pages=%d data=%q epoch=%d recovered=%d)\n",
-		*sf, *addr, *workers, *maxconc, *membudget, *pages, *dataDir, st.Manager().CurrentID(), st.Recoveries())
+	fmt.Fprintf(os.Stderr, "moaserve: serving sf=%g on %s (workers=%d maxconc=%d membudget=%dMB pages=%d data=%q storage=%s epoch=%d recovered=%d)\n",
+		*sf, *addr, *workers, *maxconc, *membudget, *pages, *dataDir, *storageMode, st.Manager().CurrentID(), st.Recoveries())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -141,13 +145,15 @@ func main() {
 
 // openConfig bundles everything needed to open the database + epoch store.
 type openConfig struct {
-	sf        float64
-	seed      int64
-	dataDir   string
-	snapEvery int
-	pages     int
-	pagesize  int64
-	faults    storage.FaultPlan
+	sf          float64
+	seed        int64
+	dataDir     string
+	snapEvery   int
+	pages       int
+	pagesize    int64
+	faults      storage.FaultPlan
+	storage     string // tpcd.StorageSim | tpcd.StorageMmap
+	mapFallback bool
 }
 
 func serviceConfig(workers, morsel, maxconc int, membudgetMB int64, maxplans int) server.Config {
@@ -160,16 +166,22 @@ func serviceConfig(workers, morsel, maxconc int, membudgetMB int64, maxplans int
 	}
 }
 
-// newService opens the durable epoch store (generating + bulk-loading the
-// genesis database, then replaying any WAL/snapshot state in -data) and
-// builds the writable service over it: queries pin epochs, /ingest
-// publishes new ones, and the shared lock-striped buffer pool (unless
-// pages < 0 disables fault accounting) plays the role of the OS page cache
-// over Monet's memory-mapped BATs. A non-empty fault plan arms the pager's
-// chaos injector (-fault-every etc.).
-func newService(open openConfig, cfg server.Config) (*server.Service, *epoch.Store, *tpcd.DB) {
-	st, gen, err := tpcd.OpenStore(tpcd.DurableConfig{
+// newService opens the durable epoch store (replaying any WAL/snapshot
+// state in -data) and builds the writable service over it: queries pin
+// epochs, /ingest publishes new ones, and the shared lock-striped buffer
+// pool (unless pages < 0 disables fault accounting) plays the role of the
+// OS page cache over Monet's memory-mapped BATs. A non-empty fault plan
+// arms the pager's chaos injector (-fault-every etc.).
+//
+// The object-level generator database is lazy: a read-only restart over a
+// mapped checkpoint never materialises it, so the server's anonymous
+// footprint stays near the page tables and the heap files themselves can
+// exceed the memory budget. The first /ingest (or any WAL replay) pays the
+// generation cost once.
+func newService(open openConfig, cfg server.Config) (*server.Service, *epoch.Store, func() *tpcd.DB) {
+	st, gen, err := tpcd.OpenStoreLazy(tpcd.DurableConfig{
 		Dir: open.dataDir, SF: open.sf, Seed: open.seed, SnapshotEvery: open.snapEvery,
+		Storage: open.storage, MapFallback: open.mapFallback,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "moaserve: open store: %v\n", err)
@@ -198,12 +210,13 @@ type ingestDirective struct {
 
 // prepareIngest translates {"generate":N,"seed":S} directives into concrete
 // refresh batches; anything else (a full batch JSON) passes through for the
-// store's own validation.
-func prepareIngest(gen *tpcd.DB) func([]byte) ([]byte, error) {
+// store's own validation. The generator database materialises on the first
+// directive, not at server start.
+func prepareIngest(gen func() *tpcd.DB) func([]byte) ([]byte, error) {
 	return func(body []byte) ([]byte, error) {
 		var d ingestDirective
 		if err := json.Unmarshal(body, &d); err == nil && d.Generate > 0 {
-			return tpcd.EncodeRefresh(tpcd.GenRefresh(gen, d.Seed, d.Generate))
+			return tpcd.EncodeRefresh(tpcd.GenRefresh(gen(), d.Seed, d.Generate))
 		}
 		return body, nil
 	}
@@ -263,7 +276,7 @@ func runLoadgen(url string, clients int, duration time.Duration, mix string, wri
 	} else {
 		svc, st, gen := newService(open, cfg)
 		defer st.Close()
-		queries = queryMix(gen, mix)
+		queries = queryMix(gen(), mix)
 		do = func(src string) error { _, err := svc.Query(context.Background(), src); return err }
 		ing = func() (uint64, error) {
 			payload, err := svc.PrepareIngest(directive())
@@ -313,6 +326,7 @@ func runRefresh(url string, open openConfig, batches, orders int) int {
 	}
 	st, gen, err := tpcd.OpenStore(tpcd.DurableConfig{
 		Dir: open.dataDir, SF: open.sf, Seed: open.seed, SnapshotEvery: open.snapEvery,
+		Storage: open.storage, MapFallback: open.mapFallback,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "moaserve: open store: %v\n", err)

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/mil"
 	"repro/internal/relational"
 	"repro/internal/storage"
 	"repro/internal/tpcd"
@@ -29,21 +30,45 @@ func main() {
 	morsel := flag.Int("morsel", 0, "morsel scheduling: rows per probe morsel (0 = skew-aware default, <0 = static per-worker striping)")
 	pipeline := flag.Int("pipeline", 0, "fusable-chain execution: >=0 = vectorized pipeline (default), <0 = full materialization (parity reference)")
 	vectorRows := flag.Int("vector-rows", 0, "pipeline vector length in rows (0 = ~L1-sized default)")
+	storageMode := flag.String("storage", tpcd.StorageSim, "column storage engine: sim = load into anonymous memory, mmap = serve base columns from a heap-file checkpoint in -datadir (bootstrapped there on first run)")
+	dataDir := flag.String("datadir", "", "heap-file checkpoint directory for -storage=mmap")
+	mapFallback := flag.Bool("map-fallback", false, "mmap storage: read heap files instead of mapping (portable fallback)")
 	flag.Parse()
 
-	fmt.Printf("generating TPC-D at SF=%g (seed %d)...\n", *sf, *seed)
-	gen := tpcd.Generate(*sf, *seed)
-
+	var gen *tpcd.DB
+	var env mil.Env
 	start := time.Now()
-	env, loadStats := tpcd.Load(gen)
-	fmt.Printf("loaded: %d items, %d orders, %d customers, %d parts, %d suppliers\n",
-		loadStats.ClassSizes["Item"], loadStats.ClassSizes["Order"],
-		loadStats.ClassSizes["Customer"], loadStats.ClassSizes["Part"],
-		loadStats.ClassSizes["Supplier"])
-	fmt.Printf("load: build %.2fs + accelerators %.2fs (total %.2fs); base %.1f MB, datavectors %.1f MB\n\n",
-		loadStats.BuildTime.Seconds(), loadStats.AccelTime.Seconds(),
-		time.Since(start).Seconds(),
-		mb(loadStats.BaseBytes), mb(loadStats.DVBytes))
+	if *storageMode == tpcd.StorageMmap {
+		// Out-of-core run: open (and on first run bootstrap) the columnar
+		// checkpoint, then serve the suite from the mapped columns.
+		fmt.Printf("opening mmap store at %s (SF=%g seed %d)...\n", *dataDir, *sf, *seed)
+		st, sgen, err := tpcd.OpenStore(tpcd.DurableConfig{
+			Dir: *dataDir, SF: *sf, Seed: *seed,
+			Storage: tpcd.StorageMmap, MapFallback: *mapFallback,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tpcd: open store: %v\n", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		gen, env = sgen, st.Manager().Current().Env
+		fmt.Printf("mapped: %d items, %d orders (%.2fs)\n\n",
+			len(gen.Items), len(gen.Orders), time.Since(start).Seconds())
+	} else {
+		fmt.Printf("generating TPC-D at SF=%g (seed %d)...\n", *sf, *seed)
+		gen = tpcd.Generate(*sf, *seed)
+
+		var loadStats *tpcd.LoadStats
+		env, loadStats = tpcd.Load(gen)
+		fmt.Printf("loaded: %d items, %d orders, %d customers, %d parts, %d suppliers\n",
+			loadStats.ClassSizes["Item"], loadStats.ClassSizes["Order"],
+			loadStats.ClassSizes["Customer"], loadStats.ClassSizes["Part"],
+			loadStats.ClassSizes["Supplier"])
+		fmt.Printf("load: build %.2fs + accelerators %.2fs (total %.2fs); base %.1f MB, datavectors %.1f MB\n\n",
+			loadStats.BuildTime.Seconds(), loadStats.AccelTime.Seconds(),
+			time.Since(start).Seconds(),
+			mb(loadStats.BaseBytes), mb(loadStats.DVBytes))
+	}
 
 	db := engine.New(tpcd.Schema(), env)
 	db.Pager = storage.NewPager(4096, *pool)

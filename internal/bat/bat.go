@@ -94,6 +94,14 @@ type BAT struct {
 	// sync detection records tokens on operands, so access is atomic.
 	syncGroup atomic.Uint64
 
+	// detected carries run-time re-detected properties (low 16 bits, same
+	// encoding as Props) plus the scanned markers — see props_detect.go.
+	// Kernels that cannot cheaply prove order/keyness strip these bits from
+	// their results; the detection scan recovers them so the optimizer's
+	// merge/fetch variants stay eligible. Atomic: detection may race with
+	// concurrent sessions dispatching over the same intermediate.
+	detected atomic.Uint32
+
 	// Accelerator publication points (lazily built, cached, singleflight).
 	// A mirror shares its original's slots with head and tail swapped, so
 	// an index built through either view is visible through both. The

@@ -85,8 +85,9 @@ func (c *VoidCol) ByteSize() int64 { return 0 }
 type OIDCol struct {
 	V    []OID
 	heap storage.HeapID
-	off  int  // heap entry offset of V[0] (non-zero for views)
-	view bool // shares another column's backing (see SliceView)
+	off  int            // heap entry offset of V[0] (non-zero for views)
+	view bool           // shares another column's backing (see SliceView)
+	hint storage.Hinter // mapping advice sink for heap-backed columns (heapcol.go)
 }
 
 // NewOIDCol wraps a slice of oids as a column.
@@ -107,13 +108,19 @@ func (c *OIDCol) Heap() storage.HeapID { return c.heap }
 // TouchAt implements Column.
 func (c *OIDCol) TouchAt(p *storage.Tracker, i int) { p.Touch(c.heap, int64(c.off+i)*4) }
 
-// TouchRange implements Column.
+// TouchRange implements Column; the span is also forwarded to the mapping
+// hint (WillNeed) when the column is heap-backed.
 func (c *OIDCol) TouchRange(p *storage.Tracker, i, n int) {
+	adviseSpan(c.hint, storage.AdviceWillNeed, int64(c.off+i)*4, int64(n)*4)
 	p.TouchRange(c.heap, int64(c.off+i)*4, int64(n)*4)
 }
 
-// TouchAll implements Column.
-func (c *OIDCol) TouchAll(p *storage.Tracker) { c.TouchRange(p, 0, len(c.V)) }
+// TouchAll implements Column; a full scan advises Sequential instead of
+// WillNeed so the pager reads ahead and drops pages behind the cursor.
+func (c *OIDCol) TouchAll(p *storage.Tracker) {
+	adviseSpan(c.hint, storage.AdviceSequential, int64(c.off)*4, int64(len(c.V))*4)
+	p.TouchRange(c.heap, int64(c.off)*4, int64(len(c.V))*4)
+}
 
 // ByteSize implements Column.
 func (c *OIDCol) ByteSize() int64 { return int64(len(c.V)) * 4 }
@@ -122,8 +129,9 @@ func (c *OIDCol) ByteSize() int64 { return int64(len(c.V)) * 4 }
 type IntCol struct {
 	V    []int64
 	heap storage.HeapID
-	off  int  // heap entry offset of V[0] (non-zero for views)
-	view bool // shares another column's backing (see SliceView)
+	off  int            // heap entry offset of V[0] (non-zero for views)
+	view bool           // shares another column's backing (see SliceView)
+	hint storage.Hinter // mapping advice sink for heap-backed columns (heapcol.go)
 }
 
 // NewIntCol wraps a slice of integers as a column.
@@ -144,13 +152,17 @@ func (c *IntCol) Heap() storage.HeapID { return c.heap }
 // TouchAt implements Column; entries are 8 bytes wide, matching ByteSize.
 func (c *IntCol) TouchAt(p *storage.Tracker, i int) { p.Touch(c.heap, int64(c.off+i)*8) }
 
-// TouchRange implements Column.
+// TouchRange implements Column; heap-backed columns advise WillNeed.
 func (c *IntCol) TouchRange(p *storage.Tracker, i, n int) {
+	adviseSpan(c.hint, storage.AdviceWillNeed, int64(c.off+i)*8, int64(n)*8)
 	p.TouchRange(c.heap, int64(c.off+i)*8, int64(n)*8)
 }
 
-// TouchAll implements Column.
-func (c *IntCol) TouchAll(p *storage.Tracker) { c.TouchRange(p, 0, len(c.V)) }
+// TouchAll implements Column; full scans advise Sequential.
+func (c *IntCol) TouchAll(p *storage.Tracker) {
+	adviseSpan(c.hint, storage.AdviceSequential, int64(c.off)*8, int64(len(c.V))*8)
+	p.TouchRange(c.heap, int64(c.off)*8, int64(len(c.V))*8)
+}
 
 // ByteSize implements Column.
 func (c *IntCol) ByteSize() int64 { return int64(len(c.V)) * 8 }
@@ -159,8 +171,9 @@ func (c *IntCol) ByteSize() int64 { return int64(len(c.V)) * 8 }
 type FltCol struct {
 	V    []float64
 	heap storage.HeapID
-	off  int  // heap entry offset of V[0] (non-zero for views)
-	view bool // shares another column's backing (see SliceView)
+	off  int            // heap entry offset of V[0] (non-zero for views)
+	view bool           // shares another column's backing (see SliceView)
+	hint storage.Hinter // mapping advice sink for heap-backed columns (heapcol.go)
 }
 
 // NewFltCol wraps a slice of floats as a column.
@@ -181,13 +194,17 @@ func (c *FltCol) Heap() storage.HeapID { return c.heap }
 // TouchAt implements Column.
 func (c *FltCol) TouchAt(p *storage.Tracker, i int) { p.Touch(c.heap, int64(c.off+i)*8) }
 
-// TouchRange implements Column.
+// TouchRange implements Column; heap-backed columns advise WillNeed.
 func (c *FltCol) TouchRange(p *storage.Tracker, i, n int) {
+	adviseSpan(c.hint, storage.AdviceWillNeed, int64(c.off+i)*8, int64(n)*8)
 	p.TouchRange(c.heap, int64(c.off+i)*8, int64(n)*8)
 }
 
-// TouchAll implements Column.
-func (c *FltCol) TouchAll(p *storage.Tracker) { c.TouchRange(p, 0, len(c.V)) }
+// TouchAll implements Column; full scans advise Sequential.
+func (c *FltCol) TouchAll(p *storage.Tracker) {
+	adviseSpan(c.hint, storage.AdviceSequential, int64(c.off)*8, int64(len(c.V))*8)
+	p.TouchRange(c.heap, int64(c.off)*8, int64(len(c.V))*8)
+}
 
 // ByteSize implements Column.
 func (c *FltCol) ByteSize() int64 { return int64(len(c.V)) * 8 }
@@ -196,8 +213,9 @@ func (c *FltCol) ByteSize() int64 { return int64(len(c.V)) * 8 }
 type ChrCol struct {
 	V    []byte
 	heap storage.HeapID
-	off  int  // heap entry offset of V[0] (non-zero for views)
-	view bool // shares another column's backing (see SliceView)
+	off  int            // heap entry offset of V[0] (non-zero for views)
+	view bool           // shares another column's backing (see SliceView)
+	hint storage.Hinter // mapping advice sink for heap-backed columns (heapcol.go)
 }
 
 // NewChrCol wraps a byte slice as a character column.
@@ -218,13 +236,17 @@ func (c *ChrCol) Heap() storage.HeapID { return c.heap }
 // TouchAt implements Column.
 func (c *ChrCol) TouchAt(p *storage.Tracker, i int) { p.Touch(c.heap, int64(c.off+i)) }
 
-// TouchRange implements Column.
+// TouchRange implements Column; heap-backed columns advise WillNeed.
 func (c *ChrCol) TouchRange(p *storage.Tracker, i, n int) {
+	adviseSpan(c.hint, storage.AdviceWillNeed, int64(c.off+i), int64(n))
 	p.TouchRange(c.heap, int64(c.off+i), int64(n))
 }
 
-// TouchAll implements Column.
-func (c *ChrCol) TouchAll(p *storage.Tracker) { c.TouchRange(p, 0, len(c.V)) }
+// TouchAll implements Column; full scans advise Sequential.
+func (c *ChrCol) TouchAll(p *storage.Tracker) {
+	adviseSpan(c.hint, storage.AdviceSequential, int64(c.off), int64(len(c.V)))
+	p.TouchRange(c.heap, int64(c.off), int64(len(c.V)))
+}
 
 // ByteSize implements Column.
 func (c *ChrCol) ByteSize() int64 { return int64(len(c.V)) }
@@ -233,8 +255,9 @@ func (c *ChrCol) ByteSize() int64 { return int64(len(c.V)) }
 type BitCol struct {
 	V    []bool
 	heap storage.HeapID
-	off  int  // heap entry offset of V[0] (non-zero for views)
-	view bool // shares another column's backing (see SliceView)
+	off  int            // heap entry offset of V[0] (non-zero for views)
+	view bool           // shares another column's backing (see SliceView)
+	hint storage.Hinter // mapping advice sink for heap-backed columns (heapcol.go)
 }
 
 // NewBitCol wraps a bool slice as a column.
@@ -255,13 +278,17 @@ func (c *BitCol) Heap() storage.HeapID { return c.heap }
 // TouchAt implements Column.
 func (c *BitCol) TouchAt(p *storage.Tracker, i int) { p.Touch(c.heap, int64(c.off+i)) }
 
-// TouchRange implements Column.
+// TouchRange implements Column; heap-backed columns advise WillNeed.
 func (c *BitCol) TouchRange(p *storage.Tracker, i, n int) {
+	adviseSpan(c.hint, storage.AdviceWillNeed, int64(c.off+i), int64(n))
 	p.TouchRange(c.heap, int64(c.off+i), int64(n))
 }
 
-// TouchAll implements Column.
-func (c *BitCol) TouchAll(p *storage.Tracker) { c.TouchRange(p, 0, len(c.V)) }
+// TouchAll implements Column; full scans advise Sequential.
+func (c *BitCol) TouchAll(p *storage.Tracker) {
+	adviseSpan(c.hint, storage.AdviceSequential, int64(c.off), int64(len(c.V)))
+	p.TouchRange(c.heap, int64(c.off), int64(len(c.V)))
+}
 
 // ByteSize implements Column.
 func (c *BitCol) ByteSize() int64 { return int64(len(c.V)) }
@@ -270,8 +297,9 @@ func (c *BitCol) ByteSize() int64 { return int64(len(c.V)) }
 type DateCol struct {
 	V    []int32
 	heap storage.HeapID
-	off  int  // heap entry offset of V[0] (non-zero for views)
-	view bool // shares another column's backing (see SliceView)
+	off  int            // heap entry offset of V[0] (non-zero for views)
+	view bool           // shares another column's backing (see SliceView)
+	hint storage.Hinter // mapping advice sink for heap-backed columns (heapcol.go)
 }
 
 // NewDateCol wraps a slice of day numbers as a date column.
@@ -292,13 +320,17 @@ func (c *DateCol) Heap() storage.HeapID { return c.heap }
 // TouchAt implements Column.
 func (c *DateCol) TouchAt(p *storage.Tracker, i int) { p.Touch(c.heap, int64(c.off+i)*4) }
 
-// TouchRange implements Column.
+// TouchRange implements Column; heap-backed columns advise WillNeed.
 func (c *DateCol) TouchRange(p *storage.Tracker, i, n int) {
+	adviseSpan(c.hint, storage.AdviceWillNeed, int64(c.off+i)*4, int64(n)*4)
 	p.TouchRange(c.heap, int64(c.off+i)*4, int64(n)*4)
 }
 
-// TouchAll implements Column.
-func (c *DateCol) TouchAll(p *storage.Tracker) { c.TouchRange(p, 0, len(c.V)) }
+// TouchAll implements Column; full scans advise Sequential.
+func (c *DateCol) TouchAll(p *storage.Tracker) {
+	adviseSpan(c.hint, storage.AdviceSequential, int64(c.off)*4, int64(len(c.V))*4)
+	p.TouchRange(c.heap, int64(c.off)*4, int64(len(c.V))*4)
+}
 
 // ByteSize implements Column.
 func (c *DateCol) ByteSize() int64 { return int64(len(c.V)) * 4 }
@@ -316,6 +348,8 @@ type StrCol struct {
 	charHeap storage.HeapID // character heap
 	off      int            // heap entry offset of Off[0] (non-zero for views)
 	view     bool           // shares another column's backing (see SliceView)
+	hint     storage.Hinter // offset-mapping advice sink (heapcol.go)
+	charHint storage.Hinter // character-mapping advice sink
 }
 
 // NewStrColFromStrings builds a string column (and its character heap) from
@@ -361,18 +395,28 @@ func (c *StrCol) TouchAt(p *storage.Tracker, i int) {
 }
 
 // TouchRange implements Column; the character span is contiguous because
-// offsets ascend.
+// offsets ascend. Heap-backed columns advise WillNeed on both the offset
+// and character mappings.
 func (c *StrCol) TouchRange(p *storage.Tracker, i, n int) {
+	c.touchRange(p, i, n, storage.AdviceWillNeed)
+}
+
+// TouchAll implements Column; routing through touchRange keeps a view's
+// accounting anchored at its heap offset and limited to its character
+// span. Full scans advise Sequential.
+func (c *StrCol) TouchAll(p *storage.Tracker) {
+	c.touchRange(p, 0, c.Len(), storage.AdviceSequential)
+}
+
+func (c *StrCol) touchRange(p *storage.Tracker, i, n int, a storage.Advice) {
+	adviseSpan(c.hint, a, int64(c.off+i)*4, int64(n+1)*4)
 	p.TouchRange(c.heap, int64(c.off+i)*4, int64(n+1)*4)
 	lo, hi := int64(c.Off[i]), int64(c.Off[i+n])
 	if hi > lo {
+		adviseSpan(c.charHint, a, lo, hi-lo)
 		p.TouchRange(c.charHeap, lo, hi-lo)
 	}
 }
-
-// TouchAll implements Column; routing through TouchRange keeps a view's
-// accounting anchored at its heap offset and limited to its character span.
-func (c *StrCol) TouchAll(p *storage.Tracker) { c.TouchRange(p, 0, c.Len()) }
 
 // ByteSize implements Column.
 func (c *StrCol) ByteSize() int64 { return int64(len(c.Off))*4 + int64(len(c.Chars)) }
@@ -473,20 +517,21 @@ func SliceView(col Column, lo, n int) Column {
 	case *VoidCol:
 		return NewVoid(c.Seq+OID(lo), n)
 	case *OIDCol:
-		return &OIDCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo, view: true}
+		return &OIDCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo, view: true, hint: c.hint}
 	case *IntCol:
-		return &IntCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo, view: true}
+		return &IntCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo, view: true, hint: c.hint}
 	case *FltCol:
-		return &FltCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo, view: true}
+		return &FltCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo, view: true, hint: c.hint}
 	case *ChrCol:
-		return &ChrCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo, view: true}
+		return &ChrCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo, view: true, hint: c.hint}
 	case *BitCol:
-		return &BitCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo, view: true}
+		return &BitCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo, view: true, hint: c.hint}
 	case *DateCol:
-		return &DateCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo, view: true}
+		return &DateCol{V: c.V[lo : lo+n], heap: c.heap, off: c.off + lo, view: true, hint: c.hint}
 	case *StrCol:
 		return &StrCol{Off: c.Off[lo : lo+n+1], Chars: c.Chars,
-			heap: c.heap, charHeap: c.charHeap, off: c.off + lo, view: true}
+			heap: c.heap, charHeap: c.charHeap, off: c.off + lo, view: true,
+			hint: c.hint, charHint: c.charHint}
 	}
 	// boxed fallback: no backing to share, materialize
 	out := make([]Value, n)

@@ -1,0 +1,124 @@
+package bat
+
+import (
+	"repro/internal/storage"
+)
+
+// Heap-backed columns: the constructor path for columns whose backing
+// slices are typed views over a read-only file mapping
+// (internal/storage/heapfile). Three things distinguish them from ordinary
+// in-memory columns:
+//
+//   - they are born persistent (Persist at construction), so the logical
+//     fault model of storage.Pager/Tracker accounts them exactly like the
+//     loader's columns — which is what keeps -storage=sim and -storage=mmap
+//     bit-identical in logical faults;
+//   - they carry a storage.Hinter, and the column's own TouchRange/TouchAll
+//     spans — the spans the zero-copy pipeline and vectorized windows
+//     already compute for fault accounting — are additionally routed into
+//     madvise-style advice on the mapping. Hinting is therefore free at
+//     every call site: no operator changed for out-of-core storage;
+//   - their backing memory is read-only at the MMU level. That is safe
+//     because BAT-algebra operands are immutable after construction
+//     (the same invariant SliceView already relies on).
+//
+// A nil Hinter disables advice, which is the in-memory and simulator
+// regime; the advise helper also suppresses sub-threshold spans so
+// per-BUN touches never pay a syscall.
+
+// adviseSpan forwards a touch span to a mapping hint. Spans below
+// storage.HintMinBytes are dropped: the MMU demand-pages them anyway and
+// the syscall would cost more than the fault it predicts.
+func adviseSpan(h storage.Hinter, a storage.Advice, off, n int64) {
+	if h == nil || n < storage.HintMinBytes {
+		return
+	}
+	h.Advise(a, off, n)
+}
+
+// Hint attaches a mapping hint to a column in place (nil detaches). Used
+// by the heap loader after wrapping mapped slices; prefer the NewMapped*
+// constructors where possible.
+func Hint(col Column, h storage.Hinter) {
+	switch c := col.(type) {
+	case *OIDCol:
+		c.hint = h
+	case *IntCol:
+		c.hint = h
+	case *FltCol:
+		c.hint = h
+	case *ChrCol:
+		c.hint = h
+	case *BitCol:
+		c.hint = h
+	case *DateCol:
+		c.hint = h
+	case *StrCol:
+		c.hint = h
+	}
+}
+
+// NewMappedOIDCol wraps a mapped oid slice as a persistent, hint-routing
+// column.
+func NewMappedOIDCol(v []OID, h storage.Hinter) *OIDCol {
+	c := NewOIDCol(v)
+	c.Persist()
+	c.hint = h
+	return c
+}
+
+// NewMappedIntCol wraps a mapped int slice as a persistent, hint-routing
+// column.
+func NewMappedIntCol(v []int64, h storage.Hinter) *IntCol {
+	c := NewIntCol(v)
+	c.Persist()
+	c.hint = h
+	return c
+}
+
+// NewMappedFltCol wraps a mapped float slice as a persistent, hint-routing
+// column.
+func NewMappedFltCol(v []float64, h storage.Hinter) *FltCol {
+	c := NewFltCol(v)
+	c.Persist()
+	c.hint = h
+	return c
+}
+
+// NewMappedChrCol wraps a mapped byte slice as a persistent, hint-routing
+// column.
+func NewMappedChrCol(v []byte, h storage.Hinter) *ChrCol {
+	c := NewChrCol(v)
+	c.Persist()
+	c.hint = h
+	return c
+}
+
+// NewMappedBitCol wraps a mapped bool slice as a persistent, hint-routing
+// column.
+func NewMappedBitCol(v []bool, h storage.Hinter) *BitCol {
+	c := NewBitCol(v)
+	c.Persist()
+	c.hint = h
+	return c
+}
+
+// NewMappedDateCol wraps a mapped day-number slice as a persistent,
+// hint-routing column.
+func NewMappedDateCol(v []int32, h storage.Hinter) *DateCol {
+	c := NewDateCol(v)
+	c.Persist()
+	c.hint = h
+	return c
+}
+
+// NewMappedStrCol assembles a string column over a mapped offset array and
+// a mapped character heap (the paper's variable-size atom layout, Fig. 2).
+// offHint advises the offset file, charHint the character file.
+func NewMappedStrCol(off []uint32, chars string, offHint, charHint storage.Hinter) *StrCol {
+	c := &StrCol{Off: off, Chars: chars}
+	c.Persist()
+	c.hint = offHint
+	c.charHint = charHint
+	return c
+}

@@ -1,0 +1,186 @@
+package bat
+
+import "math"
+
+// Run-time property re-detection (Section 5.1's "properties are maintained
+// by the kernel" taken one step further): many kernels produce results whose
+// order or keyness they cannot prove cheaply at construction time, so the
+// propagation rules conservatively strip those bits — and every later join
+// against such an intermediate falls back to the hash variant even when the
+// data happens to be perfectly ordered. The detection scan recovers the
+// truth: one memoized pass over the column (early exit at the first
+// inversion, so disordered data pays almost nothing) that feeds HOrdered/
+// HKey/HDense (or their tail twins) back into the BAT's effective
+// properties, widening merge- and fetch-variant eligibility for every
+// subsequent operation on the same BAT.
+//
+// The scan is pure metadata work for the dynamic optimizer: it does not
+// touch the simulated pager (the variant chosen afterwards performs its own
+// TouchAll accounting), and a negative result is memoized just like a
+// positive one, so no column is ever scanned twice.
+
+const (
+	detHeadScanned = 1 << 16
+	detTailScanned = 1 << 17
+	detPropsMask   = 0xffff
+)
+
+// KnownProps returns the BAT's effective properties: the statically
+// propagated Props plus everything run-time detection has recovered so far.
+// Lock-free; safe under concurrent sessions.
+func (b *BAT) KnownProps() Props {
+	return b.Props | Props(b.detected.Load()&detPropsMask)
+}
+
+// DetectHeadProps ensures the head-side detection scan has run (once) and
+// returns the effective properties. The scan is skipped entirely when the
+// head is already known ordered.
+func (b *BAT) DetectHeadProps() Props {
+	if !b.KnownProps().Has(HOrdered) && b.detected.Load()&detHeadScanned == 0 {
+		b.detected.Or(uint32(detectColProps(b.H)) | detHeadScanned)
+	}
+	return b.KnownProps()
+}
+
+// DetectTailProps is DetectHeadProps for the tail column; discovered bits
+// are recorded as TOrdered/TKey/TDense.
+func (b *BAT) DetectTailProps() Props {
+	if !b.KnownProps().Has(TOrdered) && b.detected.Load()&detTailScanned == 0 {
+		b.detected.Or(uint32(detectColProps(b.T).Swap()) | detTailScanned)
+	}
+	return b.KnownProps()
+}
+
+// NoteHeadKey records externally proven head uniqueness (e.g. a hash
+// accelerator whose cardinality equals the BAT length).
+func (b *BAT) NoteHeadKey() { b.detected.Or(uint32(HKey)) }
+
+// NoteTailKey records externally proven tail uniqueness.
+func (b *BAT) NoteTailKey() { b.detected.Or(uint32(TKey)) }
+
+// detectColProps scans one column and reports what holds, expressed in
+// head-side bits (HOrdered/HKey/HDense); callers working on a tail Swap()
+// the result. Keyness is only claimed when it falls out of the order scan
+// for free (strict ascent); duplicate detection on unordered data would
+// need a hash and is left to the accelerator path.
+func detectColProps(col Column) Props {
+	n := col.Len()
+	if n <= 1 {
+		p := HOrdered | HKey
+		if _, ok := col.(*OIDCol); ok {
+			p |= HDense
+		}
+		return p
+	}
+	switch c := col.(type) {
+	case *VoidCol:
+		return HDense | HOrdered | HKey
+	case *OIDCol:
+		strict, dense := true, true
+		for i := 1; i < n; i++ {
+			d := int64(c.V[i]) - int64(c.V[i-1])
+			if d < 0 {
+				return 0
+			}
+			if d == 0 {
+				strict = false
+			}
+			if d != 1 {
+				dense = false
+			}
+		}
+		return orderedProps(strict, dense)
+	case *IntCol:
+		return scanOrdered(n, func(i int) int64 {
+			if c.V[i] < c.V[i-1] {
+				return -1
+			} else if c.V[i] == c.V[i-1] {
+				return 0
+			}
+			return 1
+		})
+	case *DateCol:
+		return scanOrdered(n, func(i int) int64 {
+			if c.V[i] < c.V[i-1] {
+				return -1
+			} else if c.V[i] == c.V[i-1] {
+				return 0
+			}
+			return 1
+		})
+	case *ChrCol:
+		return scanOrdered(n, func(i int) int64 {
+			if c.V[i] < c.V[i-1] {
+				return -1
+			} else if c.V[i] == c.V[i-1] {
+				return 0
+			}
+			return 1
+		})
+	case *FltCol:
+		// NaN has no place in a total order; its presence voids the claim.
+		if math.IsNaN(c.V[0]) {
+			return 0
+		}
+		return scanOrdered(n, func(i int) int64 {
+			if math.IsNaN(c.V[i]) || c.V[i] < c.V[i-1] {
+				return -1
+			} else if c.V[i] == c.V[i-1] {
+				return 0
+			}
+			return 1
+		})
+	case *StrCol:
+		return scanOrdered(n, func(i int) int64 {
+			a, b := c.At(i-1), c.At(i)
+			if b < a {
+				return -1
+			} else if b == a {
+				return 0
+			}
+			return 1
+		})
+	case *BitCol:
+		strict := true
+		for i := 1; i < n; i++ {
+			if c.V[i-1] && !c.V[i] {
+				return 0
+			}
+			if c.V[i-1] == c.V[i] {
+				strict = false
+			}
+		}
+		return orderedProps(strict, false)
+	default:
+		return scanOrdered(n, func(i int) int64 {
+			return int64(Compare(col.Get(i-1), col.Get(i))) * -1
+		})
+	}
+}
+
+// scanOrdered drives the inversion scan: cmp(i) reports the sign of
+// element i relative to its predecessor (-1 = inversion, 0 = equal,
+// 1 = ascent).
+func scanOrdered(n int, cmp func(i int) int64) Props {
+	strict := true
+	for i := 1; i < n; i++ {
+		switch c := cmp(i); {
+		case c < 0:
+			return 0
+		case c == 0:
+			strict = false
+		}
+	}
+	return orderedProps(strict, false)
+}
+
+func orderedProps(strict, dense bool) Props {
+	p := HOrdered
+	if strict {
+		p |= HKey
+	}
+	if dense {
+		p |= HDense | HKey
+	}
+	return p
+}

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/moa"
+	"repro/internal/storage"
+	"repro/internal/tpcd"
+)
+
+// Out-of-core invisibility: the full Figure-9 query mix must produce
+// bit-identical results whether the base columns live in anonymous memory
+// (sim), in mmap'd heap-file checkpoints, or in the portable read-fallback
+// — and the simulated fault model must conserve attribution (pool totals ==
+// per-query sums) on the mapped path exactly as it does in memory.
+func TestStorageModeParityTPCD(t *testing.T) {
+	const sf, seed = 0.002, int64(7)
+	gen := tpcd.Generate(sf, seed)
+	env, _ := tpcd.Load(gen)
+	simDB := New(tpcd.Schema(), env)
+	simDB.Pager = storage.NewPager(4096, 0)
+
+	// Reference answers from the sim path.
+	queries := tpcd.Queries(gen)
+	want := make(map[int]string, len(queries))
+	for _, q := range queries {
+		res, err := simDB.Query(q.MOA)
+		if err != nil {
+			t.Fatalf("Q%d (sim): %v", q.Num, err)
+		}
+		want[q.Num] = moa.RenderVal(res.Set)
+	}
+
+	for _, mode := range []struct {
+		name     string
+		fallback bool
+	}{{"mmap", false}, {"portable-fallback", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			st, sgen, err := tpcd.OpenStore(tpcd.DurableConfig{
+				Dir: t.TempDir(), SF: sf, Seed: seed,
+				Storage: tpcd.StorageMmap, MapFallback: mode.fallback,
+			})
+			if err != nil {
+				t.Fatalf("open store: %v", err)
+			}
+			defer st.Close()
+
+			db := New(tpcd.Schema(), st.Manager().Current().Env)
+			db.Pager = storage.NewPager(4096, 0)
+			var sumFaults, sumHits uint64
+			for _, q := range tpcd.Queries(sgen) {
+				res, err := db.Query(q.MOA)
+				if err != nil {
+					t.Fatalf("Q%d: %v", q.Num, err)
+				}
+				if got := moa.RenderVal(res.Set); got != want[q.Num] {
+					t.Fatalf("Q%d diverges from sim storage:\ngot:  %s\nwant: %s",
+						q.Num, trunc(got), trunc(want[q.Num]))
+				}
+				sumFaults += res.Stats.Faults
+				sumHits += res.Stats.Hits
+			}
+			// Tracker conservation over mapped columns: every simulated
+			// fault/hit attributed to exactly one query.
+			if pool := db.Pager.Faults(); pool != sumFaults {
+				t.Errorf("pool faults %d != sum of per-query faults %d", pool, sumFaults)
+			}
+			if pool := db.Pager.Hits(); pool != sumHits {
+				t.Errorf("pool hits %d != sum of per-query hits %d", pool, sumHits)
+			}
+			if sumFaults == 0 {
+				t.Error("no simulated faults over mapped persistent columns — fault accounting lost")
+			}
+		})
+	}
+}

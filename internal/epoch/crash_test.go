@@ -143,13 +143,28 @@ func TestCrashMatrix(t *testing.T) {
 	for _, seed := range crashSeeds(t) {
 		for _, cp := range crashPoints {
 			t.Run(fmt.Sprintf("seed=%d/%s", seed, cp.point), func(t *testing.T) {
-				runCrashCase(t, seed, cp.point, cp.preOK, cp.snapshot)
+				runCrashCase(t, seed, cp.point, cp.preOK, cp.snapshot, crashOptions)
 			})
 		}
 	}
 }
 
-func runCrashCase(t *testing.T, seed int64, point string, preOK, needSnapshot bool) {
+// TestCrashMatrixColumnar reruns the whole kill matrix against columnar
+// (heap-file directory) checkpoints: same six protocol points, same
+// pre/post contract, but snapshots are mmap-able snap-<epoch>.d trees and
+// recovery MAPS the newest valid one instead of replaying its batches.
+func TestCrashMatrixColumnar(t *testing.T) {
+	for _, seed := range crashSeeds(t) {
+		for _, cp := range crashPoints {
+			t.Run(fmt.Sprintf("seed=%d/%s", seed, cp.point), func(t *testing.T) {
+				runCrashCase(t, seed, cp.point, cp.preOK, cp.snapshot, columnarCrashOptions)
+			})
+		}
+	}
+}
+
+func runCrashCase(t *testing.T, seed int64, point string, preOK, needSnapshot bool,
+	mkOpts func(dir string, hooks *Hooks) Options) {
 	dir := t.TempDir()
 	rng := rand.New(rand.NewSource(seed))
 
@@ -162,7 +177,7 @@ func runCrashCase(t *testing.T, seed int64, point string, preOK, needSnapshot bo
 		}
 	}}
 
-	st, err := Open(crashOptions(dir, hooks))
+	st, err := Open(mkOpts(dir, hooks))
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}
@@ -178,7 +193,7 @@ func runCrashCase(t *testing.T, seed int64, point string, preOK, needSnapshot bo
 	// ingest exactly on a checkpoint epoch (id % SnapshotEvery == 0).
 	warm := 1 + rng.Intn(4)
 	if needSnapshot {
-		every := uint64(crashOptions(dir, nil).SnapshotEvery)
+		every := uint64(mkOpts(dir, nil).SnapshotEvery)
 		for (uint64(warm)+1)%every != 0 {
 			warm++
 		}
@@ -215,7 +230,7 @@ func runCrashCase(t *testing.T, seed int64, point string, preOK, needSnapshot bo
 	}()
 	// Abandon st without Close — a killed process does not clean up.
 
-	rec, err := Open(crashOptions(dir, nil))
+	rec, err := Open(mkOpts(dir, nil))
 	if err != nil {
 		t.Fatalf("recovery open after crash at %s: %v", point, err)
 	}
@@ -250,7 +265,7 @@ func runCrashCase(t *testing.T, seed int64, point string, preOK, needSnapshot bo
 	}
 	want := fingerprint(rec.Manager().Current().Env)
 	rec.Close()
-	re, err := Open(crashOptions(dir, nil))
+	re, err := Open(mkOpts(dir, nil))
 	if err != nil {
 		t.Fatalf("reopen: %v", err)
 	}

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/mil"
 )
 
 // Snapshots checkpoint the chain so recovery does not replay the whole
@@ -35,20 +37,31 @@ const (
 	snapFileMagic = "MOASNAP1"
 	snapEndMagic  = uint32(0x50414e53) // "SNAP"
 	snapSuffix    = ".snap"
+	snapDirSuffix = ".d"
+	// snapBatchesName is the batch-history file inside a columnar (v2)
+	// snapshot directory; same byte format as a v1 snapshot file.
+	snapBatchesName = "batches" + snapSuffix
 )
 
-// snapshot is a decoded, checksum-verified snapshot file.
+// snapshot is a decoded, checksum-verified snapshot.
 type snapshot struct {
 	Epoch   uint64
 	Batches []walRecord // ingest payloads 1..Epoch in order
+	// Dir is set for columnar (v2) snapshots: the snap-<epoch>.d directory
+	// holding the checkpoint's heap files. Recovery maps it (Options.
+	// LoadEnv) instead of materializing the env by replay; the batch
+	// history is still carried so the writer-side object state can be
+	// reconstructed and so a damaged heap dir degrades to replay, never to
+	// a failed start.
+	Dir string
 }
 
 func snapName(epoch uint64) string { return fmt.Sprintf("snap-%016d%s", epoch, snapSuffix) }
 
-// writeSnapshot persists the batch history as snap-<epoch>.snap with the
-// temp/fsync/rename/dir-fsync discipline. hooks fires the mid-snapshot
-// crash points.
-func writeSnapshot(dir string, meta []byte, epoch uint64, batches []walRecord, hooks *Hooks) error {
+func snapDirName(epoch uint64) string { return fmt.Sprintf("snap-%016d%s", epoch, snapDirSuffix) }
+
+// encodeBatches serializes the batch history in the v1 snapshot format.
+func encodeBatches(meta []byte, epoch uint64, batches []walRecord) []byte {
 	buf := make([]byte, 0, 64)
 	buf = append(buf, snapFileMagic...)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(meta)))
@@ -62,22 +75,74 @@ func writeSnapshot(dir string, meta []byte, epoch uint64, batches []walRecord, h
 		buf = append(buf, b.Payload...)
 	}
 	buf = binary.LittleEndian.AppendUint32(buf, snapEndMagic)
+	return buf
+}
 
-	final := filepath.Join(dir, snapName(epoch))
-	tmpPath := final + ".tmp"
-	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+// writeFileSynced writes data to path with write+fsync (no rename; the
+// caller owns the atomicity discipline around it).
+func writeFileSynced(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(buf); err != nil {
-		tmp.Close()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
 		return err
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+	if err := f.Sync(); err != nil {
+		f.Close()
 		return err
 	}
-	tmp.Close()
+	return f.Close()
+}
+
+// writeSnapshot persists the batch history as snap-<epoch>.snap with the
+// temp/fsync/rename/dir-fsync discipline. hooks fires the mid-snapshot
+// crash points.
+func writeSnapshot(dir string, meta []byte, epoch uint64, batches []walRecord, hooks *Hooks) error {
+	final := filepath.Join(dir, snapName(epoch))
+	tmpPath := final + ".tmp"
+	if err := writeFileSynced(tmpPath, encodeBatches(meta, epoch, batches)); err != nil {
+		return err
+	}
+	hooks.at("snapshot:before-rename")
+	if err := os.Rename(tmpPath, final); err != nil {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	hooks.at("snapshot:after-rename")
+	return nil
+}
+
+// writeSnapshotDir persists a columnar (v2) checkpoint: a snap-<epoch>.d
+// directory holding the env's heap files (written by the caller's SaveEnv
+// — per-file CRC and temp+rename per column, manifest last) plus the batch
+// history. The whole directory is assembled under a .tmp name and
+// atomically renamed into place, so the same six crash points of the v1
+// protocol hold: a kill before the rename leaves droppings that recovery
+// prunes, a kill after leaves a complete checkpoint.
+func writeSnapshotDir(dir string, meta []byte, epoch uint64,
+	batches []walRecord, env mil.Env, save func(tmpDir, finalDir string, env mil.Env) error, hooks *Hooks) error {
+	final := filepath.Join(dir, snapDirName(epoch))
+	tmpPath := final + ".tmp"
+	// A leftover .tmp from a crashed attempt must not contaminate this one.
+	if err := os.RemoveAll(tmpPath); err != nil {
+		return err
+	}
+	if err := save(tmpPath, final, env); err != nil {
+		os.RemoveAll(tmpPath)
+		return err
+	}
+	if err := writeFileSynced(filepath.Join(tmpPath, snapBatchesName), encodeBatches(meta, epoch, batches)); err != nil {
+		os.RemoveAll(tmpPath)
+		return err
+	}
+	if err := syncDir(tmpPath); err != nil {
+		os.RemoveAll(tmpPath)
+		return err
+	}
 	hooks.at("snapshot:before-rename")
 	if err := os.Rename(tmpPath, final); err != nil {
 		return err
@@ -159,9 +224,32 @@ func readSnapshot(path string, meta []byte) (*snapshot, error) {
 	return s, nil
 }
 
-// latestSnapshot finds the newest fully-valid snapshot in dir, skipping
-// .tmp leftovers and falling back past corrupt files. Returns nil (no
-// error) when none exists — recovery then replays the WAL from genesis.
+// snapEpochOf parses a snapshot entry name into its epoch. ok is false for
+// anything that is not snap-<n>.snap or snap-<n>.d.
+func snapEpochOf(name string) (epoch uint64, isDir, ok bool) {
+	if !strings.HasPrefix(name, "snap-") {
+		return 0, false, false
+	}
+	rest := strings.TrimPrefix(name, "snap-")
+	switch {
+	case strings.HasSuffix(rest, snapSuffix):
+		rest = strings.TrimSuffix(rest, snapSuffix)
+	case strings.HasSuffix(rest, snapDirSuffix):
+		rest, isDir = strings.TrimSuffix(rest, snapDirSuffix), true
+	default:
+		return 0, false, false
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false, false
+	}
+	return n, isDir, true
+}
+
+// latestSnapshot finds the newest fully-valid snapshot in dir — v1 files
+// and v2 columnar directories alike — skipping .tmp leftovers and falling
+// back past corrupt candidates. Returns nil (no error) when none exists;
+// recovery then replays the WAL from genesis.
 func latestSnapshot(dir string, meta []byte) (*snapshot, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -170,25 +258,33 @@ func latestSnapshot(dir string, meta []byte) (*snapshot, error) {
 	type cand struct {
 		epoch uint64
 		name  string
+		isDir bool
 	}
 	var cands []cand
 	for _, e := range entries {
 		name := e.Name()
-		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, snapSuffix) {
+		if strings.HasSuffix(name, ".tmp") {
 			continue
 		}
-		numStr := strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), snapSuffix)
-		n, err := strconv.ParseUint(numStr, 10, 64)
-		if err != nil {
+		n, isDir, ok := snapEpochOf(name)
+		if !ok || isDir != e.IsDir() {
 			continue
 		}
-		cands = append(cands, cand{epoch: n, name: name})
+		cands = append(cands, cand{epoch: n, name: name, isDir: isDir})
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].epoch > cands[j].epoch })
 	for _, c := range cands {
-		s, err := readSnapshot(filepath.Join(dir, c.name), meta)
+		path := filepath.Join(dir, c.name)
+		batchFile := path
+		if c.isDir {
+			batchFile = filepath.Join(path, snapBatchesName)
+		}
+		s, err := readSnapshot(batchFile, meta)
 		if err != nil {
 			continue // corrupt or foreign snapshot: try the next-oldest
+		}
+		if c.isDir {
+			s.Dir = path
 		}
 		return s, nil
 	}
@@ -196,8 +292,11 @@ func latestSnapshot(dir string, meta []byte) (*snapshot, error) {
 }
 
 // pruneSnapshots removes snapshots older than keepEpoch and stray .tmp
-// files. Best-effort: removal failures are ignored (an extra old snapshot
-// is harmless).
+// droppings (files and half-built checkpoint directories). Best-effort:
+// removal failures are ignored (an extra old snapshot is harmless).
+// Columnar checkpoints hard-link unchanged heap files between epochs, so
+// removing an older directory never invalidates a newer one — the inodes
+// survive until the last link drops.
 func pruneSnapshots(dir string, keepEpoch uint64) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -206,19 +305,15 @@ func pruneSnapshots(dir string, keepEpoch uint64) {
 	for _, e := range entries {
 		name := e.Name()
 		if strings.HasSuffix(name, ".tmp") {
-			os.Remove(filepath.Join(dir, name))
+			os.RemoveAll(filepath.Join(dir, name))
 			continue
 		}
-		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, snapSuffix) {
-			continue
-		}
-		numStr := strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), snapSuffix)
-		n, err := strconv.ParseUint(numStr, 10, 64)
-		if err != nil {
+		n, _, ok := snapEpochOf(name)
+		if !ok {
 			continue
 		}
 		if n < keepEpoch {
-			os.Remove(filepath.Join(dir, name))
+			os.RemoveAll(filepath.Join(dir, name))
 		}
 	}
 }

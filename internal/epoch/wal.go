@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 )
 
 // Write-ahead log: one append-only segment file. Every ingest becomes one
@@ -45,11 +46,33 @@ type walRecord struct {
 }
 
 // wal is an open write-ahead log segment.
+//
+// Appends are two-phase for group commit: write() frames and writes the
+// record bytes (caller serializes writes in epoch order), then syncTo()
+// makes an offset durable. syncTo elects a leader — the first caller to
+// find no fsync in flight — which syncs the file once for every byte
+// written so far; callers whose offset that sync (or a previous one)
+// already covered return without issuing their own fsync. That is the
+// group commit: N concurrent ingests racing a slow fsync coalesce into
+// one, and the durability contract ("publish only after the record is on
+// disk") is untouched because every ingest still blocks until its own
+// offset is durable.
 type wal struct {
 	f     *os.File
 	path  string
-	size  int64 // current file size (all records fully written)
+	size  int64 // bytes fully written (header + records); not all durable
 	hooks *Hooks
+
+	syncMu   sync.Mutex
+	syncCond *sync.Cond
+	synced   int64 // bytes known durable (≤ size)
+	syncing  bool  // a leader's fsync is in flight
+	syncErr  error // sticky: a failed fsync poisons the segment
+}
+
+func (w *wal) initSync() {
+	w.syncCond = sync.NewCond(&w.syncMu)
+	w.synced = w.size
 }
 
 func walPath(dir string) string { return filepath.Join(dir, walName) }
@@ -78,7 +101,9 @@ func createWAL(dir string, meta []byte) (*wal, error) {
 		f.Close()
 		return nil, err
 	}
-	return &wal{f: f, path: path, size: int64(len(hdr))}, nil
+	w := &wal{f: f, path: path, size: int64(len(hdr))}
+	w.initSync()
+	return w, nil
 }
 
 // openWAL opens an existing segment, verifies the header and meta, replays
@@ -120,7 +145,9 @@ func openWAL(dir string, meta []byte) (*wal, []walRecord, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	return &wal{f: f, path: path, size: goodSize}, recs, nil
+	w := &wal{f: f, path: path, size: goodSize}
+	w.initSync()
+	return w, recs, nil
 }
 
 func checkWALHeader(data, meta []byte) (int, error) {
@@ -180,10 +207,11 @@ func recCRC(epoch uint64, payload []byte) uint32 {
 	return crc32.Update(crc, castagnoli, payload)
 }
 
-// append writes one record and fsyncs. Only after Sync returns may the
-// caller publish the epoch the record creates: the fsync barrier is what
-// makes "published implies recoverable" true.
-func (w *wal) append(epoch uint64, payload []byte) (int64, error) {
+// write frames and writes one record WITHOUT syncing, returning the end
+// offset the caller must pass to syncTo before publishing. Callers
+// serialize writes (the store's append lock), so records land in epoch
+// order.
+func (w *wal) write(epoch uint64, payload []byte) (int64, error) {
 	rec := make([]byte, 0, walRecHdrLen+len(payload))
 	rec = binary.LittleEndian.AppendUint32(rec, walRecMagic)
 	rec = binary.LittleEndian.AppendUint64(rec, epoch)
@@ -193,13 +221,54 @@ func (w *wal) append(epoch uint64, payload []byte) (int64, error) {
 	if _, err := w.f.Write(rec); err != nil {
 		return 0, err
 	}
+	w.size += int64(len(rec))
+	return w.size, nil
+}
+
+// syncTo blocks until bytes [0, target) are durable. led reports whether
+// this caller issued the fsync (the group-commit leader); a false return
+// with nil error means some other caller's fsync covered target — a
+// coalesced commit. The crash hooks fire in the leader only, in the same
+// written-but-not-durable / durable-but-not-applied positions the serial
+// protocol had.
+func (w *wal) syncTo(target int64) (led bool, err error) {
+	w.syncMu.Lock()
+	for {
+		if w.syncErr != nil {
+			err := w.syncErr
+			w.syncMu.Unlock()
+			return false, err
+		}
+		if w.synced >= target {
+			w.syncMu.Unlock()
+			return false, nil
+		}
+		if !w.syncing {
+			break
+		}
+		w.syncCond.Wait()
+	}
+	w.syncing = true
+	goal := w.size // covers every record written so far, not just ours
+	w.syncMu.Unlock()
+
 	w.hooks.at("wal:append:before-sync")
-	if err := w.f.Sync(); err != nil {
-		return 0, err
+	serr := w.f.Sync()
+
+	w.syncMu.Lock()
+	w.syncing = false
+	if serr != nil {
+		w.syncErr = serr
+	} else if goal > w.synced {
+		w.synced = goal
+	}
+	w.syncCond.Broadcast()
+	w.syncMu.Unlock()
+	if serr != nil {
+		return true, serr
 	}
 	w.hooks.at("wal:append:after-sync")
-	w.size += int64(len(rec))
-	return int64(len(rec)), nil
+	return true, nil
 }
 
 // rotate replaces the segment with a fresh empty one (write temp → fsync →
@@ -233,9 +302,20 @@ func (w *wal) rotate(dir string, meta []byte) error {
 		tmp.Close()
 		return err
 	}
+	// Swap the fd under the sync lock — and after any in-flight leader
+	// fsync drains — so a group-commit leader can never fsync a closed
+	// descriptor. The store guarantees no unsynced record bytes exist at
+	// rotation time (it skips rotation otherwise), so resetting synced to
+	// the fresh header is exact.
+	w.syncMu.Lock()
+	for w.syncing {
+		w.syncCond.Wait()
+	}
 	w.f.Close()
 	w.f = tmp
 	w.size = int64(len(hdr))
+	w.synced = w.size
+	w.syncMu.Unlock()
 	return nil
 }
 

@@ -27,10 +27,19 @@ func Join(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
 		return out
 	}
 	switch {
-	case r.Props.Has(bat.HDense):
+	case r.KnownProps().Has(bat.HDense):
 		return fetchJoin(ctx, l, r)
-	case l.Props.Has(bat.TOrdered) && r.Props.Has(bat.HOrdered):
-		return mergeJoin(ctx, l, r)
+	case l.DetectTailProps().Has(bat.TOrdered):
+		// The left tail is ordered (declared, or recovered by the detection
+		// scan on a stripped intermediate) — worth scanning the right head
+		// too: a dense or ordered discovery upgrades the variant.
+		switch rp := r.DetectHeadProps(); {
+		case rp.Has(bat.HDense):
+			return fetchJoin(ctx, l, r)
+		case rp.Has(bat.HOrdered):
+			return mergeJoin(ctx, l, r)
+		}
+		return hashJoin(ctx, l, r)
 	default:
 		return hashJoin(ctx, l, r)
 	}
@@ -95,12 +104,12 @@ func joinResult(ctx *Ctx, l, r *bat.BAT, lpos, rpos []int32) *bat.BAT {
 	if l.Props.Has(bat.HOrdered) {
 		out.Props |= bat.HOrdered
 	}
-	if l.Props.Has(bat.HKey) && r.Props.Has(bat.HKey) {
+	if l.Props.Has(bat.HKey) && r.KnownProps().Has(bat.HKey) {
 		out.Props |= bat.HKey
 	}
 	// When every left row found exactly one partner, the output is
 	// positionally aligned with the left operand.
-	if out.Len() == l.Len() && r.Props.Has(bat.HKey) {
+	if out.Len() == l.Len() && r.KnownProps().Has(bat.HKey) {
 		out.SyncWith(l)
 		out.Props |= l.Props & (bat.HOrdered | bat.HKey)
 	}
@@ -112,10 +121,15 @@ func joinResult(ctx *Ctx, l, r *bat.BAT, lpos, rpos []int32) *bat.BAT {
 // cardinality gives the average duplicate factor.
 func joinCap(l, r *bat.BAT, idx *bat.HashIndex) int {
 	n := l.Len()
-	if r.Props.Has(bat.HKey) {
+	if r.KnownProps().Has(bat.HKey) {
 		return n
 	}
 	if c := idx.Card(); c > 0 {
+		if c == r.Len() {
+			// The accelerator proved head uniqueness as a side effect of
+			// its cardinality count; remember it for later dispatches.
+			r.NoteHeadKey()
+		}
 		dup := (r.Len() + c - 1) / c
 		est := int64(n) * int64(dup)
 		if lim := int64(n) * 8; est > lim {

@@ -27,7 +27,9 @@ func Semijoin(ctx *Ctx, l, r *bat.BAT) *bat.BAT {
 		// head is not oid-typed cannot match any extent entry under value
 		// semantics, so it must take the generic variants.
 		return datavectorSemijoin(ctx, l, r)
-	case l.Props.Has(bat.HOrdered) && r.Props.Has(bat.HOrdered):
+	case l.DetectHeadProps().Has(bat.HOrdered) && r.DetectHeadProps().Has(bat.HOrdered):
+		// Detection recovers ordering on stripped intermediates (see
+		// bat/props_detect.go), keeping the merge variant eligible.
 		return mergeSemijoin(ctx, l, r)
 	default:
 		return hashSemijoin(ctx, l, r)

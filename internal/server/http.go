@@ -241,6 +241,13 @@ func boolParam(r *http.Request, name string) bool {
 	return true
 }
 
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 func writeError(w http.ResponseWriter, status int, err error, kind, rid string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -288,7 +295,21 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "moaserve_epoch_current %d\n", m.EpochCurrent)
 	fmt.Fprintf(w, "moaserve_epoch_pinned %d\n", m.EpochsPinned)
 	fmt.Fprintf(w, "moaserve_wal_bytes_total %d\n", m.WALBytes)
+	fmt.Fprintf(w, "moaserve_wal_syncs_total %d\n", m.WALSyncs)
+	fmt.Fprintf(w, "moaserve_wal_group_commits_total %d\n", m.WALGroupCommits)
 	fmt.Fprintf(w, "moaserve_recoveries_total %d\n", m.Recoveries)
+
+	// Real paging twins (mincore/getrusage over live mmaps). The simulated
+	// moaserve_pager_* series above is the deterministic model; these are
+	// what the OS actually did. faults_real counts major+minor so the
+	// series moves even when the page cache absorbs every fault.
+	fmt.Fprintf(w, "moaserve_pager_mapped_bytes_real %d\n", m.RealMappedBytes)
+	fmt.Fprintf(w, "moaserve_pager_resident_bytes_real %d\n", m.RealResidentBytes)
+	fmt.Fprintf(w, "moaserve_pager_faults_real_total %d\n", m.RealMajorFaults+m.RealMinorFaults)
+	fmt.Fprintf(w, "moaserve_pager_major_faults_real_total %d\n", m.RealMajorFaults)
+	fmt.Fprintf(w, "moaserve_pager_minor_faults_real_total %d\n", m.RealMinorFaults)
+	fmt.Fprintf(w, "moaserve_pager_residency_probed %d\n", b2i(m.RealProbed))
+	fmt.Fprintf(w, "moaserve_pager_rusage_ok %d\n", b2i(m.RealRusage))
 	fmt.Fprintf(w, "moaserve_accel_build_seconds_total %.9f\n",
 		float64(s.accelBuildNs.Load())/1e9)
 

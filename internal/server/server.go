@@ -33,6 +33,7 @@ import (
 	"repro/internal/epoch"
 	"repro/internal/mil"
 	"repro/internal/obs"
+	"repro/internal/storage"
 )
 
 // Config tunes a Service.
@@ -465,7 +466,21 @@ type Metrics struct {
 	EpochCurrent        uint64  // current epoch id (0 when read-only)
 	EpochsPinned        int64   // epochs alive: current + retired-but-pinned
 	WALBytes            int64   // bytes in the current WAL segment
+	WALSyncs            int64   // fsync batches the WAL issued (group-commit leaders)
+	WALGroupCommits     int64   // ingests whose durability rode another ingest's fsync
 	Recoveries          int64   // 1 if this process recovered durable state at start
+
+	// The *_real twins of the simulated pager series: what the operating
+	// system actually did, sampled from mincore/getrusage over the
+	// registered file mappings. All zero (and RealProbed/RealRusage false)
+	// when serving from anonymous memory or on platforms without the
+	// syscalls.
+	RealMappedBytes   int64  // bytes of column data currently mmap'd
+	RealResidentBytes int64  // … of which the OS holds in RAM
+	RealMajorFaults   uint64 // process major faults (disk reads), cumulative
+	RealMinorFaults   uint64 // process minor faults, cumulative
+	RealProbed        bool   // mincore sampling ran
+	RealRusage        bool   // fault counters are real getrusage values
 }
 
 // Snapshot reads the service counters. The pager counters aggregate over
@@ -501,7 +516,16 @@ func (s *Service) Snapshot() Metrics {
 		m.EpochCurrent = st.Manager().CurrentID()
 		m.EpochsPinned = st.Manager().Alive()
 		m.WALBytes = st.WALBytes()
+		m.WALSyncs = st.WALSyncs()
+		m.WALGroupCommits = st.WALGroupCommits()
 		m.Recoveries = st.Recoveries()
 	}
+	rs := storage.SampleResidency()
+	m.RealMappedBytes = rs.MappedBytes
+	m.RealResidentBytes = rs.ResidentBytes
+	m.RealMajorFaults = rs.MajorFaults
+	m.RealMinorFaults = rs.MinorFaults
+	m.RealProbed = rs.Probed
+	m.RealRusage = rs.RusageOK
 	return m
 }

@@ -352,7 +352,12 @@ func TestServiceKeepsPagerFaultAccounting(t *testing.T) {
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	for _, metric := range []string{"moaserve_pager_faults_total", "moaserve_pager_hits_total", "moaserve_pager_resident_pages"} {
+	for _, metric := range []string{
+		"moaserve_pager_faults_total", "moaserve_pager_hits_total", "moaserve_pager_resident_pages",
+		"moaserve_pager_mapped_bytes_real", "moaserve_pager_resident_bytes_real",
+		"moaserve_pager_faults_real_total", "moaserve_wal_syncs_total",
+		"moaserve_wal_group_commits_total",
+	} {
 		if !strings.Contains(string(body), metric) {
 			t.Fatalf("metrics missing %s:\n%s", metric, body)
 		}

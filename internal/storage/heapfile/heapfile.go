@@ -1,0 +1,247 @@
+// Package heapfile is the real, out-of-core storage layer of the
+// reproduction: each persistent column's BUN heap is one file on disk,
+// mapped read-only into the address space, exactly as Monet stores BATs
+// (Boncz, Wilschut & Kersten, ICDE 1998, §5.2 — "BATs live in memory
+// mapped files paged in by the MMU"). Fixed-width columns reinterpret the
+// mapping as a typed slice (View); string heaps map as a byte heap with
+// the offset-anchored views of internal/bat on top.
+//
+// A heap directory holds one file per column part plus a JSON manifest
+// written last (temp+rename), carrying per-file CRC-32C checksums — the
+// manifest's presence is the commit point, so a torn write leaves either
+// the previous complete directory or temp droppings that open ignores.
+// Column files are raw host-endian array bytes with no header: the mapping
+// base is page-aligned, so a zero-offset typed view is always correctly
+// aligned. The manifest records the byte order and refuses a mismatch.
+//
+// Platform split: on unix the files are mmap'd (mmap_unix.go) and access
+// hints forward to madvise / residency sampling to mincore; elsewhere — or
+// when Options.Fallback forces it, which is how the portable path gets
+// test coverage on unix hosts — files are read into aligned anonymous
+// memory (mmap_portable.go / readAligned) and the hints are inert. Either
+// way the bytes exposed to the column layer are identical, which is what
+// the storage parity suite asserts.
+package heapfile
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/storage"
+)
+
+// castagnoli is the CRC-32C table used for all heap-file checksums (same
+// polynomial as the WAL records of internal/epoch).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Mapping is one column file's read-only byte span: an mmap on unix, an
+// anonymous aligned copy under the portable fallback. It implements
+// storage.Hinter so bat columns can route their touch spans into paging
+// advice without importing this package.
+type Mapping struct {
+	data   []byte
+	mapped bool // true: munmap on close; false: anonymous memory, GC-owned
+	closed atomic.Bool
+}
+
+// openMapping maps the file at path, which must be exactly size bytes —
+// the size is checked against the real file first, because mapping past
+// EOF does not fail at mmap time, it SIGBUSes at first access. fallback
+// forces the portable read-into-memory path. After the size check, any
+// mmap failure (unsupported filesystem, no platform support) degrades to
+// the portable read: the bytes served are identical either way.
+func openMapping(path string, size int64, fallback bool) (*Mapping, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() != size {
+		return nil, fmt.Errorf("heapfile: %s is %d bytes, manifest says %d", filepath.Base(path), st.Size(), size)
+	}
+	if size == 0 {
+		return &Mapping{data: nil, mapped: false}, nil
+	}
+	if !fallback {
+		if data, err := mmapFile(path, size); err == nil {
+			return &Mapping{data: data, mapped: true}, nil
+		}
+	}
+	data, err := readAligned(path, size)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{data: data, mapped: false}, nil
+}
+
+// Bytes exposes the mapped span. The bytes are read-only: the file is
+// mapped PROT_READ and a write through a typed view would SIGSEGV (the
+// column layer never writes persistent heaps — updates go through the
+// epoch chain's copy-on-write publication).
+func (m *Mapping) Bytes() []byte { return m.data }
+
+// Mapped reports whether the span is a real file mapping (false under the
+// portable fallback, where it is an anonymous copy).
+func (m *Mapping) Mapped() bool { return m.mapped }
+
+// Advise implements storage.Hinter: it clamps [off, off+n) to the mapping
+// and forwards the advice to madvise. Inert on fallback memory and on
+// platforms without madvise. Safe for concurrent use — advice is
+// stateless from the caller's perspective.
+func (m *Mapping) Advise(a storage.Advice, off, n int64) {
+	if m == nil || !m.mapped || m.closed.Load() {
+		return
+	}
+	size := int64(len(m.data))
+	if off < 0 {
+		n += off
+		off = 0
+	}
+	if off >= size || n <= 0 {
+		return
+	}
+	if off+n > size {
+		n = size - off
+	}
+	// madvise wants a page-aligned base; widen the span to page bounds
+	// (over-advising a partial page is harmless — it was being touched
+	// anyway).
+	pg := int64(pageSize())
+	first := off / pg * pg
+	last := off + n
+	madviseSpan(m.data[first:last], a)
+}
+
+// Resident samples how many bytes of the mapping the OS currently holds in
+// RAM (mincore). probed=false when sampling is unsupported; fallback
+// memory reports itself fully resident without probing (it is ordinary
+// heap memory).
+func (m *Mapping) Resident() (mappedBytes, residentBytes int64, probed bool) {
+	if m == nil || m.closed.Load() {
+		return 0, 0, false
+	}
+	size := int64(len(m.data))
+	if !m.mapped {
+		return size, size, false
+	}
+	res, ok := mincoreSpan(m.data)
+	return size, res, ok
+}
+
+// Close releases the mapping. Typed views over it must not be used
+// afterwards; the Store keeps every mapping alive until its own Close, and
+// the epoch chain keeps stores alive while any pinned epoch references
+// their columns.
+func (m *Mapping) Close() error {
+	if m == nil || !m.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if m.mapped {
+		// The span is dead to this process: let the OS reclaim frames
+		// eagerly rather than waiting for pressure.
+		madviseSpan(m.data, storage.AdviceDontNeed)
+		data := m.data
+		m.data = nil
+		return munmapFile(data)
+	}
+	m.data = nil
+	return nil
+}
+
+// pageSize caches the VM page size.
+var pageSizeOnce atomic.Int64
+
+func pageSize() int {
+	if v := pageSizeOnce.Load(); v != 0 {
+		return int(v)
+	}
+	v := os.Getpagesize()
+	pageSizeOnce.Store(int64(v))
+	return v
+}
+
+// readAligned reads the file into 8-byte-aligned anonymous memory (the
+// portable twin of mmap). A plain make([]byte) does not guarantee the
+// alignment the typed views need, so the buffer is carved from []uint64.
+func readAligned(path string, size int64) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	words := make([]uint64, (size+7)/8)
+	var buf []byte
+	if len(words) > 0 {
+		buf = unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), len(words)*8)[:size]
+	}
+	if _, err := readFull(f, buf); err != nil {
+		return nil, fmt.Errorf("heapfile: read %s: %w", filepath.Base(path), err)
+	}
+	return buf, nil
+}
+
+func readFull(f *os.File, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := f.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// View reinterprets the mapping's bytes as a []T without copying. T must
+// be a fixed-width scalar whose in-file layout is the host representation
+// (the manifest's byte-order tag guards cross-host moves). The mapping
+// base is page-aligned and every column file starts its array at offset 0,
+// so alignment always holds; View panics if the byte length is not a
+// whole number of elements (a corrupt file that CRC verification should
+// already have rejected).
+func View[T any](m *Mapping) []T {
+	b := m.Bytes()
+	var zero T
+	w := int(unsafe.Sizeof(zero))
+	if len(b) == 0 {
+		return nil
+	}
+	if len(b)%w != 0 {
+		panic(fmt.Sprintf("heapfile: %d-byte span is not a whole number of %d-byte elements", len(b), w))
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), len(b)/w)
+}
+
+// ViewString reinterprets the mapping as a string (the char heap behind
+// StrCol). Zero-copy: the string aliases the read-only mapping, which is
+// safe precisely because the mapping is immutable for its lifetime.
+func ViewString(m *Mapping) string {
+	b := m.Bytes()
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// Bytes returns the raw byte representation of a typed slice, for writing
+// a column file. The inverse of View.
+func BytesOf[T any](v []T) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	var zero T
+	w := int(unsafe.Sizeof(zero))
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*w)
+}
+
+// hostByteOrder reports "little" or "big" for the manifest tag.
+func hostByteOrder() string {
+	x := uint16(1)
+	if *(*byte)(unsafe.Pointer(&x)) == 1 {
+		return "little"
+	}
+	return "big"
+}

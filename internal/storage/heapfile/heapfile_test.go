@@ -1,0 +1,187 @@
+package heapfile
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func writeDir(t *testing.T, dir string) ([]int64, []uint32, string) {
+	t.Helper()
+	ints := []int64{-5, 0, 1 << 40, 42, -1}
+	oids := []uint32{0, 1, 2, 3, 4, 5, 6}
+	chars := "helloheapfile"
+	w, err := NewWriter(dir, json.RawMessage(`{"kind":"test"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put("col.tail", BytesOf(ints)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put("idx.head", BytesOf(oids)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put("col.chars", []byte(chars)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put("empty.tail", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return ints, oids, chars
+}
+
+func TestRoundtripMappedAndFallback(t *testing.T) {
+	dir := t.TempDir()
+	ints, oids, chars := writeDir(t, dir)
+	for _, opts := range []Options{{}, {Fallback: true}} {
+		s, err := Open(dir, opts)
+		if err != nil {
+			t.Fatalf("open %+v: %v", opts, err)
+		}
+		gotInts := View[int64](s.Mapping("col.tail"))
+		for i, v := range ints {
+			if gotInts[i] != v {
+				t.Fatalf("fallback=%v int[%d]=%d want %d", opts.Fallback, i, gotInts[i], v)
+			}
+		}
+		gotOids := View[uint32](s.Mapping("idx.head"))
+		for i, v := range oids {
+			if gotOids[i] != v {
+				t.Fatalf("oid[%d]=%d want %d", i, gotOids[i], v)
+			}
+		}
+		if got := ViewString(s.Mapping("col.chars")); got != chars {
+			t.Fatalf("chars=%q want %q", got, chars)
+		}
+		if got := View[int64](s.Mapping("empty.tail")); len(got) != 0 {
+			t.Fatalf("empty part has %d elems", len(got))
+		}
+		// Hints must be safe on both paths, including out-of-range spans.
+		s.Mapping("col.tail").Advise(storage.AdviceSequential, 0, 1<<30)
+		s.Mapping("col.tail").Advise(storage.AdviceWillNeed, -8, 16)
+		mb, rb, _ := s.Resident()
+		if mb != int64(len(ints)*8+len(oids)*4+len(chars)) {
+			t.Fatalf("mapped bytes %d", mb)
+		}
+		if rb < 0 || rb > mb {
+			t.Fatalf("resident %d of %d", rb, mb)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	writeDir(t, dir)
+	// Flip one byte in a column file: CRC verification must refuse it.
+	path := filepath.Join(dir, "col.tail.heap")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[3] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("open accepted corrupt column file")
+	}
+	// But SkipVerify maps it (benchmarks) — size still checked.
+	s, err := Open(dir, Options{SkipVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Truncation is refused even without CRC (mmap past EOF would SIGBUS).
+	if err := os.Truncate(path, int64(len(data)-8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{SkipVerify: true}); err == nil {
+		t.Fatal("open accepted truncated column file")
+	}
+}
+
+func TestOpenRequiresManifest(t *testing.T) {
+	dir := t.TempDir()
+	if IsHeapDir(dir) {
+		t.Fatal("empty dir reported as heap dir")
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("open accepted manifest-less dir")
+	}
+	writeDir(t, dir)
+	if !IsHeapDir(dir) {
+		t.Fatal("committed dir not recognized")
+	}
+}
+
+func TestBorrowSharesBytes(t *testing.T) {
+	a := t.TempDir()
+	ints, _, _ := writeDir(t, a)
+	man, err := ReadManifest(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := filepath.Join(t.TempDir(), "next")
+	w, err := NewWriter(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, ok := man.Lookup("col.tail")
+	if !ok {
+		t.Fatal("col.tail missing from manifest")
+	}
+	if err := w.Borrow("col.tail", a, fi); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put("fresh.tail", BytesOf([]int64{9})); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got := View[int64](s.Mapping("col.tail"))
+	for i, v := range ints {
+		if got[i] != v {
+			t.Fatalf("borrowed int[%d]=%d want %d", i, got[i], v)
+		}
+	}
+	// On link-capable filesystems the inode is shared (page cache CoW).
+	sa, err1 := os.Stat(filepath.Join(a, fi.File))
+	sb, err2 := os.Stat(filepath.Join(b, fi.File))
+	if err1 == nil && err2 == nil && !os.SameFile(sa, sb) {
+		t.Log("borrow fell back to copy (no hard links on this fs)")
+	}
+}
+
+func TestResidencyRegistry(t *testing.T) {
+	dir := t.TempDir()
+	writeDir(t, dir)
+	before := storage.SampleResidency()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	during := storage.SampleResidency()
+	if during.MappedBytes <= before.MappedBytes {
+		t.Fatalf("mapped bytes did not grow: before %d during %d", before.MappedBytes, during.MappedBytes)
+	}
+	s.Close()
+	after := storage.SampleResidency()
+	if after.MappedBytes != before.MappedBytes {
+		t.Fatalf("close did not unregister: before %d after %d", before.MappedBytes, after.MappedBytes)
+	}
+}

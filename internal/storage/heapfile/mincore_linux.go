@@ -1,0 +1,38 @@
+//go:build linux
+
+package heapfile
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// mincoreSpan counts how many bytes of the (page-aligned, mmap'd) span the
+// kernel currently holds in core. This is the real-residency observable
+// behind moaserve_pager_resident_bytes_real.
+func mincoreSpan(b []byte) (residentBytes int64, ok bool) {
+	if len(b) == 0 {
+		return 0, true
+	}
+	pg := pageSize()
+	pages := (len(b) + pg - 1) / pg
+	vec := make([]byte, pages)
+	_, _, errno := syscall.Syscall(syscall.SYS_MINCORE,
+		uintptr(unsafe.Pointer(&b[0])), uintptr(len(b)), uintptr(unsafe.Pointer(&vec[0])))
+	if errno != 0 {
+		return 0, false
+	}
+	var res int64
+	for i, v := range vec {
+		if v&1 == 0 {
+			continue
+		}
+		// Last page may be partial; count only mapped bytes.
+		if i == pages-1 {
+			res += int64(len(b) - i*pg)
+		} else {
+			res += int64(pg)
+		}
+	}
+	return res, true
+}

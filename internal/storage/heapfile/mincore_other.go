@@ -1,0 +1,7 @@
+//go:build !linux
+
+package heapfile
+
+// mincoreSpan is unsupported off linux: residency sampling reports
+// probed=false and the metrics layer falls back to mapped-bytes only.
+func mincoreSpan(b []byte) (residentBytes int64, ok bool) { return 0, false }

@@ -1,0 +1,44 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package heapfile
+
+import (
+	"os"
+	"syscall"
+
+	"repro/internal/storage"
+)
+
+// mmapFile maps size bytes of the file read-only and shared — the paper's
+// storage model verbatim: the MMU pages the column in on demand and the
+// page cache is the buffer pool.
+func mmapFile(path string, size int64) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error { return syscall.Munmap(b) }
+
+// madviseSpan forwards a storage.Advice to madvise. Advice is best-effort
+// by definition; errors are deliberately dropped.
+func madviseSpan(b []byte, a storage.Advice) {
+	if len(b) == 0 {
+		return
+	}
+	var adv int
+	switch a {
+	case storage.AdviceSequential:
+		adv = syscall.MADV_SEQUENTIAL
+	case storage.AdviceWillNeed:
+		adv = syscall.MADV_WILLNEED
+	case storage.AdviceDontNeed:
+		adv = syscall.MADV_DONTNEED
+	default:
+		adv = syscall.MADV_NORMAL
+	}
+	_ = syscall.Madvise(b, adv)
+}

@@ -1,0 +1,97 @@
+package storage
+
+import "sync"
+
+// This file is the *real* twin of the simulated fault model. The Pager and
+// Tracker count logical faults — the deterministic, platform-independent
+// observable the paper's Figures 9/10 are stated in. When columns are
+// mmap-backed (internal/storage/heapfile), the operating system additionally
+// produces physical observables: minor/major fault counters (getrusage) and
+// per-page residency (mincore). Residency aggregates both so the metrics
+// layer can export moaserve_pager_*_real alongside the simulated series.
+
+// ResidencySample is one point-in-time reading of the process's real paging
+// state.
+type ResidencySample struct {
+	// MappedBytes and ResidentBytes cover the registered file mappings:
+	// how much column data is mapped, and how much of it the OS currently
+	// holds in RAM (mincore sampling; equal when sampling is unsupported
+	// and the mapping is anonymous fallback memory).
+	MappedBytes   int64
+	ResidentBytes int64
+	// MajorFaults and MinorFaults are process-wide getrusage counters:
+	// major = served from disk, minor = served from the page cache /
+	// zero-fill. Cumulative since process start; callers diff them.
+	MajorFaults uint64
+	MinorFaults uint64
+	// Probed reports whether real residency sampling (mincore) ran;
+	// RusageOK whether the fault counters are real getrusage values.
+	// Both false on platforms without the syscalls (portable fallback).
+	Probed   bool
+	RusageOK bool
+}
+
+// ResidencyProbe reports the mapped/resident byte footprint of one mapping
+// set. mappedBytes must always be exact; residentBytes is best-effort
+// (mincore page sampling) and probed=false when the platform cannot sample.
+type ResidencyProbe func() (mappedBytes, residentBytes int64, probed bool)
+
+// Residency is a registry of mapping probes. It is process-global
+// (residency and rusage are process-global facts) but instantiable for
+// tests.
+type Residency struct {
+	mu     sync.Mutex
+	probes map[uint64]ResidencyProbe
+	nextID uint64
+}
+
+// globalResidency backs the package-level Register/Sample helpers.
+var globalResidency Residency
+
+// Register adds a probe and returns an unregister function. Mappings call
+// this on open and the returned func on close.
+func (r *Residency) Register(p ResidencyProbe) (unregister func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.probes == nil {
+		r.probes = make(map[uint64]ResidencyProbe)
+	}
+	id := r.nextID
+	r.nextID++
+	r.probes[id] = p
+	return func() {
+		r.mu.Lock()
+		delete(r.probes, id)
+		r.mu.Unlock()
+	}
+}
+
+// Sample sums every registered probe and attaches the process rusage fault
+// counters.
+func (r *Residency) Sample() ResidencySample {
+	r.mu.Lock()
+	probes := make([]ResidencyProbe, 0, len(r.probes))
+	for _, p := range r.probes {
+		probes = append(probes, p)
+	}
+	r.mu.Unlock()
+	var s ResidencySample
+	for _, p := range probes {
+		m, res, ok := p()
+		s.MappedBytes += m
+		s.ResidentBytes += res
+		if ok {
+			s.Probed = true
+		}
+	}
+	s.MajorFaults, s.MinorFaults, s.RusageOK = rusageFaults()
+	return s
+}
+
+// RegisterResidency registers a probe with the process-global registry.
+func RegisterResidency(p ResidencyProbe) (unregister func()) {
+	return globalResidency.Register(p)
+}
+
+// SampleResidency samples the process-global registry.
+func SampleResidency() ResidencySample { return globalResidency.Sample() }

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package storage
+
+// rusageFaults is unavailable without getrusage; the _real metrics report
+// RusageOK=false and the smoke assertions fall back to the logical model.
+func rusageFaults() (major, minor uint64, ok bool) { return 0, 0, false }

@@ -1,0 +1,15 @@
+//go:build unix
+
+package storage
+
+import "syscall"
+
+// rusageFaults reads the process's cumulative major/minor page-fault
+// counters from getrusage(RUSAGE_SELF).
+func rusageFaults() (major, minor uint64, ok bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, 0, false
+	}
+	return uint64(ru.Majflt), uint64(ru.Minflt), true
+}

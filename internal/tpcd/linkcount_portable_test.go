@@ -1,0 +1,8 @@
+//go:build !unix
+
+package tpcd
+
+import "os"
+
+// linkCount reports a file's hard-link count; unavailable off-unix.
+func linkCount(os.FileInfo) int { return -1 }

@@ -1,0 +1,17 @@
+//go:build unix
+
+package tpcd
+
+import (
+	"os"
+	"syscall"
+)
+
+// linkCount reports a file's hard-link count, or -1 when the platform does
+// not expose it.
+func linkCount(fi os.FileInfo) int {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return int(st.Nlink)
+	}
+	return -1
+}

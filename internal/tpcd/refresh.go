@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"maps"
 	"math/rand"
+	"sync"
 
 	"repro/internal/bat"
 	"repro/internal/epoch"
 	"repro/internal/mil"
+	"repro/internal/storage/heapfile"
 )
 
 // TPC-D refresh stream (RF1-style): batches of new orders with their line
@@ -191,38 +193,7 @@ func ValidateRefresh(db *DB, b *RefreshBatch) error {
 // the rebuilt BATs — the epoch's owned bytes. Single-writer: the epoch
 // store serializes calls, and db must only ever be mutated here.
 func ApplyRefresh(db *DB, base mil.Env, b *RefreshBatch) (mil.Env, int64, error) {
-	for _, ro := range b.Orders {
-		ord := Order{
-			Cust:          ro.Cust,
-			Status:        ro.Status,
-			Totalprice:    ro.Totalprice,
-			Orderdate:     ro.Orderdate,
-			Orderpriority: ro.Orderpriority,
-			Clerk:         ro.Clerk,
-			Shippriority:  ro.Shippriority,
-		}
-		oid := int32(len(db.Orders))
-		for _, ri := range ro.Items {
-			ord.Items = append(ord.Items, int32(len(db.Items)))
-			db.Items = append(db.Items, Item{
-				Part: ri.Part, Supplier: ri.Supplier, Order: oid,
-				Quantity:      ri.Quantity,
-				Returnflag:    ri.Returnflag,
-				Linestatus:    ri.Linestatus,
-				Extendedprice: ri.Extendedprice,
-				Discount:      ri.Discount,
-				Tax:           ri.Tax,
-				Shipdate:      ri.Shipdate,
-				Commitdate:    ri.Commitdate,
-				Receiptdate:   ri.Receiptdate,
-				Shipmode:      ri.Shipmode,
-				Shipinstruct:  ri.Shipinstruct,
-			})
-		}
-		db.Customers[ro.Cust].Orders = append(db.Customers[ro.Cust].Orders, oid)
-		db.Orders = append(db.Orders, ord)
-	}
-
+	applyObjects(db, b)
 	env := maps.Clone(base)
 	var owned int64
 	attr := func(name string, col bat.Column) {
@@ -255,6 +226,44 @@ func ApplyRefresh(db *DB, base mil.Env, b *RefreshBatch) (mil.Env, int64, error)
 	return env, owned, nil
 }
 
+// applyObjects is the object half of ApplyRefresh: it appends the batch to
+// the writer-side row slices without rebuilding any BAT. Out-of-core
+// recovery calls it alone for batches a mapped checkpoint already covers —
+// the env came from disk, but db must still advance to match it.
+func applyObjects(db *DB, b *RefreshBatch) {
+	for _, ro := range b.Orders {
+		ord := Order{
+			Cust:          ro.Cust,
+			Status:        ro.Status,
+			Totalprice:    ro.Totalprice,
+			Orderdate:     ro.Orderdate,
+			Orderpriority: ro.Orderpriority,
+			Clerk:         ro.Clerk,
+			Shippriority:  ro.Shippriority,
+		}
+		oid := int32(len(db.Orders))
+		for _, ri := range ro.Items {
+			ord.Items = append(ord.Items, int32(len(db.Items)))
+			db.Items = append(db.Items, Item{
+				Part: ri.Part, Supplier: ri.Supplier, Order: oid,
+				Quantity:      ri.Quantity,
+				Returnflag:    ri.Returnflag,
+				Linestatus:    ri.Linestatus,
+				Extendedprice: ri.Extendedprice,
+				Discount:      ri.Discount,
+				Tax:           ri.Tax,
+				Shipdate:      ri.Shipdate,
+				Commitdate:    ri.Commitdate,
+				Receiptdate:   ri.Receiptdate,
+				Shipmode:      ri.Shipmode,
+				Shipinstruct:  ri.Shipinstruct,
+			})
+		}
+		db.Customers[ro.Cust].Orders = append(db.Customers[ro.Cust].Orders, oid)
+		db.Orders = append(db.Orders, ord)
+	}
+}
+
 // DurableConfig configures OpenStore.
 type DurableConfig struct {
 	// Dir is the WAL + snapshot directory; empty runs in-memory.
@@ -266,6 +275,16 @@ type DurableConfig struct {
 	Seed int64
 	// SnapshotEvery checkpoints after every N ingests (0: never).
 	SnapshotEvery int
+	// Storage selects the serving regime: StorageSim (default, also "")
+	// serves columns from anonymous memory with simulated paging;
+	// StorageMmap writes columnar heap-file checkpoints and serves base
+	// columns straight from their mappings — the out-of-core path.
+	// StorageMmap requires a Dir.
+	Storage string
+	// MapFallback forces the portable read-into-memory heap path instead of
+	// mmap — parity testing and hosts without mmap. Only meaningful with
+	// StorageMmap.
+	MapFallback bool
 	// Hooks optionally injects crash points (tests only).
 	Hooks *epoch.Hooks
 }
@@ -277,32 +296,104 @@ type DurableConfig struct {
 // DB is the writer-side object state — GenRefresh reads it; only the
 // store's Apply path mutates it.
 func OpenStore(cfg DurableConfig) (*epoch.Store, *DB, error) {
-	db := Generate(cfg.SF, cfg.Seed)
-	env, _ := Load(db)
+	st, lazy, err := OpenStoreLazy(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, lazy(), nil
+}
+
+// OpenStoreLazy is OpenStore for read-mostly servers: the in-memory object
+// database is materialized on first use — seeding genesis on a fresh
+// directory, replaying ingest history, validating or generating refresh
+// batches — instead of unconditionally at open. A server that recovers by
+// mapping a never-ingested heap-file checkpoint and only answers queries
+// never generates it at all, so its anonymous footprint stays far below
+// the mapped data: the restart that makes budgets smaller than the heap
+// files servable. The returned accessor is safe for concurrent use and
+// always yields the same *DB, kept in lockstep by the store exactly as in
+// OpenStore.
+func OpenStoreLazy(cfg DurableConfig) (*epoch.Store, func() *DB, error) {
+	var (
+		dbOnce sync.Once
+		lazyDB *DB
+	)
+	db := func() *DB {
+		dbOnce.Do(func() { lazyDB = Generate(cfg.SF, cfg.Seed) })
+		return lazyDB
+	}
 	meta := fmt.Sprintf("tpcd sf=%g seed=%d", cfg.SF, cfg.Seed)
-	st, err := epoch.Open(epoch.Options{
-		Dir:     cfg.Dir,
-		Meta:    []byte(meta),
-		Genesis: env,
+	opts := epoch.Options{
+		Dir:  cfg.Dir,
+		Meta: []byte(meta),
 		Validate: func(p []byte) error {
 			b, err := DecodeRefresh(p)
 			if err != nil {
 				return err
 			}
-			return ValidateRefresh(db, b)
+			return ValidateRefresh(db(), b)
 		},
 		Apply: func(base mil.Env, p []byte) (mil.Env, int64, error) {
 			b, err := DecodeRefresh(p)
 			if err != nil {
 				return nil, 0, err
 			}
-			return ApplyRefresh(db, base, b)
+			return ApplyRefresh(db(), base, b)
 		},
 		SnapshotEvery: cfg.SnapshotEvery,
 		Hooks:         cfg.Hooks,
-	})
+	}
+
+	var mapped []*heapfile.Store
+	switch cfg.Storage {
+	case "", StorageSim:
+		env, _ := Load(db())
+		opts.Genesis = env
+	case StorageMmap:
+		if cfg.Dir == "" {
+			return nil, nil, fmt.Errorf("tpcd: storage=%s requires a data directory", StorageMmap)
+		}
+		hc := &heapCheckpointer{}
+		// Genesis is lazy: when recovery maps a checkpoint, the bulk load —
+		// materializing every base column in anonymous memory — is skipped
+		// entirely. That is the out-of-core restart.
+		opts.LazyGenesis = func() mil.Env {
+			env, _ := Load(db())
+			return env
+		}
+		opts.SaveEnv = hc.save
+		opts.LoadEnv = func(dir string) (mil.Env, error) {
+			env, s, err := loadEnvHeap(dir, cfg.MapFallback)
+			if err != nil {
+				return nil, err
+			}
+			mapped = append(mapped, s)
+			hc.seed(dir, s.Manifest(), env)
+			return env, nil
+		}
+		opts.ReplayObjects = func(p []byte) error {
+			b, err := DecodeRefresh(p)
+			if err != nil {
+				return err
+			}
+			applyObjects(db(), b)
+			return nil
+		}
+	default:
+		return nil, nil, fmt.Errorf("tpcd: unknown storage mode %q (want %q or %q)", cfg.Storage, StorageSim, StorageMmap)
+	}
+
+	st, err := epoch.Open(opts)
 	if err != nil {
+		for _, s := range mapped {
+			s.Close()
+		}
 		return nil, nil, err
+	}
+	// Mappings must outlive every epoch that serves views over them; the
+	// store's closer list is exactly that lifetime.
+	for _, s := range mapped {
+		st.AddCloser(s)
 	}
 	return st, db, nil
 }
